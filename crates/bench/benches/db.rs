@@ -1,0 +1,65 @@
+//! Database microbenchmarks + the hash-index vs linear-scan ablation
+//! (DESIGN.md ablation 4): why the 8-byte graph-hash key matters as the
+//! store grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnlqp_db::Database;
+use nnlqp_hash::graph_hash;
+use nnlqp_models::ModelFamily;
+use std::hint::black_box;
+
+fn populated(n: usize) -> (Database, Vec<u64>) {
+    let db = Database::new();
+    let pid = db.get_or_create_platform("T4", "trt7.1", "fp32");
+    let mut hashes = Vec::new();
+    for m in nnlqp_models::generate_family(ModelFamily::SqueezeNet, n, 7) {
+        let (mid, _) = db.insert_model(&m.graph);
+        db.insert_latency(mid, pid, 1, 1.0, 0.0, 0, 0).unwrap();
+        hashes.push(graph_hash(&m.graph));
+    }
+    (db, hashes)
+}
+
+fn bench_lookup_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db_lookup");
+    for n in [100usize, 400, 1600] {
+        let (db, hashes) = populated(n);
+        group.bench_with_input(BenchmarkId::new("hash_index", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % hashes.len();
+                black_box(db.model_by_hash(hashes[i]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % hashes.len();
+                black_box(db.model_by_hash_scan(hashes[i]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_and_snapshot(c: &mut Criterion) {
+    let models: Vec<_> = nnlqp_models::generate_family(ModelFamily::ResNet, 50, 9)
+        .into_iter()
+        .map(|m| m.graph)
+        .collect();
+    c.bench_function("db_insert_50_models", |b| {
+        b.iter(|| {
+            let db = Database::new();
+            for g in &models {
+                black_box(db.insert_model(g));
+            }
+        })
+    });
+    let (db, _) = populated(400);
+    c.bench_function("db_snapshot_400_models", |b| {
+        b.iter(|| black_box(nnlqp_db::persist::to_bytes(&db)))
+    });
+}
+
+criterion_group!(benches, bench_lookup_scaling, bench_insert_and_snapshot);
+criterion_main!(benches);

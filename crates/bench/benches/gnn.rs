@@ -1,0 +1,87 @@
+//! Predictor microbenchmarks: feature extraction, forward inference and
+//! one training step — the costs behind Table 2's prediction column and
+//! Table 6's multi-head saving.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnlqp_ir::Rng64;
+use nnlqp_models::ModelFamily;
+use nnlqp_predict::train::{Dataset, Sample};
+use nnlqp_predict::{extract_features, NnlpConfig, NnlpModel};
+use std::hint::black_box;
+
+fn setup() -> (NnlpModel, Sample) {
+    let g = ModelFamily::ResNet.canonical().unwrap();
+    let entries = vec![(&g, 1.5f64, 0usize)];
+    let ds = Dataset::build(&entries);
+    let mut rng = Rng64::new(1);
+    let model = NnlpModel::new(
+        NnlpConfig {
+            hidden: 48,
+            head_hidden: 48,
+            gnn_layers: 3,
+            n_heads: 9,
+            dropout: 0.0,
+            ..Default::default()
+        },
+        ds.norm.clone(),
+        &mut rng,
+    );
+    (model, ds.samples[0].clone())
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let g = ModelFamily::EfficientNet.canonical().unwrap();
+    c.bench_function("extract_features_efficientnet", |b| {
+        b.iter(|| black_box(extract_features(black_box(&g))))
+    });
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let (model, s) = setup();
+    c.bench_function("nnlp_forward_resnet18", |b| {
+        b.iter(|| {
+            let (p, _) = model.forward(&s.nodes, &s.adj, &s.stat, 0, None);
+            black_box(p)
+        })
+    });
+}
+
+fn bench_multi_head_amortization(c: &mut Criterion) {
+    // Table 6's mechanism: 9 heads from one backbone pass vs 9 passes.
+    let (model, _) = setup();
+    let g = ModelFamily::ResNet.canonical().unwrap();
+    let feats = extract_features(&g);
+    c.bench_function("predict_9_heads_shared_backbone", |b| {
+        b.iter(|| black_box(model.predict_all_heads_ms(&feats)))
+    });
+    c.bench_function("predict_9_heads_independent_passes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for h in 0..9 {
+                acc += model.predict_ms(&feats, h);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let (model, s) = setup();
+    c.bench_function("nnlp_loss_and_grads_resnet18", |b| {
+        let mut rng = Rng64::new(2);
+        b.iter(|| {
+            let (l, g) =
+                model.loss_and_grads(&s.nodes, &s.adj, &s.stat, s.target_log, 0, &mut rng);
+            black_box((l, g.head_idx))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_feature_extraction,
+    bench_forward,
+    bench_multi_head_amortization,
+    bench_train_step
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Graph-hash microbenchmarks + the FNV-1a vs Mix64 ablation
+//! (DESIGN.md ablation 1): throughput of the two `f_hash` choices over
+//! realistic corpus models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnlqp_hash::{graph_hash_with, HashAlgo};
+use nnlqp_models::ModelFamily;
+use std::hint::black_box;
+
+fn bench_graph_hash(c: &mut Criterion) {
+    let small = ModelFamily::AlexNet.canonical().unwrap();
+    let medium = ModelFamily::ResNet.canonical().unwrap();
+    let large = ModelFamily::EfficientNet.canonical().unwrap();
+    let mut group = c.benchmark_group("graph_hash");
+    for (name, g) in [("alexnet", &small), ("resnet18", &medium), ("efficientnet", &large)] {
+        for algo in [HashAlgo::Fnv1a, HashAlgo::Mix64] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), format!("{name}/{}nodes", g.len())),
+                g,
+                |b, g| b.iter(|| graph_hash_with(black_box(g), algo)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hash_collision_scan(c: &mut Criterion) {
+    // Hashing a batch of 100 distinct variants — the warm-cache ingest path.
+    let models: Vec<_> = nnlqp_models::generate_family(ModelFamily::MobileNetV2, 100, 1)
+        .into_iter()
+        .map(|m| m.graph)
+        .collect();
+    c.bench_function("hash_100_variants", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for g in &models {
+                acc ^= graph_hash_with(black_box(g), HashAlgo::Fnv1a);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_graph_hash, bench_hash_collision_scan);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Simulator microbenchmarks + the stream-width ablation (DESIGN.md
+//! ablation 3): scheduling cost and how stream parallelism changes model
+//! latency on branchy vs sequential architectures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnlqp_models::ModelFamily;
+use nnlqp_sim::{exec, fusion, PlatformSpec};
+use std::hint::black_box;
+
+fn bench_fusion(c: &mut Criterion) {
+    let g = ModelFamily::EfficientNet.canonical().unwrap();
+    c.bench_function("fuse_efficientnet", |b| {
+        b.iter(|| black_box(fusion::fuse(black_box(&g))))
+    });
+}
+
+fn bench_model_latency(c: &mut Criterion) {
+    let p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+    let mut group = c.benchmark_group("model_latency");
+    for fam in [
+        ModelFamily::AlexNet,
+        ModelFamily::ResNet,
+        ModelFamily::GoogleNet,
+        ModelFamily::MobileNetV3,
+    ] {
+        let g = fam.canonical().unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{fam}/{}nodes", g.len())),
+            &g,
+            |b, g| b.iter(|| black_box(exec::model_latency_ms(g, &p))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_stream_width_ablation(c: &mut Criterion) {
+    // Branchy GoogleNet vs sequential VGG under 1/2/4 streams: simulated
+    // latency is the *output* here; the bench tracks the scheduler cost
+    // while the printed latencies (see repro fig2) track the ablation.
+    let googlenet = ModelFamily::GoogleNet.canonical().unwrap();
+    let mut group = c.benchmark_group("scheduler_streams");
+    for streams in [1usize, 2, 4] {
+        let mut p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        p.streams = streams;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(streams),
+            &p,
+            |b, p| b.iter(|| black_box(exec::model_latency_ms(&googlenet, p))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion, bench_model_latency, bench_stream_width_ablation);
+criterion_main!(benches);

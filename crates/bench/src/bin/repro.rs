@@ -1,0 +1,44 @@
+//! `repro` — regenerate any table or figure of the NNLQP paper.
+//!
+//! ```text
+//! repro <experiment|all> [--per-family N] [--epochs E] [--seed S]
+//!                        [--reps R] [--out DIR]
+//! ```
+
+use nnlqp_bench::experiments;
+use nnlqp_bench::Opts;
+
+fn usage() -> ! {
+    eprintln!("usage: repro <experiment|all> [flags]");
+    eprintln!("experiments: {}", experiments::ALL.join(" "));
+    eprintln!("flags: --per-family N  --epochs E  --seed S  --reps R  --out DIR");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first() else { usage() };
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+        }
+    };
+    let start = std::time::Instant::now();
+    let list: Vec<&str> = if which == "all" {
+        experiments::ALL.to_vec()
+    } else {
+        vec![which.as_str()]
+    };
+    for (i, name) in list.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(78));
+        }
+        if let Err(e) = experiments::run(name, &opts) {
+            eprintln!("error: {e}");
+            usage();
+        }
+    }
+    eprintln!("\n[done in {:.1}s]", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,46 @@
+//! One module per paper table/figure.
+
+pub mod decisions;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+
+use crate::opts::Opts;
+
+/// All experiment names, in paper order.
+pub const ALL: [&str; 14] = [
+    "table1", "fig2", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+    "fig6", "fig7", "fig8", "fig9", "decisions",
+];
+
+/// Dispatch one experiment by name.
+pub fn run(name: &str, opts: &Opts) -> Result<(), String> {
+    match name {
+        "table1" => table1::run(opts),
+        "table2" => table2::run(opts),
+        "table3" => table3::run(opts),
+        "table4" => table4::run(opts),
+        "table5" => table5::run(opts),
+        "table6" => table6::run(opts),
+        "table7" => table7::run(opts),
+        "table8" => table8::run(opts),
+        "fig2" => fig2::run(opts),
+        "fig6" => fig6::run(opts),
+        "fig7" => fig7::run(opts),
+        "fig8" => fig8::run(opts),
+        "fig9" => fig9::run(opts),
+        "decisions" => decisions::run(opts),
+        other => return Err(format!("unknown experiment: {other}")),
+    }
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! # nnlqp-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation, all invocable through the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p nnlqp-bench --bin repro -- table3 --per-family 100
+//! cargo run --release -p nnlqp-bench --bin repro -- all
+//! ```
+//!
+//! Results are printed as text tables and, when `--out` is given, written
+//! as JSON for EXPERIMENTS.md bookkeeping. The default scale is reduced
+//! relative to the paper (which used 2,000 variants per family and real
+//! silicon); pass `--per-family 2000 --epochs 100` to approach it.
+
+pub mod corpus;
+pub mod experiments;
+pub mod methods;
+pub mod opts;
+pub mod report;
+
+pub use corpus::{measured_corpus, MeasuredModel};
+pub use opts::Opts;
+pub use report::{print_table, save_json};

@@ -1,0 +1,231 @@
+//! The six latency-prediction methods of Table 3 (plus the Table 4
+//! ablation variants) behind one fit/predict interface.
+
+use crate::corpus::MeasuredModel;
+use crate::opts::Opts;
+use nnlqp_ir::{Graph, Rng64};
+use nnlqp_predict::baselines::{StaticBaseline, StaticBaselineKind};
+use nnlqp_predict::kernels::{build_kernel_dataset, KernelSample, NnMeter, TpuPredictor};
+use nnlqp_predict::train::{train, Dataset, TrainConfig};
+use nnlqp_predict::{extract_features, NnlpConfig, NnlpModel};
+use nnlqp_sim::PlatformSpec;
+
+/// Method identifiers, in Table 3 column order (ablations appended).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// FLOPs linear regression.
+    Flops,
+    /// FLOPs+MAC linear regression.
+    FlopsMac,
+    /// nn-Meter: per-kernel random forests + corrected sum.
+    NnMeter,
+    /// TPU: learned kernel model + corrected sum.
+    Tpu,
+    /// BRP-NAS: GNN without static features, mean pooling.
+    BrpNas,
+    /// Full NNLP.
+    Nnlp,
+    /// Ablation wo/F0.
+    NnlpWoF0,
+    /// Ablation wo/gnn.
+    NnlpWoGnn,
+    /// Ablation wo/static.
+    NnlpWoStatic,
+}
+
+impl Method {
+    /// Table column label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Flops => "FLOPs",
+            Method::FlopsMac => "FLOPs+MAC",
+            Method::NnMeter => "nn-Meter",
+            Method::Tpu => "TPU",
+            Method::BrpNas => "BRP-NAS",
+            Method::Nnlp => "NNLP",
+            Method::NnlpWoF0 => "wo/F0",
+            Method::NnlpWoGnn => "wo/gnn",
+            Method::NnlpWoStatic => "wo/static",
+        }
+    }
+
+    /// The Table 3 comparison set.
+    pub const TABLE3: [Method; 6] = [
+        Method::Flops,
+        Method::FlopsMac,
+        Method::NnMeter,
+        Method::Tpu,
+        Method::BrpNas,
+        Method::Nnlp,
+    ];
+
+    /// The Table 4 set (NNLP + three ablations).
+    pub const TABLE4: [Method; 4] = [
+        Method::Nnlp,
+        Method::NnlpWoF0,
+        Method::NnlpWoGnn,
+        Method::NnlpWoStatic,
+    ];
+}
+
+/// Maximum kernels per family entering the kernel-method training sets
+/// (the paper samples 2,000 / 1,000 per family).
+pub const KERNELS_PER_FAMILY_CAP: usize = 2000;
+
+/// A fitted method, ready to predict.
+pub enum FittedMethod {
+    /// Linear baselines.
+    Static(StaticBaseline),
+    /// nn-Meter (owns the platform for fallback costing).
+    NnMeter(Box<NnMeter>, PlatformSpec),
+    /// TPU kernel model.
+    Tpu(Box<TpuPredictor>),
+    /// Any NNLP-architecture model.
+    Gnn(Box<NnlpModel>),
+}
+
+/// Cap a kernel dataset per family, preserving order.
+pub fn cap_kernels_per_family(kd: Vec<KernelSample>, cap: usize) -> Vec<KernelSample> {
+    use std::collections::HashMap;
+    let mut seen: HashMap<nnlqp_sim::KernelFamily, usize> = HashMap::new();
+    kd.into_iter()
+        .filter(|k| {
+            let c = seen.entry(k.desc.family).or_insert(0);
+            *c += 1;
+            *c <= cap
+        })
+        .collect()
+}
+
+fn gnn_config(method: Method, opts: &Opts) -> NnlpConfig {
+    let mut cfg = match method {
+        Method::BrpNas => NnlpConfig::brp_nas(),
+        Method::NnlpWoF0 => NnlpConfig::without_node_features(),
+        Method::NnlpWoGnn => NnlpConfig::without_gnn(),
+        Method::NnlpWoStatic => NnlpConfig::without_static(),
+        _ => NnlpConfig::default(),
+    };
+    cfg.hidden = 48;
+    cfg.head_hidden = 48;
+    if cfg.use_gnn {
+        cfg.gnn_layers = if method == Method::BrpNas { 4 } else { 3 };
+    }
+    let _ = opts;
+    cfg
+}
+
+/// Fit a method on a training slice of the measured corpus.
+pub fn fit(
+    method: Method,
+    train_set: &[&MeasuredModel],
+    platform: &PlatformSpec,
+    opts: &Opts,
+) -> FittedMethod {
+    match method {
+        Method::Flops | Method::FlopsMac => {
+            let kind = if method == Method::Flops {
+                StaticBaselineKind::Flops
+            } else {
+                StaticBaselineKind::FlopsMac
+            };
+            let data: Vec<(&Graph, f64)> =
+                train_set.iter().map(|m| (&m.graph, m.latency_ms)).collect();
+            FittedMethod::Static(StaticBaseline::fit(kind, &data))
+        }
+        Method::NnMeter => {
+            let graphs: Vec<&Graph> = train_set.iter().map(|m| &m.graph).collect();
+            let kd = cap_kernels_per_family(
+                build_kernel_dataset(&graphs, platform, opts.seed),
+                KERNELS_PER_FAMILY_CAP,
+            );
+            let md: Vec<(&Graph, f64)> =
+                train_set.iter().map(|m| (&m.graph, m.latency_ms)).collect();
+            FittedMethod::NnMeter(
+                Box::new(NnMeter::fit(&kd, &md, platform, opts.seed)),
+                platform.clone(),
+            )
+        }
+        Method::Tpu => {
+            let graphs: Vec<&Graph> = train_set.iter().map(|m| &m.graph).collect();
+            let kd = cap_kernels_per_family(
+                build_kernel_dataset(&graphs, platform, opts.seed),
+                // The GNN kernel model trains per sample; keep it lighter.
+                (KERNELS_PER_FAMILY_CAP / 4).max(250),
+            );
+            let md: Vec<(&Graph, f64)> =
+                train_set.iter().map(|m| (&m.graph, m.latency_ms)).collect();
+            FittedMethod::Tpu(Box::new(TpuPredictor::fit(
+                &graphs,
+                &kd,
+                &md,
+                (opts.epochs / 2).max(10),
+                opts.seed,
+            )))
+        }
+        _ => {
+            let entries: Vec<(&Graph, f64, usize)> = train_set
+                .iter()
+                .map(|m| (&m.graph, m.latency_ms, 0usize))
+                .collect();
+            let ds = Dataset::build(&entries);
+            let mut rng = Rng64::new(opts.seed ^ method as u64);
+            let mut model = NnlpModel::new(gnn_config(method, opts), ds.norm.clone(), &mut rng);
+            train(
+                &mut model,
+                &ds.samples,
+                TrainConfig {
+                    epochs: opts.epochs,
+                    batch_size: 16,
+                    lr: 1e-3,
+                    seed: opts.seed,
+                },
+            );
+            FittedMethod::Gnn(Box::new(model))
+        }
+    }
+}
+
+impl FittedMethod {
+    /// Predict a model's latency in ms.
+    pub fn predict(&self, g: &Graph) -> f64 {
+        match self {
+            FittedMethod::Static(b) => b.predict(g),
+            FittedMethod::NnMeter(m, p) => m.predict_model(g, p),
+            FittedMethod::Tpu(m) => m.predict_model(g),
+            FittedMethod::Gnn(m) => m.predict_ms(&extract_features(g), 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::measured_corpus;
+    use nnlqp_models::ModelFamily;
+    use nnlqp_predict::mape;
+
+    #[test]
+    fn every_method_fits_and_predicts() {
+        let p = PlatformSpec::by_name("gpu-gtx1660-trt7.1-fp32").unwrap();
+        let corpus = measured_corpus(
+            &[ModelFamily::ResNet, ModelFamily::SqueezeNet],
+            8,
+            &p,
+            3,
+            5,
+        );
+        let refs: Vec<&MeasuredModel> = corpus.iter().collect();
+        let opts = Opts {
+            epochs: 10,
+            ..Default::default()
+        };
+        for m in Method::TABLE3.iter().chain(&Method::TABLE4) {
+            let fitted = fit(*m, &refs, &p, &opts);
+            let preds: Vec<f64> = corpus.iter().map(|x| fitted.predict(&x.graph)).collect();
+            assert!(preds.iter().all(|&x| x.is_finite() && x > 0.0), "{}", m.name());
+            let truth: Vec<f64> = corpus.iter().map(|x| x.latency_ms).collect();
+            let e = mape(&preds, &truth);
+            assert!(e < 500.0, "{} wildly off: {e}%", m.name());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Harness options shared by all experiments.
+
+use std::path::PathBuf;
+
+/// Scale and output knobs, parsed from the `repro` command line.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Model variants per family (paper: 2,000).
+    pub per_family: usize,
+    /// Training epochs for learned predictors.
+    pub epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Measurement repetitions (paper: 50).
+    pub reps: usize,
+    /// Where to write JSON results (None = print only).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            per_family: 30,
+            epochs: 25,
+            seed: 0x4e4e_4c51,
+            reps: 20,
+            out_dir: None,
+        }
+    }
+}
+
+impl Opts {
+    /// Parse `--per-family N --epochs E --seed S --reps R --out DIR` from
+    /// an argument list (unknown flags are rejected).
+    pub fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut o = Opts::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut next = |what: &str| -> Result<&String, String> {
+                it.next().ok_or(format!("missing value for {what}"))
+            };
+            match a.as_str() {
+                "--per-family" => o.per_family = parse_num(next("--per-family")?)?,
+                "--epochs" => o.epochs = parse_num(next("--epochs")?)?,
+                "--seed" => o.seed = parse_num(next("--seed")?)? as u64,
+                "--reps" => o.reps = parse_num(next("--reps")?)?,
+                "--out" => o.out_dir = Some(PathBuf::from(next("--out")?)),
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        Ok(o)
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: {s}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = Opts::parse(&[]).unwrap();
+        assert_eq!(o.per_family, 30);
+        assert!(o.out_dir.is_none());
+    }
+
+    #[test]
+    fn full_flags() {
+        let o = Opts::parse(&argv("--per-family 200 --epochs 10 --seed 9 --reps 50 --out /tmp/x"))
+            .unwrap();
+        assert_eq!(o.per_family, 200);
+        assert_eq!(o.epochs, 10);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.reps, 50);
+        assert_eq!(o.out_dir.unwrap(), PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(Opts::parse(&argv("--frobnicate 3")).is_err());
+        assert!(Opts::parse(&argv("--epochs")).is_err());
+        assert!(Opts::parse(&argv("--epochs banana")).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! `nnlqp` — command-line front end mirroring the paper's §7 interface.
+//!
+//! ```text
+//! nnlqp query   --model model.json --platform gpu-T4-trt7.1-fp32 [--batch 1]
+//! nnlqp predict --model model.json --platform gpu-T4-trt7.1-fp32 [--batch 1] \
+//!               [--train-family ResNet --train-count 40]
+//! nnlqp platforms
+//! nnlqp export-model --family ResNet --output model.json
+//! ```
+//!
+//! Model files are the JSON graph format of `nnlqp_ir::serialize`.
+
+use nnlqp::{Nnlqp, QueryParams, TrainPredictorConfig};
+use nnlqp_ir::serialize;
+use nnlqp_models::ModelFamily;
+use nnlqp_sim::PlatformSpec;
+use std::collections::HashMap;
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!("  nnlqp query   --model FILE --platform NAME [--batch N] [--reps R]");
+    eprintln!("  nnlqp predict --model FILE --platform NAME [--batch N]");
+    eprintln!("                [--train-family FAMILY] [--train-count N] [--epochs E]");
+    eprintln!("  nnlqp platforms");
+    eprintln!("  nnlqp export-model --family FAMILY --output FILE [--seed S]");
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            match it.next() {
+                Some(v) => {
+                    out.insert(key.to_string(), v.clone());
+                }
+                None => {
+                    eprintln!("error: missing value for --{key}");
+                    usage();
+                }
+            }
+        } else {
+            eprintln!("error: unexpected argument {a}");
+            usage();
+        }
+    }
+    out
+}
+
+fn load_model(flags: &HashMap<String, String>) -> nnlqp_ir::Graph {
+    let Some(path) = flags.get("model") else {
+        eprintln!("error: --model is required");
+        usage();
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    serialize::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not a valid model: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = parse_flags(&args[1..]);
+    let batch: u32 = flags
+        .get("batch")
+        .map(|s| s.parse().expect("--batch must be a number"))
+        .unwrap_or(1);
+
+    match cmd.as_str() {
+        "platforms" => {
+            for p in PlatformSpec::registry() {
+                println!("{}", p.name);
+            }
+        }
+        "export-model" => {
+            let family = flags
+                .get("family")
+                .and_then(|f| ModelFamily::parse(f))
+                .unwrap_or_else(|| {
+                    eprintln!("error: --family must name a model family");
+                    usage();
+                });
+            let Some(output) = flags.get("output") else {
+                eprintln!("error: --output is required");
+                usage();
+            };
+            let graph = match flags.get("seed") {
+                Some(s) => {
+                    let seed: u64 = s.parse().expect("--seed must be a number");
+                    let mut r = nnlqp_ir::Rng64::new(seed);
+                    family
+                        .sample(&format!("{}-{seed}", family.name().to_lowercase()), &mut r)
+                        .expect("generator is valid")
+                }
+                None => family.canonical().expect("generator is valid"),
+            };
+            std::fs::write(output, serialize::to_json(&graph)).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {output}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "wrote {} ({} nodes) to {output}",
+                graph.name,
+                graph.len()
+            );
+        }
+        "query" => {
+            let model = load_model(&flags);
+            let Some(platform) = flags.get("platform") else {
+                eprintln!("error: --platform is required");
+                usage();
+            };
+            let mut system = Nnlqp::with_default_farm();
+            if let Some(r) = flags.get("reps") {
+                system.reps = r.parse().expect("--reps must be a number");
+            }
+            let result = system
+                .query(&QueryParams {
+                    model,
+                    batch_size: batch,
+                    platform_name: platform.clone(),
+                })
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            println!(
+                "{{\"latency_ms\": {:.6}, \"cache_hit\": {}, \"cost_s\": {:.3}}}",
+                result.latency_ms, result.cache_hit, result.cost_s
+            );
+        }
+        "predict" => {
+            let model = load_model(&flags);
+            let Some(platform) = flags.get("platform") else {
+                eprintln!("error: --platform is required");
+                usage();
+            };
+            // Bootstrap a predictor from freshly measured variants of a
+            // chosen family (standing in for a persistent production DB).
+            let family = flags
+                .get("train-family")
+                .and_then(|f| ModelFamily::parse(f))
+                .unwrap_or(ModelFamily::ResNet);
+            let count: usize = flags
+                .get("train-count")
+                .map(|s| s.parse().expect("--train-count must be a number"))
+                .unwrap_or(40);
+            let epochs: usize = flags
+                .get("epochs")
+                .map(|s| s.parse().expect("--epochs must be a number"))
+                .unwrap_or(30);
+            let mut system = Nnlqp::with_default_farm();
+            system.reps = 10;
+            eprintln!("bootstrapping the database with {count} {family} variants...");
+            let variants: Vec<_> = nnlqp_models::generate_family(family, count, 1)
+                .into_iter()
+                .map(|m| m.graph)
+                .collect();
+            system
+                .warm_cache(&variants, platform, batch)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!("training the predictor...");
+            system
+                .train_predictor(
+                    &[platform.as_str()],
+                    TrainPredictorConfig {
+                        epochs,
+                        ..Default::default()
+                    },
+                )
+                .expect("training data just inserted");
+            let result = system
+                .predict(&QueryParams {
+                    model,
+                    batch_size: batch,
+                    platform_name: platform.clone(),
+                })
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            println!(
+                "{{\"latency_ms\": {:.6}, \"cost_s\": {:.3}}}",
+                result.latency_ms, result.cost_s
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,305 @@
+//! `NNLQP.query` — the cached latency-query path (§5.2).
+
+use nnlqp_db::Database;
+use nnlqp_hash::graph_hash;
+use nnlqp_ir::{cost, Graph, Rng64};
+use nnlqp_sim::{DeviceFarm, FarmError, PlatformSpec, QueryJob};
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Parameters of a query or prediction — the paper's
+/// `{model_path, batch_size, platform_name}` with the model passed as a
+/// graph (use `nnlqp_ir::serialize::from_json` to load one from disk).
+#[derive(Debug, Clone)]
+pub struct QueryParams {
+    /// The model.
+    pub model: Graph,
+    /// Batch size to run at.
+    pub batch_size: u32,
+    /// Target platform name (canonical or paper alias).
+    pub platform_name: String,
+}
+
+/// Outcome of `query`.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Ground-truth latency in milliseconds.
+    pub latency_ms: f64,
+    /// True when the database served the request without touching
+    /// hardware.
+    pub cache_hit: bool,
+    /// Wall-clock cost of answering, in (simulated) seconds.
+    pub cost_s: f64,
+}
+
+/// Query errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The platform is not registered.
+    UnknownPlatform(String),
+    /// Rebatching the model failed (invalid batch).
+    BadBatch(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownPlatform(p) => write!(f, "unknown platform: {p}"),
+            QueryError::BadBatch(d) => write!(f, "bad batch size: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<FarmError> for QueryError {
+    fn from(e: FarmError) -> Self {
+        match e {
+            FarmError::UnknownPlatform(p) => QueryError::UnknownPlatform(p),
+        }
+    }
+}
+
+/// Simulated round-trip cost of a cache-hit query: graph hashing on the
+/// CPU plus the remote database access (§8.2 measures ~1.9 s per hit).
+pub const CACHE_HIT_COST_S: f64 = 1.75;
+
+/// The NNLQP system object.
+pub struct Nnlqp {
+    /// The evolving database.
+    pub db: Database,
+    farm: DeviceFarm,
+    /// Measurement repetitions per query (paper: 50).
+    pub reps: usize,
+    seed: Mutex<Rng64>,
+    pub(crate) predictor: parking_lot::RwLock<Option<crate::predictor::PredictorHandle>>,
+}
+
+impl Nnlqp {
+    /// System over a given farm.
+    pub fn new(farm: DeviceFarm) -> Self {
+        Nnlqp {
+            db: Database::new(),
+            farm,
+            reps: nnlqp_sim::DEFAULT_REPS,
+            seed: Mutex::new(Rng64::new(0x4e4e_4c51_5021)),
+            predictor: parking_lot::RwLock::new(None),
+        }
+    }
+
+    /// System over the full platform registry, one device each.
+    pub fn with_default_farm() -> Self {
+        Self::new(DeviceFarm::full_registry())
+    }
+
+    /// Reseed the measurement/jitter stream (distinct deployments of the
+    /// system observe distinct noise).
+    pub fn set_seed(&mut self, seed: u64) {
+        *self.seed.lock() = Rng64::new(seed);
+    }
+
+    fn canonical_platform(&self, name: &str) -> Result<PlatformSpec, QueryError> {
+        PlatformSpec::by_name(name).ok_or_else(|| QueryError::UnknownPlatform(name.to_string()))
+    }
+
+    /// Resolve the effective graph at the requested batch size.
+    fn effective_graph(&self, params: &QueryParams) -> Result<Graph, QueryError> {
+        if params.model.input_shape.batch() == params.batch_size as usize {
+            Ok(params.model.clone())
+        } else {
+            params
+                .model
+                .rebatch(params.batch_size as usize)
+                .map_err(|e| QueryError::BadBatch(e.to_string()))
+        }
+    }
+
+    /// The paper's `NNLQP.query`: return the true latency, from cache if
+    /// the graph hash + platform + batch is already stored, otherwise by
+    /// measuring on the farm and recording the result.
+    pub fn query(&self, params: &QueryParams) -> Result<QueryResult, QueryError> {
+        let spec = self.canonical_platform(&params.platform_name)?;
+        let graph = self.effective_graph(params)?;
+        let hash = graph_hash(&graph);
+        let platform_id =
+            self.db
+                .get_or_create_platform(&spec.hardware, &spec.software, spec.dtype.name());
+
+        if let Some(hit) = self.db.lookup_latency(hash, platform_id, params.batch_size) {
+            let jitter = {
+                let mut s = self.seed.lock();
+                s.uniform()
+            };
+            return Ok(QueryResult {
+                latency_ms: hit.cost_ms,
+                cache_hit: true,
+                cost_s: CACHE_HIT_COST_S * (0.9 + 0.2 * jitter),
+            });
+        }
+
+        // Miss: deploy + measure on the farm, then record.
+        let seed = {
+            let mut s = self.seed.lock();
+            s.next_u64()
+        };
+        let job = QueryJob {
+            graph: graph.clone(),
+            platform: spec.name.clone(),
+            reps: self.reps,
+            seed,
+        };
+        let result = self.farm.measure_blocking(&job)?;
+        let (model_id, _) = self.db.insert_model(&graph);
+        let mem = cost::graph_cost(&graph, spec.dtype).mem_bytes;
+        self.db
+            .insert_latency(
+                model_id,
+                platform_id,
+                params.batch_size,
+                result.measurement.mean_ms,
+                mem,
+                (mem * 1.3) as u64,
+                mem as u64,
+            )
+            .expect("fresh foreign keys are valid");
+        Ok(QueryResult {
+            latency_ms: result.measurement.mean_ms,
+            cache_hit: false,
+            cost_s: result.pipeline_cost_s + CACHE_HIT_COST_S * 0.5, // miss still pays the lookup
+        })
+    }
+
+    /// Pre-populate the database (the "evolving" loop: every served query
+    /// enriches later ones). Returns the number of fresh measurements.
+    pub fn warm_cache(&self, models: &[Graph], platform_name: &str, batch: u32) -> Result<usize, QueryError> {
+        let mut fresh = 0;
+        for m in models {
+            let r = self.query(&QueryParams {
+                model: m.clone(),
+                batch_size: batch,
+                platform_name: platform_name.to_string(),
+            })?;
+            if !r.cache_hit {
+                fresh += 1;
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Database statistics passthrough.
+    pub fn stats(&self) -> nnlqp_db::DbStats {
+        self.db.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_models::ModelFamily;
+
+    fn system() -> Nnlqp {
+        Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+    }
+
+    fn params(platform: &str) -> QueryParams {
+        QueryParams {
+            model: ModelFamily::SqueezeNet.canonical().unwrap(),
+            batch_size: 1,
+            platform_name: platform.into(),
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let s = system();
+        let p = params("gpu-T4-trt7.1-fp32");
+        let first = s.query(&p).unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.cost_s > 10.0);
+        let second = s.query(&p).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.latency_ms, first.latency_ms);
+        assert!(second.cost_s < 3.0);
+        assert_eq!(s.stats().models, 1);
+        assert_eq!(s.stats().latencies, 1);
+    }
+
+    #[test]
+    fn distinct_batch_is_a_miss() {
+        let s = system();
+        let mut p = params("gpu-T4-trt7.1-fp32");
+        s.query(&p).unwrap();
+        p.batch_size = 8;
+        let r = s.query(&p).unwrap();
+        assert!(!r.cache_hit);
+        // Larger batch has larger latency.
+        let r1 = s.query(&params("gpu-T4-trt7.1-fp32")).unwrap();
+        assert!(r.latency_ms > r1.latency_ms);
+    }
+
+    #[test]
+    fn distinct_platform_is_a_miss() {
+        let s = system();
+        s.query(&params("gpu-T4-trt7.1-fp32")).unwrap();
+        let r = s.query(&params("cpu-openppl-fp32")).unwrap();
+        assert!(!r.cache_hit);
+        assert_eq!(s.stats().models, 1); // model deduplicated
+        assert_eq!(s.stats().latencies, 2);
+    }
+
+    #[test]
+    fn unknown_platform_rejected() {
+        let s = system();
+        let err = s.query(&params("quantum-coprocessor")).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::UnknownPlatform("quantum-coprocessor".into())
+        );
+    }
+
+    #[test]
+    fn warm_cache_counts_fresh() {
+        let s = system();
+        let models: Vec<Graph> = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 3, 1)
+            .into_iter()
+            .map(|m| m.graph)
+            .collect();
+        let fresh = s.warm_cache(&models, "gpu-T4-trt7.1-fp32", 1).unwrap();
+        assert_eq!(fresh, 3);
+        let again = s.warm_cache(&models, "gpu-T4-trt7.1-fp32", 1).unwrap();
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn paper_alias_accepted() {
+        let s = system();
+        let r = s.query(&params("mul270-neuware-int8")).unwrap();
+        assert!(r.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn concurrent_queries_consistent() {
+        use std::sync::Arc;
+        let s = Arc::new(system());
+        let models: Vec<Graph> = nnlqp_models::generate_family(ModelFamily::ResNet, 4, 2)
+            .into_iter()
+            .map(|m| m.graph)
+            .collect();
+        std::thread::scope(|sc| {
+            for m in &models {
+                let s = s.clone();
+                sc.spawn(move || {
+                    let p = QueryParams {
+                        model: m.clone(),
+                        batch_size: 1,
+                        platform_name: "gpu-T4-trt7.1-fp32".into(),
+                    };
+                    let a = s.query(&p).unwrap();
+                    let b = s.query(&p).unwrap();
+                    assert_eq!(a.latency_ms, b.latency_ms);
+                });
+            }
+        });
+        assert_eq!(s.stats().models, 4);
+    }
+}

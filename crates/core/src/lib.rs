@@ -1,0 +1,32 @@
+//! # nnlqp
+//!
+//! The unified NNLQP facade (paper §7): one object that owns the evolving
+//! database, the device farm and the latency predictor, exposing the two
+//! calls of the paper's Python interface:
+//!
+//! ```text
+//! true_latency = NNLQP.query(**params)
+//! pred_latency = NNLQP.predict(**params)
+//! ```
+//!
+//! ```
+//! use nnlqp::{Nnlqp, QueryParams};
+//! use nnlqp_models::ModelFamily;
+//!
+//! let system = Nnlqp::with_default_farm();
+//! let params = QueryParams {
+//!     model: ModelFamily::SqueezeNet.canonical().unwrap(),
+//!     batch_size: 1,
+//!     platform_name: "gpu-T4-trt7.1-fp32".into(),
+//! };
+//! let first = system.query(&params).unwrap();   // measured on the farm
+//! let second = system.query(&params).unwrap();  // served from the cache
+//! assert!(!first.cache_hit && second.cache_hit);
+//! assert!(second.cost_s < first.cost_s);
+//! ```
+
+pub mod interface;
+pub mod predictor;
+
+pub use interface::{Nnlqp, QueryError, QueryParams, QueryResult};
+pub use predictor::{PredictResult, PredictorHandle, TrainPredictorConfig};

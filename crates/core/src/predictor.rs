@@ -1,0 +1,233 @@
+//! `NNLQP.predict` — the prediction path, trained from the evolving
+//! database.
+
+use crate::interface::{Nnlqp, QueryError, QueryParams};
+use nnlqp_ir::Rng64;
+use nnlqp_predict::{extract_features, NnlpConfig, NnlpModel};
+use nnlqp_predict::train::{train, Dataset, TrainConfig};
+use nnlqp_sim::PlatformSpec;
+use std::collections::HashMap;
+
+/// Simulated wall-clock cost of one prediction (feature extraction + GNN
+/// inference; §8.2 measures ~0.10 s per model).
+pub const PREDICT_COST_S: f64 = 0.100;
+
+/// Simulated wall-clock cost of one FLOPs+MAC prediction (§8.2: ~0.094 s).
+pub const FLOPS_MAC_COST_S: f64 = 0.094;
+
+/// A trained multi-platform predictor bound to its platform→head map.
+#[derive(Clone)]
+pub struct PredictorHandle {
+    /// The model.
+    pub model: NnlpModel,
+    /// Platform name → head index.
+    pub head_of: HashMap<String, usize>,
+}
+
+/// Training options for [`Nnlqp::train_predictor`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrainPredictorConfig {
+    /// Epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Seed.
+    pub seed: u64,
+    /// GNN hidden width.
+    pub hidden: usize,
+    /// GNN depth.
+    pub gnn_layers: usize,
+}
+
+impl Default for TrainPredictorConfig {
+    fn default() -> Self {
+        TrainPredictorConfig {
+            epochs: 30,
+            batch_size: 16,
+            lr: 1e-3,
+            seed: 7,
+            hidden: 48,
+            gnn_layers: 3,
+        }
+    }
+}
+
+/// Outcome of `predict`.
+#[derive(Debug, Clone)]
+pub struct PredictResult {
+    /// Predicted latency in milliseconds.
+    pub latency_ms: f64,
+    /// Wall-clock cost of answering, in (simulated) seconds.
+    pub cost_s: f64,
+}
+
+impl Nnlqp {
+    /// Train the multi-platform predictor from everything currently in
+    /// the database for the given platforms (the evolving-database loop:
+    /// re-run this as queries accumulate). Returns the number of training
+    /// samples used.
+    pub fn train_predictor(
+        &self,
+        platform_names: &[&str],
+        cfg: TrainPredictorConfig,
+    ) -> Result<usize, QueryError> {
+        let mut entries: Vec<(nnlqp_ir::Graph, f64, usize)> = Vec::new();
+        let mut head_of = HashMap::new();
+        for (head, name) in platform_names.iter().enumerate() {
+            let spec = PlatformSpec::by_name(name)
+                .ok_or_else(|| QueryError::UnknownPlatform(name.to_string()))?;
+            head_of.insert(spec.name.clone(), head);
+            let pid = self.db.get_or_create_platform(
+                &spec.hardware,
+                &spec.software,
+                spec.dtype.name(),
+            );
+            for rec in self.db.latencies_for_platform(pid) {
+                let g = self
+                    .db
+                    .load_graph(rec.model_id)
+                    .expect("stored graphs decode");
+                let g = if g.input_shape.batch() == rec.batch_size as usize {
+                    g
+                } else {
+                    g.rebatch(rec.batch_size as usize)
+                        .expect("stored batch is valid")
+                };
+                entries.push((g, rec.cost_ms, head));
+            }
+        }
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let refs: Vec<(&nnlqp_ir::Graph, f64, usize)> =
+            entries.iter().map(|(g, l, h)| (g, *l, *h)).collect();
+        let ds = Dataset::build(&refs);
+        let mut rng = Rng64::new(cfg.seed);
+        let mut model = NnlpModel::new(
+            NnlpConfig {
+                hidden: cfg.hidden,
+                head_hidden: cfg.hidden,
+                gnn_layers: cfg.gnn_layers,
+                n_heads: platform_names.len(),
+                dropout: 0.05,
+                ..Default::default()
+            },
+            ds.norm.clone(),
+            &mut rng,
+        );
+        train(
+            &mut model,
+            &ds.samples,
+            TrainConfig {
+                epochs: cfg.epochs,
+                batch_size: cfg.batch_size,
+                lr: cfg.lr,
+                seed: cfg.seed,
+            },
+        );
+        *self.predictor.write() = Some(PredictorHandle { model, head_of });
+        Ok(entries.len())
+    }
+
+    /// Install an externally trained predictor.
+    pub fn set_predictor(&self, handle: PredictorHandle) {
+        *self.predictor.write() = Some(handle);
+    }
+
+    /// The paper's `NNLQP.predict`: estimate latency without touching
+    /// hardware. Requires a trained predictor covering the platform.
+    pub fn predict(&self, params: &QueryParams) -> Result<PredictResult, QueryError> {
+        let spec = PlatformSpec::by_name(&params.platform_name)
+            .ok_or_else(|| QueryError::UnknownPlatform(params.platform_name.clone()))?;
+        let guard = self.predictor.read();
+        let handle = guard
+            .as_ref()
+            .ok_or_else(|| QueryError::UnknownPlatform("no predictor trained".into()))?;
+        let head = *handle
+            .head_of
+            .get(&spec.name)
+            .ok_or_else(|| QueryError::UnknownPlatform(format!("no head for {}", spec.name)))?;
+        let graph = if params.model.input_shape.batch() == params.batch_size as usize {
+            params.model.clone()
+        } else {
+            params
+                .model
+                .rebatch(params.batch_size as usize)
+                .map_err(|e| QueryError::BadBatch(e.to_string()))?
+        };
+        let feats = extract_features(&graph);
+        let latency_ms = handle.model.predict_ms(&feats, head);
+        Ok(PredictResult {
+            latency_ms,
+            cost_s: PREDICT_COST_S,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_models::ModelFamily;
+    use nnlqp_sim::DeviceFarm;
+
+    #[test]
+    fn evolving_loop_query_train_predict() {
+        let mut s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1));
+        s.reps = 5;
+        let models: Vec<nnlqp_ir::Graph> =
+            nnlqp_models::generate_family(ModelFamily::SqueezeNet, 24, 3)
+                .into_iter()
+                .map(|m| m.graph)
+                .collect();
+        s.warm_cache(&models, "gpu-T4-trt7.1-fp32", 1).unwrap();
+        let n = s
+            .train_predictor(
+                &["gpu-T4-trt7.1-fp32"],
+                TrainPredictorConfig {
+                    epochs: 40,
+                    hidden: 32,
+                    gnn_layers: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(n, 24);
+        // Prediction on a *fresh* variant is in the right regime.
+        let fresh = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 30, 99)
+            .pop()
+            .unwrap()
+            .graph;
+        let p = QueryParams {
+            model: fresh.clone(),
+            batch_size: 1,
+            platform_name: "gpu-T4-trt7.1-fp32".into(),
+        };
+        let pred = s.predict(&p).unwrap();
+        let truth = s.query(&p).unwrap();
+        let rel = (pred.latency_ms - truth.latency_ms).abs() / truth.latency_ms;
+        assert!(rel < 0.6, "pred {} truth {}", pred.latency_ms, truth.latency_ms);
+        assert!(pred.cost_s < 1.0);
+    }
+
+    #[test]
+    fn predict_without_training_errors() {
+        let s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1));
+        let p = QueryParams {
+            model: ModelFamily::SqueezeNet.canonical().unwrap(),
+            batch_size: 1,
+            platform_name: "gpu-T4-trt7.1-fp32".into(),
+        };
+        assert!(s.predict(&p).is_err());
+    }
+
+    #[test]
+    fn train_with_empty_db_is_zero() {
+        let s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1));
+        let n = s
+            .train_predictor(&["gpu-T4-trt7.1-fp32"], Default::default())
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+}

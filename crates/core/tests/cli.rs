@@ -1,0 +1,95 @@
+//! Integration tests of the `nnlqp` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nnlqp"))
+}
+
+#[test]
+fn platforms_lists_registry() {
+    let out = bin().arg("platforms").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("gpu-T4-trt7.1-fp32"));
+    assert!(stdout.contains("cpu-openppl-fp32"));
+    assert!(stdout.lines().count() >= 12);
+}
+
+#[test]
+fn export_then_query_roundtrip() {
+    let dir = std::env::temp_dir().join("nnlqp-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("model.json");
+    let out = bin()
+        .args([
+            "export-model",
+            "--family",
+            "SqueezeNet",
+            "--output",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    let out = bin()
+        .args([
+            "query",
+            "--model",
+            model.to_str().unwrap(),
+            "--platform",
+            "gpu-T4-trt7.1-fp32",
+            "--reps",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"latency_ms\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"cache_hit\": false"));
+    std::fs::remove_file(&model).ok();
+}
+
+#[test]
+fn bad_arguments_exit_nonzero() {
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let out = bin()
+        .args(["query", "--model", "/nonexistent.json", "--platform", "x"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_platform_reports_error() {
+    let dir = std::env::temp_dir().join("nnlqp-cli-test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("m.json");
+    bin()
+        .args([
+            "export-model",
+            "--family",
+            "AlexNet",
+            "--output",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let out = bin()
+        .args([
+            "query",
+            "--model",
+            model.to_str().unwrap(),
+            "--platform",
+            "quantum-accelerator",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown platform"));
+    std::fs::remove_file(&model).ok();
+}

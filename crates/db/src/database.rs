@@ -1,0 +1,376 @@
+//! The concurrent, hash-indexed store.
+
+use crate::records::*;
+use nnlqp_hash::graph_hash;
+use nnlqp_ir::{serialize, Graph};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Database errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A foreign key referenced a missing row.
+    ForeignKey(&'static str),
+    /// Stored graph bytes failed to decode.
+    Corrupt(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::ForeignKey(t) => write!(f, "foreign key violation into table {t}"),
+            DbError::Corrupt(d) => write!(f, "corrupt record: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Aggregate statistics (the "Up to now, our NNLQ stores..." numbers of
+/// §8.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbStats {
+    /// Rows in the model table.
+    pub models: usize,
+    /// Rows in the platform table.
+    pub platforms: usize,
+    /// Rows in the latency table.
+    pub latencies: usize,
+    /// Estimated total storage in bytes.
+    pub total_bytes: usize,
+}
+
+#[derive(Default)]
+pub(crate) struct Inner {
+    pub(crate) models: Vec<ModelRecord>,
+    pub(crate) platforms: Vec<PlatformRecord>,
+    pub(crate) latencies: Vec<LatencyRecord>,
+    /// Unique hash index over models.
+    pub(crate) by_hash: HashMap<u64, ModelId>,
+    /// Unique (hardware, software, dtype) index over platforms.
+    pub(crate) by_platform_key: HashMap<(String, String, String), PlatformId>,
+    /// Secondary index (model, platform, batch) -> latest latency row.
+    pub(crate) by_query: HashMap<(ModelId, PlatformId, u32), LatencyId>,
+    pub(crate) seq: u64,
+}
+
+/// The evolving database. Cloneable handles are not provided; share via
+/// `&Database` or `Arc<Database>`.
+#[derive(Default)]
+pub struct Database {
+    inner: RwLock<Inner>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a model (deduplicated by graph hash). Returns the id and
+    /// whether the row was newly created.
+    pub fn insert_model(&self, g: &Graph) -> (ModelId, bool) {
+        let hash = graph_hash(g);
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_hash.get(&hash) {
+            return (id, false);
+        }
+        let id = ModelId(inner.models.len() as u32);
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.models.push(ModelRecord {
+            id,
+            graph_hash: hash,
+            name: g.name.clone(),
+            graph_bytes: serialize::encode(g).to_vec(),
+            created_seq: seq,
+        });
+        inner.by_hash.insert(hash, id);
+        (id, true)
+    }
+
+    /// Look up a model by its graph hash.
+    pub fn model_by_hash(&self, hash: u64) -> Option<ModelRecord> {
+        let inner = self.inner.read();
+        inner
+            .by_hash
+            .get(&hash)
+            .map(|id| inner.models[id.0 as usize].clone())
+    }
+
+    /// Decode a stored model back into a graph.
+    pub fn load_graph(&self, id: ModelId) -> Result<Graph, DbError> {
+        let inner = self.inner.read();
+        let rec = inner
+            .models
+            .get(id.0 as usize)
+            .ok_or(DbError::ForeignKey("model"))?;
+        serialize::decode(bytes::Bytes::from(rec.graph_bytes.clone()))
+            .map_err(|e| DbError::Corrupt(e.to_string()))
+    }
+
+    /// Get or create a platform row.
+    pub fn get_or_create_platform(
+        &self,
+        hardware: &str,
+        software: &str,
+        data_type: &str,
+    ) -> PlatformId {
+        let key = (
+            hardware.to_string(),
+            software.to_string(),
+            data_type.to_string(),
+        );
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_platform_key.get(&key) {
+            return id;
+        }
+        let id = PlatformId(inner.platforms.len() as u32);
+        inner.platforms.push(PlatformRecord {
+            id,
+            hardware: key.0.clone(),
+            software: key.1.clone(),
+            data_type: key.2.clone(),
+        });
+        inner.by_platform_key.insert(key, id);
+        id
+    }
+
+    /// Insert a latency measurement. Both foreign keys are checked.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_latency(
+        &self,
+        model_id: ModelId,
+        platform_id: PlatformId,
+        batch_size: u32,
+        cost_ms: f64,
+        mem_access: f64,
+        host_mem: u64,
+        device_mem: u64,
+    ) -> Result<LatencyId, DbError> {
+        let mut inner = self.inner.write();
+        if model_id.0 as usize >= inner.models.len() {
+            return Err(DbError::ForeignKey("model"));
+        }
+        if platform_id.0 as usize >= inner.platforms.len() {
+            return Err(DbError::ForeignKey("platform"));
+        }
+        let id = LatencyId(inner.latencies.len() as u32);
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.latencies.push(LatencyRecord {
+            id,
+            model_id,
+            platform_id,
+            batch_size,
+            cost_ms,
+            mem_access,
+            host_mem,
+            device_mem,
+            created_seq: seq,
+        });
+        inner.by_query.insert((model_id, platform_id, batch_size), id);
+        Ok(id)
+    }
+
+    /// The cache-hit path of NNLQ: does the database already hold a
+    /// latency for this graph hash + platform + batch?
+    pub fn lookup_latency(
+        &self,
+        hash: u64,
+        platform_id: PlatformId,
+        batch_size: u32,
+    ) -> Option<LatencyRecord> {
+        let inner = self.inner.read();
+        let model_id = *inner.by_hash.get(&hash)?;
+        let lid = *inner.by_query.get(&(model_id, platform_id, batch_size))?;
+        Some(inner.latencies[lid.0 as usize])
+    }
+
+    /// All latency rows for a platform (training-set extraction).
+    pub fn latencies_for_platform(&self, platform_id: PlatformId) -> Vec<LatencyRecord> {
+        let inner = self.inner.read();
+        inner
+            .latencies
+            .iter()
+            .filter(|l| l.platform_id == platform_id)
+            .copied()
+            .collect()
+    }
+
+    /// All platform rows.
+    pub fn platforms(&self) -> Vec<PlatformRecord> {
+        self.inner.read().platforms.clone()
+    }
+
+    /// Linear-scan model lookup by hash — the no-index ablation baseline
+    /// (`bench/db` compares this against the hash index).
+    pub fn model_by_hash_scan(&self, hash: u64) -> Option<ModelRecord> {
+        let inner = self.inner.read();
+        inner
+            .models
+            .iter()
+            .find(|m| m.graph_hash == hash)
+            .cloned()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DbStats {
+        let inner = self.inner.read();
+        let model_bytes: usize = inner.models.iter().map(|m| m.storage_bytes()).sum();
+        DbStats {
+            models: inner.models.len(),
+            platforms: inner.platforms.len(),
+            latencies: inner.latencies.len(),
+            total_bytes: model_bytes
+                + inner.platforms.len() * PlatformRecord::STORAGE_BYTES
+                + inner.latencies.len() * LatencyRecord::STORAGE_BYTES,
+        }
+    }
+
+    pub(crate) fn read_inner(&self) -> parking_lot::RwLockReadGuard<'_, Inner> {
+        self.inner.read()
+    }
+
+    pub(crate) fn write_inner(&self) -> parking_lot::RwLockWriteGuard<'_, Inner> {
+        self.inner.write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::{GraphBuilder, Shape};
+
+    fn graph(c: u32) -> Graph {
+        let mut b = GraphBuilder::new(format!("g{c}"), Shape::nchw(1, 3, 16, 16));
+        let conv = b.conv(None, c, 3, 1, 1, 1).unwrap();
+        b.relu(conv).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn insert_and_dedup_models() {
+        let db = Database::new();
+        let (id1, fresh1) = db.insert_model(&graph(8));
+        let (id2, fresh2) = db.insert_model(&graph(8));
+        let (id3, fresh3) = db.insert_model(&graph(16));
+        assert!(fresh1 && !fresh2 && fresh3);
+        assert_eq!(id1, id2);
+        assert_ne!(id1, id3);
+        assert_eq!(db.stats().models, 2);
+    }
+
+    #[test]
+    fn load_graph_roundtrip() {
+        let db = Database::new();
+        let g = graph(24);
+        let (id, _) = db.insert_model(&g);
+        assert_eq!(db.load_graph(id).unwrap(), g);
+    }
+
+    #[test]
+    fn platform_get_or_create_idempotent() {
+        let db = Database::new();
+        let a = db.get_or_create_platform("T4", "trt7.1", "fp32");
+        let b = db.get_or_create_platform("T4", "trt7.1", "fp32");
+        let c = db.get_or_create_platform("T4", "trt7.1", "int8");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(db.stats().platforms, 2);
+    }
+
+    #[test]
+    fn latency_cache_hit_path() {
+        let db = Database::new();
+        let g = graph(32);
+        let (mid, _) = db.insert_model(&g);
+        let pid = db.get_or_create_platform("T4", "trt7.1", "fp32");
+        db.insert_latency(mid, pid, 1, 1.25, 1e6, 0, 0).unwrap();
+        let hash = graph_hash(&g);
+        let hit = db.lookup_latency(hash, pid, 1).unwrap();
+        assert_eq!(hit.cost_ms, 1.25);
+        // Different batch misses.
+        assert!(db.lookup_latency(hash, pid, 8).is_none());
+        // Different platform misses.
+        let pid2 = db.get_or_create_platform("P4", "trt7.1", "fp32");
+        assert!(db.lookup_latency(hash, pid2, 1).is_none());
+    }
+
+    #[test]
+    fn newest_latency_wins_on_requery() {
+        let db = Database::new();
+        let (mid, _) = db.insert_model(&graph(8));
+        let pid = db.get_or_create_platform("cpu", "openppl", "fp32");
+        db.insert_latency(mid, pid, 1, 5.0, 0.0, 0, 0).unwrap();
+        db.insert_latency(mid, pid, 1, 4.2, 0.0, 0, 0).unwrap();
+        let hash = graph_hash(&graph(8));
+        assert_eq!(db.lookup_latency(hash, pid, 1).unwrap().cost_ms, 4.2);
+        assert_eq!(db.stats().latencies, 2); // history preserved
+    }
+
+    #[test]
+    fn foreign_keys_enforced() {
+        let db = Database::new();
+        let err = db
+            .insert_latency(ModelId(0), PlatformId(0), 1, 1.0, 0.0, 0, 0)
+            .unwrap_err();
+        assert_eq!(err, DbError::ForeignKey("model"));
+        let (mid, _) = db.insert_model(&graph(8));
+        let err = db
+            .insert_latency(mid, PlatformId(5), 1, 1.0, 0.0, 0, 0)
+            .unwrap_err();
+        assert_eq!(err, DbError::ForeignKey("platform"));
+    }
+
+    #[test]
+    fn scan_agrees_with_index() {
+        let db = Database::new();
+        for c in [8u32, 16, 24, 32] {
+            db.insert_model(&graph(c));
+        }
+        let hash = graph_hash(&graph(24));
+        assert_eq!(
+            db.model_by_hash(hash).unwrap().id,
+            db.model_by_hash_scan(hash).unwrap().id
+        );
+        assert!(db.model_by_hash_scan(12345).is_none());
+    }
+
+    #[test]
+    fn concurrent_inserts_and_lookups() {
+        use std::sync::Arc;
+        let db = Arc::new(Database::new());
+        let pid = db.get_or_create_platform("T4", "trt7.1", "fp32");
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let db = db.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let g = graph(8 + ((t * 50 + i) % 64) * 2);
+                        let (mid, _) = db.insert_model(&g);
+                        db.insert_latency(mid, pid, 1, 1.0, 0.0, 0, 0).unwrap();
+                        let _ = db.lookup_latency(graph_hash(&g), pid, 1);
+                    }
+                });
+            }
+        });
+        // 64 distinct graphs; all inserts deduplicated.
+        assert_eq!(db.stats().models, 64);
+        assert_eq!(db.stats().latencies, 400);
+    }
+
+    #[test]
+    fn stats_storage_accounting() {
+        let db = Database::new();
+        let (mid, _) = db.insert_model(&graph(8));
+        let pid = db.get_or_create_platform("T4", "trt7.1", "fp32");
+        db.insert_latency(mid, pid, 1, 1.0, 0.0, 0, 0).unwrap();
+        let s = db.stats();
+        assert_eq!(
+            s.total_bytes,
+            db.model_by_hash(graph_hash(&graph(8))).unwrap().storage_bytes() + 152 + 52
+        );
+    }
+}

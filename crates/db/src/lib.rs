@@ -1,0 +1,25 @@
+//! # nnlqp-db
+//!
+//! The evolving latency database — the embedded replacement for the
+//! paper's MySQL deployment (§5.2, Fig. 4).
+//!
+//! Three tables mirror the ER diagram exactly:
+//!
+//! * **model** — weight-free serialized graphs keyed by the 8-byte graph
+//!   hash (unique index; the fast-retrieval path),
+//! * **platform** — hardware / software / data-type triples,
+//! * **latency** — measurements with `model_id` and `platform_id` foreign
+//!   keys plus batch size, cost and memory columns.
+//!
+//! The store is safe for concurrent readers and writers
+//! (`parking_lot::RwLock`), persists to a binary snapshot and keeps
+//! per-record storage footprints in the same regime the paper reports
+//! (8-byte hash key, 152-byte platform records, 52-byte latency records,
+//! hundreds of bytes per model).
+
+pub mod database;
+pub mod persist;
+pub mod records;
+
+pub use database::{Database, DbError, DbStats};
+pub use records::{LatencyId, LatencyRecord, ModelId, ModelRecord, PlatformId, PlatformRecord};

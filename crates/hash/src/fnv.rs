@@ -1,0 +1,141 @@
+//! 64-bit streaming hash cores.
+//!
+//! Two interchangeable `f_hash` implementations back the graph hash; the
+//! ablation bench (`bench/hash`) compares their throughput and collision
+//! behaviour over the model corpus.
+
+/// Which mixing function `f_hash` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HashAlgo {
+    /// FNV-1a, byte-at-a-time. Simple, fast for the short records hashed
+    /// here, and the default.
+    #[default]
+    Fnv1a,
+    /// A stronger multiply-xor finalizer (splitmix-style avalanche) applied
+    /// per 8-byte word.
+    Mix64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental hasher over little-endian words.
+#[derive(Debug, Clone)]
+pub struct StreamHasher {
+    algo: HashAlgo,
+    state: u64,
+}
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StreamHasher {
+    /// Fresh hasher for the chosen algorithm.
+    pub fn new(algo: HashAlgo) -> Self {
+        StreamHasher {
+            algo,
+            state: match algo {
+                HashAlgo::Fnv1a => FNV_OFFSET,
+                HashAlgo::Mix64 => 0x9E37_79B9_7F4A_7C15,
+            },
+        }
+    }
+
+    /// Absorb one 64-bit word.
+    #[inline]
+    pub fn write_u64(&mut self, w: u64) {
+        match self.algo {
+            HashAlgo::Fnv1a => {
+                for b in w.to_le_bytes() {
+                    self.state ^= b as u64;
+                    self.state = self.state.wrapping_mul(FNV_PRIME);
+                }
+            }
+            HashAlgo::Mix64 => {
+                self.state = mix64(self.state ^ w).wrapping_mul(0xff51_afd7_ed55_8ccd);
+            }
+        }
+    }
+
+    /// Absorb an `f32` by its bit pattern (NaN-free inputs by construction).
+    #[inline]
+    pub fn write_f32(&mut self, x: f32) {
+        self.write_u64(x.to_bits() as u64);
+    }
+
+    /// Absorb a slice of words.
+    pub fn write_all(&mut self, ws: &[u64]) {
+        for &w in ws {
+            self.write_u64(w);
+        }
+    }
+
+    /// Final 64-bit digest.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        match self.algo {
+            HashAlgo::Fnv1a => self.state,
+            HashAlgo::Mix64 => mix64(self.state),
+        }
+    }
+}
+
+/// One-shot hash of a word sequence.
+pub fn hash_words(algo: HashAlgo, ws: &[u64]) -> u64 {
+    let mut h = StreamHasher::new(algo);
+    h.write_all(ws);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        for algo in [HashAlgo::Fnv1a, HashAlgo::Mix64] {
+            assert_eq!(hash_words(algo, &[1, 2, 3]), hash_words(algo, &[1, 2, 3]));
+        }
+    }
+
+    #[test]
+    fn order_sensitive() {
+        for algo in [HashAlgo::Fnv1a, HashAlgo::Mix64] {
+            assert_ne!(hash_words(algo, &[1, 2]), hash_words(algo, &[2, 1]));
+        }
+    }
+
+    #[test]
+    fn algos_differ() {
+        assert_ne!(
+            hash_words(HashAlgo::Fnv1a, &[42]),
+            hash_words(HashAlgo::Mix64, &[42])
+        );
+    }
+
+    #[test]
+    fn no_trivial_collisions_in_small_domain() {
+        use std::collections::HashSet;
+        for algo in [HashAlgo::Fnv1a, HashAlgo::Mix64] {
+            let mut seen = HashSet::new();
+            for a in 0u64..64 {
+                for b in 0u64..64 {
+                    assert!(seen.insert(hash_words(algo, &[a, b])), "collision {a},{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_bit_pattern_hashing() {
+        let mut a = StreamHasher::new(HashAlgo::Fnv1a);
+        a.write_f32(1.5);
+        let mut b = StreamHasher::new(HashAlgo::Fnv1a);
+        b.write_f32(1.5000001);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

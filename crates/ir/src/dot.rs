@@ -1,0 +1,68 @@
+//! Graphviz DOT export — handy for inspecting generated models.
+
+use crate::graph::Graph;
+use std::fmt::Write;
+
+/// Render the graph in Graphviz DOT format. Node labels carry the
+/// operator name and output shape; graph inputs are drawn as a separate
+/// source node.
+pub fn to_dot(g: &Graph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", g.name.replace('"', "'"));
+    let _ = writeln!(s, "  rankdir=TB;");
+    let _ = writeln!(
+        s,
+        "  input [label=\"Input {}\", shape=oval];",
+        g.input_shape
+    );
+    for (id, n) in g.iter() {
+        let _ = writeln!(
+            s,
+            "  n{} [label=\"{} {}\", shape=box];",
+            id.0,
+            n.op.name(),
+            n.out_shape
+        );
+        if n.inputs.is_empty() {
+            let _ = writeln!(s, "  input -> n{};", id.0);
+        } else {
+            for inp in &n.inputs {
+                let _ = writeln!(s, "  n{} -> n{};", inp.0, id.0);
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::shape::Shape;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = GraphBuilder::new("dot-test", Shape::nchw(1, 3, 8, 8));
+        let c = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+        let r = b.relu(c).unwrap();
+        let c2 = b.conv(Some(r), 8, 3, 1, 1, 1).unwrap();
+        b.add(r, c2).unwrap();
+        let g = b.finish().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("input -> n0;"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> n3;")); // relu feeds add
+        assert!(dot.contains("Conv (1x8x8x8)"));
+        assert_eq!(dot.matches("shape=box").count(), g.len());
+    }
+
+    #[test]
+    fn quotes_in_names_are_sanitized() {
+        let mut b = GraphBuilder::new("a\"b", Shape::nchw(1, 3, 8, 8));
+        b.conv(None, 8, 3, 1, 1, 1).unwrap();
+        let g = b.finish().unwrap();
+        assert!(to_dot(&g).contains("digraph \"a'b\""));
+    }
+}

@@ -1,0 +1,45 @@
+//! # nnlqp-ir
+//!
+//! Graph intermediate representation for the NNLQP reproduction.
+//!
+//! A deep neural network is modelled as a directed acyclic graph (DAG) of
+//! operator nodes, exactly as the paper treats ONNX models: each node carries
+//! an operator type, a set of numeric attributes and an inferred output
+//! shape. The crate provides:
+//!
+//! * the operator taxonomy ([`OpType`]) restricted to the 14 kernel families
+//!   the paper's fusion rules produce (Appendix D),
+//! * tensor [`Shape`]s and [`DType`]s,
+//! * the [`Graph`] container whose node vector is always a valid topological
+//!   order (enforced by [`GraphBuilder`] and [`validate::validate`]),
+//! * shape inference ([`infer`]), FLOPs / parameter / memory-access
+//!   accounting ([`cost`]),
+//! * compact binary serialization ([`serialize`]) used by the evolving
+//!   database, and
+//! * a small deterministic RNG ([`rng`]) shared by the generators and the
+//!   simulator so every experiment is reproducible from a seed.
+
+pub mod attrs;
+pub mod builder;
+pub mod cost;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod infer;
+pub mod node;
+pub mod op;
+pub mod rng;
+pub mod serialize;
+pub mod shape;
+pub mod summary;
+pub mod validate;
+
+pub use attrs::Attrs;
+pub use builder::GraphBuilder;
+pub use cost::{GraphCost, NodeCost};
+pub use error::{IrError, IrResult};
+pub use graph::Graph;
+pub use node::{Node, NodeId};
+pub use op::OpType;
+pub use rng::Rng64;
+pub use shape::{DType, Shape};

@@ -1,0 +1,54 @@
+//! Graph nodes.
+
+use crate::attrs::Attrs;
+use crate::op::OpType;
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node within its graph's node vector.
+///
+/// Because graphs keep their nodes in topological order, `NodeId` ordering
+/// is also a (one of possibly many) topological ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// As a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One operator node of a model DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Operator type.
+    pub op: OpType,
+    /// Operator attributes.
+    pub attrs: Attrs,
+    /// Predecessor nodes, in argument order. Empty means the node reads the
+    /// graph input tensor.
+    pub inputs: Vec<NodeId>,
+    /// Inferred output shape.
+    pub out_shape: Shape,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_ordering_matches_index() {
+        assert!(NodeId(2) < NodeId(5));
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+}

@@ -1,0 +1,226 @@
+//! Compact binary serialization of graphs.
+//!
+//! The evolving database stores models "ONNX format without weights ...
+//! hundreds of bytes" per record (§5.2). This module provides exactly that:
+//! a versioned, weight-free binary encoding (a few bytes per node) plus JSON
+//! helpers for human-readable export.
+
+use crate::attrs::Attrs;
+use crate::error::{IrError, IrResult};
+use crate::graph::Graph;
+use crate::node::{Node, NodeId};
+use crate::op::OpType;
+use crate::shape::Shape;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"NLQP";
+const VERSION: u8 = 1;
+
+fn put_shape(buf: &mut BytesMut, s: &Shape) {
+    buf.put_u8(s.rank() as u8);
+    for &d in &s.0 {
+        buf.put_u32_le(d as u32);
+    }
+}
+
+fn get_shape(buf: &mut Bytes) -> IrResult<Shape> {
+    if buf.remaining() < 1 {
+        return Err(IrError::Decode("truncated shape rank".into()));
+    }
+    let rank = buf.get_u8() as usize;
+    if buf.remaining() < rank * 4 {
+        return Err(IrError::Decode("truncated shape dims".into()));
+    }
+    let dims = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+    Ok(Shape(dims))
+}
+
+/// Encode a graph to its compact binary form.
+pub fn encode(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + g.len() * 40);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    let name = g.name.as_bytes();
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name);
+    put_shape(&mut buf, &g.input_shape);
+    buf.put_u32_le(g.len() as u32);
+    for n in &g.nodes {
+        buf.put_u8(n.op.code() as u8);
+        buf.put_u16_le(n.attrs.kernel[0] as u16);
+        buf.put_u16_le(n.attrs.kernel[1] as u16);
+        buf.put_u8(n.attrs.stride[0] as u8);
+        buf.put_u8(n.attrs.stride[1] as u8);
+        buf.put_u8(n.attrs.pad[0] as u8);
+        buf.put_u8(n.attrs.pad[1] as u8);
+        buf.put_u8(n.attrs.dilation[0] as u8);
+        buf.put_u8(n.attrs.dilation[1] as u8);
+        buf.put_u16_le(n.attrs.groups as u16);
+        buf.put_u16_le(n.attrs.out_channels as u16);
+        buf.put_u8(n.attrs.axis as u8);
+        buf.put_f32_le(n.attrs.clip_min);
+        buf.put_f32_le(n.attrs.clip_max);
+        buf.put_u8(n.inputs.len() as u8);
+        for &i in &n.inputs {
+            buf.put_u32_le(i.0);
+        }
+        put_shape(&mut buf, &n.out_shape);
+    }
+    buf.freeze()
+}
+
+/// Decode and validate a graph previously produced by [`encode`].
+pub fn decode(mut buf: Bytes) -> IrResult<Graph> {
+    let need = |buf: &Bytes, n: usize, what: &str| {
+        if buf.remaining() < n {
+            Err(IrError::Decode(format!("truncated {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 5, "header")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IrError::Decode("bad magic".into()));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(IrError::Decode(format!("unsupported version {version}")));
+    }
+    need(&buf, 2, "name len")?;
+    let name_len = buf.get_u16_le() as usize;
+    need(&buf, name_len, "name")?;
+    let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+        .map_err(|_| IrError::Decode("name not utf-8".into()))?;
+    let input_shape = get_shape(&mut buf)?;
+    need(&buf, 4, "node count")?;
+    let count = buf.get_u32_le() as usize;
+    let mut nodes = Vec::with_capacity(count);
+    for _ in 0..count {
+        need(&buf, 28, "node body")?;
+        let op = OpType::from_code(buf.get_u8())
+            .ok_or_else(|| IrError::Decode("unknown op code".into()))?;
+        let attrs = Attrs {
+            kernel: [buf.get_u16_le() as u32, buf.get_u16_le() as u32],
+            stride: [buf.get_u8() as u32, buf.get_u8() as u32],
+            pad: [buf.get_u8() as u32, buf.get_u8() as u32],
+            dilation: [buf.get_u8() as u32, buf.get_u8() as u32],
+            groups: buf.get_u16_le() as u32,
+            out_channels: buf.get_u16_le() as u32,
+            axis: buf.get_u8() as u32,
+            clip_min: buf.get_f32_le(),
+            clip_max: buf.get_f32_le(),
+        };
+        let n_in = buf.get_u8() as usize;
+        need(&buf, n_in * 4, "node inputs")?;
+        let inputs = (0..n_in).map(|_| NodeId(buf.get_u32_le())).collect();
+        let out_shape = get_shape(&mut buf)?;
+        nodes.push(Node {
+            op,
+            attrs,
+            inputs,
+            out_shape,
+        });
+    }
+    let g = Graph {
+        name,
+        input_shape,
+        nodes,
+    };
+    crate::validate::validate(&g)?;
+    Ok(g)
+}
+
+/// Encoded size in bytes — what a database model record costs.
+pub fn storage_bytes(g: &Graph) -> usize {
+    encode(g).len()
+}
+
+/// JSON export (pretty).
+pub fn to_json(g: &Graph) -> String {
+    serde_json::to_string_pretty(g).expect("graph serializes")
+}
+
+/// JSON import with validation.
+pub fn from_json(s: &str) -> IrResult<Graph> {
+    let g: Graph = serde_json::from_str(s).map_err(|e| IrError::Decode(e.to_string()))?;
+    crate::validate::validate(&g)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new("sample-net", Shape::nchw(1, 3, 32, 32));
+        let c1 = b.conv(None, 16, 3, 2, 1, 1).unwrap();
+        let r1 = b.relu6(c1).unwrap();
+        let d = b.dwconv(r1, 3, 1, 1).unwrap();
+        let s = b.swish(d).unwrap();
+        let c2 = b.conv(Some(s), 16, 1, 1, 0, 1).unwrap();
+        let a = b.add(r1, c2).unwrap();
+        let p = b.global_avgpool(a).unwrap();
+        let f = b.flatten(p).unwrap();
+        b.gemm(f, 10).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn binary_roundtrip_identity() {
+        let g = sample();
+        let bytes = encode(&g);
+        let g2 = decode(bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn json_roundtrip_identity() {
+        let g = sample();
+        let g2 = from_json(&to_json(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn storage_is_hundreds_of_bytes() {
+        let g = sample();
+        let n = storage_bytes(&g);
+        // The paper: "Each model record uses the storage of hundreds of bytes".
+        assert!(n > 100 && n < 2000, "storage {n} bytes");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let g = sample();
+        let mut raw = encode(&g).to_vec();
+        raw[0] = b'X';
+        assert!(matches!(decode(Bytes::from(raw)), Err(IrError::Decode(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_not_panic() {
+        let g = sample();
+        let raw = encode(&g);
+        for cut in [0, 3, 5, 10, raw.len() / 2, raw.len() - 1] {
+            let sliced = raw.slice(0..cut);
+            assert!(decode(sliced).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupted_topology_fails_validation() {
+        let g = sample();
+        let mut raw = encode(&g).to_vec();
+        // Flip a byte late in the stream until decode fails or validation
+        // catches an inconsistency; decode must never panic.
+        for i in (raw.len() - 20)..raw.len() {
+            let mut r = raw.clone();
+            r[i] ^= 0xFF;
+            let _ = decode(Bytes::from(r)); // must not panic
+        }
+        raw[6] ^= 0xFF;
+        let _ = decode(Bytes::from(raw));
+    }
+}

@@ -1,0 +1,190 @@
+//! Tensor shapes and data types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numeric precision a platform executes a model in.
+///
+/// Mirrors Table 1 of the paper: GPUs run fp32/fp16/int8, the CPU runs fp32,
+/// and the ASIC families run int16/int8 or fp16/int8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    F32,
+    F16,
+    I16,
+    I8,
+}
+
+impl DType {
+    /// Bytes per element.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 | DType::I16 => 2,
+            DType::I8 => 1,
+        }
+    }
+
+    /// Stable short name used in platform identifiers ("fp32", "int8", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "fp32",
+            DType::F16 => "fp16",
+            DType::I16 => "int16",
+            DType::I8 => "int8",
+        }
+    }
+
+    /// Parse the short name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fp32" => Some(DType::F32),
+            "fp16" => Some(DType::F16),
+            "int16" => Some(DType::I16),
+            "int8" => Some(DType::I8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A tensor shape. Activations are NCHW (rank 4); fully-connected outputs
+/// are rank 2 `(N, C)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Rank-4 NCHW shape.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape(vec![n, c, h, w])
+    }
+
+    /// Rank-2 `(N, C)` shape.
+    pub fn nc(n: usize, c: usize) -> Self {
+        Shape(vec![n, c])
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Batch dimension (first axis); 1 for rank-0 shapes.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.0.first().copied().unwrap_or(1)
+    }
+
+    /// Channel dimension (second axis); 1 if absent.
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.0.get(1).copied().unwrap_or(1)
+    }
+
+    /// Spatial height; 1 for rank-2 shapes.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.0.get(2).copied().unwrap_or(1)
+    }
+
+    /// Spatial width; 1 for rank-2 shapes.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.0.get(3).copied().unwrap_or(1)
+    }
+
+    /// Bytes occupied at a given precision.
+    #[inline]
+    pub fn bytes(&self, dt: DType) -> usize {
+        self.numel() * dt.bytes()
+    }
+
+    /// A copy with the batch dimension replaced.
+    pub fn with_batch(&self, n: usize) -> Shape {
+        let mut d = self.0.clone();
+        if !d.is_empty() {
+            d[0] = n;
+        }
+        Shape(d)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_bytes() {
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::F16.bytes(), 2);
+        assert_eq!(DType::I16.bytes(), 2);
+        assert_eq!(DType::I8.bytes(), 1);
+    }
+
+    #[test]
+    fn dtype_roundtrip_names() {
+        for dt in [DType::F32, DType::F16, DType::I16, DType::I8] {
+            assert_eq!(DType::parse(dt.name()), Some(dt));
+        }
+        assert_eq!(DType::parse("bf16"), None);
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let s = Shape::nchw(2, 64, 56, 56);
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.batch(), 2);
+        assert_eq!(s.channels(), 64);
+        assert_eq!(s.height(), 56);
+        assert_eq!(s.width(), 56);
+        assert_eq!(s.numel(), 2 * 64 * 56 * 56);
+        assert_eq!(s.bytes(DType::F16), s.numel() * 2);
+    }
+
+    #[test]
+    fn shape_nc() {
+        let s = Shape::nc(8, 1000);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.numel(), 8000);
+        assert_eq!(s.height(), 1);
+        assert_eq!(s.width(), 1);
+    }
+
+    #[test]
+    fn with_batch_replaces_first_dim() {
+        let s = Shape::nchw(1, 3, 224, 224).with_batch(16);
+        assert_eq!(s.batch(), 16);
+        assert_eq!(s.channels(), 3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::nchw(1, 3, 224, 224).to_string(), "(1x3x224x224)");
+    }
+}

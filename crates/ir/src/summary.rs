@@ -1,0 +1,87 @@
+//! Human-readable model summaries (Keras-style layer table).
+
+use crate::cost;
+use crate::graph::Graph;
+use crate::shape::DType;
+use std::fmt::Write;
+
+/// Render a layer-by-layer summary: operator, output shape, parameters,
+/// FLOPs, plus totals — the quick sanity view for generated models.
+pub fn summarize(g: &Graph) -> String {
+    let gc = cost::graph_cost(g, DType::F32);
+    let mut s = String::new();
+    let _ = writeln!(s, "Model: {}  (input {})", g.name, g.input_shape);
+    let _ = writeln!(
+        s,
+        "{:<6} {:<18} {:<16} {:>12} {:>14}",
+        "id", "op", "output", "params", "flops"
+    );
+    for (id, n) in g.iter() {
+        let c = &gc.per_node[id.index()];
+        let _ = writeln!(
+            s,
+            "{:<6} {:<18} {:<16} {:>12} {:>14}",
+            format!("n{}", id.0),
+            n.op.name(),
+            n.out_shape.to_string(),
+            human(c.params),
+            human(c.flops),
+        );
+    }
+    let _ = writeln!(
+        s,
+        "total: {} nodes, {} edges, {} params, {} flops, {} MiB memory access",
+        g.len(),
+        g.num_edges(),
+        human(gc.params),
+        human(gc.flops),
+        (gc.mem_bytes / (1024.0 * 1024.0)).round() as u64,
+    );
+    s
+}
+
+/// Compact human number (1.23K / 4.56M / 7.89G).
+fn human(x: f64) -> String {
+    let ax = x.abs();
+    if ax >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if ax >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if ax >= 1e3 {
+        format!("{:.2}K", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::shape::Shape;
+
+    #[test]
+    fn summary_contains_layers_and_totals() {
+        let mut b = GraphBuilder::new("sum-test", Shape::nchw(1, 3, 32, 32));
+        let c = b.conv(None, 16, 3, 1, 1, 1).unwrap();
+        let r = b.relu(c).unwrap();
+        let g0 = b.global_avgpool(r).unwrap();
+        let f = b.flatten(g0).unwrap();
+        b.gemm(f, 10).unwrap();
+        let g = b.finish().unwrap();
+        let s = summarize(&g);
+        assert!(s.contains("Model: sum-test"));
+        assert!(s.contains("Conv"));
+        assert!(s.contains("Gemm"));
+        assert!(s.contains("total: 5 nodes"));
+        assert_eq!(s.lines().count(), 2 + 5 + 1);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(950.0), "950");
+        assert_eq!(human(1500.0), "1.50K");
+        assert_eq!(human(2.5e6), "2.50M");
+        assert_eq!(human(3.1e9), "3.10G");
+    }
+}

@@ -1,0 +1,117 @@
+//! Structural validation of deserialized or hand-built graphs.
+
+use crate::error::{IrError, IrResult};
+use crate::graph::Graph;
+use crate::infer::infer_shape;
+use crate::shape::Shape;
+
+/// Check the graph invariants:
+///
+/// 1. non-empty,
+/// 2. the node vector is a topological order (all inputs precede users),
+/// 3. input arity matches the operator,
+/// 4. every stored output shape matches re-run shape inference.
+pub fn validate(g: &Graph) -> IrResult<()> {
+    if g.nodes.is_empty() {
+        return Err(IrError::Empty);
+    }
+    for (i, n) in g.nodes.iter().enumerate() {
+        let id = i as u32;
+        for &inp in &n.inputs {
+            if inp.index() >= i {
+                return Err(IrError::BadTopology { node: id, input: inp.0 });
+            }
+        }
+        let (min, max) = n.op.arity();
+        let got = n.inputs.len();
+        // Zero inputs is allowed for unary ops (they read the graph input).
+        let effective = if got == 0 && min == 0 { 1 } else { got };
+        let lo = min.max(1);
+        if got != 0 && (got < lo || got > max) || (got == 0 && min > 0) {
+            return Err(IrError::Arity {
+                node: id,
+                op: n.op.name(),
+                expected: "per-op arity",
+                got,
+            });
+        }
+        let _ = effective;
+        let in_shapes: Vec<&Shape> = n
+            .inputs
+            .iter()
+            .map(|x| &g.nodes[x.index()].out_shape)
+            .collect();
+        let expect = infer_shape(id, n.op, &n.attrs, &in_shapes, &g.input_shape)?;
+        if expect != n.out_shape {
+            return Err(IrError::ShapeMismatch {
+                node: id,
+                detail: format!("stored {} != inferred {}", n.out_shape, expect),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Attrs;
+    use crate::builder::GraphBuilder;
+    use crate::node::{Node, NodeId};
+    use crate::op::OpType;
+
+    fn ok_graph() -> Graph {
+        let mut b = GraphBuilder::new("g", Shape::nchw(1, 3, 8, 8));
+        let c = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+        b.relu(c).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        assert!(validate(&ok_graph()).is_ok());
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = Graph {
+            name: "e".into(),
+            input_shape: Shape::nchw(1, 3, 8, 8),
+            nodes: vec![],
+        };
+        assert_eq!(validate(&g), Err(IrError::Empty));
+    }
+
+    #[test]
+    fn forward_edge_rejected() {
+        let mut g = ok_graph();
+        g.nodes[0].inputs = vec![NodeId(1)];
+        assert!(matches!(validate(&g), Err(IrError::BadTopology { .. })));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = ok_graph();
+        g.nodes[1].inputs = vec![NodeId(1)];
+        assert!(matches!(validate(&g), Err(IrError::BadTopology { .. })));
+    }
+
+    #[test]
+    fn tampered_shape_rejected() {
+        let mut g = ok_graph();
+        g.nodes[1].out_shape = Shape::nchw(1, 99, 8, 8);
+        assert!(matches!(validate(&g), Err(IrError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut g = ok_graph();
+        g.nodes.push(Node {
+            op: OpType::Add,
+            attrs: Attrs::default(),
+            inputs: vec![NodeId(1)],
+            out_shape: Shape::nchw(1, 8, 8, 8),
+        });
+        assert!(validate(&g).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! AlexNet family generator (Krizhevsky et al., 2012).
+//!
+//! Five convolution stages with large early kernels, three max pools and a
+//! fully-connected head. Variants perturb the stem kernel, mid kernels,
+//! channel widths and the fc widths.
+
+use crate::util::{same_pad, scale_c};
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, Rng64, Shape};
+
+/// Configuration of one AlexNet variant.
+#[derive(Debug, Clone)]
+pub struct AlexNetConfig {
+    /// Input resolution (224 canonical).
+    pub resolution: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Width multiplier on all channel counts.
+    pub width: f64,
+    /// Stem kernel (canonical 11).
+    pub stem_kernel: u32,
+    /// Second-stage kernel (canonical 5).
+    pub mid_kernel: u32,
+    /// Width of the two hidden fully-connected layers (canonical 4096).
+    pub fc_width: u32,
+    /// Output classes.
+    pub classes: u32,
+}
+
+impl Default for AlexNetConfig {
+    fn default() -> Self {
+        AlexNetConfig {
+            resolution: 224,
+            batch: 1,
+            width: 1.0,
+            stem_kernel: 11,
+            mid_kernel: 5,
+            fc_width: 4096,
+            classes: 1000,
+        }
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> AlexNetConfig {
+    AlexNetConfig {
+        resolution: *r.choice(&[192usize, 224, 256]),
+        batch: 1,
+        width: r.range_f64(0.5, 1.4),
+        stem_kernel: *r.choice(&[7u32, 9, 11]),
+        mid_kernel: *r.choice(&[3u32, 5]),
+        fc_width: *r.choice(&[1024u32, 2048, 4096]),
+        classes: 1000,
+    }
+}
+
+/// Build the variant graph.
+pub fn build(name: &str, cfg: &AlexNetConfig) -> IrResult<Graph> {
+    let w = cfg.width;
+    let mut b = GraphBuilder::new(
+        name,
+        Shape::nchw(cfg.batch, 3, cfg.resolution, cfg.resolution),
+    );
+    // Stage 1: big-stride stem.
+    let c1 = b.conv(None, scale_c(64, w), cfg.stem_kernel, 4, 2, 1)?;
+    let r1 = b.relu(c1)?;
+    let p1 = b.maxpool(r1, 3, 2, 0)?;
+    // Stage 2.
+    let c2 = b.conv(
+        Some(p1),
+        scale_c(192, w),
+        cfg.mid_kernel,
+        1,
+        same_pad(cfg.mid_kernel),
+        1,
+    )?;
+    let r2 = b.relu(c2)?;
+    let p2 = b.maxpool(r2, 3, 2, 0)?;
+    // Stages 3-5: three 3x3 convolutions.
+    let c3 = b.conv(Some(p2), scale_c(384, w), 3, 1, 1, 1)?;
+    let r3 = b.relu(c3)?;
+    let c4 = b.conv(Some(r3), scale_c(256, w), 3, 1, 1, 1)?;
+    let r4 = b.relu(c4)?;
+    let c5 = b.conv(Some(r4), scale_c(256, w), 3, 1, 1, 1)?;
+    let r5 = b.relu(c5)?;
+    let p5 = b.maxpool(r5, 3, 2, 0)?;
+    // Head: global pool (replaces the fixed 6x6 adaptive pool so arbitrary
+    // resolutions stay valid) + two hidden fc layers.
+    let gp = b.global_avgpool(p5)?;
+    let fl = b.flatten(gp)?;
+    let f6 = b.gemm(fl, cfg.fc_width)?;
+    let a6 = b.relu(f6)?;
+    let f7 = b.gemm(a6, cfg.fc_width)?;
+    let a7 = b.relu(f7)?;
+    b.gemm(a7, cfg.classes)?;
+    b.finish()
+}
+
+/// Sample and build one variant in a single call.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+
+    #[test]
+    fn canonical_builds_and_validates() {
+        let g = build("alexnet", &AlexNetConfig::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        assert_eq!(*g.output_shape().unwrap(), Shape::nc(1, 1000));
+        // 5 conv stages + activations + 3 pools + head.
+        assert!(g.len() >= 15);
+    }
+
+    #[test]
+    fn variants_are_structurally_distinct() {
+        let mut r = Rng64::new(11);
+        let a = sample("a", &mut r).unwrap();
+        let b = sample("b", &mut r).unwrap();
+        assert_ne!(
+            nnlqp_ir::cost::graph_cost(&a, nnlqp_ir::DType::F32).flops,
+            nnlqp_ir::cost::graph_cost(&b, nnlqp_ir::DType::F32).flops
+        );
+    }
+
+    #[test]
+    fn many_random_variants_all_valid() {
+        let mut r = Rng64::new(5);
+        for i in 0..50 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+}

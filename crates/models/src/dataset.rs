@@ -1,0 +1,132 @@
+//! Dataset assembly: deterministic generation of the model corpus.
+//!
+//! The paper's corpus is 20,000 models — 2,000 variants of each of 9 CNN
+//! families plus 2,000 NAS-Bench-201 cells (§8.1). [`generate_dataset`]
+//! reproduces that construction at any per-family count.
+
+use crate::family::{ModelFamily, CORPUS_FAMILIES};
+use nnlqp_ir::{Graph, Rng64};
+
+/// A labelled model: which family a graph was drawn from.
+#[derive(Debug, Clone)]
+pub struct LabelledModel {
+    /// Family label (the leave-one-out unit of Table 3).
+    pub family: ModelFamily,
+    /// The model graph.
+    pub graph: Graph,
+}
+
+/// Specification of a corpus.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Variants per family (paper: 2,000).
+    pub per_family: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetSpec {
+    fn default() -> Self {
+        DatasetSpec {
+            per_family: 200,
+            seed: 0x4e4e_4c51, // "NNLQ"
+        }
+    }
+}
+
+/// Generate `count` variants of one family. Each family gets its own forked
+/// RNG stream so corpora with different family subsets stay reproducible.
+pub fn generate_family(family: ModelFamily, count: usize, seed: u64) -> Vec<LabelledModel> {
+    let mut root = Rng64::new(seed);
+    let mut r = root.fork(family as u64 + 1);
+    let mut out = Vec::with_capacity(count);
+    let prefix = family.name().to_ascii_lowercase();
+    let mut i = 0usize;
+    while out.len() < count {
+        let name = format!("{prefix}-{i:05}");
+        i += 1;
+        // Sampled configurations are valid by construction; a failed build
+        // would indicate a generator bug, so surface it loudly.
+        let graph = family
+            .sample(&name, &mut r)
+            .unwrap_or_else(|e| panic!("generator for {family} failed: {e}"));
+        out.push(LabelledModel { family, graph });
+    }
+    out
+}
+
+/// Generate the full 10-family corpus.
+pub fn generate_dataset(spec: &DatasetSpec) -> Vec<LabelledModel> {
+    let mut all = Vec::with_capacity(spec.per_family * CORPUS_FAMILIES.len());
+    for family in CORPUS_FAMILIES {
+        all.extend(generate_family(family, spec.per_family, spec.seed));
+    }
+    all
+}
+
+/// Split indices into train/test by ratio (e.g. 0.7), shuffled
+/// deterministically.
+pub fn split_indices(n: usize, train_ratio: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut r = Rng64::new(seed ^ 0x5311_7000_0000_0001);
+    r.shuffle(&mut idx);
+    let cut = ((n as f64) * train_ratio).round() as usize;
+    let test = idx.split_off(cut.min(n));
+    (idx, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_hash as _;
+
+    #[test]
+    fn family_generation_is_deterministic() {
+        let a = generate_family(ModelFamily::ResNet, 5, 99);
+        let b = generate_family(ModelFamily::ResNet, 5, 99);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.graph, y.graph);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_family(ModelFamily::Vgg, 3, 1);
+        let b = generate_family(ModelFamily::Vgg, 3, 2);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.graph != y.graph));
+    }
+
+    #[test]
+    fn full_corpus_counts() {
+        let spec = DatasetSpec {
+            per_family: 3,
+            seed: 7,
+        };
+        let ds = generate_dataset(&spec);
+        assert_eq!(ds.len(), 30);
+        for f in CORPUS_FAMILIES {
+            assert_eq!(ds.iter().filter(|m| m.family == f).count(), 3);
+        }
+    }
+
+    #[test]
+    fn variants_within_family_mostly_distinct() {
+        use std::collections::HashSet;
+        let ms = generate_family(ModelFamily::MobileNetV2, 30, 42);
+        let hashes: HashSet<u64> = ms
+            .iter()
+            .map(|m| nnlqp_hash::graph_hash(&m.graph))
+            .collect();
+        assert!(hashes.len() >= 28, "only {} distinct of 30", hashes.len());
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let (tr, te) = split_indices(100, 0.7, 5);
+        assert_eq!(tr.len(), 70);
+        assert_eq!(te.len(), 30);
+        let mut all: Vec<usize> = tr.iter().chain(te.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,137 @@
+//! RetinaNet-style detection model generator (Lin et al., 2018).
+//!
+//! Used by the task-transfer experiment (Fig. 8): a ResNet backbone feeding
+//! per-level classification and box-regression subnets. The task-specific
+//! heads dominate latency relative to an equal-backbone classifier, which
+//! is exactly the distribution shift the experiment studies.
+//!
+//! Substitution note: the IR has no `Resize`/upsample operator, so the FPN
+//! top-down pathway is replaced by per-level lateral 1x1 convolutions with
+//! independent heads (SSD-style). The latency-relevant property — heavy
+//! shared-shape conv subnets applied at several pyramid levels — is
+//! preserved.
+
+use crate::resnet::{build_backbone_pyramid, ResNetConfig};
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, NodeId, Rng64, Shape};
+
+/// Configuration of one detection-model variant.
+#[derive(Debug, Clone)]
+pub struct DetectionConfig {
+    /// Backbone configuration (ResNet-34 by default, as in the paper).
+    pub backbone: ResNetConfig,
+    /// Pyramid levels used (taken from the deepest).
+    pub levels: usize,
+    /// Channels of the FPN lateral projections and head convs.
+    pub head_channels: u32,
+    /// Convolutions per head subnet (canonical 4).
+    pub head_depth: u32,
+    /// Anchors per location.
+    pub anchors: u32,
+    /// Object classes.
+    pub classes: u32,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig {
+            backbone: crate::resnet::resnet34(),
+            levels: 3,
+            head_channels: 256,
+            head_depth: 4,
+            anchors: 9,
+            classes: 80,
+        }
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> DetectionConfig {
+    let mut backbone = crate::resnet::sample_config(r);
+    backbone.resolution = *r.choice(&[256usize, 320, 384]);
+    DetectionConfig {
+        backbone,
+        levels: 2 + r.below(2),
+        head_channels: *r.choice(&[128u32, 192, 256]),
+        head_depth: 2 + r.below(3) as u32,
+        anchors: 9,
+        classes: 80,
+    }
+}
+
+/// One head subnet: `depth` 3x3 convs + ReLU, then the output projection.
+fn head(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    channels: u32,
+    depth: u32,
+    out_c: u32,
+) -> IrResult<NodeId> {
+    let mut cur = x;
+    for _ in 0..depth {
+        let c = b.conv(Some(cur), channels, 3, 1, 1, 1)?;
+        cur = b.relu(c)?;
+    }
+    b.conv(Some(cur), out_c, 3, 1, 1, 1)
+}
+
+/// Build the variant graph. The graph has `2 * levels` sinks (one class
+/// map and one box map per pyramid level).
+pub fn build(name: &str, cfg: &DetectionConfig) -> IrResult<Graph> {
+    let res = cfg.backbone.resolution;
+    let mut b = GraphBuilder::new(name, Shape::nchw(cfg.backbone.batch, 3, res, res));
+    let pyramid = build_backbone_pyramid(&mut b, &cfg.backbone)?;
+    let take = cfg.levels.min(pyramid.len());
+    for &level in pyramid.iter().rev().take(take) {
+        // Lateral projection to the shared head width.
+        let lat = b.conv(Some(level), cfg.head_channels, 1, 1, 0, 1)?;
+        let lr = b.relu(lat)?;
+        // Classification and box subnets.
+        head(
+            &mut b,
+            lr,
+            cfg.head_channels,
+            cfg.head_depth,
+            cfg.anchors * cfg.classes,
+        )?;
+        head(&mut b, lr, cfg.head_channels, cfg.head_depth, cfg.anchors * 4)?;
+    }
+    b.finish()
+}
+
+/// Sample and build one variant.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+
+    #[test]
+    fn canonical_builds_with_multi_sink_heads() {
+        let g = build("retina", &DetectionConfig::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        assert_eq!(g.sinks().len(), 2 * 3);
+    }
+
+    #[test]
+    fn heads_dominate_over_equal_backbone_classifier() {
+        // The Fig. 8 premise: detection latency >> classification latency
+        // for the same backbone.
+        let det = build("det", &DetectionConfig::default()).unwrap();
+        let cls = crate::resnet::build("cls", &crate::resnet::resnet34()).unwrap();
+        let fd = nnlqp_ir::cost::graph_cost(&det, nnlqp_ir::DType::F32).flops;
+        let fc = nnlqp_ir::cost::graph_cost(&cls, nnlqp_ir::DType::F32).flops;
+        assert!(fd > 1.5 * fc, "det {fd} vs cls {fc}");
+    }
+
+    #[test]
+    fn random_variants_valid() {
+        let mut r = Rng64::new(111);
+        for i in 0..30 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! EfficientNet family generator (Tan & Le, 2019).
+//!
+//! MBConv blocks (inverted residual + squeeze-excite + swish) under compound
+//! width/depth scaling. Variants sample the compound coefficient plus kernel
+//! choices, spanning roughly B0–B2 shapes.
+
+use crate::util::{same_pad, scale_c};
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, NodeId, Rng64, Shape};
+
+/// Configuration of one EfficientNet variant.
+#[derive(Debug, Clone)]
+pub struct EfficientNetConfig {
+    /// Input resolution.
+    pub resolution: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Width multiplier (compound scaling).
+    pub width: f64,
+    /// Depth multiplier (compound scaling).
+    pub depth: f64,
+    /// Expansion ratio of MBConv blocks (canonical 6).
+    pub expand: u32,
+    /// Squeeze-excite reduction.
+    pub se_reduction: u32,
+    /// Output classes.
+    pub classes: u32,
+}
+
+impl Default for EfficientNetConfig {
+    fn default() -> Self {
+        // B0.
+        EfficientNetConfig {
+            resolution: 224,
+            batch: 1,
+            width: 1.0,
+            depth: 1.0,
+            expand: 6,
+            se_reduction: 4,
+            classes: 1000,
+        }
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> EfficientNetConfig {
+    EfficientNetConfig {
+        resolution: *r.choice(&[192usize, 224, 256]),
+        batch: 1,
+        width: r.range_f64(0.6, 1.3),
+        depth: r.range_f64(0.7, 1.4),
+        expand: *r.choice(&[4u32, 6]),
+        se_reduction: *r.choice(&[4u32, 8]),
+        classes: 1000,
+    }
+}
+
+/// MBConv block with SE and swish.
+fn mbconv(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_c: u32,
+    stride: u32,
+    expand: u32,
+    k: u32,
+    se_reduction: u32,
+) -> IrResult<NodeId> {
+    let in_c = b.channels(x) as u32;
+    let hidden = in_c * expand;
+    let mut cur = x;
+    if expand != 1 {
+        let e = b.conv(Some(cur), hidden, 1, 1, 0, 1)?;
+        cur = b.swish(e)?;
+    }
+    let dw = b.conv(Some(cur), hidden, k, stride, same_pad(k), hidden)?;
+    cur = b.swish(dw)?;
+    cur = b.squeeze_excite(cur, se_reduction)?;
+    let proj = b.conv(Some(cur), out_c, 1, 1, 0, 1)?;
+    if stride == 1 && in_c == out_c {
+        b.add(x, proj)
+    } else {
+        Ok(proj)
+    }
+}
+
+/// `(channels, repeats, stride, kernel)` — the B0 stage table.
+const STAGES: [(u32, u32, u32, u32); 7] = [
+    (16, 1, 1, 3),
+    (24, 2, 2, 3),
+    (40, 2, 2, 5),
+    (80, 3, 2, 3),
+    (112, 3, 1, 5),
+    (192, 4, 2, 5),
+    (320, 1, 1, 3),
+];
+
+/// Build the variant graph.
+pub fn build(name: &str, cfg: &EfficientNetConfig) -> IrResult<Graph> {
+    let mut b = GraphBuilder::new(
+        name,
+        Shape::nchw(cfg.batch, 3, cfg.resolution, cfg.resolution),
+    );
+    let stem = b.conv(None, scale_c(32, cfg.width), 3, 2, 1, 1)?;
+    let mut cur = b.swish(stem)?;
+    for (si, &(base_c, repeats, stride, k)) in STAGES.iter().enumerate() {
+        let c = scale_c(base_c, cfg.width);
+        let n = ((repeats as f64 * cfg.depth).ceil() as u32).max(1);
+        for i in 0..n {
+            let s = if i == 0 { stride } else { 1 };
+            // First stage uses expand 1 (like B0).
+            let t = if si == 0 { 1 } else { cfg.expand };
+            cur = mbconv(&mut b, cur, c, s, t, k, cfg.se_reduction)?;
+        }
+    }
+    let head = b.conv(Some(cur), scale_c(1280, cfg.width), 1, 1, 0, 1)?;
+    let hs = b.swish(head)?;
+    let gp = b.global_avgpool(hs)?;
+    let fl = b.flatten(gp)?;
+    b.gemm(fl, cfg.classes)?;
+    b.finish()
+}
+
+/// Sample and build one variant.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+    use nnlqp_ir::OpType;
+
+    #[test]
+    fn b0_builds() {
+        let g = build("effnet-b0", &EfficientNetConfig::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        // Every MBConv has an SE block -> one ReduceMean each (16 blocks).
+        let se = g.nodes.iter().filter(|n| n.op == OpType::ReduceMean).count();
+        assert_eq!(se, 16);
+    }
+
+    #[test]
+    fn depth_multiplier_deepens() {
+        let b0 = build("a", &EfficientNetConfig::default()).unwrap();
+        let deeper = build(
+            "b",
+            &EfficientNetConfig {
+                depth: 1.4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(deeper.len() > b0.len());
+    }
+
+    #[test]
+    fn random_variants_valid() {
+        let mut r = Rng64::new(81);
+        for i in 0..50 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+}

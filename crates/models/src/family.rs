@@ -1,0 +1,133 @@
+//! The model-family taxonomy of the paper's evaluation (§8.1).
+
+use nnlqp_ir::{Graph, IrResult, Rng64};
+
+/// The ten families of the latency corpus plus the detection family used by
+/// the task-transfer experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    AlexNet,
+    Vgg,
+    GoogleNet,
+    ResNet,
+    SqueezeNet,
+    MobileNetV2,
+    MobileNetV3,
+    EfficientNet,
+    MnasNet,
+    NasBench201,
+    /// RetinaNet-style detection models (Fig. 8 only; not part of the
+    /// 10-family corpus).
+    Detection,
+}
+
+/// The ten corpus families, in the row order of Table 3.
+pub const CORPUS_FAMILIES: [ModelFamily; 10] = [
+    ModelFamily::ResNet,
+    ModelFamily::Vgg,
+    ModelFamily::EfficientNet,
+    ModelFamily::MobileNetV2,
+    ModelFamily::MobileNetV3,
+    ModelFamily::MnasNet,
+    ModelFamily::AlexNet,
+    ModelFamily::SqueezeNet,
+    ModelFamily::GoogleNet,
+    ModelFamily::NasBench201,
+];
+
+impl ModelFamily {
+    /// Stable display name (Table 3 row labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelFamily::AlexNet => "AlexNet",
+            ModelFamily::Vgg => "VGG",
+            ModelFamily::GoogleNet => "GoogleNet",
+            ModelFamily::ResNet => "ResNet",
+            ModelFamily::SqueezeNet => "SqueezeNet",
+            ModelFamily::MobileNetV2 => "MobileNetV2",
+            ModelFamily::MobileNetV3 => "MobileNetV3",
+            ModelFamily::EfficientNet => "EfficientNet",
+            ModelFamily::MnasNet => "MnasNet",
+            ModelFamily::NasBench201 => "NasBench201",
+            ModelFamily::Detection => "Detection",
+        }
+    }
+
+    /// Parse a display name.
+    pub fn parse(s: &str) -> Option<Self> {
+        CORPUS_FAMILIES
+            .iter()
+            .copied()
+            .chain(std::iter::once(ModelFamily::Detection))
+            .find(|f| f.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Sample one random variant of this family.
+    pub fn sample(self, name: &str, r: &mut Rng64) -> IrResult<Graph> {
+        match self {
+            ModelFamily::AlexNet => crate::alexnet::sample(name, r),
+            ModelFamily::Vgg => crate::vgg::sample(name, r),
+            ModelFamily::GoogleNet => crate::googlenet::sample(name, r),
+            ModelFamily::ResNet => crate::resnet::sample(name, r),
+            ModelFamily::SqueezeNet => crate::squeezenet::sample(name, r),
+            ModelFamily::MobileNetV2 => crate::mobilenet_v2::sample(name, r),
+            ModelFamily::MobileNetV3 => crate::mobilenet_v3::sample(name, r),
+            ModelFamily::EfficientNet => crate::efficientnet::sample(name, r),
+            ModelFamily::MnasNet => crate::mnasnet::sample(name, r),
+            ModelFamily::NasBench201 => crate::nasbench::sample(name, r),
+            ModelFamily::Detection => crate::detection::sample(name, r),
+        }
+    }
+
+    /// Canonical (paper-default) instance of the family.
+    pub fn canonical(self) -> IrResult<Graph> {
+        let name = format!("{}-canonical", self.name().to_ascii_lowercase());
+        match self {
+            ModelFamily::AlexNet => crate::alexnet::build(&name, &Default::default()),
+            ModelFamily::Vgg => crate::vgg::build(&name, &Default::default()),
+            ModelFamily::GoogleNet => crate::googlenet::build(&name, &Default::default()),
+            ModelFamily::ResNet => crate::resnet::build(&name, &Default::default()),
+            ModelFamily::SqueezeNet => crate::squeezenet::build(&name, &Default::default()),
+            ModelFamily::MobileNetV2 => crate::mobilenet_v2::build(&name, &Default::default()),
+            ModelFamily::MobileNetV3 => crate::mobilenet_v3::build(&name, &Default::default()),
+            ModelFamily::EfficientNet => crate::efficientnet::build(&name, &Default::default()),
+            ModelFamily::MnasNet => crate::mnasnet::build(&name, &Default::default()),
+            ModelFamily::NasBench201 => crate::nasbench::build(&name, &Default::default()),
+            ModelFamily::Detection => crate::detection::build(&name, &Default::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_corpus_families() {
+        assert_eq!(CORPUS_FAMILIES.len(), 10);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for f in CORPUS_FAMILIES {
+            assert_eq!(ModelFamily::parse(f.name()), Some(f));
+        }
+        assert_eq!(ModelFamily::parse("Detection"), Some(ModelFamily::Detection));
+        assert_eq!(ModelFamily::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn all_canonicals_build() {
+        for f in CORPUS_FAMILIES {
+            let g = f.canonical().unwrap_or_else(|e| panic!("{f}: {e}"));
+            assert!(!g.is_empty());
+        }
+        assert!(ModelFamily::Detection.canonical().is_ok());
+    }
+}

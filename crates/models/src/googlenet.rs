@@ -1,0 +1,153 @@
+//! GoogleNet / Inception-v1 family generator (Szegedy et al., 2015).
+//!
+//! Inception modules with four parallel branches (1x1; 1x1->3x3; 1x1->5x5;
+//! pool->1x1) concatenated on the channel axis. Variants perturb module
+//! count, branch widths and the large-branch kernel.
+
+use crate::util::{same_pad, scale_c};
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, NodeId, Rng64, Shape};
+
+/// Configuration of one GoogleNet variant.
+#[derive(Debug, Clone)]
+pub struct GoogleNetConfig {
+    /// Input resolution.
+    pub resolution: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Width multiplier.
+    pub width: f64,
+    /// Number of inception modules (canonical 9).
+    pub modules: u32,
+    /// Kernel of the third branch (canonical 5).
+    pub large_kernel: u32,
+    /// Output classes.
+    pub classes: u32,
+}
+
+impl Default for GoogleNetConfig {
+    fn default() -> Self {
+        GoogleNetConfig {
+            resolution: 224,
+            batch: 1,
+            width: 1.0,
+            modules: 9,
+            large_kernel: 5,
+            classes: 1000,
+        }
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> GoogleNetConfig {
+    GoogleNetConfig {
+        resolution: *r.choice(&[160usize, 192, 224]),
+        batch: 1,
+        width: r.range_f64(0.5, 1.3),
+        modules: 6 + r.below(4) as u32,
+        large_kernel: *r.choice(&[3u32, 5]),
+        classes: 1000,
+    }
+}
+
+/// One inception module. Branch widths follow the canonical proportions of
+/// the 3a module scaled by total width `c`.
+fn inception(b: &mut GraphBuilder, x: NodeId, c: u32, large_k: u32) -> IrResult<NodeId> {
+    let b1 = scale_c(c / 4, 1.0);
+    let b2r = scale_c(c / 6, 1.0);
+    let b2 = scale_c(c / 3, 1.0);
+    let b3r = scale_c(c / 12, 1.0);
+    let b3 = scale_c(c / 8, 1.0);
+    let b4 = scale_c(c / 8, 1.0);
+
+    // Branch 1: 1x1.
+    let c1 = b.conv(Some(x), b1, 1, 1, 0, 1)?;
+    let r1 = b.relu(c1)?;
+    // Branch 2: 1x1 reduce then 3x3.
+    let c2a = b.conv(Some(x), b2r, 1, 1, 0, 1)?;
+    let r2a = b.relu(c2a)?;
+    let c2b = b.conv(Some(r2a), b2, 3, 1, 1, 1)?;
+    let r2b = b.relu(c2b)?;
+    // Branch 3: 1x1 reduce then large kernel.
+    let c3a = b.conv(Some(x), b3r, 1, 1, 0, 1)?;
+    let r3a = b.relu(c3a)?;
+    let c3b = b.conv(Some(r3a), b3, large_k, 1, same_pad(large_k), 1)?;
+    let r3b = b.relu(c3b)?;
+    // Branch 4: 3x3 maxpool then 1x1.
+    let p4 = b.maxpool(x, 3, 1, 1)?;
+    let c4 = b.conv(Some(p4), b4, 1, 1, 0, 1)?;
+    let r4 = b.relu(c4)?;
+
+    b.concat(&[r1, r2b, r3b, r4])
+}
+
+/// Build the variant graph.
+pub fn build(name: &str, cfg: &GoogleNetConfig) -> IrResult<Graph> {
+    let mut b = GraphBuilder::new(
+        name,
+        Shape::nchw(cfg.batch, 3, cfg.resolution, cfg.resolution),
+    );
+    // Stem.
+    let s1 = b.conv(None, scale_c(64, cfg.width), 7, 2, 3, 1)?;
+    let s1r = b.relu(s1)?;
+    let p1 = b.maxpool(s1r, 3, 2, 1)?;
+    let s2 = b.conv(Some(p1), scale_c(64, cfg.width), 1, 1, 0, 1)?;
+    let s2r = b.relu(s2)?;
+    let s3 = b.conv(Some(s2r), scale_c(192, cfg.width), 3, 1, 1, 1)?;
+    let s3r = b.relu(s3)?;
+    let mut cur = b.maxpool(s3r, 3, 2, 1)?;
+    // Inception stacks with pools roughly every third module.
+    for m in 0..cfg.modules {
+        let c = scale_c(256 + 64 * (m / 2), cfg.width);
+        cur = inception(&mut b, cur, c, cfg.large_kernel)?;
+        if m % 3 == 2 && b.out_shape(cur).height() >= 4 {
+            cur = b.maxpool(cur, 3, 2, 1)?;
+        }
+    }
+    let gp = b.global_avgpool(cur)?;
+    let fl = b.flatten(gp)?;
+    b.gemm(fl, cfg.classes)?;
+    b.finish()
+}
+
+/// Sample and build one variant.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+    use nnlqp_ir::OpType;
+
+    #[test]
+    fn canonical_builds_with_nine_modules() {
+        let g = build("googlenet", &GoogleNetConfig::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        let concats = g.nodes.iter().filter(|n| n.op == OpType::Concat).count();
+        assert_eq!(concats, 9);
+    }
+
+    #[test]
+    fn inception_concat_has_four_inputs() {
+        let g = build("g", &GoogleNetConfig::default()).unwrap();
+        let c = g.nodes.iter().find(|n| n.op == OpType::Concat).unwrap();
+        assert_eq!(c.inputs.len(), 4);
+    }
+
+    #[test]
+    fn graph_is_wide_not_just_deep() {
+        let g = build("g", &GoogleNetConfig::default()).unwrap();
+        // Parallel branches mean the depth is far below the node count.
+        assert!(g.depth() * 2 < g.len());
+    }
+
+    #[test]
+    fn random_variants_valid() {
+        let mut r = Rng64::new(51);
+        for i in 0..50 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+}

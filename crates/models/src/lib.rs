@@ -1,0 +1,28 @@
+//! # nnlqp-models
+//!
+//! Programmatic generators for the model corpus of the paper's evaluation
+//! (§8.1): nine classic CNN families plus NAS-Bench-201 cells, each
+//! parameterized so that thousands of structurally distinct variants can be
+//! sampled deterministically from a seed ("we ... transform each one to get
+//! 2,000 variants with various kernel sizes and output channels"), and a
+//! RetinaNet-style detection model for the task-transfer experiment
+//! (Fig. 8).
+
+pub mod alexnet;
+pub mod dataset;
+pub mod detection;
+pub mod efficientnet;
+pub mod family;
+pub mod googlenet;
+pub mod mnasnet;
+pub mod mobilenet_v2;
+pub mod mobilenet_v3;
+pub mod nasbench;
+pub mod regnet;
+pub mod resnet;
+pub mod squeezenet;
+pub mod util;
+pub mod vgg;
+
+pub use dataset::{generate_dataset, generate_family, DatasetSpec};
+pub use family::ModelFamily;

@@ -1,0 +1,172 @@
+//! MnasNet family generator (Tan et al., 2019).
+//!
+//! The platform-aware-NAS family: a mix of plain separable convolutions and
+//! MBConv blocks with per-stage expansion ratios and kernels, some stages
+//! carrying squeeze-excite. Variants perturb width, kernels and SE choices.
+
+use crate::util::{same_pad, scale_c};
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, NodeId, Rng64, Shape};
+
+/// Configuration of one MnasNet variant.
+#[derive(Debug, Clone)]
+pub struct MnasNetConfig {
+    /// Input resolution.
+    pub resolution: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Width multiplier.
+    pub width: f64,
+    /// Kernel used in the 5x5 stages.
+    pub large_kernel: u32,
+    /// Whether the SE stages keep their squeeze-excite gates.
+    pub use_se: bool,
+    /// Extra repeats per stage, -1..=1.
+    pub depth_delta: i32,
+    /// Output classes.
+    pub classes: u32,
+}
+
+impl Default for MnasNetConfig {
+    fn default() -> Self {
+        MnasNetConfig {
+            resolution: 224,
+            batch: 1,
+            width: 1.0,
+            large_kernel: 5,
+            use_se: true,
+            depth_delta: 0,
+            classes: 1000,
+        }
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> MnasNetConfig {
+    MnasNetConfig {
+        resolution: *r.choice(&[160usize, 192, 224]),
+        batch: 1,
+        width: r.range_f64(0.5, 1.4),
+        large_kernel: *r.choice(&[3u32, 5]),
+        use_se: r.bernoulli(0.7),
+        depth_delta: *r.choice(&[-1i32, 0, 1]),
+        classes: 1000,
+    }
+}
+
+/// Separable convolution: depthwise + pointwise, ReLU after each.
+fn sep_conv(b: &mut GraphBuilder, x: NodeId, out_c: u32, k: u32, stride: u32) -> IrResult<NodeId> {
+    let in_c = b.channels(x) as u32;
+    let dw = b.conv(Some(x), in_c, k, stride, same_pad(k), in_c)?;
+    let dr = b.relu(dw)?;
+    let pw = b.conv(Some(dr), out_c, 1, 1, 0, 1)?;
+    b.relu(pw)
+}
+
+/// MBConv with ReLU activations and optional SE (MnasNet-A1 uses SE on two
+/// stages).
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_c: u32,
+    stride: u32,
+    expand: u32,
+    k: u32,
+    se: bool,
+) -> IrResult<NodeId> {
+    let in_c = b.channels(x) as u32;
+    let hidden = in_c * expand;
+    let e = b.conv(Some(x), hidden, 1, 1, 0, 1)?;
+    let mut cur = b.relu(e)?;
+    let dw = b.conv(Some(cur), hidden, k, stride, same_pad(k), hidden)?;
+    cur = b.relu(dw)?;
+    if se {
+        cur = b.squeeze_excite(cur, 4)?;
+    }
+    let proj = b.conv(Some(cur), out_c, 1, 1, 0, 1)?;
+    if stride == 1 && in_c == out_c {
+        b.add(x, proj)
+    } else {
+        Ok(proj)
+    }
+}
+
+/// `(channels, repeats, stride, expand, large_kernel, se)` — MnasNet-A1.
+const STAGES: [(u32, i32, u32, u32, bool, bool); 6] = [
+    (24, 2, 2, 6, false, false),
+    (40, 3, 2, 3, true, true),
+    (80, 4, 2, 6, false, false),
+    (112, 2, 1, 6, false, true),
+    (160, 3, 2, 6, true, true),
+    (320, 1, 1, 6, false, false),
+];
+
+/// Build the variant graph.
+pub fn build(name: &str, cfg: &MnasNetConfig) -> IrResult<Graph> {
+    let mut b = GraphBuilder::new(
+        name,
+        Shape::nchw(cfg.batch, 3, cfg.resolution, cfg.resolution),
+    );
+    let stem = b.conv(None, scale_c(32, cfg.width), 3, 2, 1, 1)?;
+    let sr = b.relu(stem)?;
+    // SepConv stage (16 channels).
+    let mut cur = sep_conv(&mut b, sr, scale_c(16, cfg.width), 3, 1)?;
+    for &(base_c, repeats, stride, expand, large, se) in &STAGES {
+        let c = scale_c(base_c, cfg.width);
+        let k = if large { cfg.large_kernel } else { 3 };
+        let n = (repeats + if repeats > 1 { cfg.depth_delta } else { 0 }).max(1);
+        for i in 0..n {
+            let s = if i == 0 { stride } else { 1 };
+            cur = mbconv(&mut b, cur, c, s, expand, k, se && cfg.use_se)?;
+        }
+    }
+    let head = b.conv(Some(cur), scale_c(1280, cfg.width), 1, 1, 0, 1)?;
+    let hr = b.relu(head)?;
+    let gp = b.global_avgpool(hr)?;
+    let fl = b.flatten(gp)?;
+    b.gemm(fl, cfg.classes)?;
+    b.finish()
+}
+
+/// Sample and build one variant.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+    use nnlqp_ir::OpType;
+
+    #[test]
+    fn a1_builds() {
+        let g = build("mnasnet-a1", &MnasNetConfig::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        let se = g.nodes.iter().filter(|n| n.op == OpType::ReduceMean).count();
+        assert_eq!(se, 3 + 2 + 3); // SE stages: 40x3, 112x2, 160x3
+    }
+
+    #[test]
+    fn disabling_se_removes_reduce_means() {
+        let g = build(
+            "m",
+            &MnasNetConfig {
+                use_se: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let se = g.nodes.iter().filter(|n| n.op == OpType::ReduceMean).count();
+        assert_eq!(se, 0);
+    }
+
+    #[test]
+    fn random_variants_valid() {
+        let mut r = Rng64::new(91);
+        for i in 0..50 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! MobileNetV2 family generator (Sandler et al., 2018).
+//!
+//! Inverted residual blocks: 1x1 expansion -> ReLU6 -> depthwise -> ReLU6 ->
+//! 1x1 linear projection, with a residual add when shapes allow. Variants
+//! perturb width, expansion ratio, depthwise kernel and per-stage depth —
+//! the memory-bound family that breaks FLOPs-only latency proxies.
+
+use crate::util::{same_pad, scale_c};
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, NodeId, Rng64, Shape};
+
+/// Configuration of one MobileNetV2 variant.
+#[derive(Debug, Clone)]
+pub struct MobileNetV2Config {
+    /// Input resolution.
+    pub resolution: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Width multiplier.
+    pub width: f64,
+    /// Expansion ratio t (canonical 6).
+    pub expand: u32,
+    /// Depthwise kernel size.
+    pub dw_kernel: u32,
+    /// Extra repeats added to (or removed from) each stage, -1..=1.
+    pub depth_delta: i32,
+    /// Output classes.
+    pub classes: u32,
+}
+
+impl Default for MobileNetV2Config {
+    fn default() -> Self {
+        MobileNetV2Config {
+            resolution: 224,
+            batch: 1,
+            width: 1.0,
+            expand: 6,
+            dw_kernel: 3,
+            depth_delta: 0,
+            classes: 1000,
+        }
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> MobileNetV2Config {
+    MobileNetV2Config {
+        resolution: *r.choice(&[160usize, 192, 224]),
+        batch: 1,
+        width: r.range_f64(0.5, 1.4),
+        expand: *r.choice(&[3u32, 4, 6]),
+        dw_kernel: *r.choice(&[3u32, 5]),
+        depth_delta: *r.choice(&[-1i32, 0, 1]),
+        classes: 1000,
+    }
+}
+
+/// Inverted residual block: 1x1 expand -> ReLU6 -> depthwise -> ReLU6 ->
+/// 1x1 project, with an identity residual when stride is 1 and channels
+/// match. Public because OFA-style supernets are assembled from it.
+pub fn inverted_residual(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_c: u32,
+    stride: u32,
+    expand: u32,
+    dw_k: u32,
+) -> IrResult<NodeId> {
+    let in_c = b.channels(x) as u32;
+    let hidden = in_c * expand;
+    let mut cur = x;
+    if expand != 1 {
+        let e = b.conv(Some(cur), hidden, 1, 1, 0, 1)?;
+        cur = b.relu6(e)?;
+    }
+    let dw = b.conv(Some(cur), hidden, dw_k, stride, same_pad(dw_k), hidden)?;
+    let dwr = b.relu6(dw)?;
+    let proj = b.conv(Some(dwr), out_c, 1, 1, 0, 1)?;
+    if stride == 1 && in_c == out_c {
+        b.add(x, proj)
+    } else {
+        Ok(proj)
+    }
+}
+
+/// `(expand_used, channels, repeats, stride)` per stage — the canonical
+/// MobileNetV2 table.
+const STAGES: [(bool, u32, i32, u32); 7] = [
+    (false, 16, 1, 1),
+    (true, 24, 2, 2),
+    (true, 32, 3, 2),
+    (true, 64, 4, 2),
+    (true, 96, 3, 1),
+    (true, 160, 3, 2),
+    (true, 320, 1, 1),
+];
+
+/// Build the variant graph.
+pub fn build(name: &str, cfg: &MobileNetV2Config) -> IrResult<Graph> {
+    let mut b = GraphBuilder::new(
+        name,
+        Shape::nchw(cfg.batch, 3, cfg.resolution, cfg.resolution),
+    );
+    let stem = b.conv(None, scale_c(32, cfg.width), 3, 2, 1, 1)?;
+    let mut cur = b.relu6(stem)?;
+    for &(use_expand, base_c, repeats, stride) in &STAGES {
+        let c = scale_c(base_c, cfg.width);
+        let n = (repeats + if repeats > 1 { cfg.depth_delta } else { 0 }).max(1);
+        for i in 0..n {
+            let s = if i == 0 { stride } else { 1 };
+            let t = if use_expand { cfg.expand } else { 1 };
+            cur = inverted_residual(&mut b, cur, c, s, t, cfg.dw_kernel)?;
+        }
+    }
+    let head_c = scale_c(1280, cfg.width.max(1.0));
+    let head = b.conv(Some(cur), head_c, 1, 1, 0, 1)?;
+    let hr = b.relu6(head)?;
+    let gp = b.global_avgpool(hr)?;
+    let fl = b.flatten(gp)?;
+    b.gemm(fl, cfg.classes)?;
+    b.finish()
+}
+
+/// Sample and build one variant.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+    use nnlqp_ir::{DType, OpType};
+
+    #[test]
+    fn canonical_builds() {
+        let g = build("mbv2", &MobileNetV2Config::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        // Depthwise convs present.
+        let dws = g
+            .nodes
+            .iter()
+            .filter(|n| n.op == OpType::Conv && n.attrs.groups > 1)
+            .count();
+        assert_eq!(dws, 17);
+    }
+
+    #[test]
+    fn residual_adds_only_on_matching_shapes() {
+        let g = build("m", &MobileNetV2Config::default()).unwrap();
+        for n in g.nodes.iter().filter(|n| n.op == OpType::Add) {
+            let a = &g.node(n.inputs[0]).out_shape;
+            let c = &g.node(n.inputs[1]).out_shape;
+            assert_eq!(a, c);
+        }
+        // Canonical layout: 10 identity-residual blocks.
+        let adds = g.nodes.iter().filter(|n| n.op == OpType::Add).count();
+        assert_eq!(adds, 10);
+    }
+
+    #[test]
+    fn memory_bound_relative_to_resnet() {
+        // MobileNetV2 has far lower FLOPs/byte than ResNet — the property
+        // that makes FLOPs-only predictors fail on it (Table 3).
+        let m = build("m", &MobileNetV2Config::default()).unwrap();
+        let r = crate::resnet::build("r", &crate::resnet::ResNetConfig::default()).unwrap();
+        let cm = nnlqp_ir::cost::graph_cost(&m, DType::F32);
+        let cr = nnlqp_ir::cost::graph_cost(&r, DType::F32);
+        let intensity_m = cm.flops / cm.mem_bytes;
+        let intensity_r = cr.flops / cr.mem_bytes;
+        assert!(
+            intensity_m < intensity_r / 2.0,
+            "mbv2 {intensity_m} vs resnet {intensity_r}"
+        );
+    }
+
+    #[test]
+    fn random_variants_valid() {
+        let mut r = Rng64::new(61);
+        for i in 0..50 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! MobileNetV3 family generator (Howard et al., 2019).
+//!
+//! MobileNetV2-style inverted residuals augmented with squeeze-and-excite
+//! gates and swish activations on the deeper stages. The paper notes hard
+//! swish is unsupported on some inference stacks (§9), so — matching its
+//! kernel taxonomy — the smooth swish (Sigmoid+Mul) form is emitted.
+
+use crate::util::{same_pad, scale_c};
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, NodeId, Rng64, Shape};
+
+/// Configuration of one MobileNetV3 variant.
+#[derive(Debug, Clone)]
+pub struct MobileNetV3Config {
+    /// Input resolution.
+    pub resolution: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Width multiplier.
+    pub width: f64,
+    /// Depthwise kernel in the SE stages.
+    pub dw_kernel: u32,
+    /// Squeeze-excite reduction ratio.
+    pub se_reduction: u32,
+    /// Extra repeats per stage, -1..=1.
+    pub depth_delta: i32,
+    /// Output classes.
+    pub classes: u32,
+}
+
+impl Default for MobileNetV3Config {
+    fn default() -> Self {
+        MobileNetV3Config {
+            resolution: 224,
+            batch: 1,
+            width: 1.0,
+            dw_kernel: 5,
+            se_reduction: 4,
+            depth_delta: 0,
+            classes: 1000,
+        }
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> MobileNetV3Config {
+    MobileNetV3Config {
+        resolution: *r.choice(&[160usize, 192, 224]),
+        batch: 1,
+        width: r.range_f64(0.5, 1.4),
+        dw_kernel: *r.choice(&[3u32, 5]),
+        se_reduction: *r.choice(&[4u32, 8]),
+        depth_delta: *r.choice(&[-1i32, 0, 1]),
+        classes: 1000,
+    }
+}
+
+/// V3 block: expand -> act -> depthwise -> act -> optional SE -> project.
+#[allow(clippy::too_many_arguments)]
+fn v3_block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_c: u32,
+    stride: u32,
+    expand_c: u32,
+    dw_k: u32,
+    use_se: bool,
+    use_swish: bool,
+    se_reduction: u32,
+) -> IrResult<NodeId> {
+    let in_c = b.channels(x) as u32;
+    let mut cur = x;
+    if expand_c != in_c {
+        let e = b.conv(Some(cur), expand_c, 1, 1, 0, 1)?;
+        cur = if use_swish { b.swish(e)? } else { b.relu6(e)? };
+    }
+    let dw = b.conv(Some(cur), expand_c, dw_k, stride, same_pad(dw_k), expand_c)?;
+    cur = if use_swish { b.swish(dw)? } else { b.relu6(dw)? };
+    if use_se {
+        cur = b.squeeze_excite(cur, se_reduction)?;
+    }
+    let proj = b.conv(Some(cur), out_c, 1, 1, 0, 1)?;
+    if stride == 1 && in_c == out_c {
+        b.add(x, proj)
+    } else {
+        Ok(proj)
+    }
+}
+
+/// `(channels, expand_channels, repeats, stride, se, swish)` — condensed
+/// MobileNetV3-Large table.
+const STAGES: [(u32, u32, i32, u32, bool, bool); 6] = [
+    (16, 16, 1, 1, false, false),
+    (24, 72, 2, 2, false, false),
+    (40, 120, 3, 2, true, false),
+    (80, 240, 4, 2, false, true),
+    (112, 480, 2, 1, true, true),
+    (160, 672, 3, 2, true, true),
+];
+
+/// Build the variant graph.
+pub fn build(name: &str, cfg: &MobileNetV3Config) -> IrResult<Graph> {
+    let mut b = GraphBuilder::new(
+        name,
+        Shape::nchw(cfg.batch, 3, cfg.resolution, cfg.resolution),
+    );
+    let stem = b.conv(None, scale_c(16, cfg.width), 3, 2, 1, 1)?;
+    let mut cur = b.swish(stem)?;
+    for &(base_c, base_e, repeats, stride, se, swish) in &STAGES {
+        let c = scale_c(base_c, cfg.width);
+        let n = (repeats + if repeats > 1 { cfg.depth_delta } else { 0 }).max(1);
+        for i in 0..n {
+            let s = if i == 0 { stride } else { 1 };
+            let e = scale_c(base_e, cfg.width);
+            let k = if se { cfg.dw_kernel } else { 3 };
+            cur = v3_block(&mut b, cur, c, s, e, k, se, swish, cfg.se_reduction)?;
+        }
+    }
+    let head_c = scale_c(960, cfg.width);
+    let head = b.conv(Some(cur), head_c, 1, 1, 0, 1)?;
+    let hs = b.swish(head)?;
+    let gp = b.global_avgpool(hs)?;
+    let fl = b.flatten(gp)?;
+    b.gemm(fl, cfg.classes)?;
+    b.finish()
+}
+
+/// Sample and build one variant.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+    use nnlqp_ir::OpType;
+
+    #[test]
+    fn canonical_builds_with_se_and_swish() {
+        let g = build("mbv3", &MobileNetV3Config::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        let sigmoids = g.nodes.iter().filter(|n| n.op == OpType::Sigmoid).count();
+        let muls = g.nodes.iter().filter(|n| n.op == OpType::Mul).count();
+        assert!(sigmoids > 5, "expected SE gates + swish, got {sigmoids}");
+        assert!(muls >= sigmoids); // every sigmoid feeds a mul
+        let reduces = g.nodes.iter().filter(|n| n.op == OpType::ReduceMean).count();
+        assert_eq!(reduces, 8); // SE blocks in stages 3, 5, 6
+    }
+
+    #[test]
+    fn se_gate_broadcast_shape() {
+        let g = build("m", &MobileNetV3Config::default()).unwrap();
+        // Find a Mul whose second input is an NC11 gate.
+        let found = g.nodes.iter().any(|n| {
+            n.op == OpType::Mul && {
+                let b_shape = &g.node(n.inputs[1]).out_shape;
+                b_shape.height() == 1
+                    && b_shape.width() == 1
+                    && g.node(n.inputs[0]).out_shape.height() > 1
+            }
+        });
+        assert!(found, "no SE broadcast mul found");
+    }
+
+    #[test]
+    fn random_variants_valid() {
+        let mut r = Rng64::new(71);
+        for i in 0..50 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! NAS-Bench-201 family generator (Dong & Yang, 2020).
+//!
+//! Cell-based CIFAR models: each cell is a 4-node DAG whose 6 edges carry
+//! one of five candidate operations (none / skip / 1x1 conv / 3x3 conv /
+//! 3x3 avg-pool); cells are stacked in three stages separated by residual
+//! reduction blocks. The paper adds 2,000 such models to its corpus — the
+//! one family whose *topology* varies, which is what breaks search-space-
+//! specific predictors like BRP-NAS.
+
+use crate::util::scale_c;
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, NodeId, Rng64, Shape};
+
+/// The five candidate edge operations of the NAS-Bench-201 search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellOp {
+    /// No connection.
+    None,
+    /// Identity.
+    Skip,
+    /// 1x1 convolution + ReLU.
+    Conv1x1,
+    /// 3x3 convolution + ReLU.
+    Conv3x3,
+    /// 3x3 average pool (stride 1).
+    AvgPool3x3,
+}
+
+/// All candidate ops (sampling order).
+pub const CELL_OPS: [CellOp; 5] = [
+    CellOp::None,
+    CellOp::Skip,
+    CellOp::Conv1x1,
+    CellOp::Conv3x3,
+    CellOp::AvgPool3x3,
+];
+
+/// A cell architecture: ops for the 6 edges
+/// (0→1, 0→2, 1→2, 0→3, 1→3, 2→3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellArch(pub [CellOp; 6]);
+
+impl CellArch {
+    /// Sample a random cell, re-drawing until node 3 (the output) is
+    /// reachable from node 0.
+    pub fn sample(r: &mut Rng64) -> CellArch {
+        loop {
+            let ops = [(); 6].map(|_| *r.choice(&CELL_OPS));
+            let arch = CellArch(ops);
+            if arch.output_reachable() {
+                return arch;
+            }
+        }
+    }
+
+    /// Edge index for `i -> j` (i < j <= 3).
+    fn edge(i: usize, j: usize) -> usize {
+        match (i, j) {
+            (0, 1) => 0,
+            (0, 2) => 1,
+            (1, 2) => 2,
+            (0, 3) => 3,
+            (1, 3) => 4,
+            (2, 3) => 5,
+            _ => unreachable!("bad edge {i}->{j}"),
+        }
+    }
+
+    /// Is the cell output connected (transitively) to the cell input?
+    pub fn output_reachable(&self) -> bool {
+        let mut live = [true, false, false, false];
+        for j in 1..4 {
+            for i in 0..j {
+                if live[i] && self.0[Self::edge(i, j)] != CellOp::None {
+                    live[j] = true;
+                }
+            }
+        }
+        live[3]
+    }
+}
+
+/// Configuration of one NAS-Bench-201 variant.
+#[derive(Debug, Clone)]
+pub struct NasBenchConfig {
+    /// The cell architecture replicated through the network.
+    pub arch: CellArch,
+    /// Cells per stage (canonical 5; sampled smaller for corpus variety).
+    pub cells_per_stage: u32,
+    /// Stem width (canonical 16).
+    pub stem_channels: u32,
+    /// Batch size.
+    pub batch: usize,
+    /// Output classes (CIFAR-10/100).
+    pub classes: u32,
+}
+
+impl Default for NasBenchConfig {
+    fn default() -> Self {
+        NasBenchConfig {
+            arch: CellArch([
+                CellOp::Conv3x3,
+                CellOp::Conv3x3,
+                CellOp::Conv3x3,
+                CellOp::Skip,
+                CellOp::Conv1x1,
+                CellOp::Conv3x3,
+            ]),
+            cells_per_stage: 5,
+            stem_channels: 16,
+            batch: 1,
+            classes: 10,
+        }
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> NasBenchConfig {
+    NasBenchConfig {
+        arch: CellArch::sample(r),
+        cells_per_stage: 2 + r.below(4) as u32,
+        stem_channels: *r.choice(&[16u32, 24, 32]),
+        batch: 1,
+        classes: 10,
+    }
+}
+
+/// Apply one edge op to a node; `None` is handled by the caller.
+fn apply_op(b: &mut GraphBuilder, op: CellOp, x: NodeId, c: u32) -> IrResult<NodeId> {
+    match op {
+        CellOp::None => unreachable!("None edges are skipped by the caller"),
+        CellOp::Skip => Ok(x),
+        CellOp::Conv1x1 => {
+            let conv = b.conv(Some(x), c, 1, 1, 0, 1)?;
+            b.relu(conv)
+        }
+        CellOp::Conv3x3 => {
+            let conv = b.conv(Some(x), c, 3, 1, 1, 1)?;
+            b.relu(conv)
+        }
+        CellOp::AvgPool3x3 => b.avgpool(x, 3, 1, 1),
+    }
+}
+
+/// Build one cell; returns the cell output node.
+fn build_cell(b: &mut GraphBuilder, arch: &CellArch, input: NodeId, c: u32) -> IrResult<NodeId> {
+    let mut values: [Option<NodeId>; 4] = [Some(input), None, None, None];
+    for j in 1..4 {
+        let mut acc: Option<NodeId> = None;
+        #[allow(clippy::needless_range_loop)] // i indexes both arch edges and values
+        for i in 0..j {
+            let op = arch.0[CellArch::edge(i, j)];
+            if op == CellOp::None {
+                continue;
+            }
+            let Some(src) = values[i] else { continue };
+            let contrib = apply_op(b, op, src, c)?;
+            acc = Some(match acc {
+                None => contrib,
+                Some(prev) => b.add(prev, contrib)?,
+            });
+        }
+        values[j] = acc;
+    }
+    // output_reachable() guarantees node 3 is populated.
+    Ok(values[3].expect("cell output unreachable"))
+}
+
+/// Residual reduction block between stages (stride-2 basic block).
+fn reduction(b: &mut GraphBuilder, x: NodeId, c: u32) -> IrResult<NodeId> {
+    let c1 = b.conv(Some(x), c, 3, 2, 1, 1)?;
+    let r1 = b.relu(c1)?;
+    let c2 = b.conv(Some(r1), c, 3, 1, 1, 1)?;
+    let sc = b.conv(Some(x), c, 1, 2, 0, 1)?;
+    let sum = b.add(c2, sc)?;
+    b.relu(sum)
+}
+
+/// Build the variant graph (CIFAR 32x32 input).
+pub fn build(name: &str, cfg: &NasBenchConfig) -> IrResult<Graph> {
+    let mut b = GraphBuilder::new(name, Shape::nchw(cfg.batch, 3, 32, 32));
+    let stem = b.conv(None, cfg.stem_channels, 3, 1, 1, 1)?;
+    let mut cur = b.relu(stem)?;
+    let mut c = cfg.stem_channels;
+    for stage in 0..3 {
+        if stage > 0 {
+            c = scale_c(c * 2, 1.0);
+            cur = reduction(&mut b, cur, c)?;
+        }
+        for _ in 0..cfg.cells_per_stage {
+            cur = build_cell(&mut b, &cfg.arch, cur, c)?;
+        }
+    }
+    let gp = b.global_avgpool(cur)?;
+    let fl = b.flatten(gp)?;
+    b.gemm(fl, cfg.classes)?;
+    b.finish()
+}
+
+/// Sample and build one variant.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+
+    #[test]
+    fn canonical_builds() {
+        let g = build("nb201", &NasBenchConfig::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        assert_eq!(*g.output_shape().unwrap(), Shape::nc(1, 10));
+    }
+
+    #[test]
+    fn all_skip_cell_collapses_to_identity() {
+        let cfg = NasBenchConfig {
+            arch: CellArch([
+                CellOp::Skip,
+                CellOp::Skip,
+                CellOp::None,
+                CellOp::Skip,
+                CellOp::None,
+                CellOp::None,
+            ]),
+            ..Default::default()
+        };
+        // 0->1 skip, 0->2 skip, 0->3 skip: cell output == cell input, so the
+        // network is just stem + reductions + head.
+        let g = build("skips", &cfg).unwrap();
+        assert!(validate(&g).is_ok());
+        let convs = g
+            .nodes
+            .iter()
+            .filter(|n| n.op == nnlqp_ir::OpType::Conv)
+            .count();
+        assert_eq!(convs, 1 + 2 * 3); // stem + 2 reductions x 3 convs (head gemm is not a conv)
+    }
+
+    #[test]
+    fn unreachable_cells_are_rejected_by_sampler() {
+        let mut r = Rng64::new(3);
+        for _ in 0..200 {
+            assert!(CellArch::sample(&mut r).output_reachable());
+        }
+    }
+
+    #[test]
+    fn dead_none_cell_detected() {
+        let arch = CellArch([CellOp::None; 6]);
+        assert!(!arch.output_reachable());
+        // 0->3 only via 0->1, 1->3
+        let arch2 = CellArch([
+            CellOp::Conv3x3,
+            CellOp::None,
+            CellOp::None,
+            CellOp::None,
+            CellOp::Skip,
+            CellOp::None,
+        ]);
+        assert!(arch2.output_reachable());
+    }
+
+    #[test]
+    fn random_variants_valid_and_distinct_topologies() {
+        let mut r = Rng64::new(101);
+        let mut hashes = std::collections::HashSet::new();
+        for i in 0..50 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+            hashes.insert(g.len() * 1000 + g.num_edges());
+        }
+        // Many structurally different graphs (not just reparameterized).
+        assert!(hashes.len() > 10, "only {} distinct topologies", hashes.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! RegNetX family generator (Radosavovic et al., 2020).
+//!
+//! Used by the §9 design-triage comparison: RegNetX-200M and ResNet18
+//! have similar ImageNet accuracy but the paper measures RegNetX at 150%
+//! of ResNet18's latency on P4 int8 — grouped convolutions with narrow
+//! group width underutilize wide MAC arrays.
+
+use crate::util::{classifier, scale_c};
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, NodeId, Rng64, Shape};
+
+/// Configuration of one RegNetX variant.
+#[derive(Debug, Clone)]
+pub struct RegNetConfig {
+    /// Input resolution.
+    pub resolution: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Width multiplier.
+    pub width: f64,
+    /// Blocks per stage.
+    pub depths: [u32; 4],
+    /// Base widths per stage.
+    pub widths: [u32; 4],
+    /// Group width (channels per convolution group).
+    pub group_width: u32,
+    /// Output classes.
+    pub classes: u32,
+}
+
+impl Default for RegNetConfig {
+    /// RegNetX-200MF.
+    fn default() -> Self {
+        RegNetConfig {
+            resolution: 224,
+            batch: 1,
+            width: 1.0,
+            depths: [1, 1, 4, 7],
+            widths: [24, 56, 152, 368],
+            group_width: 8,
+            classes: 1000,
+        }
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> RegNetConfig {
+    RegNetConfig {
+        resolution: *r.choice(&[192usize, 224]),
+        batch: 1,
+        width: r.range_f64(0.7, 1.3),
+        depths: [
+            1,
+            1 + r.below(2) as u32,
+            3 + r.below(3) as u32,
+            5 + r.below(4) as u32,
+        ],
+        group_width: *r.choice(&[8u32, 16]),
+        ..Default::default()
+    }
+}
+
+/// X block: 1x1 -> grouped 3x3 -> 1x1 with a residual.
+fn x_block(b: &mut GraphBuilder, x: NodeId, w: u32, stride: u32, group_width: u32) -> IrResult<NodeId> {
+    let groups = (w / group_width).max(1);
+    let c1 = b.conv(Some(x), w, 1, 1, 0, 1)?;
+    let r1 = b.relu(c1)?;
+    let c2 = b.conv(Some(r1), w, 3, stride, 1, groups)?;
+    let r2 = b.relu(c2)?;
+    let c3 = b.conv(Some(r2), w, 1, 1, 0, 1)?;
+    let shortcut = if stride != 1 || b.channels(x) as u32 != w {
+        b.conv(Some(x), w, 1, stride, 0, 1)?
+    } else {
+        x
+    };
+    let sum = b.add(c3, shortcut)?;
+    b.relu(sum)
+}
+
+/// Round a width so it is divisible by the group width.
+fn round_to_group(w: u32, group_width: u32) -> u32 {
+    ((w + group_width / 2) / group_width).max(1) * group_width
+}
+
+/// Build the variant graph.
+pub fn build(name: &str, cfg: &RegNetConfig) -> IrResult<Graph> {
+    let mut b = GraphBuilder::new(
+        name,
+        Shape::nchw(cfg.batch, 3, cfg.resolution, cfg.resolution),
+    );
+    let stem = b.conv(None, 32, 3, 2, 1, 1)?;
+    let mut cur = b.relu(stem)?;
+    for stage in 0..4 {
+        let w = round_to_group(scale_c(cfg.widths[stage], cfg.width), cfg.group_width);
+        for i in 0..cfg.depths[stage] {
+            let stride = if i == 0 { 2 } else { 1 };
+            cur = x_block(&mut b, cur, w, stride, cfg.group_width)?;
+        }
+    }
+    classifier(&mut b, cur, cfg.classes)?;
+    b.finish()
+}
+
+/// Sample and build one variant.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+    use nnlqp_ir::OpType;
+
+    #[test]
+    fn regnetx_200m_builds() {
+        let g = build("regnetx-200m", &RegNetConfig::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        // 13 X blocks, each with a grouped conv.
+        let grouped = g
+            .nodes
+            .iter()
+            .filter(|n| n.op == OpType::Conv && n.attrs.groups > 1)
+            .count();
+        assert_eq!(grouped, 13);
+    }
+
+    #[test]
+    fn widths_divisible_by_group_width() {
+        let g = build("r", &RegNetConfig::default()).unwrap();
+        for n in g.nodes.iter().filter(|n| n.op == OpType::Conv && n.attrs.groups > 1) {
+            assert_eq!(n.attrs.out_channels % 8, 0);
+        }
+    }
+
+    #[test]
+    fn flops_comparable_to_small_models() {
+        // "200MF" = ~200M FLOPs (400M MACs by our 2-flops convention,
+        // within a factor of 2-3 given the classifier head).
+        let g = build("r", &RegNetConfig::default()).unwrap();
+        let f = nnlqp_ir::cost::graph_cost(&g, nnlqp_ir::DType::F32).flops;
+        assert!(f > 2e8 && f < 2e9, "flops {f}");
+    }
+
+    #[test]
+    fn random_variants_valid() {
+        let mut r = Rng64::new(121);
+        for i in 0..30 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! ResNet family generator (He et al., 2015).
+//!
+//! Residual basic blocks (two 3x3 convolutions plus identity / projection
+//! shortcut) in four stages. Variants perturb per-stage depth, width and
+//! resolution, spanning roughly ResNet-10 through ResNet-34 shapes.
+
+use crate::util::{classifier, scale_c};
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, NodeId, Rng64, Shape};
+
+/// Configuration of one ResNet variant.
+#[derive(Debug, Clone)]
+pub struct ResNetConfig {
+    /// Input resolution.
+    pub resolution: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Width multiplier.
+    pub width: f64,
+    /// Basic blocks per stage.
+    pub depths: [u32; 4],
+    /// Output classes.
+    pub classes: u32,
+}
+
+impl Default for ResNetConfig {
+    fn default() -> Self {
+        // ResNet-18.
+        ResNetConfig {
+            resolution: 224,
+            batch: 1,
+            width: 1.0,
+            depths: [2, 2, 2, 2],
+            classes: 1000,
+        }
+    }
+}
+
+/// ResNet-34 configuration.
+pub fn resnet34() -> ResNetConfig {
+    ResNetConfig {
+        depths: [3, 4, 6, 3],
+        ..Default::default()
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> ResNetConfig {
+    ResNetConfig {
+        resolution: *r.choice(&[160usize, 192, 224, 256]),
+        batch: 1,
+        width: r.range_f64(0.5, 1.5),
+        depths: [
+            1 + r.below(3) as u32,
+            1 + r.below(4) as u32,
+            1 + r.below(6) as u32,
+            1 + r.below(3) as u32,
+        ],
+        classes: 1000,
+    }
+}
+
+/// A basic residual block. Returns the post-activation output.
+fn basic_block(b: &mut GraphBuilder, x: NodeId, c: u32, stride: u32) -> IrResult<NodeId> {
+    let c1 = b.conv(Some(x), c, 3, stride, 1, 1)?;
+    let r1 = b.relu(c1)?;
+    let c2 = b.conv(Some(r1), c, 3, 1, 1, 1)?;
+    let shortcut = if stride != 1 || b.channels(x) as u32 != c {
+        b.conv(Some(x), c, 1, stride, 0, 1)?
+    } else {
+        x
+    };
+    let sum = b.add(c2, shortcut)?;
+    b.relu(sum)
+}
+
+const STAGE_CHANNELS: [u32; 4] = [64, 128, 256, 512];
+
+/// Build the variant graph (backbone + classifier head).
+pub fn build(name: &str, cfg: &ResNetConfig) -> IrResult<Graph> {
+    let mut b = GraphBuilder::new(
+        name,
+        Shape::nchw(cfg.batch, 3, cfg.resolution, cfg.resolution),
+    );
+    let x = build_backbone(&mut b, cfg)?;
+    classifier(&mut b, x, cfg.classes)?;
+    b.finish()
+}
+
+/// Build only the backbone into an existing builder; used by the detection
+/// generator. Returns the final feature map node.
+pub fn build_backbone(b: &mut GraphBuilder, cfg: &ResNetConfig) -> IrResult<NodeId> {
+    let stem = b.conv(None, scale_c(64, cfg.width), 7, 2, 3, 1)?;
+    let sr = b.relu(stem)?;
+    let mut cur = b.maxpool(sr, 3, 2, 1)?;
+    for (stage, &base_c) in STAGE_CHANNELS.iter().enumerate() {
+        let c = scale_c(base_c, cfg.width);
+        for block in 0..cfg.depths[stage] {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            cur = basic_block(b, cur, c, stride)?;
+        }
+    }
+    Ok(cur)
+}
+
+/// Per-stage feature maps (C2..C5) for FPN-style heads.
+pub fn build_backbone_pyramid(
+    b: &mut GraphBuilder,
+    cfg: &ResNetConfig,
+) -> IrResult<Vec<NodeId>> {
+    let stem = b.conv(None, scale_c(64, cfg.width), 7, 2, 3, 1)?;
+    let sr = b.relu(stem)?;
+    let mut cur = b.maxpool(sr, 3, 2, 1)?;
+    let mut levels = Vec::with_capacity(4);
+    for (stage, &base_c) in STAGE_CHANNELS.iter().enumerate() {
+        let c = scale_c(base_c, cfg.width);
+        for block in 0..cfg.depths[stage] {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            cur = basic_block(b, cur, c, stride)?;
+        }
+        levels.push(cur);
+    }
+    Ok(levels)
+}
+
+/// Sample and build one variant.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+
+    #[test]
+    fn resnet18_canonical() {
+        let g = build("resnet18", &ResNetConfig::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        assert_eq!(*g.output_shape().unwrap(), Shape::nc(1, 1000));
+        // 8 basic blocks; identity blocks contribute 5 nodes, projection
+        // blocks 6; stem 3 + head 3.
+        let convs = g
+            .nodes
+            .iter()
+            .filter(|n| n.op == nnlqp_ir::OpType::Conv)
+            .count();
+        assert_eq!(convs, 1 + 16 + 3); // stem + block convs + 3 projections
+    }
+
+    #[test]
+    fn residual_adds_present() {
+        let g = build("r", &ResNetConfig::default()).unwrap();
+        let adds = g
+            .nodes
+            .iter()
+            .filter(|n| n.op == nnlqp_ir::OpType::Add)
+            .count();
+        assert_eq!(adds, 8);
+    }
+
+    #[test]
+    fn resnet34_deeper_than_18() {
+        let g18 = build("a", &ResNetConfig::default()).unwrap();
+        let g34 = build("b", &resnet34()).unwrap();
+        assert!(g34.len() > g18.len());
+    }
+
+    #[test]
+    fn downsampling_reaches_7x7() {
+        let g = build("r", &ResNetConfig::default()).unwrap();
+        // Find the last conv output before the head.
+        let pre_head = &g.nodes[g.len() - 4];
+        assert_eq!(pre_head.out_shape.height(), 7);
+    }
+
+    #[test]
+    fn random_variants_valid() {
+        let mut r = Rng64::new(31);
+        for i in 0..50 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+}

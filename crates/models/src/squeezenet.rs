@@ -1,0 +1,145 @@
+//! SqueezeNet family generator (Iandola et al., 2016).
+//!
+//! Fire modules — a 1x1 squeeze convolution feeding parallel 1x1 and 3x3
+//! expand branches joined by channel concatenation. Variants perturb the
+//! squeeze ratio, widths and module count.
+
+use crate::util::scale_c;
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, NodeId, Rng64, Shape};
+
+/// Configuration of one SqueezeNet variant.
+#[derive(Debug, Clone)]
+pub struct SqueezeNetConfig {
+    /// Input resolution.
+    pub resolution: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Width multiplier.
+    pub width: f64,
+    /// Number of fire modules (canonical 8).
+    pub fire_modules: u32,
+    /// Squeeze channels as a fraction of expand channels (canonical 0.125).
+    pub squeeze_ratio: f64,
+    /// Output classes.
+    pub classes: u32,
+}
+
+impl Default for SqueezeNetConfig {
+    fn default() -> Self {
+        SqueezeNetConfig {
+            resolution: 224,
+            batch: 1,
+            width: 1.0,
+            fire_modules: 8,
+            squeeze_ratio: 0.125,
+            classes: 1000,
+        }
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> SqueezeNetConfig {
+    SqueezeNetConfig {
+        resolution: *r.choice(&[160usize, 192, 224, 256]),
+        batch: 1,
+        width: r.range_f64(0.5, 1.5),
+        fire_modules: 6 + r.below(4) as u32,
+        squeeze_ratio: r.range_f64(0.08, 0.25),
+        classes: 1000,
+    }
+}
+
+/// One fire module: squeeze(1x1) -> relu -> {expand1x1, expand3x3} ->
+/// relus -> concat.
+fn fire(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    squeeze_c: u32,
+    expand_c: u32,
+) -> IrResult<NodeId> {
+    let s = b.conv(Some(x), squeeze_c, 1, 1, 0, 1)?;
+    let sr = b.relu(s)?;
+    let e1 = b.conv(Some(sr), expand_c, 1, 1, 0, 1)?;
+    let e1r = b.relu(e1)?;
+    let e3 = b.conv(Some(sr), expand_c, 3, 1, 1, 1)?;
+    let e3r = b.relu(e3)?;
+    b.concat(&[e1r, e3r])
+}
+
+/// Build the variant graph.
+pub fn build(name: &str, cfg: &SqueezeNetConfig) -> IrResult<Graph> {
+    let mut b = GraphBuilder::new(
+        name,
+        Shape::nchw(cfg.batch, 3, cfg.resolution, cfg.resolution),
+    );
+    let stem = b.conv(None, scale_c(64, cfg.width), 3, 2, 1, 1)?;
+    let sr = b.relu(stem)?;
+    let mut cur = b.maxpool(sr, 3, 2, 1)?;
+    // Expand width grows every two modules, like the canonical 1.1 layout.
+    for m in 0..cfg.fire_modules {
+        let expand = scale_c(64 + 32 * (m / 2), cfg.width);
+        let squeeze = scale_c(
+            ((expand as f64 * 2.0 * cfg.squeeze_ratio).round() as u32).max(4),
+            1.0,
+        );
+        cur = fire(&mut b, cur, squeeze, expand)?;
+        // Pool after modules 2 and 4 (if spatial size allows).
+        if (m == 1 || m == 3) && b.out_shape(cur).height() >= 4 {
+            cur = b.maxpool(cur, 3, 2, 1)?;
+        }
+    }
+    // Conv classifier: 1x1 conv to classes, then global pool.
+    let head = b.conv(Some(cur), cfg.classes, 1, 1, 0, 1)?;
+    let hr = b.relu(head)?;
+    let gp = b.global_avgpool(hr)?;
+    b.flatten(gp)?;
+    b.finish()
+}
+
+/// Sample and build one variant.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+    use nnlqp_ir::OpType;
+
+    #[test]
+    fn canonical_builds() {
+        let g = build("squeezenet", &SqueezeNetConfig::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        let concats = g.nodes.iter().filter(|n| n.op == OpType::Concat).count();
+        assert_eq!(concats, 8);
+    }
+
+    #[test]
+    fn fire_module_concat_doubles_expand() {
+        let g = build("s", &SqueezeNetConfig::default()).unwrap();
+        let first_concat = g.nodes.iter().find(|n| n.op == OpType::Concat).unwrap();
+        // Both expand branches have the same width -> concat has 2x channels.
+        let expand_c = g.node(first_concat.inputs[0]).out_shape.channels();
+        assert_eq!(first_concat.out_shape.channels(), 2 * expand_c);
+    }
+
+    #[test]
+    fn params_are_small() {
+        // SqueezeNet's claim to fame: far fewer parameters than AlexNet.
+        let s = build("s", &SqueezeNetConfig::default()).unwrap();
+        let a = crate::alexnet::build("a", &crate::alexnet::AlexNetConfig::default()).unwrap();
+        let ps = nnlqp_ir::cost::graph_cost(&s, nnlqp_ir::DType::F32).params;
+        let pa = nnlqp_ir::cost::graph_cost(&a, nnlqp_ir::DType::F32).params;
+        assert!(ps < pa / 10.0, "squeezenet {ps} vs alexnet {pa}");
+    }
+
+    #[test]
+    fn random_variants_valid() {
+        let mut r = Rng64::new(41);
+        for i in 0..50 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+}

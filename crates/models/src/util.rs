@@ -1,0 +1,92 @@
+//! Shared helpers for the family generators.
+
+use nnlqp_ir::{GraphBuilder, IrResult, NodeId, Rng64};
+
+/// Scale a base channel count by a width multiplier, rounded to the nearest
+/// even integer with a floor of 8. Variants deliberately land on unaligned
+/// widths too — platform efficiency curves depend on alignment and the
+/// predictor must see that variation.
+pub fn scale_c(base: u32, w: f64) -> u32 {
+    let c = (base as f64 * w).round() as u32;
+    ((c + 1) & !1).max(8)
+}
+
+/// Pick a width multiplier in `[0.5, 1.5]`.
+pub fn sample_width(r: &mut Rng64) -> f64 {
+    r.range_f64(0.5, 1.5)
+}
+
+/// Pick an ImageNet-style input resolution (multiple of 32).
+pub fn sample_resolution(r: &mut Rng64) -> usize {
+    *r.choice(&[160usize, 192, 224, 256])
+}
+
+/// Classifier head: global average pool -> flatten -> fc.
+pub fn classifier(b: &mut GraphBuilder, x: NodeId, classes: u32) -> IrResult<NodeId> {
+    let p = b.global_avgpool(x)?;
+    let f = b.flatten(p)?;
+    b.gemm(f, classes)
+}
+
+/// Conv + ReLU.
+pub fn conv_relu(
+    b: &mut GraphBuilder,
+    x: Option<NodeId>,
+    c: u32,
+    k: u32,
+    s: u32,
+    p: u32,
+) -> IrResult<NodeId> {
+    let conv = b.conv(x, c, k, s, p, 1)?;
+    b.relu(conv)
+}
+
+/// Conv + ReLU6.
+pub fn conv_relu6(
+    b: &mut GraphBuilder,
+    x: Option<NodeId>,
+    c: u32,
+    k: u32,
+    s: u32,
+    p: u32,
+) -> IrResult<NodeId> {
+    let conv = b.conv(x, c, k, s, p, 1)?;
+    b.relu6(conv)
+}
+
+/// "same" padding for an odd kernel.
+#[inline]
+pub fn same_pad(k: u32) -> u32 {
+    (k - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::Shape;
+
+    #[test]
+    fn scale_c_is_even_and_floored() {
+        assert_eq!(scale_c(64, 1.0), 64);
+        assert_eq!(scale_c(64, 0.05), 8);
+        assert_eq!(scale_c(10, 1.05), 12); // 10.5 -> 11 -> rounded up to even 12
+        assert!(scale_c(37, 1.0) % 2 == 0);
+    }
+
+    #[test]
+    fn resolution_divisible_by_32() {
+        let mut r = Rng64::new(1);
+        for _ in 0..100 {
+            assert_eq!(sample_resolution(&mut r) % 32, 0);
+        }
+    }
+
+    #[test]
+    fn classifier_shapes() {
+        let mut b = GraphBuilder::new("t", Shape::nchw(1, 3, 32, 32));
+        let c = conv_relu(&mut b, None, 16, 3, 1, 1).unwrap();
+        let out = classifier(&mut b, c, 1000).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.node(out).out_shape, Shape::nc(1, 1000));
+    }
+}

@@ -1,0 +1,128 @@
+//! VGG family generator (Simonyan & Zisserman, 2014).
+//!
+//! Five stages of stacked same-resolution convolutions separated by max
+//! pools, followed by a wide fully-connected head. Variants perturb per-
+//! stage depth, kernel size and channel widths.
+
+use crate::util::{same_pad, scale_c};
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, NodeId, Rng64, Shape};
+
+/// Configuration of one VGG variant.
+#[derive(Debug, Clone)]
+pub struct VggConfig {
+    /// Input resolution.
+    pub resolution: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Width multiplier.
+    pub width: f64,
+    /// Convolutions per stage (5 stages).
+    pub depths: [u32; 5],
+    /// Kernel size used in the first two stages (3 canonical).
+    pub early_kernel: u32,
+    /// Hidden fc width (canonical 4096).
+    pub fc_width: u32,
+    /// Output classes.
+    pub classes: u32,
+}
+
+impl Default for VggConfig {
+    fn default() -> Self {
+        // VGG-16: depths 2,2,3,3,3.
+        VggConfig {
+            resolution: 224,
+            batch: 1,
+            width: 1.0,
+            depths: [2, 2, 3, 3, 3],
+            early_kernel: 3,
+            fc_width: 4096,
+            classes: 1000,
+        }
+    }
+}
+
+/// Sample a random variant configuration.
+pub fn sample_config(r: &mut Rng64) -> VggConfig {
+    VggConfig {
+        resolution: *r.choice(&[160usize, 192, 224]),
+        batch: 1,
+        width: r.range_f64(0.4, 1.2),
+        depths: [
+            1 + r.below(2) as u32,
+            1 + r.below(2) as u32,
+            2 + r.below(2) as u32,
+            2 + r.below(2) as u32,
+            2 + r.below(2) as u32,
+        ],
+        early_kernel: *r.choice(&[3u32, 5]),
+        fc_width: *r.choice(&[1024u32, 2048, 4096]),
+        classes: 1000,
+    }
+}
+
+const STAGE_CHANNELS: [u32; 5] = [64, 128, 256, 512, 512];
+
+/// Build the variant graph.
+pub fn build(name: &str, cfg: &VggConfig) -> IrResult<Graph> {
+    let mut b = GraphBuilder::new(
+        name,
+        Shape::nchw(cfg.batch, 3, cfg.resolution, cfg.resolution),
+    );
+    let mut cur: Option<NodeId> = None;
+    for (stage, &base_c) in STAGE_CHANNELS.iter().enumerate() {
+        let c = scale_c(base_c, cfg.width);
+        let k = if stage < 2 { cfg.early_kernel } else { 3 };
+        for _ in 0..cfg.depths[stage] {
+            let conv = b.conv(cur, c, k, 1, same_pad(k), 1)?;
+            cur = Some(b.relu(conv)?);
+        }
+        cur = Some(b.maxpool(cur.unwrap(), 2, 2, 0)?);
+    }
+    let x = cur.unwrap();
+    let gp = b.global_avgpool(x)?;
+    let fl = b.flatten(gp)?;
+    let f1 = b.gemm(fl, cfg.fc_width)?;
+    let a1 = b.relu(f1)?;
+    let f2 = b.gemm(a1, cfg.fc_width)?;
+    let a2 = b.relu(f2)?;
+    b.gemm(a2, cfg.classes)?;
+    b.finish()
+}
+
+/// Sample and build one variant.
+pub fn sample(name: &str, r: &mut Rng64) -> IrResult<Graph> {
+    build(name, &sample_config(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+
+    #[test]
+    fn vgg16_canonical() {
+        let g = build("vgg16", &VggConfig::default()).unwrap();
+        assert!(validate(&g).is_ok());
+        // 13 convs + 13 relus + 5 pools + head(gp,flatten,3 gemm,2 relu)
+        assert_eq!(g.len(), 13 + 13 + 5 + 7);
+    }
+
+    #[test]
+    fn vgg_is_flop_heavy() {
+        // VGG's defining property: enormous FLOPs relative to AlexNet.
+        let v = build("v", &VggConfig::default()).unwrap();
+        let a = crate::alexnet::build("a", &crate::alexnet::AlexNetConfig::default()).unwrap();
+        let fv = nnlqp_ir::cost::graph_cost(&v, nnlqp_ir::DType::F32).flops;
+        let fa = nnlqp_ir::cost::graph_cost(&a, nnlqp_ir::DType::F32).flops;
+        assert!(fv > 5.0 * fa, "vgg {fv} vs alexnet {fa}");
+    }
+
+    #[test]
+    fn random_variants_valid() {
+        let mut r = Rng64::new(23);
+        for i in 0..50 {
+            let g = sample(&format!("v{i}"), &mut r).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+}

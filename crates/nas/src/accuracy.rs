@@ -1,0 +1,79 @@
+//! Synthetic ImageNet-accuracy surrogate for OFA subnets.
+//!
+//! A saturating capacity law with per-architecture structure bonuses and
+//! seeded noise: accuracy rises with FLOPs but with diminishing returns,
+//! deeper/wider choices add a little beyond raw FLOPs, and two subnets of
+//! equal FLOPs differ by noise — so the accuracy-latency Pareto front is
+//! non-trivial, as with a real trained supernet.
+
+use crate::supernet::SubnetConfig;
+use nnlqp_ir::Rng64;
+
+/// Top-1 accuracy (percent) of a subnet with `gflops` total compute.
+pub fn accuracy_surrogate(cfg: &SubnetConfig, gflops: f64) -> f64 {
+    // Saturating capacity law: ~63% at 0.1 GFLOPs, ~77% at 0.6 GFLOPs.
+    let base = 78.5 * (1.0 - (-gflops / 0.22).exp()).powf(0.35);
+    // Structure bonuses beyond FLOPs: kernel-5 stages see more context;
+    // depth helps more than expansion at equal compute.
+    let mut bonus = 0.0;
+    for &(depth, kernel, expand) in &cfg.stages {
+        if kernel == 5 {
+            bonus += 0.08;
+        }
+        bonus += 0.05 * (depth as f64 - 2.0);
+        bonus -= 0.02 * (expand as f64 - 3.0);
+    }
+    // Seeded architecture noise (training variance).
+    let mut rng = Rng64::new(cfg.id());
+    let noise = rng.normal(0.0, 0.15);
+    (base + bonus + noise).clamp(40.0, 82.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supernet::{SubnetConfig, NUM_STAGES};
+
+    fn cfg(depth: u32, kernel: u32, expand: u32) -> SubnetConfig {
+        SubnetConfig {
+            stages: [(depth, kernel, expand); NUM_STAGES],
+        }
+    }
+
+    #[test]
+    fn monotone_in_flops_on_average() {
+        let small = accuracy_surrogate(&cfg(2, 3, 3), 0.15);
+        let big = accuracy_surrogate(&cfg(4, 5, 6), 0.60);
+        assert!(big > small, "{big} !> {small}");
+    }
+
+    #[test]
+    fn diminishing_returns() {
+        let a = accuracy_surrogate(&cfg(2, 3, 3), 0.1);
+        let b = accuracy_surrogate(&cfg(2, 3, 3), 0.2);
+        let c = accuracy_surrogate(&cfg(2, 3, 3), 0.6);
+        let d = accuracy_surrogate(&cfg(2, 3, 3), 0.7);
+        assert!((b - a) > (d - c), "early gain {} late gain {}", b - a, d - c);
+    }
+
+    #[test]
+    fn deterministic_per_architecture() {
+        let c = cfg(3, 5, 4);
+        assert_eq!(accuracy_surrogate(&c, 0.3), accuracy_surrogate(&c, 0.3));
+    }
+
+    #[test]
+    fn distinct_architectures_distinct_noise() {
+        let a = accuracy_surrogate(&cfg(3, 3, 4), 0.3);
+        let b = accuracy_surrogate(&cfg(3, 5, 4), 0.3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bounded() {
+        for g in [0.01, 0.1, 1.0, 10.0] {
+            let a = accuracy_surrogate(&cfg(4, 5, 6), g);
+            assert!((40.0..=82.0).contains(&a));
+        }
+    }
+}

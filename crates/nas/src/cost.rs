@@ -1,0 +1,91 @@
+//! The Table 7 cost model: total wall time to evaluate a NAS candidate
+//! pool via pure measurement, prediction with a measurement-trained
+//! predictor, or prediction with a transfer-learned predictor.
+//!
+//! The paper expresses everything in units of `T` (one prediction) with
+//! one true measurement costing `1000 T`.
+
+/// One row of Table 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostRow {
+    /// Strategy label.
+    pub label: &'static str,
+    /// Models measured on hardware.
+    pub measured: u64,
+    /// Models evaluated by prediction.
+    pub predicted: u64,
+    /// Distinct candidate models assessed.
+    pub test_models: u64,
+    /// Total cost in units of T.
+    pub cost_t: u64,
+    /// Speedup relative to the first row.
+    pub speedup: f64,
+}
+
+/// Cost of one true measurement, in prediction units (paper: 1000 T).
+pub const MEASUREMENT_COST_T: u64 = 1000;
+
+/// Build the three rows of Table 7: `measure_budget` models measured for
+/// the baseline, `predict_pool` candidates scored by the predictor, and
+/// `transfer_samples` measurements sufficing after transfer learning.
+pub fn table7_rows(measure_budget: u64, predict_pool: u64, transfer_samples: u64) -> Vec<CostRow> {
+    let base_cost = measure_budget * MEASUREMENT_COST_T;
+    let rows = vec![
+        CostRow {
+            label: "latency measurement",
+            measured: measure_budget,
+            predicted: 0,
+            test_models: measure_budget,
+            cost_t: base_cost,
+            speedup: 1.0,
+        },
+        CostRow {
+            label: "latency prediction without transfer",
+            measured: measure_budget,
+            predicted: predict_pool,
+            test_models: predict_pool,
+            cost_t: base_cost + predict_pool,
+            speedup: base_cost as f64 / (base_cost + predict_pool) as f64,
+        },
+        CostRow {
+            label: "latency prediction with transfer",
+            measured: transfer_samples,
+            predicted: predict_pool,
+            test_models: predict_pool,
+            cost_t: transfer_samples * MEASUREMENT_COST_T + predict_pool,
+            speedup: base_cost as f64
+                / (transfer_samples * MEASUREMENT_COST_T + predict_pool) as f64,
+        },
+    ];
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_matches_published_speedups() {
+        // Paper: 1k measured baseline, 10k predicted pool, 50 transfer
+        // samples -> speedups 1x, 0.99x, 16.7x.
+        let rows = table7_rows(1_000, 10_000, 50);
+        assert_eq!(rows[0].cost_t, 1_000_000);
+        assert!((rows[1].speedup - 0.99).abs() < 0.005, "{}", rows[1].speedup);
+        assert!((rows[2].speedup - 16.7).abs() < 0.1, "{}", rows[2].speedup);
+    }
+
+    #[test]
+    fn transfer_row_dominates_when_samples_shrink() {
+        let rows = table7_rows(1_000, 10_000, 50);
+        assert!(rows[2].speedup > rows[1].speedup);
+        assert!(rows[2].speedup > rows[0].speedup);
+    }
+
+    #[test]
+    fn test_model_counts() {
+        let rows = table7_rows(1_000, 10_000, 50);
+        assert_eq!(rows[0].test_models, 1_000);
+        assert_eq!(rows[1].test_models, 10_000);
+        assert_eq!(rows[2].test_models, 10_000);
+    }
+}

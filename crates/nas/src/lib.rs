@@ -1,0 +1,26 @@
+//! # nnlqp-nas
+//!
+//! The hardware-aware NAS verification harness (paper §8.7, Fig. 9,
+//! Table 7): an OFA-style supernet to sample subnets from, a synthetic
+//! accuracy surrogate, latency estimators of four kinds (FLOPs proxy,
+//! per-block lookup table, NNLP prediction, true measurement), Pareto
+//! front extraction and rank-correlation analysis.
+//!
+//! Substitution note: the paper samples 1,000 subnets from a trained
+//! Once-for-All supernet and reads ImageNet accuracy from its predictor.
+//! No trained supernet exists offline, so accuracy comes from a smooth
+//! capacity-law surrogate (saturating in FLOPs, with depth/width/kernel
+//! bonuses and seeded architecture noise). The latency side — the paper's
+//! actual subject — is exercised unchanged.
+
+pub mod accuracy;
+pub mod cost;
+pub mod lookup;
+pub mod pareto;
+pub mod supernet;
+
+pub use accuracy::accuracy_surrogate;
+pub use cost::{CostRow, table7_rows};
+pub use lookup::LookupTable;
+pub use pareto::{pareto_front, ParetoPoint};
+pub use supernet::{SubnetConfig, Supernet};

@@ -1,0 +1,113 @@
+//! Pareto-front extraction over (latency, accuracy) points.
+
+/// One evaluated subnet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Index into the candidate population.
+    pub idx: usize,
+    /// Latency estimate used for selection (ms).
+    pub latency_ms: f64,
+    /// Accuracy (percent).
+    pub accuracy: f64,
+}
+
+/// Extract the Pareto front: points not dominated in
+/// (lower latency, higher accuracy). Returned sorted by latency.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut sorted: Vec<ParetoPoint> = points.to_vec();
+    sorted.sort_by(|a, b| {
+        a.latency_ms
+            .partial_cmp(&b.latency_ms)
+            .expect("finite latency")
+            .then(b.accuracy.partial_cmp(&a.accuracy).expect("finite accuracy"))
+    });
+    let mut front = Vec::new();
+    let mut best_acc = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.accuracy > best_acc {
+            best_acc = p.accuracy;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// Best accuracy among points whose *true* latency is within `budget_ms`,
+/// when candidates are ranked by `estimate`: pick the front of the
+/// estimated metric, keep those whose estimate fits the budget, and report
+/// the best true accuracy achieved. This is the "accuracy gain of the
+/// pareto front models" comparison of Fig. 9.
+pub fn best_accuracy_under_budget(
+    estimates: &[f64],
+    true_latency: &[f64],
+    accuracy: &[f64],
+    budget_ms: f64,
+) -> Option<f64> {
+    assert_eq!(estimates.len(), true_latency.len());
+    assert_eq!(estimates.len(), accuracy.len());
+    let points: Vec<ParetoPoint> = estimates
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| ParetoPoint {
+            idx: i,
+            latency_ms: e,
+            accuracy: accuracy[i],
+        })
+        .collect();
+    pareto_front(&points)
+        .into_iter()
+        .filter(|p| true_latency[p.idx] <= budget_ms)
+        .map(|p| p.accuracy)
+        .fold(None, |acc, a| Some(acc.map_or(a, |m: f64| m.max(a))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(idx: usize, l: f64, a: f64) -> ParetoPoint {
+        ParetoPoint {
+            idx,
+            latency_ms: l,
+            accuracy: a,
+        }
+    }
+
+    #[test]
+    fn dominated_points_removed() {
+        let pts = vec![p(0, 1.0, 70.0), p(1, 2.0, 69.0), p(2, 3.0, 75.0), p(3, 2.5, 72.0)];
+        let front = pareto_front(&pts);
+        let ids: Vec<usize> = front.iter().map(|q| q.idx).collect();
+        assert_eq!(ids, vec![0, 3, 2]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        let front = pareto_front(&[p(0, 1.0, 50.0)]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn equal_latency_keeps_best_accuracy() {
+        let front = pareto_front(&[p(0, 1.0, 70.0), p(1, 1.0, 72.0)]);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].idx, 1);
+    }
+
+    #[test]
+    fn budget_selection_uses_true_latency() {
+        // Estimate says idx 1 is cheap, but its true latency busts the
+        // budget; the achievable accuracy falls back to idx 0.
+        let est = vec![1.0, 0.5];
+        let true_lat = vec![1.0, 10.0];
+        let acc = vec![70.0, 65.0];
+        let best = best_accuracy_under_budget(&est, &true_lat, &acc, 2.0).unwrap();
+        assert_eq!(best, 70.0);
+    }
+
+    #[test]
+    fn empty_budget_returns_none() {
+        let best = best_accuracy_under_budget(&[1.0], &[5.0], &[70.0], 2.0);
+        assert_eq!(best, None);
+    }
+}

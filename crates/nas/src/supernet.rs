@@ -1,0 +1,229 @@
+//! An OFA-style supernet over MobileNet-like inverted-residual subnets
+//! (Cai et al., 2020): elastic depth, kernel size and expansion ratio per
+//! stage.
+
+use nnlqp_ir::{Graph, GraphBuilder, IrResult, Rng64, Shape};
+
+/// Number of elastic stages.
+pub const NUM_STAGES: usize = 5;
+
+/// Per-stage output channels (fixed, like OFA's base widths).
+pub const STAGE_CHANNELS: [u32; NUM_STAGES] = [24, 40, 80, 112, 160];
+
+/// Per-stage first-block stride.
+pub const STAGE_STRIDES: [u32; NUM_STAGES] = [2, 2, 2, 1, 2];
+
+/// Elastic choices.
+pub const DEPTH_CHOICES: [u32; 3] = [2, 3, 4];
+/// Kernel choices.
+pub const KERNEL_CHOICES: [u32; 2] = [3, 5];
+/// Expansion-ratio choices.
+pub const EXPAND_CHOICES: [u32; 3] = [3, 4, 6];
+
+/// One subnet: per-stage (depth, kernel, expand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubnetConfig {
+    /// Stage settings.
+    pub stages: [(u32, u32, u32); NUM_STAGES],
+}
+
+impl SubnetConfig {
+    /// Uniformly sample a subnet.
+    pub fn sample(r: &mut Rng64) -> SubnetConfig {
+        SubnetConfig {
+            stages: [(); NUM_STAGES].map(|_| {
+                (
+                    *r.choice(&DEPTH_CHOICES),
+                    *r.choice(&KERNEL_CHOICES),
+                    *r.choice(&EXPAND_CHOICES),
+                )
+            }),
+        }
+    }
+
+    /// Stable 64-bit identity (drives the accuracy surrogate's noise).
+    pub fn id(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (d, k, e) in self.stages {
+            for v in [d, k, e] {
+                h ^= v as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+/// The supernet: fixed stem/head geometry around the elastic stages.
+#[derive(Debug, Clone)]
+pub struct Supernet {
+    /// Input resolution.
+    pub resolution: usize,
+    /// Classifier classes.
+    pub classes: u32,
+}
+
+impl Default for Supernet {
+    fn default() -> Self {
+        Supernet {
+            resolution: 224,
+            classes: 1000,
+        }
+    }
+}
+
+impl Supernet {
+    /// Materialize a subnet as a full model graph.
+    pub fn subnet_graph(&self, cfg: &SubnetConfig, name: &str) -> IrResult<Graph> {
+        let mut b = GraphBuilder::new(name, Shape::nchw(1, 3, self.resolution, self.resolution));
+        let stem = b.conv(None, 16, 3, 2, 1, 1)?;
+        let mut cur = b.relu6(stem)?;
+        for (si, &(depth, kernel, expand)) in cfg.stages.iter().enumerate() {
+            for i in 0..depth {
+                let stride = if i == 0 { STAGE_STRIDES[si] } else { 1 };
+                cur = nnlqp_models::mobilenet_v2::inverted_residual(
+                    &mut b,
+                    cur,
+                    STAGE_CHANNELS[si],
+                    stride,
+                    expand,
+                    kernel,
+                )?;
+            }
+        }
+        let head = b.conv(Some(cur), 960, 1, 1, 0, 1)?;
+        let hr = b.relu6(head)?;
+        let gp = b.global_avgpool(hr)?;
+        let fl = b.flatten(gp)?;
+        b.gemm(fl, self.classes)?;
+        b.finish()
+    }
+
+    /// Materialize ONE block of a stage in isolation (for the lookup-table
+    /// latency estimator): the block sees the same input geometry it has
+    /// inside the full network.
+    pub fn block_graph(
+        &self,
+        stage: usize,
+        block_idx: u32,
+        kernel: u32,
+        expand: u32,
+        name: &str,
+    ) -> IrResult<Graph> {
+        // Input geometry entering `stage` at `block_idx`.
+        let mut hw = self.resolution / 2; // after stem
+        let mut c_in = 16u32;
+        for s in 0..stage {
+            hw /= STAGE_STRIDES[s] as usize;
+            c_in = STAGE_CHANNELS[s];
+        }
+        let stride = if block_idx == 0 { STAGE_STRIDES[stage] } else { 1 };
+        let (hw, c_in) = if block_idx == 0 {
+            (hw, c_in)
+        } else {
+            (hw / STAGE_STRIDES[stage] as usize, STAGE_CHANNELS[stage])
+        };
+        // The isolated block body, as a profiling sweep would time it:
+        // the expansion conv reads the input tensor directly, and the
+        // residual add is *not* measurable in isolation — one of the
+        // systematic context errors that make lookup tables drift from
+        // in-network latency.
+        let mut b = GraphBuilder::new(name, Shape::nchw(1, c_in as usize, hw, hw));
+        let hidden = c_in * expand;
+        let e = b.conv(None, hidden, 1, 1, 0, 1)?;
+        let er = b.relu6(e)?;
+        let dw = b.conv(
+            Some(er),
+            hidden,
+            kernel,
+            stride,
+            (kernel - 1) / 2,
+            hidden,
+        )?;
+        let dr = b.relu6(dw)?;
+        b.conv(Some(dr), STAGE_CHANNELS[stage], 1, 1, 0, 1)?;
+        b.finish()
+    }
+
+    /// Stem+head fixed-cost graph (for the lookup table's constant term).
+    pub fn fixed_graph(&self) -> IrResult<Graph> {
+        let mut b = GraphBuilder::new("ofa-fixed", Shape::nchw(1, 3, self.resolution, self.resolution));
+        let stem = b.conv(None, 16, 3, 2, 1, 1)?;
+        let sr = b.relu6(stem)?;
+        let proj = b.conv(Some(sr), 16, 1, 1, 0, 1)?;
+        let gp = b.global_avgpool(proj)?;
+        let fl = b.flatten(gp)?;
+        b.gemm(fl, self.classes)?;
+        b.finish()
+    }
+}
+
+/// Helper kept out of `SubnetConfig` so builders stay in one place: the
+/// total number of blocks of a subnet.
+pub fn total_blocks(cfg: &SubnetConfig) -> u32 {
+    cfg.stages.iter().map(|s| s.0).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::validate::validate;
+
+    #[test]
+    fn sampled_subnets_build() {
+        let sn = Supernet::default();
+        let mut r = Rng64::new(1);
+        for i in 0..20 {
+            let cfg = SubnetConfig::sample(&mut r);
+            let g = sn.subnet_graph(&cfg, &format!("sub{i}")).unwrap();
+            assert!(validate(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn subnet_ids_distinguish_configs() {
+        let mut r = Rng64::new(2);
+        let a = SubnetConfig::sample(&mut r);
+        let b = SubnetConfig::sample(&mut r);
+        if a != b {
+            assert_ne!(a.id(), b.id());
+        }
+        assert_eq!(a.id(), a.id());
+    }
+
+    #[test]
+    fn deeper_subnet_has_more_flops() {
+        let sn = Supernet::default();
+        let small = SubnetConfig {
+            stages: [(2, 3, 3); NUM_STAGES],
+        };
+        let big = SubnetConfig {
+            stages: [(4, 5, 6); NUM_STAGES],
+        };
+        let gs = sn.subnet_graph(&small, "s").unwrap();
+        let gb = sn.subnet_graph(&big, "b").unwrap();
+        let fs = nnlqp_ir::cost::graph_cost(&gs, nnlqp_ir::DType::F32).flops;
+        let fb = nnlqp_ir::cost::graph_cost(&gb, nnlqp_ir::DType::F32).flops;
+        assert!(fb > 1.5 * fs);
+    }
+
+    #[test]
+    fn block_graphs_have_in_situ_geometry() {
+        let sn = Supernet::default();
+        // Stage 2, non-first block: input 80 channels at 14x14.
+        let g = sn.block_graph(2, 1, 3, 6, "blk").unwrap();
+        assert_eq!(g.input_shape, Shape::nchw(1, 80, 14, 14));
+        assert!(validate(&g).is_ok());
+        // Stage 0 first block: input 16ch at 112.
+        let g0 = sn.block_graph(0, 0, 5, 4, "blk0").unwrap();
+        assert_eq!(g0.input_shape, Shape::nchw(1, 16, 112, 112));
+    }
+
+    #[test]
+    fn total_blocks_sums_depths() {
+        let cfg = SubnetConfig {
+            stages: [(2, 3, 3), (3, 3, 3), (4, 3, 3), (2, 3, 3), (3, 3, 3)],
+        };
+        assert_eq!(total_blocks(&cfg), 14);
+    }
+}

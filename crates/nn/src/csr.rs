@@ -1,0 +1,168 @@
+//! Compressed sparse-row adjacency and the mean aggregation of GraphSAGE.
+//!
+//! `N(v)` follows GraphSAGE practice: the *undirected* neighborhood of the
+//! operator DAG (both producers and consumers), so information flows along
+//! and against data-flow edges with each convolution layer.
+
+use crate::tensor::Matrix;
+use nnlqp_ir::Graph;
+
+/// CSR adjacency over `n` nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Row offsets, length `n + 1`.
+    pub row_ptr: Vec<u32>,
+    /// Neighbor indices.
+    pub col_idx: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Neighbors of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize]
+    }
+
+    /// Build the undirected adjacency of a model graph.
+    pub fn from_graph(g: &Graph) -> Csr {
+        let n = g.len();
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (id, node) in g.iter() {
+            for &inp in &node.inputs {
+                lists[id.index()].push(inp.0);
+                lists[inp.index()].push(id.0);
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0u32);
+        for mut l in lists {
+            l.sort_unstable();
+            l.dedup();
+            col_idx.extend_from_slice(&l);
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Csr { row_ptr, col_idx }
+    }
+
+    /// Build from an explicit undirected edge list over `n` nodes.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            lists[a as usize].push(b);
+            lists[b as usize].push(a);
+        }
+        let mut row_ptr = vec![0u32];
+        let mut col_idx = Vec::new();
+        for mut l in lists {
+            l.sort_unstable();
+            l.dedup();
+            col_idx.extend_from_slice(&l);
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Csr { row_ptr, col_idx }
+    }
+
+    /// Mean aggregation: `out[i] = mean_{j in N(i)} x[j]` (zero for
+    /// isolated nodes).
+    pub fn mean_agg(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.n(), x.cols);
+        for i in 0..self.n() {
+            let nb = self.neighbors(i);
+            if nb.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / nb.len() as f32;
+            // Split borrow: copy into a scratch row then write once.
+            let mut acc = vec![0.0f32; x.cols];
+            for &j in nb {
+                for (a, &v) in acc.iter_mut().zip(x.row(j as usize)) {
+                    *a += v;
+                }
+            }
+            for (o, a) in out.row_mut(i).iter_mut().zip(&acc) {
+                *o = a * inv;
+            }
+        }
+        out
+    }
+
+    /// Backward of [`Csr::mean_agg`]: given `d_out`, scatter
+    /// `d_x[j] += d_out[i] / |N(i)|` for each `j in N(i)`.
+    pub fn mean_agg_backward(&self, d_out: &Matrix) -> Matrix {
+        let mut dx = Matrix::zeros(self.n(), d_out.cols);
+        for i in 0..self.n() {
+            let nb = self.neighbors(i);
+            if nb.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / nb.len() as f32;
+            for &j in nb {
+                let src: Vec<f32> = d_out.row(i).to_vec();
+                for (d, v) in dx.row_mut(j as usize).iter_mut().zip(src) {
+                    *d += v * inv;
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::{GraphBuilder, Shape};
+
+    #[test]
+    fn from_graph_undirected() {
+        let mut b = GraphBuilder::new("g", Shape::nchw(1, 3, 8, 8));
+        let c = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+        let r = b.relu(c).unwrap();
+        let c2 = b.conv(Some(r), 8, 3, 1, 1, 1).unwrap();
+        b.add(r, c2).unwrap();
+        let g = b.finish().unwrap();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.n(), 4);
+        assert_eq!(csr.neighbors(0), &[1]);
+        assert_eq!(csr.neighbors(1), &[0, 2, 3]);
+        assert_eq!(csr.neighbors(2), &[1, 3]);
+        assert_eq!(csr.neighbors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn mean_agg_known_values() {
+        let csr = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let x = Matrix::from_rows(3, 2, vec![1.0, 0.0, 3.0, 2.0, 5.0, 4.0]);
+        let y = csr.mean_agg(&x);
+        // node0: mean(row1) = [3,2]; node1: mean(rows 0,2) = [3,2];
+        // node2: mean(row1) = [3,2].
+        assert_eq!(y.data, vec![3.0, 2.0, 3.0, 2.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn isolated_node_gets_zero() {
+        let csr = Csr::from_edges(3, &[(0, 1)]);
+        let x = Matrix::from_rows(3, 1, vec![1.0, 2.0, 3.0]);
+        let y = csr.mean_agg(&x);
+        assert_eq!(y.data[2], 0.0);
+    }
+
+    #[test]
+    fn mean_agg_backward_is_transpose() {
+        // <A x, y> == <x, A^T y> for the aggregation operator A.
+        use nnlqp_ir::Rng64;
+        let mut r = Rng64::new(20);
+        let csr = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let x = Matrix::from_fn(5, 3, |_, _| r.range_f64(-1.0, 1.0) as f32);
+        let y = Matrix::from_fn(5, 3, |_, _| r.range_f64(-1.0, 1.0) as f32);
+        let ax = csr.mean_agg(&x);
+        let aty = csr.mean_agg_backward(&y);
+        let lhs: f64 = ax.data.iter().zip(&y.data).map(|(&a, &b)| (a * b) as f64).sum();
+        let rhs: f64 = x.data.iter().zip(&aty.data).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "lhs {lhs} rhs {rhs}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Purely-functional layers with hand-derived backward passes.
+//!
+//! Layers hold parameters only; activations needed by the backward pass are
+//! returned to (and passed back by) the caller. This makes data-parallel
+//! training trivial: forward/backward borrow the model immutably, per-
+//! sample gradients are summed afterwards.
+
+use crate::tensor::Matrix;
+use nnlqp_ir::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// Fully-connected layer `y = x W + b` with `W: [in, out]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix, `[in_features, out_features]`.
+    pub w: Matrix,
+    /// Bias, `[out_features]`.
+    pub b: Vec<f32>,
+}
+
+/// Gradients of a [`Linear`] layer.
+#[derive(Debug, Clone)]
+pub struct LinearGrad {
+    /// dL/dW.
+    pub dw: Matrix,
+    /// dL/db.
+    pub db: Vec<f32>,
+}
+
+impl LinearGrad {
+    /// Zero gradients matching a layer.
+    pub fn zeros_like(l: &Linear) -> Self {
+        LinearGrad {
+            dw: Matrix::zeros(l.w.rows, l.w.cols),
+            db: vec![0.0; l.b.len()],
+        }
+    }
+
+    /// Accumulate another gradient (batch summation).
+    pub fn add_assign(&mut self, other: &LinearGrad) {
+        self.dw.add_assign(&other.dw);
+        for (a, b) in self.db.iter_mut().zip(&other.db) {
+            *a += b;
+        }
+    }
+
+    /// Scale (e.g. by 1/batch).
+    pub fn scale(&mut self, s: f32) {
+        self.dw.scale(s);
+        for a in &mut self.db {
+            *a *= s;
+        }
+    }
+}
+
+impl Linear {
+    /// Kaiming-initialized layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng64) -> Self {
+        Linear {
+            w: Matrix::kaiming(in_features, out_features, in_features, rng),
+            b: vec![0.0; out_features],
+        }
+    }
+
+    /// Forward: `y = x W + b`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        y.add_row_vector(&self.b);
+        y
+    }
+
+    /// Backward. `x` is the forward input, `dy` the upstream gradient.
+    /// Returns `(dx, grads)`.
+    pub fn backward(&self, x: &Matrix, dy: &Matrix) -> (Matrix, LinearGrad) {
+        let dw = x.t_matmul(dy); // [in, out]
+        let db = dy.col_sums();
+        let dx = dy.matmul_t(&self.w); // [rows, in]
+        (dx, LinearGrad { dw, db })
+    }
+}
+
+/// ReLU forward.
+pub fn relu(x: &Matrix) -> Matrix {
+    let mut y = x.clone();
+    for v in &mut y.data {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    y
+}
+
+/// ReLU backward: gradient masked by the forward *input* sign.
+pub fn relu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    let mut dx = dy.clone();
+    for (d, &xv) in dx.data.iter_mut().zip(&x.data) {
+        if xv <= 0.0 {
+            *d = 0.0;
+        }
+    }
+    dx
+}
+
+/// Inverted dropout: at train time zeroes activations with probability `p`
+/// and rescales survivors by `1/(1-p)`; identity at eval time.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    /// Drop probability.
+    pub p: f64,
+}
+
+impl Dropout {
+    /// Forward at train time; returns `(y, mask)` — pass the mask to
+    /// [`Dropout::backward`].
+    pub fn forward_train(&self, x: &Matrix, rng: &mut Rng64) -> (Matrix, Vec<bool>) {
+        let keep = 1.0 - self.p;
+        let scale = (1.0 / keep) as f32;
+        let mut y = x.clone();
+        let mut mask = Vec::with_capacity(x.data.len());
+        for v in &mut y.data {
+            let k = rng.bernoulli(keep);
+            mask.push(k);
+            *v = if k { *v * scale } else { 0.0 };
+        }
+        (y, mask)
+    }
+
+    /// Forward at eval time (identity).
+    pub fn forward_eval(&self, x: &Matrix) -> Matrix {
+        x.clone()
+    }
+
+    /// Backward through the stored mask.
+    pub fn backward(&self, mask: &[bool], dy: &Matrix) -> Matrix {
+        let scale = (1.0 / (1.0 - self.p)) as f32;
+        let mut dx = dy.clone();
+        for (d, &k) in dx.data.iter_mut().zip(mask) {
+            *d = if k { *d * scale } else { 0.0 };
+        }
+        dx
+    }
+}
+
+const L2_EPS: f32 = 1e-8;
+
+/// Row-wise L2 normalization `y_i = x_i / max(||x_i||, eps)` (the `L2`
+/// of Eq. 4). Returns `(y, norms)`; pass both to the backward.
+pub fn l2_normalize_rows(x: &Matrix) -> (Matrix, Vec<f32>) {
+    let mut y = x.clone();
+    let mut norms = Vec::with_capacity(x.rows);
+    for i in 0..x.rows {
+        let n = y.row(i).iter().map(|v| v * v).sum::<f32>().sqrt().max(L2_EPS);
+        for v in y.row_mut(i) {
+            *v /= n;
+        }
+        norms.push(n);
+    }
+    (y, norms)
+}
+
+/// Backward of row-wise L2 normalization:
+/// `dx_i = (dy_i - y_i (y_i . dy_i)) / n_i`.
+pub fn l2_normalize_rows_backward(y: &Matrix, norms: &[f32], dy: &Matrix) -> Matrix {
+    let mut dx = Matrix::zeros(y.rows, y.cols);
+    for (i, &n) in norms.iter().enumerate().take(y.rows) {
+        let yr = y.row(i);
+        let dyr = dy.row(i);
+        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        for ((d, &dy_j), &y_j) in dx.row_mut(i).iter_mut().zip(dyr).zip(yr) {
+            *d = (dy_j - y_j * dot) / n;
+        }
+    }
+    dx
+}
+
+/// Mean-squared-error loss over a column vector of predictions; returns
+/// `(loss, dpred)`.
+pub fn mse_loss(pred: &[f32], target: &[f32]) -> (f64, Vec<f32>) {
+    assert_eq!(pred.len(), target.len());
+    let n = pred.len().max(1) as f64;
+    let mut grad = vec![0.0f32; pred.len()];
+    let mut loss = 0.0f64;
+    for i in 0..pred.len() {
+        let e = (pred[i] - target[i]) as f64;
+        loss += e * e;
+        grad[i] = (2.0 * e / n) as f32;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite difference of a scalar loss wrt one parameter.
+    fn numeric_grad(f: &mut dyn FnMut(f32) -> f64, x0: f32) -> f64 {
+        let h = 1e-3f32;
+        (f(x0 + h) - f(x0 - h)) / (2.0 * h as f64)
+    }
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut r = Rng64::new(seed);
+        Matrix::from_fn(rows, cols, |_, _| r.range_f64(-1.0, 1.0) as f32)
+    }
+
+    /// Scalar loss = sum(y) lets us check every gradient at once: the
+    /// upstream gradient is all-ones.
+    fn ones(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| 1.0)
+    }
+
+    #[test]
+    fn linear_forward_known() {
+        let l = Linear {
+            w: Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]),
+            b: vec![0.5, -0.5],
+        };
+        let x = Matrix::from_rows(1, 2, vec![1.0, 1.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.data, vec![4.5, 5.5]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut rng = Rng64::new(10);
+        let l = Linear::new(4, 3, &mut rng);
+        let x = rand_mat(5, 4, 11);
+        let dy = ones(5, 3);
+        let (dx, g) = l.backward(&x, &dy);
+
+        // Weight gradient check at a few positions.
+        for &(i, j) in &[(0usize, 0usize), (3, 2), (1, 1)] {
+            let mut f = |w: f32| {
+                let mut l2 = l.clone();
+                l2.w.set(i, j, w);
+                l2.forward(&x).data.iter().map(|&v| v as f64).sum()
+            };
+            let num = numeric_grad(&mut f, l.w.get(i, j));
+            assert!(
+                (num - g.dw.get(i, j) as f64).abs() < 1e-2,
+                "dw[{i},{j}] num {num} vs {}",
+                g.dw.get(i, j)
+            );
+        }
+        // Bias gradient: sum over rows of dy = 5.
+        assert!(g.db.iter().all(|&b| (b - 5.0).abs() < 1e-5));
+        // Input gradient check.
+        for &(i, j) in &[(0usize, 0usize), (4, 3)] {
+            let mut f = |v: f32| {
+                let mut x2 = x.clone();
+                x2.set(i, j, v);
+                l.forward(&x2).data.iter().map(|&v| v as f64).sum()
+            };
+            let num = numeric_grad(&mut f, x.get(i, j));
+            assert!((num - dx.get(i, j) as f64).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn relu_gradcheck() {
+        let x = Matrix::from_rows(1, 4, vec![-1.0, 2.0, -0.5, 3.0]);
+        let dy = ones(1, 4);
+        let dx = relu_backward(&x, &dy);
+        assert_eq!(dx.data, vec![0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(relu(&x).data, vec![0.0, 2.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn l2_norm_rows_unit_length() {
+        let x = rand_mat(6, 5, 12);
+        let (y, _) = l2_normalize_rows(&x);
+        for i in 0..y.rows {
+            let n: f32 = y.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn l2_norm_gradcheck() {
+        let x = rand_mat(3, 4, 13);
+        let (y, norms) = l2_normalize_rows(&x);
+        // Loss = sum of y * coefficient matrix to make gradients asymmetric.
+        let coeff = rand_mat(3, 4, 14);
+        let dx = l2_normalize_rows_backward(&y, &norms, &coeff);
+        for &(i, j) in &[(0usize, 0usize), (2, 3), (1, 2)] {
+            let mut f = |v: f32| {
+                let mut x2 = x.clone();
+                x2.set(i, j, v);
+                let (y2, _) = l2_normalize_rows(&x2);
+                y2.data
+                    .iter()
+                    .zip(&coeff.data)
+                    .map(|(&a, &c)| (a * c) as f64)
+                    .sum()
+            };
+            let num = numeric_grad(&mut f, x.get(i, j));
+            assert!(
+                (num - dx.get(i, j) as f64).abs() < 1e-2,
+                "dx[{i},{j}] num {num} vs {}",
+                dx.get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_train_scales_survivors() {
+        let mut rng = Rng64::new(15);
+        let d = Dropout { p: 0.5 };
+        let x = ones(20, 20);
+        let (y, mask) = d.forward_train(&x, &mut rng);
+        let kept = mask.iter().filter(|&&k| k).count();
+        assert!(kept > 100 && kept < 300, "kept {kept}");
+        for (v, &k) in y.data.iter().zip(&mask) {
+            if k {
+                assert!((*v - 2.0).abs() < 1e-6);
+            } else {
+                assert_eq!(*v, 0.0);
+            }
+        }
+        // Backward routes gradient only through kept units.
+        let dx = d.backward(&mask, &ones(20, 20));
+        for (v, &k) in dx.data.iter().zip(&mask) {
+            assert_eq!(*v, if k { 2.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let d = Dropout { p: 0.5 };
+        let x = rand_mat(4, 4, 16);
+        assert_eq!(d.forward_eval(&x), x);
+    }
+
+    #[test]
+    fn mse_loss_and_grad() {
+        let (loss, grad) = mse_loss(&[2.0, 0.0], &[1.0, 0.0]);
+        assert!((loss - 0.5).abs() < 1e-9);
+        assert!((grad[0] - 1.0).abs() < 1e-6);
+        assert_eq!(grad[1], 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # nnlqp-nn
+//!
+//! A minimal, self-contained deep-learning framework — the substrate that
+//! replaces PyTorch for the NNLP predictor (the Rust ecosystem offers no
+//! GNN training stack, so it is built here from scratch):
+//!
+//! * dense f32 [`Matrix`] math with rayon-parallel multiplication,
+//! * purely-functional layers with hand-derived backward passes
+//!   ([`Linear`], [`relu`], [`Dropout`], [`l2_normalize_rows`]) so batches
+//!   can be differentiated in parallel and gradients summed,
+//! * the GraphSAGE convolution of Eq. 4 over [`Csr`] adjacency,
+//! * the [`Adam`] optimizer (Kingma & Ba, 2014) keyed per tensor,
+//! * classic estimators for the paper's baselines: closed-form ridge
+//!   [`LinearRegression`] (FLOPs / FLOPs+MAC) and a CART-based
+//!   [`RandomForest`] (nn-Meter's kernel regressor).
+//!
+//! Every backward pass is validated against finite differences in the unit
+//! tests.
+
+pub mod adam;
+pub mod csr;
+pub mod forest;
+pub mod layers;
+pub mod linreg;
+pub mod sage;
+pub mod tensor;
+pub mod tree;
+
+pub use adam::Adam;
+pub use csr::Csr;
+pub use forest::{RandomForest, RandomForestConfig};
+pub use layers::{l2_normalize_rows, l2_normalize_rows_backward, relu, relu_backward, Dropout, Linear, LinearGrad};
+pub use linreg::LinearRegression;
+pub use sage::{SageGrad, SageLayer};
+pub use tensor::Matrix;
+pub use tree::{RegressionTree, TreeConfig};

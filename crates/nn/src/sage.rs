@@ -1,0 +1,229 @@
+//! The GraphSAGE convolution of Eq. 4:
+//!
+//! ```text
+//! F_v^i = L2( W1 . F_v^{i-1}  +  W2 . mean_{u in N(v)} F_u^{i-1} )
+//! ```
+
+use crate::csr::Csr;
+use crate::layers::{l2_normalize_rows, l2_normalize_rows_backward, Linear, LinearGrad};
+use crate::tensor::Matrix;
+use nnlqp_ir::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// One SAGEConv layer: self weight `w1`, neighbor weight `w2`. When
+/// `relu` is set, the ReLU nonlinearity of GraphSAGE is applied between
+/// the linear combination and the L2 normalization (Eq. 4 cites GraphSAGE,
+/// whose layers are `norm(sigma(...))`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SageLayer {
+    /// Transform of the node's own features.
+    pub w1: Linear,
+    /// Transform of the mean-aggregated neighborhood.
+    pub w2: Linear,
+    /// Apply ReLU before the L2 normalization.
+    pub relu: bool,
+}
+
+/// Activations cached by the forward pass for the backward pass.
+#[derive(Debug, Clone)]
+pub struct SageCache {
+    x: Matrix,
+    agg: Matrix,
+    pre_act: Matrix,
+    y_norm: Matrix,
+    norms: Vec<f32>,
+}
+
+/// Gradients of a [`SageLayer`].
+#[derive(Debug, Clone)]
+pub struct SageGrad {
+    /// Gradient of the self transform.
+    pub d_w1: LinearGrad,
+    /// Gradient of the neighbor transform.
+    pub d_w2: LinearGrad,
+}
+
+impl SageGrad {
+    /// Zero gradients matching a layer.
+    pub fn zeros_like(l: &SageLayer) -> Self {
+        SageGrad {
+            d_w1: LinearGrad::zeros_like(&l.w1),
+            d_w2: LinearGrad::zeros_like(&l.w2),
+        }
+    }
+
+    /// Accumulate (batch summation).
+    pub fn add_assign(&mut self, other: &SageGrad) {
+        self.d_w1.add_assign(&other.d_w1);
+        self.d_w2.add_assign(&other.d_w2);
+    }
+
+    /// Scale by a constant.
+    pub fn scale(&mut self, s: f32) {
+        self.d_w1.scale(s);
+        self.d_w2.scale(s);
+    }
+}
+
+impl SageLayer {
+    /// New layer `in_features -> out_features` with ReLU enabled.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng64) -> Self {
+        SageLayer {
+            w1: Linear::new(in_features, out_features, rng),
+            w2: Linear::new(in_features, out_features, rng),
+            relu: true,
+        }
+    }
+
+    /// Forward over all nodes at once; `x: [n, in]` -> `[n, out]`.
+    pub fn forward(&self, x: &Matrix, adj: &Csr) -> (Matrix, SageCache) {
+        let agg = adj.mean_agg(x);
+        let mut pre = self.w1.forward(x);
+        let y2 = self.w2.forward(&agg);
+        pre.add_assign(&y2);
+        let act = if self.relu { crate::layers::relu(&pre) } else { pre.clone() };
+        let (y_norm, norms) = l2_normalize_rows(&act);
+        (
+            y_norm.clone(),
+            SageCache {
+                x: x.clone(),
+                agg,
+                pre_act: pre,
+                y_norm,
+                norms,
+            },
+        )
+    }
+
+    /// Backward; returns `(dx, grads)`.
+    pub fn backward(&self, cache: &SageCache, dy: &Matrix, adj: &Csr) -> (Matrix, SageGrad) {
+        // Through the normalization.
+        let d_act = l2_normalize_rows_backward(&cache.y_norm, &cache.norms, dy);
+        // Through the optional ReLU.
+        let d_pre = if self.relu {
+            crate::layers::relu_backward(&cache.pre_act, &d_act)
+        } else {
+            d_act
+        };
+        // Through the two linear paths.
+        let (dx_self, d_w1) = self.w1.backward(&cache.x, &d_pre);
+        let (d_agg, d_w2) = self.w2.backward(&cache.agg, &d_pre);
+        // Through the aggregation.
+        let mut dx = adj.mean_agg_backward(&d_agg);
+        dx.add_assign(&dx_self);
+        (dx, SageGrad { d_w1, d_w2 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SageLayer, Matrix, Csr) {
+        let mut rng = Rng64::new(30);
+        let layer = SageLayer::new(4, 3, &mut rng);
+        let x = Matrix::from_fn(5, 4, |_, _| rng.range_f64(-1.0, 1.0) as f32);
+        let adj = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]);
+        (layer, x, adj)
+    }
+
+    #[test]
+    fn forward_shape_and_unit_rows() {
+        let (mut layer, x, adj) = setup();
+        layer.relu = false; // with ReLU an all-negative row collapses to zero
+        let (y, _) = layer.forward(&x, &adj);
+        assert_eq!((y.rows, y.cols), (5, 3));
+        for i in 0..y.rows {
+            let n: f32 = y.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn relu_rows_are_unit_or_zero() {
+        let (layer, x, adj) = setup();
+        assert!(layer.relu);
+        let (y, _) = layer.forward(&x, &adj);
+        for i in 0..y.rows {
+            let n: f32 = y.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4 || n < 1e-4, "row {i} norm {n}");
+            assert!(y.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gradcheck_weights_and_input() {
+        let (layer, x, adj) = setup();
+        // Asymmetric scalar loss: sum(y * coeff).
+        let mut rng = Rng64::new(31);
+        let coeff = Matrix::from_fn(5, 3, |_, _| rng.range_f64(-1.0, 1.0) as f32);
+        let loss = |l: &SageLayer, xx: &Matrix| -> f64 {
+            let (y, _) = l.forward(xx, &adj);
+            y.data
+                .iter()
+                .zip(&coeff.data)
+                .map(|(&a, &c)| (a * c) as f64)
+                .sum()
+        };
+        let (y, cache) = layer.forward(&x, &adj);
+        let _ = y;
+        let (dx, g) = layer.backward(&cache, &coeff, &adj);
+
+        let h = 1e-3f32;
+        // w1, w2 spot checks.
+        for &(i, j) in &[(0usize, 0usize), (3, 2)] {
+            for which in 0..2 {
+                let mut lp = layer.clone();
+                let mut lm = layer.clone();
+                let (wp, wm) = if which == 0 {
+                    (&mut lp.w1.w, &mut lm.w1.w)
+                } else {
+                    (&mut lp.w2.w, &mut lm.w2.w)
+                };
+                let base = wp.get(i, j);
+                wp.set(i, j, base + h);
+                wm.set(i, j, base - h);
+                let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h as f64);
+                let analytic = if which == 0 {
+                    g.d_w1.dw.get(i, j)
+                } else {
+                    g.d_w2.dw.get(i, j)
+                } as f64;
+                assert!(
+                    (num - analytic).abs() < 2e-2,
+                    "w{} [{i},{j}]: num {num} vs {analytic}",
+                    which + 1
+                );
+            }
+        }
+        // Input gradient spot checks (flows through both paths and the
+        // neighborhood aggregation).
+        for &(i, j) in &[(0usize, 0usize), (2, 3), (4, 1)] {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp.set(i, j, x.get(i, j) + h);
+            xm.set(i, j, x.get(i, j) - h);
+            let num = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * h as f64);
+            assert!(
+                (num - dx.get(i, j) as f64).abs() < 2e-2,
+                "dx[{i},{j}]: num {num} vs {}",
+                dx.get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn grad_accumulation_api() {
+        let (layer, x, adj) = setup();
+        let (_, cache) = layer.forward(&x, &adj);
+        let dy = Matrix::from_fn(5, 3, |_, _| 1.0);
+        let (_, g1) = layer.backward(&cache, &dy, &adj);
+        let mut acc = SageGrad::zeros_like(&layer);
+        acc.add_assign(&g1);
+        acc.add_assign(&g1);
+        acc.scale(0.5);
+        for (a, b) in acc.d_w1.dw.data.iter().zip(&g1.d_w1.dw.data) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Dense row-major f32 matrices.
+//!
+//! Sized for this workload — node-feature matrices of a few hundred rows
+//! and a few dozen columns — so the multiply kernels favour simplicity and
+//! cache-friendly access (`a[i,k] * b[k,j]` with the k-loop outermost per
+//! row) over BLAS-grade tiling. Rayon parallelizes over rows when the
+//! matrix is large enough to amortize the fork.
+
+use nnlqp_ir::Rng64;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Row-major 2-D f32 matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+/// Row count below which matmul stays single-threaded.
+const PAR_THRESHOLD: usize = 64;
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a row-major slice.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Kaiming-uniform initialization for a layer with `fan_in` inputs.
+    pub fn kaiming(rows: usize, cols: usize, fan_in: usize, rng: &mut Rng64) -> Self {
+        let bound = (6.0 / fan_in.max(1) as f64).sqrt();
+        Matrix::from_fn(rows, cols, |_, _| rng.range_f64(-bound, bound) as f32)
+    }
+
+    /// Borrow one row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow one row.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// `self @ b` — `[m,k] x [k,n] -> [m,n]`.
+    pub fn matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        let mut out = vec![0.0f32; m * n];
+        let body = |(i, out_row): (usize, &mut [f32])| {
+            let a_row = self.row(i);
+            for (kk, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
+                }
+            }
+        };
+        if m >= PAR_THRESHOLD {
+            out.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(n).enumerate().for_each(body);
+        }
+        Matrix::from_rows(m, n, out)
+    }
+
+    /// `self^T @ b` — `[k,m]^T x [k,n] -> [m,n]` without materializing the
+    /// transpose (gradient of weights).
+    pub fn t_matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.rows, b.rows, "t_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, b.cols);
+        let mut out = Matrix::zeros(m, n);
+        for kk in 0..k {
+            let a_row = self.row(kk);
+            let b_row = b.row(kk);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ b^T` — `[m,k] x [n,k]^T -> [m,n]` (gradient of inputs).
+    pub fn matmul_t(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.cols, "matmul_t shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, b.rows);
+        let mut out = vec![0.0f32; m * n];
+        let body = |(i, out_row): (usize, &mut [f32])| {
+            let a_row = self.row(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = b.row(j);
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a_row[kk] * b_row[kk];
+                }
+                *o = acc;
+            }
+        };
+        if m >= PAR_THRESHOLD {
+            out.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(n).enumerate().for_each(body);
+        }
+        Matrix::from_rows(m, n, out)
+    }
+
+    /// Element-wise in-place addition.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Add a row vector to every row (bias).
+    pub fn add_row_vector(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.cols);
+        for i in 0..self.rows {
+            for (a, b) in self.row_mut(i).iter_mut().zip(v) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Column-wise sums (bias gradient).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for i in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row(i)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Sum of all rows as a single row vector.
+    pub fn sum_rows(&self) -> Vec<f32> {
+        self.col_sums()
+    }
+
+    /// Frobenius norm.
+    pub fn frob(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, xs: &[f32]) -> Matrix {
+        Matrix::from_rows(rows, cols, xs.to_vec())
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = mat(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let mut r = Rng64::new(1);
+        let a = Matrix::from_fn(7, 5, |_, _| r.range_f64(-1.0, 1.0) as f32);
+        let b = Matrix::from_fn(7, 4, |_, _| r.range_f64(-1.0, 1.0) as f32);
+        let at = Matrix::from_fn(5, 7, |i, j| a.get(j, i));
+        let want = at.matmul(&b);
+        let got = a.t_matmul(&b);
+        for (x, y) in got.data.iter().zip(&want.data) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let mut r = Rng64::new(2);
+        let a = Matrix::from_fn(6, 5, |_, _| r.range_f64(-1.0, 1.0) as f32);
+        let b = Matrix::from_fn(3, 5, |_, _| r.range_f64(-1.0, 1.0) as f32);
+        let bt = Matrix::from_fn(5, 3, |i, j| b.get(j, i));
+        let want = a.matmul(&bt);
+        let got = a.matmul_t(&b);
+        for (x, y) in got.data.iter().zip(&want.data) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let mut r = Rng64::new(3);
+        // rows >= PAR_THRESHOLD triggers the parallel path.
+        let a = Matrix::from_fn(80, 32, |_, _| r.range_f64(-1.0, 1.0) as f32);
+        let b = Matrix::from_fn(32, 16, |_, _| r.range_f64(-1.0, 1.0) as f32);
+        let c = a.matmul(&b);
+        // Check a few entries against a scalar reference.
+        for &(i, j) in &[(0, 0), (79, 15), (40, 7)] {
+            let want: f32 = (0..32).map(|k| a.get(i, k) * b.get(k, j)).sum();
+            assert!((c.get(i, j) - want).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bias_and_col_sums() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_vector(&[1.0, 2.0]);
+        assert_eq!(a.col_sums(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn kaiming_bounds() {
+        let mut r = Rng64::new(4);
+        let m = Matrix::kaiming(10, 10, 50, &mut r);
+        let bound = (6.0f64 / 50.0).sqrt() as f32;
+        assert!(m.data.iter().all(|&x| x.abs() <= bound));
+        assert!(m.data.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let s = serde_json::to_string(&m).unwrap();
+        let m2: Matrix = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, m2);
+    }
+}

@@ -1,0 +1,241 @@
+//! CART regression trees — the building block of the random-forest
+//! regressor that backs the nn-Meter baseline (Appendix E).
+
+use nnlqp_ir::Rng64;
+
+/// Tree growth parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split (`None` = all).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree (arena representation).
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+struct Builder<'a> {
+    x: &'a [Vec<f64>],
+    y: &'a [f64],
+    cfg: TreeConfig,
+    nodes: Vec<Node>,
+}
+
+impl<'a> Builder<'a> {
+    /// Best (feature, threshold, sse) split for the sample set, or None.
+    fn best_split(&self, idx: &[usize], features: &[usize]) -> Option<(usize, f64, f64)> {
+        let n = idx.len();
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut vals: Vec<(f64, f64)> = Vec::with_capacity(n);
+        for &f in features {
+            vals.clear();
+            vals.extend(idx.iter().map(|&i| (self.x[i][f], self.y[i])));
+            vals.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            // Prefix sums for O(n) split scoring.
+            let total_sum: f64 = vals.iter().map(|v| v.1).sum();
+            let total_sq: f64 = vals.iter().map(|v| v.1 * v.1).sum();
+            let mut lsum = 0.0;
+            let mut lsq = 0.0;
+            for k in 0..n - 1 {
+                lsum += vals[k].1;
+                lsq += vals[k].1 * vals[k].1;
+                // Can't split between equal feature values.
+                if vals[k].0 == vals[k + 1].0 {
+                    continue;
+                }
+                let nl = (k + 1) as f64;
+                let nr = (n - k - 1) as f64;
+                if (nl as usize) < self.cfg.min_samples_leaf
+                    || (nr as usize) < self.cfg.min_samples_leaf
+                {
+                    continue;
+                }
+                let rsum = total_sum - lsum;
+                let rsq = total_sq - lsq;
+                let sse = (lsq - lsum * lsum / nl) + (rsq - rsum * rsum / nr);
+                if best.is_none_or(|(_, _, b)| sse < b) {
+                    let threshold = 0.5 * (vals[k].0 + vals[k + 1].0);
+                    best = Some((f, threshold, sse));
+                }
+            }
+        }
+        best
+    }
+
+    fn grow(&mut self, idx: Vec<usize>, depth: usize, rng: &mut Rng64) -> usize {
+        let mean = idx.iter().map(|&i| self.y[i]).sum::<f64>() / idx.len() as f64;
+        let leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { value: mean });
+            nodes.len() - 1
+        };
+        if depth >= self.cfg.max_depth || idx.len() < self.cfg.min_samples_split {
+            return leaf(&mut self.nodes);
+        }
+        let d = self.x[0].len();
+        let features: Vec<usize> = match self.cfg.max_features {
+            Some(m) if m < d => rng.sample_indices(d, m),
+            _ => (0..d).collect(),
+        };
+        let Some((feature, threshold, _)) = self.best_split(&idx, &features) else {
+            return leaf(&mut self.nodes);
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| self.x[i][feature] <= threshold);
+        if li.is_empty() || ri.is_empty() {
+            return leaf(&mut self.nodes);
+        }
+        // Reserve this node's slot before growing children.
+        self.nodes.push(Node::Leaf { value: mean });
+        let me = self.nodes.len() - 1;
+        let left = self.grow(li, depth + 1, rng);
+        let right = self.grow(ri, depth + 1, rng);
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+}
+
+impl RegressionTree {
+    /// Fit a tree on `(x, y)`; `rng` drives feature subsampling.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], cfg: TreeConfig, rng: &mut Rng64) -> Self {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "empty training set");
+        let mut b = Builder {
+            x,
+            y,
+            cfg,
+            nodes: Vec::new(),
+        };
+        let root = b.grow((0..x.len()).collect(), 0, rng);
+        debug_assert_eq!(root, 0);
+        RegressionTree {
+            nodes: b.nodes,
+            n_features: x[0].len(),
+        }
+    }
+
+    /// Predict one sample.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features);
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let mut r = Rng64::new(50);
+        let t = RegressionTree::fit(&x, &y, TreeConfig::default(), &mut r);
+        assert_eq!(t.predict(&[10.0]), 1.0);
+        assert_eq!(t.predict(&[90.0]), 5.0);
+    }
+
+    #[test]
+    fn approximates_smooth_function() {
+        let x: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64 / 40.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0]).sin() * 3.0).collect();
+        let mut r = Rng64::new(51);
+        let t = RegressionTree::fit(&x, &y, TreeConfig::default(), &mut r);
+        let mut max_err = 0.0f64;
+        for (xi, yi) in x.iter().zip(&y) {
+            max_err = max_err.max((t.predict(xi) - yi).abs());
+        }
+        assert!(max_err < 0.2, "max err {max_err}");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let cfg = TreeConfig {
+            max_depth: 2,
+            ..Default::default()
+        };
+        let mut r = Rng64::new(52);
+        let t = RegressionTree::fit(&x, &y, cfg, &mut r);
+        // Depth 2 -> at most 3 splits + 4 leaves = 7 nodes.
+        assert!(t.size() <= 7, "size {}", t.size());
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![2.5; 10];
+        let mut r = Rng64::new(53);
+        let t = RegressionTree::fit(&x, &y, TreeConfig::default(), &mut r);
+        assert_eq!(t.predict(&[3.0]), 2.5);
+    }
+
+    #[test]
+    fn multi_feature_split_selection() {
+        // y depends only on feature 1; the tree must ignore feature 0.
+        let mut r = Rng64::new(54);
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![r.range_f64(0.0, 1.0), r.range_f64(0.0, 1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| if v[1] > 0.5 { 10.0 } else { 0.0 }).collect();
+        let t = RegressionTree::fit(&x, &y, TreeConfig::default(), &mut r);
+        assert!((t.predict(&[0.9, 0.9]) - 10.0).abs() < 1.0);
+        assert!(t.predict(&[0.9, 0.1]).abs() < 1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The FLOPs and FLOPs+MAC baselines (Appendix E): latency predicted from
+//! the static proxies by plain linear regression. These are the methods
+//! whose failure on memory-bound families (Table 3) motivates NNLP.
+
+use nnlqp_ir::{cost, DType, Graph};
+use nnlqp_nn::LinearRegression;
+
+/// Which static features the regression sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticBaselineKind {
+    /// FLOPs only.
+    Flops,
+    /// FLOPs + memory access.
+    FlopsMac,
+}
+
+/// A fitted static-proxy baseline.
+#[derive(Debug, Clone)]
+pub struct StaticBaseline {
+    kind: StaticBaselineKind,
+    model: LinearRegression,
+}
+
+fn featurize(g: &Graph, kind: StaticBaselineKind) -> Vec<f64> {
+    let c = cost::graph_cost(g, DType::F32);
+    match kind {
+        StaticBaselineKind::Flops => vec![c.flops / 1e9],
+        StaticBaselineKind::FlopsMac => vec![c.flops / 1e9, c.mem_bytes / 1e6],
+    }
+}
+
+impl StaticBaseline {
+    /// Fit on `(graph, latency_ms)` pairs.
+    pub fn fit(kind: StaticBaselineKind, data: &[(&Graph, f64)]) -> StaticBaseline {
+        let x: Vec<Vec<f64>> = data.iter().map(|(g, _)| featurize(g, kind)).collect();
+        let y: Vec<f64> = data.iter().map(|(_, l)| *l).collect();
+        StaticBaseline {
+            kind,
+            model: LinearRegression::fit(&x, &y, 1e-6),
+        }
+    }
+
+    /// Predict latency in ms (clamped positive).
+    pub fn predict(&self, g: &Graph) -> f64 {
+        self.model.predict(&featurize(g, self.kind)).max(1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mape;
+    use nnlqp_models::ModelFamily;
+    use nnlqp_sim::{exec::model_latency_ms, PlatformSpec};
+
+    fn corpus() -> Vec<(Graph, f64)> {
+        let p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        let mut out = Vec::new();
+        for f in [ModelFamily::Vgg, ModelFamily::ResNet, ModelFamily::MobileNetV2] {
+            for m in nnlqp_models::generate_family(f, 20, 3) {
+                let l = model_latency_ms(&m.graph, &p);
+                out.push((m.graph, l));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn flops_mac_beats_flops_only() {
+        let data = corpus();
+        let refs: Vec<(&Graph, f64)> = data.iter().map(|(g, l)| (g, *l)).collect();
+        let (train, test) = refs.split_at(45);
+        let flops = StaticBaseline::fit(StaticBaselineKind::Flops, train);
+        let fm = StaticBaseline::fit(StaticBaselineKind::FlopsMac, train);
+        let t: Vec<f64> = test.iter().map(|(_, l)| *l).collect();
+        let pf: Vec<f64> = test.iter().map(|(g, _)| flops.predict(g)).collect();
+        let pm: Vec<f64> = test.iter().map(|(g, _)| fm.predict(g)).collect();
+        let (mf, mm) = (mape(&pf, &t), mape(&pm, &t));
+        // Table 3: FLOPs+MAC improves on FLOPs (47.7% -> 37.3% MAPE).
+        assert!(mm < mf, "FLOPs+MAC {mm}% should beat FLOPs {mf}%");
+    }
+
+    #[test]
+    fn predictions_positive() {
+        let data = corpus();
+        let refs: Vec<(&Graph, f64)> = data.iter().map(|(g, l)| (g, *l)).collect();
+        let b = StaticBaseline::fit(StaticBaselineKind::Flops, &refs);
+        for (g, _) in &refs {
+            assert!(b.predict(g) > 0.0);
+        }
+    }
+
+    #[test]
+    fn flops_fails_on_memory_bound_family() {
+        // Train on VGG+ResNet (compute-bound), test on MobileNetV2
+        // (memory-bound): FLOPs regression must degrade badly — the
+        // Table 3 phenomenon.
+        let p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        let mut train = Vec::new();
+        for f in [ModelFamily::Vgg, ModelFamily::ResNet] {
+            for m in nnlqp_models::generate_family(f, 25, 5) {
+                let l = model_latency_ms(&m.graph, &p);
+                train.push((m.graph, l));
+            }
+        }
+        let mut test = Vec::new();
+        for m in nnlqp_models::generate_family(ModelFamily::MobileNetV2, 25, 6) {
+            let l = model_latency_ms(&m.graph, &p);
+            test.push((m.graph, l));
+        }
+        let refs: Vec<(&Graph, f64)> = train.iter().map(|(g, l)| (g, *l)).collect();
+        let b = StaticBaseline::fit(StaticBaselineKind::Flops, &refs);
+        let preds: Vec<f64> = test.iter().map(|(g, _)| b.predict(g)).collect();
+        let t: Vec<f64> = test.iter().map(|(_, l)| *l).collect();
+        let m = mape(&preds, &t);
+        assert!(m > 25.0, "FLOPs MAPE on MobileNetV2 unexpectedly low: {m}%");
+    }
+}

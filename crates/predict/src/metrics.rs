@@ -1,0 +1,100 @@
+//! Evaluation metrics (Appendix C) plus Kendall's tau for the NAS study.
+
+/// Mean Absolute Percentage Error (Eq. 6), in percent. Lower is better.
+pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty(), "empty metric input");
+    let s: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| ((p - t) / t).abs())
+        .sum();
+    s / pred.len() as f64 * 100.0
+}
+
+/// Error-bound accuracy Acc(δ) (Eq. 7), in percent: the share of samples
+/// whose relative error is within `delta` (e.g. 0.10). Higher is better.
+pub fn acc_at(pred: &[f64], truth: &[f64], delta: f64) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty(), "empty metric input");
+    let hit = pred
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| ((*p - *t) / *t).abs() <= delta)
+        .count();
+    hit as f64 / pred.len() as f64 * 100.0
+}
+
+/// Kendall's tau-a rank correlation between two paired samples.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    assert!(n >= 2, "kendall tau needs >= 2 samples");
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let s = da * db;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_known_values() {
+        let m = mape(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((m - 10.0).abs() < 1e-9);
+        assert_eq!(mape(&[5.0], &[5.0]), 0.0);
+    }
+
+    #[test]
+    fn acc_boundary_inclusive() {
+        // Exactly 10% error counts as within Acc(10%).
+        let a = acc_at(&[110.0, 130.0], &[100.0, 100.0], 0.10);
+        assert!((a - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acc_perfect_and_zero() {
+        assert_eq!(acc_at(&[1.0, 2.0], &[1.0, 2.0], 0.1), 100.0);
+        assert_eq!(acc_at(&[2.0, 4.0], &[1.0, 2.0], 0.1), 0.0);
+    }
+
+    #[test]
+    fn kendall_perfect_and_inverted() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((kendall_tau(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((kendall_tau(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_uncorrelated_near_zero() {
+        use nnlqp_ir::Rng64;
+        let mut r = Rng64::new(70);
+        let a: Vec<f64> = (0..500).map(|_| r.uniform()).collect();
+        let b: Vec<f64> = (0..500).map(|_| r.uniform()).collect();
+        assert!(kendall_tau(&a, &b).abs() < 0.08);
+    }
+
+    #[test]
+    fn kendall_ties_reduce_magnitude() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let t = kendall_tau(&a, &b);
+        assert!(t > 0.0 && t < 1.0, "tau {t}");
+    }
+}

@@ -1,0 +1,627 @@
+//! The NNLP predictor: shared GNN backbone + per-platform MLP heads.
+//!
+//! One configurable model covers the whole experimental matrix:
+//!
+//! * full NNLP (Table 3 winner): SAGE backbone, sum pooling, static
+//!   features;
+//! * `wo/F0`, `wo/gnn`, `wo/static` (Table 4 ablations);
+//! * BRP-NAS (Appendix E): same node features, GNN backbone, but *no*
+//!   static features and mean pooling — the configuration that "can not
+//!   extract useful graph embedding of the entire model".
+
+use crate::features::{GraphFeatures, Normalizer, NODE_FEAT_DIM, STATIC_DIM};
+use nnlqp_ir::Rng64;
+use nnlqp_nn::{
+    layers::mse_loss, relu, relu_backward, Adam, Csr, Dropout, Linear, LinearGrad, Matrix,
+    SageGrad, SageLayer,
+};
+use serde::{Deserialize, Serialize};
+
+/// Conditioning factor applied to the sum-pooled graph embedding; see the
+/// comment at the pooling site.
+const SUM_POOL_SCALE: f32 = 1.0 / 32.0;
+
+/// Model hyper-parameters and ablation switches.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NnlpConfig {
+    /// Node feature width (normally [`NODE_FEAT_DIM`]).
+    pub node_feat_dim: usize,
+    /// GNN hidden width.
+    pub hidden: usize,
+    /// Number of SAGEConv layers (`d` in Eq. 4).
+    pub gnn_layers: usize,
+    /// Head hidden width.
+    pub head_hidden: usize,
+    /// Number of prediction heads (platforms).
+    pub n_heads: usize,
+    /// Dropout probability in the heads.
+    pub dropout: f64,
+    /// Use node features at all (`false` = wo/F0: static features only).
+    pub use_node_feats: bool,
+    /// Run the GNN (`false` = wo/gnn: raw node features pooled directly).
+    pub use_gnn: bool,
+    /// Concatenate the four static features (`false` = wo/static).
+    pub use_static: bool,
+    /// Mean pooling instead of the paper's sum (BRP-NAS emulation).
+    pub mean_pool: bool,
+}
+
+impl Default for NnlpConfig {
+    fn default() -> Self {
+        NnlpConfig {
+            node_feat_dim: NODE_FEAT_DIM,
+            hidden: 64,
+            gnn_layers: 3,
+            head_hidden: 64,
+            n_heads: 1,
+            dropout: 0.05,
+            use_node_feats: true,
+            use_gnn: true,
+            use_static: true,
+            mean_pool: false,
+        }
+    }
+}
+
+impl NnlpConfig {
+    /// Table 4's `wo/F0`: static features only.
+    pub fn without_node_features() -> Self {
+        NnlpConfig {
+            use_node_feats: false,
+            use_gnn: false,
+            ..Default::default()
+        }
+    }
+
+    /// Table 4's `wo/gnn`: raw node features pooled without convolution.
+    pub fn without_gnn() -> Self {
+        NnlpConfig {
+            use_gnn: false,
+            ..Default::default()
+        }
+    }
+
+    /// Table 4's `wo/static`.
+    pub fn without_static() -> Self {
+        NnlpConfig {
+            use_static: false,
+            ..Default::default()
+        }
+    }
+
+    /// BRP-NAS configuration (Appendix E).
+    pub fn brp_nas() -> Self {
+        NnlpConfig {
+            use_static: false,
+            mean_pool: true,
+            gnn_layers: 4,
+            ..Default::default()
+        }
+    }
+
+    /// Width of the pooled graph embedding entering a head.
+    pub fn embedding_dim(&self) -> usize {
+        let graph_part = if !self.use_node_feats {
+            0
+        } else if self.use_gnn {
+            self.hidden
+        } else {
+            self.node_feat_dim
+        };
+        graph_part + if self.use_static { STATIC_DIM } else { 0 }
+    }
+}
+
+/// One platform head: FC -> ReLU -> Dropout -> FC -> ReLU -> FC(1)
+/// ("the prediction head is composed of Fully Connected (FC) layers, Relu
+/// layers, and Dropout layers", §6.2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Head {
+    /// First FC.
+    pub l1: Linear,
+    /// Second FC.
+    pub l2: Linear,
+    /// Output FC.
+    pub l3: Linear,
+}
+
+/// Head activations cached for backward.
+#[derive(Debug, Clone)]
+pub struct HeadCache {
+    x: Matrix,
+    z1: Matrix,
+    a1_drop: Matrix,
+    mask: Option<Vec<bool>>,
+    z2: Matrix,
+    a2: Matrix,
+}
+
+/// Head gradients.
+#[derive(Debug, Clone)]
+pub struct HeadGrad {
+    /// dL/d(l1).
+    pub d1: LinearGrad,
+    /// dL/d(l2).
+    pub d2: LinearGrad,
+    /// dL/d(l3).
+    pub d3: LinearGrad,
+}
+
+impl HeadGrad {
+    /// Zero gradients matching a head.
+    pub fn zeros_like(h: &Head) -> Self {
+        HeadGrad {
+            d1: LinearGrad::zeros_like(&h.l1),
+            d2: LinearGrad::zeros_like(&h.l2),
+            d3: LinearGrad::zeros_like(&h.l3),
+        }
+    }
+
+    /// Accumulate.
+    pub fn add_assign(&mut self, o: &HeadGrad) {
+        self.d1.add_assign(&o.d1);
+        self.d2.add_assign(&o.d2);
+        self.d3.add_assign(&o.d3);
+    }
+
+    /// Scale.
+    pub fn scale(&mut self, s: f32) {
+        self.d1.scale(s);
+        self.d2.scale(s);
+        self.d3.scale(s);
+    }
+}
+
+impl Head {
+    fn new(in_dim: usize, hidden: usize, rng: &mut Rng64) -> Head {
+        Head {
+            l1: Linear::new(in_dim, hidden, rng),
+            l2: Linear::new(hidden, hidden, rng),
+            l3: Linear::new(hidden, 1, rng),
+        }
+    }
+
+    fn forward(&self, x: Matrix, dropout: f64, rng: Option<&mut Rng64>) -> (f32, HeadCache) {
+        let z1 = self.l1.forward(&x);
+        let a1 = relu(&z1);
+        let (a1_drop, mask) = match rng {
+            Some(r) if dropout > 0.0 => {
+                let d = Dropout { p: dropout };
+                let (y, m) = d.forward_train(&a1, r);
+                (y, Some(m))
+            }
+            _ => (a1, None),
+        };
+        let z2 = self.l2.forward(&a1_drop);
+        let a2 = relu(&z2);
+        let out = self.l3.forward(&a2);
+        let pred = out.get(0, 0);
+        (
+            pred,
+            HeadCache {
+                x,
+                z1,
+                a1_drop,
+                mask,
+                z2,
+                a2,
+            },
+        )
+    }
+
+    fn backward(&self, cache: &HeadCache, d_pred: f32, dropout: f64) -> (Matrix, HeadGrad) {
+        let dy = Matrix::from_rows(1, 1, vec![d_pred]);
+        let (d_a2, d3) = self.l3.backward(&cache.a2, &dy);
+        let d_z2 = relu_backward(&cache.z2, &d_a2);
+        let (d_a1drop, d2) = self.l2.backward(&cache.a1_drop, &d_z2);
+        let d_a1 = match &cache.mask {
+            Some(m) => Dropout { p: dropout }.backward(m, &d_a1drop),
+            None => d_a1drop,
+        };
+        let d_z1 = relu_backward(&cache.z1, &d_a1);
+        let (d_x, d1) = self.l1.backward(&cache.x, &d_z1);
+        (d_x, HeadGrad { d1, d2, d3 })
+    }
+}
+
+/// The full predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NnlpModel {
+    /// Configuration (immutable after construction).
+    pub cfg: NnlpConfig,
+    /// SAGE backbone (`f(;alpha)` in the paper).
+    pub sage: Vec<SageLayer>,
+    /// Per-platform heads (`g(;beta_P)`).
+    pub heads: Vec<Head>,
+    /// Feature normalizer fitted on the training corpus.
+    pub norm: Normalizer,
+}
+
+/// Per-sample caches for the backward pass.
+pub struct ForwardCache {
+    sage: Vec<nnlqp_nn::sage::SageCache>,
+    layer_inputs_rows: usize,
+    pooled_no_static: Vec<f32>,
+    head: HeadCache,
+    head_idx: usize,
+}
+
+/// Per-sample gradients.
+pub struct NnlpGrads {
+    /// Backbone gradients, one per SAGE layer.
+    pub sage: Vec<SageGrad>,
+    /// Head gradient.
+    pub head: HeadGrad,
+    /// Which head the gradient belongs to.
+    pub head_idx: usize,
+}
+
+impl NnlpGrads {
+    /// Zero gradients for a model's backbone plus one head.
+    pub fn zeros_like(m: &NnlpModel, head_idx: usize) -> Self {
+        NnlpGrads {
+            sage: m.sage.iter().map(SageGrad::zeros_like).collect(),
+            head: HeadGrad::zeros_like(&m.heads[head_idx]),
+            head_idx,
+        }
+    }
+}
+
+impl NnlpModel {
+    /// Fresh model with `cfg.n_heads` heads.
+    pub fn new(cfg: NnlpConfig, norm: Normalizer, rng: &mut Rng64) -> Self {
+        let mut sage = Vec::new();
+        if cfg.use_node_feats && cfg.use_gnn {
+            let mut d_in = cfg.node_feat_dim;
+            for _ in 0..cfg.gnn_layers {
+                sage.push(SageLayer::new(d_in, cfg.hidden, rng));
+                d_in = cfg.hidden;
+            }
+        }
+        let heads = (0..cfg.n_heads)
+            .map(|_| Head::new(cfg.embedding_dim(), cfg.head_hidden, rng))
+            .collect();
+        NnlpModel {
+            cfg,
+            sage,
+            heads,
+            norm,
+        }
+    }
+
+    /// Add a head for a new (unseen) platform; returns its index.
+    pub fn add_head(&mut self, rng: &mut Rng64) -> usize {
+        self.heads
+            .push(Head::new(self.cfg.embedding_dim(), self.cfg.head_hidden, rng));
+        self.cfg.n_heads = self.heads.len();
+        self.heads.len() - 1
+    }
+
+    /// Add a head warm-started as a copy of an existing platform's head.
+    /// For platform transfer (Fig. 7) this puts the new head at a
+    /// calibrated output scale, so few-sample fine-tuning only has to
+    /// learn the platform *difference*.
+    pub fn add_head_from(&mut self, src: usize) -> usize {
+        let head = self.heads[src].clone();
+        self.heads.push(head);
+        self.cfg.n_heads = self.heads.len();
+        self.heads.len() - 1
+    }
+
+    /// Forward pass on *normalized* inputs. `rng` enables dropout
+    /// (training mode). Returns the prediction in `ln(1+ms)` space.
+    pub fn forward(
+        &self,
+        nodes: &Matrix,
+        adj: &Csr,
+        stat: &[f32; STATIC_DIM],
+        head_idx: usize,
+        rng: Option<&mut Rng64>,
+    ) -> (f32, ForwardCache) {
+        let mut caches = Vec::new();
+        let pooled_no_static: Vec<f32> = if !self.cfg.use_node_feats {
+            Vec::new()
+        } else {
+            let mut h = nodes.clone();
+            if self.cfg.use_gnn {
+                for layer in &self.sage {
+                    let (out, cache) = layer.forward(&h, adj);
+                    caches.push(cache);
+                    h = out;
+                }
+            }
+            let mut pooled = h.sum_rows();
+            // Sum pooling (Eq. 5) keeps graph-size information, but its
+            // magnitude grows with node count, which mis-conditions the
+            // Kaiming-initialized head; a fixed scale restores unit-order
+            // inputs without losing the size signal.
+            let inv = if self.cfg.mean_pool {
+                1.0 / h.rows.max(1) as f32
+            } else {
+                SUM_POOL_SCALE
+            };
+            for v in &mut pooled {
+                *v *= inv;
+            }
+            pooled
+        };
+        let mut emb = pooled_no_static.clone();
+        if self.cfg.use_static {
+            emb.extend_from_slice(stat);
+        }
+        let x = Matrix::from_rows(1, emb.len(), emb);
+        let (pred, head_cache) = self.heads[head_idx].forward(x, self.cfg.dropout, rng);
+        (
+            pred,
+            ForwardCache {
+                sage: caches,
+                layer_inputs_rows: nodes.rows,
+                pooled_no_static,
+                head: head_cache,
+                head_idx,
+            },
+        )
+    }
+
+    /// Backward pass; `d_pred` is the loss gradient wrt the scalar output.
+    pub fn backward(&self, cache: &ForwardCache, d_pred: f32, adj: &Csr) -> NnlpGrads {
+        let (d_emb, head_grad) =
+            self.heads[cache.head_idx].backward(&cache.head, d_pred, self.cfg.dropout);
+        // Split off the static part (no parameters behind it).
+        let graph_dim = cache.pooled_no_static.len();
+        let mut sage_grads: Vec<SageGrad> = Vec::new();
+        if self.cfg.use_node_feats && self.cfg.use_gnn && !self.sage.is_empty() {
+            // Un-pool: sum pooling broadcasts the gradient to every node.
+            let n = cache.layer_inputs_rows;
+            let scale = if self.cfg.mean_pool {
+                1.0 / n as f32
+            } else {
+                SUM_POOL_SCALE
+            };
+            let mut d_h = Matrix::from_fn(n, graph_dim, |_, j| d_emb.get(0, j) * scale);
+            // Walk the SAGE stack backwards.
+            for (layer, c) in self.sage.iter().zip(&cache.sage).rev() {
+                let (dx, g) = layer.backward(c, &d_h, adj);
+                sage_grads.push(g);
+                d_h = dx;
+            }
+            sage_grads.reverse();
+        }
+        NnlpGrads {
+            sage: sage_grads,
+            head: head_grad,
+            head_idx: cache.head_idx,
+        }
+    }
+
+    /// Predict latency in milliseconds for raw (un-normalized) features.
+    pub fn predict_ms(&self, feats: &GraphFeatures, head_idx: usize) -> f64 {
+        let nodes = self.norm.normalize_nodes(&feats.nodes);
+        let stat = self.norm.normalize_stat(&feats.stat);
+        let (pred_log, _) = self.forward(&nodes, &feats.adj, &stat, head_idx, None);
+        (pred_log as f64).exp_m1().max(1e-6)
+    }
+
+    /// Predict latency on *every* platform head from a single backbone
+    /// pass — the §8.5 efficiency of the multi-head design (the shared
+    /// embedding is computed once; heads are cheap).
+    pub fn predict_all_heads_ms(&self, feats: &GraphFeatures) -> Vec<f64> {
+        let nodes = self.norm.normalize_nodes(&feats.nodes);
+        let stat = self.norm.normalize_stat(&feats.stat);
+        // One backbone pass.
+        let pooled: Vec<f32> = if !self.cfg.use_node_feats {
+            Vec::new()
+        } else {
+            let mut h = nodes;
+            if self.cfg.use_gnn {
+                for layer in &self.sage {
+                    let (out, _) = layer.forward(&h, &feats.adj);
+                    h = out;
+                }
+            }
+            let mut pooled = h.sum_rows();
+            let inv = if self.cfg.mean_pool {
+                1.0 / h.rows.max(1) as f32
+            } else {
+                SUM_POOL_SCALE
+            };
+            for v in &mut pooled {
+                *v *= inv;
+            }
+            pooled
+        };
+        let mut emb = pooled;
+        if self.cfg.use_static {
+            emb.extend_from_slice(&stat);
+        }
+        let x = Matrix::from_rows(1, emb.len(), emb);
+        self.heads
+            .iter()
+            .map(|head| {
+                let (p, _) = head.forward(x.clone(), 0.0, None);
+                (p as f64).exp_m1().max(1e-6)
+            })
+            .collect()
+    }
+
+    /// One training loss evaluation (log-space MSE) with gradients.
+    pub fn loss_and_grads(
+        &self,
+        nodes: &Matrix,
+        adj: &Csr,
+        stat: &[f32; STATIC_DIM],
+        target_log: f32,
+        head_idx: usize,
+        rng: &mut Rng64,
+    ) -> (f64, NnlpGrads) {
+        let (pred, cache) = self.forward(nodes, adj, stat, head_idx, Some(rng));
+        let (loss, grad) = mse_loss(&[pred], &[target_log]);
+        let grads = self.backward(&cache, grad[0], adj);
+        (loss, grads)
+    }
+
+    /// Apply accumulated gradients with Adam. Backbone tensors use keys
+    /// `< 10_000`; head `h` tensors use `10_000 + 8h ..`.
+    pub fn apply_grads(&mut self, grads: &NnlpGrads, opt: &mut Adam) {
+        for (i, (layer, g)) in self.sage.iter_mut().zip(&grads.sage).enumerate() {
+            let base = 100 + (i as u64) * 8;
+            opt.update(base, &mut layer.w1.w.data, &g.d_w1.dw.data);
+            opt.update(base + 1, &mut layer.w1.b, &g.d_w1.db);
+            opt.update(base + 2, &mut layer.w2.w.data, &g.d_w2.dw.data);
+            opt.update(base + 3, &mut layer.w2.b, &g.d_w2.db);
+        }
+        let h = grads.head_idx;
+        let head = &mut self.heads[h];
+        let base = 10_000 + (h as u64) * 8;
+        opt.update(base, &mut head.l1.w.data, &grads.head.d1.dw.data);
+        opt.update(base + 1, &mut head.l1.b, &grads.head.d1.db);
+        opt.update(base + 2, &mut head.l2.w.data, &grads.head.d2.dw.data);
+        opt.update(base + 3, &mut head.l2.b, &grads.head.d2.db);
+        opt.update(base + 4, &mut head.l3.w.data, &grads.head.d3.dw.data);
+        opt.update(base + 5, &mut head.l3.b, &grads.head.d3.db);
+    }
+
+    /// Serialize to JSON (model checkpointing for transfer learning).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_features;
+    use nnlqp_ir::{GraphBuilder, Shape};
+
+    fn tiny_feats() -> GraphFeatures {
+        let mut b = GraphBuilder::new("t", Shape::nchw(1, 3, 16, 16));
+        let c = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+        let r = b.relu(c).unwrap();
+        let g = b.global_avgpool(r).unwrap();
+        let f = b.flatten(g).unwrap();
+        b.gemm(f, 10).unwrap();
+        extract_features(&b.finish().unwrap())
+    }
+
+    fn make_model(cfg: NnlpConfig) -> (NnlpModel, GraphFeatures) {
+        let feats = tiny_feats();
+        let norm = Normalizer::fit(&[&feats]);
+        let mut rng = Rng64::new(80);
+        (NnlpModel::new(cfg, norm, &mut rng), feats)
+    }
+
+    #[test]
+    fn forward_produces_finite_prediction() {
+        let (m, feats) = make_model(NnlpConfig::default());
+        let p = m.predict_ms(&feats, 0);
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn ablation_configs_have_expected_dims() {
+        assert_eq!(NnlpConfig::default().embedding_dim(), 64 + 4);
+        assert_eq!(NnlpConfig::without_node_features().embedding_dim(), 4);
+        assert_eq!(
+            NnlpConfig::without_gnn().embedding_dim(),
+            NODE_FEAT_DIM + 4
+        );
+        assert_eq!(NnlpConfig::without_static().embedding_dim(), 64);
+        assert_eq!(NnlpConfig::brp_nas().embedding_dim(), 64);
+    }
+
+    #[test]
+    fn all_configs_forward_and_backward() {
+        for cfg in [
+            NnlpConfig::default(),
+            NnlpConfig::without_node_features(),
+            NnlpConfig::without_gnn(),
+            NnlpConfig::without_static(),
+            NnlpConfig::brp_nas(),
+        ] {
+            let (m, feats) = make_model(cfg);
+            let nodes = m.norm.normalize_nodes(&feats.nodes);
+            let stat = m.norm.normalize_stat(&feats.stat);
+            let mut rng = Rng64::new(81);
+            let (loss, grads) =
+                m.loss_and_grads(&nodes, &feats.adj, &stat, 1.0, 0, &mut rng);
+            assert!(loss.is_finite());
+            assert_eq!(grads.sage.len(), m.sage.len());
+        }
+    }
+
+    #[test]
+    fn training_single_sample_reduces_loss() {
+        let (mut m, feats) = make_model(NnlpConfig {
+            dropout: 0.0,
+            ..Default::default()
+        });
+        let nodes = m.norm.normalize_nodes(&feats.nodes);
+        let stat = m.norm.normalize_stat(&feats.stat);
+        let target = 2.5f32;
+        let mut opt = Adam::new(0.01);
+        let mut rng = Rng64::new(82);
+        let (first, _) = m.loss_and_grads(&nodes, &feats.adj, &stat, target, 0, &mut rng);
+        for _ in 0..100 {
+            let (_, g) = m.loss_and_grads(&nodes, &feats.adj, &stat, target, 0, &mut rng);
+            opt.begin_step();
+            m.apply_grads(&g, &mut opt);
+        }
+        let (last, _) = m.loss_and_grads(&nodes, &feats.adj, &stat, target, 0, &mut rng);
+        assert!(last < first * 0.05, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn end_to_end_gradcheck_backbone() {
+        // Finite-difference check through the whole model (no dropout).
+        let (m, feats) = make_model(NnlpConfig {
+            dropout: 0.0,
+            gnn_layers: 2,
+            hidden: 8,
+            head_hidden: 8,
+            ..Default::default()
+        });
+        let nodes = m.norm.normalize_nodes(&feats.nodes);
+        let stat = m.norm.normalize_stat(&feats.stat);
+        let target = 1.0f32;
+        let mut rng = Rng64::new(83);
+        let (_, grads) = m.loss_and_grads(&nodes, &feats.adj, &stat, target, 0, &mut rng);
+        let h = 1e-2f32;
+        let loss_of = |mm: &NnlpModel| {
+            let (p, _) = mm.forward(&nodes, &feats.adj, &stat, 0, None);
+            ((p - target) as f64).powi(2)
+        };
+        for &(i, j) in &[(0usize, 0usize), (3, 5)] {
+            let mut mp = m.clone();
+            let mut mm2 = m.clone();
+            let base = m.sage[0].w1.w.get(i, j);
+            mp.sage[0].w1.w.set(i, j, base + h);
+            mm2.sage[0].w1.w.set(i, j, base - h);
+            let num = (loss_of(&mp) - loss_of(&mm2)) / (2.0 * h as f64);
+            let analytic = grads.sage[0].d_w1.dw.get(i, j) as f64;
+            assert!(
+                (num - analytic).abs() < 5e-2 * (1.0 + num.abs()),
+                "sage0.w1[{i},{j}] num {num} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_head_extends_model() {
+        let (mut m, feats) = make_model(NnlpConfig::default());
+        let idx = m.add_head(&mut Rng64::new(84));
+        assert_eq!(idx, 1);
+        assert!(m.predict_ms(&feats, 1).is_finite());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions() {
+        let (m, feats) = make_model(NnlpConfig::default());
+        let m2 = NnlpModel::from_json(&m.to_json()).unwrap();
+        assert_eq!(m.predict_ms(&feats, 0), m2.predict_ms(&feats, 0));
+    }
+}

@@ -1,0 +1,354 @@
+//! Dataset assembly and the training loops (Algorithm 1).
+//!
+//! Mini-batch training per §8.1: batch size 16, Adam at lr 1e-3, average
+//! batch loss backpropagated. Per-sample gradients are computed in
+//! parallel with rayon (the model is borrowed immutably), summed, then
+//! applied in one optimizer step — numerically identical to sequential
+//! batch accumulation.
+
+use crate::features::{extract_features, GraphFeatures, Normalizer, STATIC_DIM};
+use crate::model::{NnlpGrads, NnlpModel};
+use nnlqp_ir::{Graph, Rng64};
+use nnlqp_nn::{Adam, Csr, Matrix};
+use rayon::prelude::*;
+
+/// One training/evaluation sample with pre-normalized features.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Normalized node features.
+    pub nodes: Matrix,
+    /// Adjacency.
+    pub adj: Csr,
+    /// Normalized static features.
+    pub stat: [f32; STATIC_DIM],
+    /// Ground-truth latency in ms.
+    pub target_ms: f64,
+    /// Target in `ln(1+ms)` space.
+    pub target_log: f32,
+    /// Head (platform) index.
+    pub head: usize,
+}
+
+/// A normalized dataset bound to the normalizer that produced it.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Samples.
+    pub samples: Vec<Sample>,
+    /// The normalizer (needed to featurize unseen graphs consistently).
+    pub norm: Normalizer,
+}
+
+impl Dataset {
+    /// Build from `(graph, latency_ms, head)` triples. The normalizer is
+    /// fitted on exactly these graphs — fit on *training* data only, then
+    /// use [`Dataset::extend_with`] for evaluation sets.
+    pub fn build(entries: &[(&Graph, f64, usize)]) -> Dataset {
+        let feats: Vec<GraphFeatures> =
+            entries.iter().map(|(g, _, _)| extract_features(g)).collect();
+        let norm = Normalizer::fit(&feats.iter().collect::<Vec<_>>());
+        let samples = feats
+            .iter()
+            .zip(entries)
+            .map(|(f, (_, ms, head))| make_sample(f, *ms, *head, &norm))
+            .collect();
+        Dataset { samples, norm }
+    }
+
+    /// Featurize additional graphs with this dataset's normalizer.
+    pub fn extend_with(&self, entries: &[(&Graph, f64, usize)]) -> Vec<Sample> {
+        entries
+            .iter()
+            .map(|(g, ms, head)| {
+                let f = extract_features(g);
+                make_sample(&f, *ms, *head, &self.norm)
+            })
+            .collect()
+    }
+}
+
+fn make_sample(f: &GraphFeatures, ms: f64, head: usize, norm: &Normalizer) -> Sample {
+    Sample {
+        nodes: norm.normalize_nodes(&f.nodes),
+        adj: f.adj.clone(),
+        stat: norm.normalize_stat(&f.stat),
+        target_ms: ms,
+        target_log: (ms.max(0.0)).ln_1p() as f32,
+        head,
+    }
+}
+
+/// Training hyper-parameters (§8.1 defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// RNG seed (shuffling, dropout).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            lr: 1e-3,
+            seed: 1,
+        }
+    }
+}
+
+/// Loss trajectory of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean log-space MSE per epoch.
+    pub epoch_loss: Vec<f64>,
+}
+
+/// Train a model in place on `samples` (multi-platform capable: each
+/// sample routes its gradient to its own head while the backbone is shared
+/// — Algorithm 1 with mini-batching).
+pub fn train(
+    model: &mut NnlpModel,
+    samples: &[Sample],
+    cfg: TrainConfig,
+) -> TrainReport {
+    assert!(!samples.is_empty(), "empty training set");
+    let mut opt = Adam::new(cfg.lr);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut rng = Rng64::new(cfg.seed);
+    let mut epoch_loss = Vec::with_capacity(cfg.epochs);
+
+    for epoch in 0..cfg.epochs {
+        rng.shuffle(&mut order);
+        let mut total = 0.0f64;
+        for (bi, batch) in order.chunks(cfg.batch_size).enumerate() {
+            // Per-sample (loss, grads) in parallel; the model is immutable.
+            let results: Vec<(f64, NnlpGrads)> = batch
+                .par_iter()
+                .map(|&si| {
+                    let s = &samples[si];
+                    let mut srng = Rng64::new(
+                        cfg.seed ^ ((epoch as u64) << 40) ^ ((bi as u64) << 20) ^ si as u64,
+                    );
+                    model.loss_and_grads(
+                        &s.nodes,
+                        &s.adj,
+                        &s.stat,
+                        s.target_log,
+                        s.head,
+                        &mut srng,
+                    )
+                })
+                .collect();
+
+            // Accumulate: shared backbone over the whole batch; heads per
+            // platform.
+            let inv = 1.0 / batch.len() as f32;
+            let mut acc: Option<NnlpGrads> = None;
+            let mut head_acc: std::collections::HashMap<usize, crate::model::HeadGrad> =
+                std::collections::HashMap::new();
+            for (loss, g) in results {
+                total += loss;
+                head_acc
+                    .entry(g.head_idx)
+                    .and_modify(|hg| hg.add_assign(&g.head))
+                    .or_insert_with(|| g.head.clone());
+                match &mut acc {
+                    None => acc = Some(g),
+                    Some(a) => {
+                        for (sa, sg) in a.sage.iter_mut().zip(&g.sage) {
+                            sa.add_assign(sg);
+                        }
+                    }
+                }
+            }
+            let Some(mut a) = acc else { continue };
+            for sg in &mut a.sage {
+                sg.scale(inv);
+            }
+            opt.begin_step();
+            apply_backbone(model, &a, &mut opt);
+            for (head_idx, mut hg) in head_acc {
+                hg.scale(inv);
+                apply_head(model, head_idx, &hg, &mut opt);
+            }
+        }
+        epoch_loss.push(total / samples.len() as f64);
+    }
+    TrainReport { epoch_loss }
+}
+
+fn apply_backbone(model: &mut NnlpModel, grads: &NnlpGrads, opt: &mut Adam) {
+    for (i, (layer, g)) in model.sage.iter_mut().zip(&grads.sage).enumerate() {
+        let base = 100 + (i as u64) * 8;
+        opt.update(base, &mut layer.w1.w.data, &g.d_w1.dw.data);
+        opt.update(base + 1, &mut layer.w1.b, &g.d_w1.db);
+        opt.update(base + 2, &mut layer.w2.w.data, &g.d_w2.dw.data);
+        opt.update(base + 3, &mut layer.w2.b, &g.d_w2.db);
+    }
+}
+
+fn apply_head(model: &mut NnlpModel, head_idx: usize, hg: &crate::model::HeadGrad, opt: &mut Adam) {
+    let head = &mut model.heads[head_idx];
+    let base = 10_000 + (head_idx as u64) * 8;
+    opt.update(base, &mut head.l1.w.data, &hg.d1.dw.data);
+    opt.update(base + 1, &mut head.l1.b, &hg.d1.db);
+    opt.update(base + 2, &mut head.l2.w.data, &hg.d2.dw.data);
+    opt.update(base + 3, &mut head.l2.b, &hg.d2.db);
+    opt.update(base + 4, &mut head.l3.w.data, &hg.d3.dw.data);
+    opt.update(base + 5, &mut head.l3.b, &hg.d3.db);
+}
+
+/// Predict latencies (ms) for a slice of samples.
+pub fn predict_samples(model: &NnlpModel, samples: &[Sample]) -> Vec<f64> {
+    samples
+        .par_iter()
+        .map(|s| {
+            let (p, _) = model.forward(&s.nodes, &s.adj, &s.stat, s.head, None);
+            (p as f64).exp_m1().max(1e-6)
+        })
+        .collect()
+}
+
+/// Ground-truth latencies (ms) of a slice of samples.
+pub fn truths(samples: &[Sample]) -> Vec<f64> {
+    samples.iter().map(|s| s.target_ms).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mape;
+    use crate::model::NnlpConfig;
+    use nnlqp_models::ModelFamily;
+    use nnlqp_sim::{measure, PlatformSpec};
+
+    /// Small real corpus: canonical + sampled variants across 3 families.
+    fn corpus(n_per_family: usize, seed: u64) -> Vec<(Graph, f64)> {
+        let platform = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        let mut out = Vec::new();
+        for f in [
+            ModelFamily::ResNet,
+            ModelFamily::MobileNetV2,
+            ModelFamily::SqueezeNet,
+        ] {
+            for m in nnlqp_models::generate_family(f, n_per_family, seed) {
+                let lat = measure(&m.graph, &platform, 5, seed).mean_ms;
+                out.push((m.graph, lat));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn training_converges_and_beats_mean_predictor() {
+        let data = corpus(12, 7);
+        let entries: Vec<(&Graph, f64, usize)> =
+            data.iter().map(|(g, l)| (g, *l, 0usize)).collect();
+        let ds = Dataset::build(&entries);
+        // Shuffled split so train and test cover all three families.
+        let mut idx: Vec<usize> = (0..ds.samples.len()).collect();
+        Rng64::new(89).shuffle(&mut idx);
+        let train_s: Vec<Sample> = idx[..30].iter().map(|&i| ds.samples[i].clone()).collect();
+        let test_s: Vec<Sample> = idx[30..].iter().map(|&i| ds.samples[i].clone()).collect();
+        let (train_s, test_s) = (&train_s[..], &test_s[..]);
+        let mut rng = Rng64::new(90);
+        let mut model = NnlpModel::new(
+            NnlpConfig {
+                hidden: 32,
+                head_hidden: 32,
+                gnn_layers: 2,
+                dropout: 0.0,
+                ..Default::default()
+            },
+            ds.norm.clone(),
+            &mut rng,
+        );
+        let report = train(
+            &mut model,
+            train_s,
+            TrainConfig {
+                epochs: 60,
+                batch_size: 8,
+                lr: 2e-3,
+                seed: 3,
+            },
+        );
+        assert!(
+            report.epoch_loss.last().unwrap() < &(report.epoch_loss[0] * 0.2),
+            "loss {:?} -> {:?}",
+            report.epoch_loss[0],
+            report.epoch_loss.last().unwrap()
+        );
+        let preds = predict_samples(&model, test_s);
+        let t = truths(test_s);
+        let model_mape = mape(&preds, &t);
+        // Mean predictor baseline.
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        let mean_mape = mape(&vec![mean; t.len()], &t);
+        assert!(
+            model_mape < mean_mape,
+            "model {model_mape}% vs mean-predictor {mean_mape}%"
+        );
+    }
+
+    #[test]
+    fn multi_head_training_routes_gradients() {
+        // Two synthetic platforms: head 1 sees 3x the latency of head 0.
+        let data = corpus(8, 11);
+        let mut entries: Vec<(&Graph, f64, usize)> = Vec::new();
+        for (g, l) in &data {
+            entries.push((g, *l, 0usize));
+        }
+        for (g, l) in &data {
+            entries.push((g, *l * 3.0, 1usize));
+        }
+        let ds = Dataset::build(&entries);
+        let mut rng = Rng64::new(91);
+        let mut model = NnlpModel::new(
+            NnlpConfig {
+                hidden: 32,
+                head_hidden: 32,
+                gnn_layers: 2,
+                n_heads: 2,
+                dropout: 0.0,
+                ..Default::default()
+            },
+            ds.norm.clone(),
+            &mut rng,
+        );
+        train(
+            &mut model,
+            &ds.samples,
+            TrainConfig {
+                epochs: 50,
+                batch_size: 8,
+                lr: 2e-3,
+                seed: 5,
+            },
+        );
+        // The two heads must diverge: same graph, ~3x ratio.
+        let s0 = &ds.samples[0];
+        let (p0, _) = model.forward(&s0.nodes, &s0.adj, &s0.stat, 0, None);
+        let (p1, _) = model.forward(&s0.nodes, &s0.adj, &s0.stat, 1, None);
+        let r = (p1 as f64).exp_m1() / (p0 as f64).exp_m1();
+        assert!(r > 1.8, "head ratio {r}, p0 {p0} p1 {p1}");
+    }
+
+    #[test]
+    fn dataset_extend_uses_train_normalizer() {
+        let data = corpus(4, 13);
+        let entries: Vec<(&Graph, f64, usize)> =
+            data.iter().map(|(g, l)| (g, *l, 0usize)).collect();
+        let ds = Dataset::build(&entries[..8]);
+        let extra = ds.extend_with(&entries[8..]);
+        assert_eq!(extra.len(), entries.len() - 8);
+        for s in &extra {
+            assert!(s.target_log > 0.0);
+        }
+    }
+}

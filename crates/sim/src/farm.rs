@@ -1,0 +1,254 @@
+//! The device farm: concurrent, lease-based latency measurement.
+//!
+//! Reproduces §5.1's three-step query pipeline against simulated devices:
+//!
+//! 1. *model transformation* — charged on the simulated clock per platform;
+//! 2. *device acquisition* — a bounded pool of device leases per platform,
+//!    handed out through a channel (the RPC stand-in); callers block until
+//!    a device is idle, exactly like the real farm;
+//! 3. *latency measurement* — the run itself plus release of the lease.
+//!
+//! Real threads contend for real leases; only the *deployment wall-clock*
+//! (compile/upload times that would take minutes on real toolchains) is
+//! simulated.
+
+use crate::measure::{measure, Measurement};
+use crate::platform::PlatformSpec;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use nnlqp_ir::{Graph, Rng64};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A measurement request.
+#[derive(Debug, Clone)]
+pub struct QueryJob {
+    /// Model to measure.
+    pub graph: Graph,
+    /// Target platform name (registry canonical or paper alias).
+    pub platform: String,
+    /// Timed repetitions (paper default 50).
+    pub reps: usize,
+    /// Seed for measurement jitter and deployment-cost jitter.
+    pub seed: u64,
+}
+
+/// Outcome of a fulfilled query.
+#[derive(Debug, Clone)]
+pub struct FarmResult {
+    /// Canonical platform name.
+    pub platform: String,
+    /// The measurement session (mean is the ground-truth latency).
+    pub measurement: Measurement,
+    /// Simulated wall-clock cost of the full pipeline, in seconds:
+    /// transform + compile + upload + harness + timed runs.
+    pub pipeline_cost_s: f64,
+    /// Device that served the job.
+    pub device_id: usize,
+}
+
+/// Farm errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FarmError {
+    /// The requested platform is not in the registry.
+    UnknownPlatform(String),
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::UnknownPlatform(p) => write!(f, "unknown platform: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}
+
+struct DevicePool {
+    spec: PlatformSpec,
+    // Idle device ids; recv blocks while all devices are leased.
+    idle_rx: Receiver<usize>,
+    idle_tx: Sender<usize>,
+}
+
+/// A farm of simulated devices grouped by platform.
+pub struct DeviceFarm {
+    pools: HashMap<String, Arc<DevicePool>>,
+}
+
+impl DeviceFarm {
+    /// Build a farm with `devices_per_platform` boards for each platform.
+    pub fn new(platforms: &[PlatformSpec], devices_per_platform: usize) -> Self {
+        let mut pools = HashMap::new();
+        for spec in platforms {
+            let n = devices_per_platform.max(1);
+            let (tx, rx) = bounded(n);
+            for id in 0..n {
+                tx.send(id).expect("fresh channel has capacity");
+            }
+            pools.insert(
+                spec.name.clone(),
+                Arc::new(DevicePool {
+                    spec: spec.clone(),
+                    idle_rx: rx,
+                    idle_tx: tx,
+                }),
+            );
+        }
+        DeviceFarm { pools }
+    }
+
+    /// Farm over the full registry, one device per platform.
+    pub fn full_registry() -> Self {
+        Self::new(&PlatformSpec::registry(), 1)
+    }
+
+    /// Platforms this farm serves.
+    pub fn platforms(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.pools.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of currently idle devices for a platform.
+    pub fn idle_devices(&self, platform: &str) -> usize {
+        self.pools.get(platform).map_or(0, |p| p.idle_rx.len())
+    }
+
+    fn resolve(&self, name: &str) -> Result<Arc<DevicePool>, FarmError> {
+        // Accept aliases by canonicalizing through the registry.
+        if let Some(pool) = self.pools.get(name) {
+            return Ok(pool.clone());
+        }
+        let spec = PlatformSpec::by_name(name)
+            .ok_or_else(|| FarmError::UnknownPlatform(name.to_string()))?;
+        self.pools
+            .get(&spec.name)
+            .cloned()
+            .ok_or(FarmError::UnknownPlatform(name.to_string()))
+    }
+
+    /// Execute one query, blocking until a device for the platform is
+    /// idle. This is the farm's RPC entry point.
+    pub fn measure_blocking(&self, job: &QueryJob) -> Result<FarmResult, FarmError> {
+        let pool = self.resolve(&job.platform)?;
+        // Step 2: device acquisition (blocks while all boards are leased).
+        let device_id = pool.idle_rx.recv().expect("pool never closes");
+        // Steps 1 & 3 on the simulated clock.
+        let result = Self::run_on_device(&pool.spec, job, device_id);
+        // Release the lease.
+        pool.idle_tx.send(device_id).expect("pool never closes");
+        Ok(result)
+    }
+
+    fn run_on_device(spec: &PlatformSpec, job: &QueryJob, device_id: usize) -> FarmResult {
+        let measurement = measure(&job.graph, spec, job.reps, job.seed);
+        // Deployment stages vary run to run (compiler caches, board load).
+        let mut r = Rng64::new(job.seed ^ 0x00DE_B10F_u64);
+        let jitter = 0.9 + 0.2 * r.uniform();
+        let fixed = spec.deploy.fixed_total_s() * jitter;
+        let runs_s = measurement.runs.iter().sum::<f64>() / 1.0e3 + job.reps as f64 * 0.01;
+        FarmResult {
+            platform: spec.name.clone(),
+            measurement,
+            pipeline_cost_s: fixed + runs_s,
+            device_id,
+        }
+    }
+
+    /// Process a batch of jobs concurrently (one OS thread per job wave,
+    /// bounded by device availability through the lease channels). Results
+    /// come back in job order.
+    pub fn submit_many(&self, jobs: &[QueryJob]) -> Vec<Result<FarmResult, FarmError>> {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|job| s.spawn(move || self.measure_blocking(job)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_models::ModelFamily;
+
+    fn job(platform: &str, seed: u64) -> QueryJob {
+        QueryJob {
+            graph: ModelFamily::SqueezeNet.canonical().unwrap(),
+            platform: platform.to_string(),
+            reps: 10,
+            seed,
+        }
+    }
+
+    #[test]
+    fn basic_measurement_roundtrip() {
+        let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 1);
+        let r = farm.measure_blocking(&job("gpu-T4-trt7.1-fp32", 1)).unwrap();
+        assert!(r.measurement.mean_ms > 0.0);
+        assert!(r.pipeline_cost_s > 10.0, "pipeline {}", r.pipeline_cost_s);
+    }
+
+    #[test]
+    fn unknown_platform_rejected() {
+        let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 1);
+        let err = farm.measure_blocking(&job("tpu-v9", 1)).unwrap_err();
+        assert_eq!(err, FarmError::UnknownPlatform("tpu-v9".into()));
+    }
+
+    #[test]
+    fn aliases_route_to_canonical_pool() {
+        let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 1);
+        let r = farm.measure_blocking(&job("cpu-ppl2-fp32", 1)).unwrap();
+        assert_eq!(r.platform, "cpu-openppl-fp32");
+    }
+
+    #[test]
+    fn leases_are_returned() {
+        let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 2);
+        assert_eq!(farm.idle_devices("gpu-T4-trt7.1-fp32"), 2);
+        let _ = farm.measure_blocking(&job("gpu-T4-trt7.1-fp32", 1)).unwrap();
+        assert_eq!(farm.idle_devices("gpu-T4-trt7.1-fp32"), 2);
+    }
+
+    #[test]
+    fn concurrent_jobs_share_devices_without_deadlock() {
+        let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 2);
+        let jobs: Vec<QueryJob> = (0..8).map(|i| job("gpu-T4-trt7.1-fp32", i)).collect();
+        let results = farm.submit_many(&jobs);
+        assert_eq!(results.len(), 8);
+        for r in results {
+            let r = r.unwrap();
+            assert!(r.device_id < 2);
+            assert!(r.measurement.mean_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn mixed_platform_batch() {
+        let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 1);
+        let jobs: Vec<QueryJob> = ["cpu-openppl-fp32", "gpu-T4-trt7.1-fp32", "rv1109-rknn-int8"]
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| PlatformSpec::by_name(p).is_some())
+            .map(|(i, p)| job(p, i as u64))
+            .collect();
+        // rv1109 is not in the table2 farm; expect one error.
+        let results = farm.submit_many(&jobs);
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let err = results.iter().filter(|r| r.is_err()).count();
+        assert_eq!((ok, err), (2, 1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 1);
+        let a = farm.measure_blocking(&job("gpu-T4-trt7.1-fp32", 5)).unwrap();
+        let b = farm.measure_blocking(&job("gpu-T4-trt7.1-fp32", 5)).unwrap();
+        assert_eq!(a.measurement.mean_ms, b.measurement.mean_ms);
+        assert_eq!(a.pipeline_cost_s, b.pipeline_cost_s);
+    }
+}

@@ -1,0 +1,480 @@
+//! Operator fusion: grouping graph nodes into execution kernels.
+//!
+//! Mirrors the rule set behind Appendix D: convolutions absorb a following
+//! residual `Add` and/or activation when they are the sole consumer, and
+//! `Sigmoid+Mul` pairs fuse into the Swish kernel. Every other node runs as
+//! a single-op kernel. Fusing an element-wise epilogue means its
+//! intermediate tensor is never materialized — the kernel's external memory
+//! traffic shrinks, which is one of the reasons kernel-latency additivity
+//! fails (§3.2).
+
+use nnlqp_ir::{cost, DType, Graph, NodeId, OpType};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Kernel families (Appendix D, Table 8) plus standalone element-wise
+/// leftovers that the greedy rules could not fuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelFamily {
+    AveragePool,
+    Concat,
+    ConvAddRelu,
+    ConvAdd,
+    ConvClip,
+    ConvRelu,
+    Conv,
+    Flatten,
+    Gemm,
+    GlobalAveragePool,
+    MaxPool,
+    ReduceMean,
+    Relu,
+    SigmoidMul,
+    /// Residual adds whose producer is not a fusable convolution.
+    Add,
+    /// Unfused element-wise leftovers.
+    Clip,
+    Sigmoid,
+    Mul,
+}
+
+impl KernelFamily {
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelFamily::AveragePool => "AveragePool",
+            KernelFamily::Concat => "Concat",
+            KernelFamily::ConvAddRelu => "Conv+Add+Relu",
+            KernelFamily::ConvAdd => "Conv+Add",
+            KernelFamily::ConvClip => "Conv+Clip",
+            KernelFamily::ConvRelu => "Conv+Relu",
+            KernelFamily::Conv => "Conv",
+            KernelFamily::Flatten => "Flatten",
+            KernelFamily::Gemm => "Gemm",
+            KernelFamily::GlobalAveragePool => "GlobalAveragePool",
+            KernelFamily::MaxPool => "MaxPool",
+            KernelFamily::ReduceMean => "ReduceMean",
+            KernelFamily::Relu => "Relu",
+            KernelFamily::SigmoidMul => "Sigmoid+Mul",
+            KernelFamily::Add => "Add",
+            KernelFamily::Clip => "Clip",
+            KernelFamily::Sigmoid => "Sigmoid",
+            KernelFamily::Mul => "Mul",
+        }
+    }
+
+    /// The 14 families of Table 8, in its row order.
+    pub const TABLE8: [KernelFamily; 14] = [
+        KernelFamily::AveragePool,
+        KernelFamily::Concat,
+        KernelFamily::ConvAddRelu,
+        KernelFamily::ConvAdd,
+        KernelFamily::ConvClip,
+        KernelFamily::ConvRelu,
+        KernelFamily::Conv,
+        KernelFamily::Flatten,
+        KernelFamily::Gemm,
+        KernelFamily::GlobalAveragePool,
+        KernelFamily::MaxPool,
+        KernelFamily::ReduceMean,
+        KernelFamily::Relu,
+        KernelFamily::SigmoidMul,
+    ];
+
+    fn single(op: OpType) -> KernelFamily {
+        match op {
+            OpType::Conv => KernelFamily::Conv,
+            OpType::Relu => KernelFamily::Relu,
+            OpType::Clip => KernelFamily::Clip,
+            OpType::Sigmoid => KernelFamily::Sigmoid,
+            OpType::Mul => KernelFamily::Mul,
+            OpType::Add => KernelFamily::Add,
+            OpType::Concat => KernelFamily::Concat,
+            OpType::MaxPool => KernelFamily::MaxPool,
+            OpType::AveragePool => KernelFamily::AveragePool,
+            OpType::GlobalAveragePool => KernelFamily::GlobalAveragePool,
+            OpType::Gemm => KernelFamily::Gemm,
+            OpType::Flatten => KernelFamily::Flatten,
+            OpType::ReduceMean => KernelFamily::ReduceMean,
+        }
+    }
+}
+
+impl fmt::Display for KernelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fused kernel: an ordered list of node ids from the parent graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Family after fusion.
+    pub family: KernelFamily,
+    /// Member nodes in topological order; the last node produces the
+    /// kernel output.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Numeric description of a kernel — everything the cost model (and the
+/// kernel-feature baselines) need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    /// Family after fusion.
+    pub family: KernelFamily,
+    /// Total FLOPs of all member nodes.
+    pub flops: f64,
+    /// External bytes read (kernel inputs + weights; fused intermediates
+    /// excluded).
+    pub read_bytes: f64,
+    /// Bytes written (final output only).
+    pub write_bytes: f64,
+    /// Elements of the output tensor.
+    pub out_elems: f64,
+    /// Channels of the output tensor.
+    pub out_channels: u32,
+    /// Spatial height of the output.
+    pub out_h: u32,
+    /// Conv/pool kernel size (0 when not applicable).
+    pub kernel_hw: u32,
+    /// Conv groups (1 when not applicable).
+    pub groups: u32,
+    /// Stride of the conv/pool member (1 otherwise).
+    pub stride: u32,
+    /// Batch size.
+    pub batch: u32,
+}
+
+/// Fuse a graph into kernels (greedy, deterministic).
+pub fn fuse(g: &Graph) -> Vec<Kernel> {
+    let succ = g.successors();
+    let mut assigned = vec![false; g.len()];
+    let mut kernels = Vec::new();
+
+    let sole_consumer = |id: NodeId| -> Option<NodeId> {
+        let s = &succ[id.index()];
+        if s.len() == 1 {
+            Some(s[0])
+        } else {
+            None
+        }
+    };
+
+    for (id, n) in g.iter() {
+        if assigned[id.index()] {
+            continue;
+        }
+        let mut nodes = vec![id];
+        let mut family = KernelFamily::single(n.op);
+        // A consumer may already belong to an earlier kernel (e.g. the
+        // main-path conv of a projection residual absorbed the Add before
+        // the shortcut conv is visited); such consumers must not be fused
+        // twice.
+        match n.op {
+            OpType::Conv => {
+                if let Some(next) = sole_consumer(id).filter(|c| !assigned[c.index()]) {
+                    match g.node(next).op {
+                        OpType::Relu => {
+                            nodes.push(next);
+                            family = KernelFamily::ConvRelu;
+                        }
+                        OpType::Clip => {
+                            nodes.push(next);
+                            family = KernelFamily::ConvClip;
+                        }
+                        OpType::Add => {
+                            nodes.push(next);
+                            family = KernelFamily::ConvAdd;
+                            if let Some(after) =
+                                sole_consumer(next).filter(|c| !assigned[c.index()])
+                            {
+                                if g.node(after).op == OpType::Relu {
+                                    nodes.push(after);
+                                    family = KernelFamily::ConvAddRelu;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            OpType::Sigmoid => {
+                if let Some(next) = sole_consumer(id).filter(|c| !assigned[c.index()]) {
+                    if g.node(next).op == OpType::Mul {
+                        nodes.push(next);
+                        family = KernelFamily::SigmoidMul;
+                    }
+                }
+            }
+            _ => {}
+        }
+        for m in &nodes {
+            assigned[m.index()] = true;
+        }
+        kernels.push(Kernel { family, nodes });
+    }
+    kernels
+}
+
+/// Describe a kernel numerically at a given precision.
+pub fn describe(g: &Graph, k: &Kernel, dt: DType) -> KernelDesc {
+    let member = |id: NodeId| k.nodes.contains(&id);
+    let mut flops = 0.0;
+    let mut read = 0.0;
+    let mut kernel_hw = 0u32;
+    let mut groups = 1u32;
+    let mut stride = 1u32;
+    for &id in &k.nodes {
+        let n = g.node(id);
+        let c = cost::node_cost(g, id, dt);
+        flops += c.flops;
+        // External reads: inputs produced outside the kernel, plus weights.
+        let weight_bytes = c.params * dt.bytes() as f64;
+        let ext_input_bytes: f64 = if n.inputs.is_empty() {
+            g.input_shape.bytes(dt) as f64
+        } else {
+            n.inputs
+                .iter()
+                .filter(|i| !member(**i))
+                .map(|i| g.node(*i).out_shape.bytes(dt) as f64)
+                .sum()
+        };
+        read += ext_input_bytes + weight_bytes;
+        if matches!(n.op, OpType::Conv | OpType::MaxPool | OpType::AveragePool) {
+            kernel_hw = kernel_hw.max(n.attrs.kernel[0]);
+            stride = stride.max(n.attrs.stride[0]);
+        }
+        if n.op == OpType::Conv {
+            groups = groups.max(n.attrs.groups);
+        }
+    }
+    let last = g.node(*k.nodes.last().expect("kernel has nodes"));
+    let out = &last.out_shape;
+    KernelDesc {
+        family: k.family,
+        flops,
+        read_bytes: read,
+        write_bytes: out.bytes(dt) as f64,
+        out_elems: out.numel() as f64,
+        out_channels: out.channels() as u32,
+        out_h: out.height() as u32,
+        kernel_hw,
+        groups,
+        stride,
+        batch: out.batch() as u32,
+    }
+}
+
+/// Kernel-count statistics over a corpus (Table 8).
+pub fn fusion_stats<'a>(graphs: impl IntoIterator<Item = &'a Graph>) -> BTreeMap<KernelFamily, usize> {
+    let mut stats = BTreeMap::new();
+    for g in graphs {
+        for k in fuse(g) {
+            *stats.entry(k.family).or_insert(0) += 1;
+        }
+    }
+    stats
+}
+
+/// Dependency lists between kernels: `deps[i]` holds indices of kernels
+/// that must finish before kernel `i` starts.
+pub fn kernel_deps(g: &Graph, kernels: &[Kernel]) -> Vec<Vec<usize>> {
+    // Map node -> kernel index.
+    let mut owner = vec![usize::MAX; g.len()];
+    for (ki, k) in kernels.iter().enumerate() {
+        for &n in &k.nodes {
+            owner[n.index()] = ki;
+        }
+    }
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); kernels.len()];
+    for (ki, k) in kernels.iter().enumerate() {
+        for &nid in &k.nodes {
+            for &inp in &g.node(nid).inputs {
+                let producer = owner[inp.index()];
+                if producer != ki && !deps[ki].contains(&producer) {
+                    deps[ki].push(producer);
+                }
+            }
+        }
+        deps[ki].sort_unstable();
+    }
+    deps
+}
+
+/// Topological order of the kernel DAG (Kahn's algorithm). Needed because
+/// fusion can create a kernel (e.g. `Conv+Add`) whose skip-branch producer
+/// appears later in creation order.
+pub fn topo_order(deps: &[Vec<usize>]) -> Vec<usize> {
+    let n = deps.len();
+    let mut indegree = vec![0usize; n];
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, d) in deps.iter().enumerate() {
+        indegree[i] = d.len();
+        for &p in d {
+            consumers[p].push(i);
+        }
+    }
+    // Min-index-first queue keeps the order deterministic and close to
+    // creation order.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| std::cmp::Reverse(i))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(i)) = ready.pop() {
+        order.push(i);
+        for &c in &consumers[i] {
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                ready.push(std::cmp::Reverse(c));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "kernel DAG has a cycle");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::{GraphBuilder, Shape};
+
+    fn residual_block() -> Graph {
+        // conv -> relu -> conv -> add(skip) -> relu
+        let mut b = GraphBuilder::new("rb", Shape::nchw(1, 16, 16, 16));
+        let c1 = b.conv(None, 16, 3, 1, 1, 1).unwrap();
+        let r1 = b.relu(c1).unwrap();
+        let c2 = b.conv(Some(r1), 16, 3, 1, 1, 1).unwrap();
+        let a = b.add(c2, r1).unwrap();
+        b.relu(a).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn residual_block_fuses_to_two_kernels() {
+        let g = residual_block();
+        let ks = fuse(&g);
+        // conv+relu is NOT fusable for c1 (relu output feeds both c2 and
+        // add -> c1's relu has 2 consumers, but fusion looks at c1's sole
+        // consumer which IS the relu). Check actual families:
+        let fams: Vec<KernelFamily> = ks.iter().map(|k| k.family).collect();
+        assert_eq!(
+            fams,
+            vec![KernelFamily::ConvRelu, KernelFamily::ConvAddRelu]
+        );
+        assert_eq!(ks[1].nodes.len(), 3);
+    }
+
+    #[test]
+    fn swish_fuses() {
+        let mut b = GraphBuilder::new("s", Shape::nchw(1, 8, 8, 8));
+        let c = b.conv(None, 8, 1, 1, 0, 1).unwrap();
+        b.swish(c).unwrap();
+        let g = b.finish().unwrap();
+        let ks = fuse(&g);
+        // conv cannot fuse: its output feeds both sigmoid and mul.
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].family, KernelFamily::Conv);
+        assert_eq!(ks[1].family, KernelFamily::SigmoidMul);
+    }
+
+    #[test]
+    fn multi_consumer_conv_stays_unfused() {
+        // conv output feeding two branches must not absorb either.
+        let mut b = GraphBuilder::new("mc", Shape::nchw(1, 8, 8, 8));
+        let c = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+        let r1 = b.relu(c).unwrap();
+        let r2 = b.sigmoid(c).unwrap();
+        b.add(r1, r2).unwrap();
+        let g = b.finish().unwrap();
+        let ks = fuse(&g);
+        assert_eq!(ks[0].family, KernelFamily::Conv);
+        assert_eq!(ks[0].nodes.len(), 1);
+    }
+
+    #[test]
+    fn every_node_in_exactly_one_kernel() {
+        let g = residual_block();
+        let ks = fuse(&g);
+        let mut seen = vec![0; g.len()];
+        for k in &ks {
+            for n in &k.nodes {
+                seen[n.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn fused_kernel_hides_intermediate_traffic() {
+        let g = residual_block();
+        let ks = fuse(&g);
+        let fused = describe(&g, &ks[1], DType::F32);
+        // The fused conv+add+relu reads: relu output (conv input), relu
+        // output again (skip), weights. It does NOT read/write the
+        // intermediate conv output or add output.
+        let tensor = 16.0 * 16.0 * 16.0 * 4.0;
+        let weights = (16.0 * 16.0 * 9.0 + 16.0) * 4.0;
+        assert_eq!(fused.read_bytes, 2.0 * tensor + weights);
+        assert_eq!(fused.write_bytes, tensor);
+    }
+
+    #[test]
+    fn deps_follow_data_flow() {
+        let g = residual_block();
+        let ks = fuse(&g);
+        let deps = kernel_deps(&g, &ks);
+        assert!(deps[0].is_empty());
+        assert_eq!(deps[1], vec![0]);
+    }
+
+    #[test]
+    fn stats_cover_corpus() {
+        let g = residual_block();
+        let stats = fusion_stats([&g]);
+        assert_eq!(stats[&KernelFamily::ConvRelu], 1);
+        assert_eq!(stats[&KernelFamily::ConvAddRelu], 1);
+    }
+
+    #[test]
+    fn mobilenet_produces_conv_clip_kernels() {
+        let g = nnlqp_models::mobilenet_v2::build(
+            "m",
+            &nnlqp_models::mobilenet_v2::MobileNetV2Config::default(),
+        )
+        .unwrap();
+        let stats = fusion_stats([&g]);
+        assert!(stats.get(&KernelFamily::ConvClip).copied().unwrap_or(0) > 10);
+    }
+
+    #[test]
+    fn table8_families_emerge_from_real_corpus() {
+        use nnlqp_models::ModelFamily;
+        let graphs: Vec<Graph> = nnlqp_models::family::CORPUS_FAMILIES
+            .iter()
+            .map(|f| f.canonical().unwrap())
+            .collect();
+        let _ = ModelFamily::ResNet;
+        let stats = fusion_stats(graphs.iter());
+        for fam in [
+            KernelFamily::ConvRelu,
+            KernelFamily::Conv,
+            KernelFamily::ConvAddRelu,
+            KernelFamily::ConvClip,
+            KernelFamily::Concat,
+            KernelFamily::Gemm,
+            KernelFamily::MaxPool,
+            KernelFamily::GlobalAveragePool,
+            KernelFamily::Flatten,
+            KernelFamily::SigmoidMul,
+            KernelFamily::ReduceMean,
+        ] {
+            assert!(
+                stats.get(&fam).copied().unwrap_or(0) > 0,
+                "family {fam} missing from corpus"
+            );
+        }
+    }
+}

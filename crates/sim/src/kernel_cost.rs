@@ -1,0 +1,260 @@
+//! Roofline kernel cost model with non-linear platform utilization.
+//!
+//! A kernel's execution time is `max(compute, memory) + launch`:
+//!
+//! * `compute = flops / (peak * utilization)` where utilization folds in
+//!   occupancy saturation, channel alignment, depthwise/grouped penalties
+//!   and dense-3x3 (Winograd) boosts;
+//! * `memory = bytes / bandwidth`, with a cache discount applied only when
+//!   the kernel runs *inside* a model (handled by the scheduler);
+//! * `launch` is the per-kernel dispatch overhead.
+//!
+//! The deliberate non-linearities are what make FLOPs-only latency proxies
+//! fail on the mobile families (Table 3) while remaining learnable from
+//! graph structure — mirroring real accelerators.
+
+use crate::fusion::{KernelDesc, KernelFamily};
+use crate::platform::PlatformSpec;
+
+/// Utilization (0..~1.5 of `BASE_EFFICIENCY`) for a kernel on a platform.
+pub fn utilization(desc: &KernelDesc, p: &PlatformSpec) -> f64 {
+    let mut eff = PlatformSpec::BASE_EFFICIENCY;
+
+    // Occupancy: small outputs cannot fill the machine. Saturating curve
+    // x / (x + sat) rescaled so eff -> 1 as the kernel grows.
+    let x = desc.out_elems.max(1.0);
+    let occupancy = x / (x + p.sat_elems);
+    // Keep a floor so tiny kernels are slow but not absurd.
+    eff *= 0.06 + 0.94 * occupancy;
+
+    // Channel alignment: vector lanes / tensor cores want multiples of
+    // `align`; the tail fraction runs at reduced rate.
+    let align = p.align.max(1);
+    let rem = desc.out_channels % align;
+    if rem != 0 && desc.out_channels > 0 {
+        let tail_frac = 1.0 - (rem as f64 / align as f64);
+        eff *= 1.0 - p.misalign_penalty * tail_frac;
+    }
+
+    // Family- and shape-specific factors.
+    match desc.family {
+        KernelFamily::Conv
+        | KernelFamily::ConvRelu
+        | KernelFamily::ConvAdd
+        | KernelFamily::ConvAddRelu
+        | KernelFamily::ConvClip => {
+            if desc.groups > 1 {
+                // Grouped convolutions underutilize MAC arrays, the more
+                // so the narrower the group: each group is an independent
+                // tiny GEMM, and below the hardware tile width most lanes
+                // idle. On quantized / tensor-core paths the fast kernels
+                // do not support grouping at all and the runtime falls
+                // back to generic ones — the reason RegNetX-200M measures
+                // *slower* than ResNet18 on P4 int8 despite ~7x fewer
+                // FLOPs (paper §9). Depthwise (1 channel/group) is the
+                // worst case.
+                let cpg = (desc.out_channels.max(1) / desc.groups.max(1)).max(1) as f64;
+                let tile = p.align.max(8) as f64 * 2.0;
+                let width_factor = (cpg / tile).sqrt().clamp(0.15, 1.0);
+                let fallback = crate::platform::dtype_group_penalty(p.dtype);
+                eff *= p.dw_efficiency * width_factor * fallback;
+            } else if desc.kernel_hw == 3 && desc.stride == 1 {
+                // Winograd fast path for dense 3x3 stride-1.
+                eff *= p.winograd_boost;
+            } else if desc.kernel_hw >= 5 {
+                // Large kernels fall off the fast path.
+                eff *= 0.85;
+            } else if desc.kernel_hw == 1 {
+                // 1x1 convs are GEMM-shaped: good but not Winograd-good.
+                eff *= 0.95;
+            }
+        }
+        KernelFamily::Gemm => {
+            // Batch-1 GEMV is memory-bound and low-utilization.
+            eff *= if desc.batch <= 1 { 0.55 } else { 0.9 };
+        }
+        _ => {
+            // Element-wise / pooling / data-movement kernels: throughput is
+            // bandwidth-dominated; compute efficiency hardly matters.
+        }
+    }
+
+    eff.clamp(0.005, 1.0)
+}
+
+/// Compute-side time in milliseconds.
+pub fn compute_ms(desc: &KernelDesc, p: &PlatformSpec) -> f64 {
+    if desc.flops <= 0.0 {
+        return 0.0;
+    }
+    let eff = utilization(desc, p);
+    desc.flops / (p.peak_gflops * 1.0e9 * eff) * 1.0e3
+}
+
+/// Memory-side time in milliseconds; `cached_read_frac` of the read bytes
+/// are served at cache bandwidth (the scheduler passes > 0 inside models).
+pub fn memory_ms(desc: &KernelDesc, p: &PlatformSpec, cached_read_frac: f64) -> f64 {
+    let bw = p.mem_bw_gbps * 1.0e9;
+    let cached = desc.read_bytes * cached_read_frac;
+    let cold = desc.read_bytes - cached;
+    let t = (cold + desc.write_bytes) / bw + cached / (bw * p.cache_speedup);
+    t * 1.0e3
+}
+
+/// Execution time (no launch) with a given cache fraction.
+pub fn exec_ms(desc: &KernelDesc, p: &PlatformSpec, cached_read_frac: f64) -> f64 {
+    compute_ms(desc, p).max(memory_ms(desc, p, cached_read_frac))
+}
+
+/// Latency of a kernel measured in isolation: cold memory, full launch
+/// overhead. This is what a kernel-level benchmark (nn-Meter-style kernel
+/// dataset) observes.
+pub fn kernel_latency_isolated_ms(desc: &KernelDesc, p: &PlatformSpec) -> f64 {
+    p.launch_us * 1.0e-3 + exec_ms(desc, p, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::DType;
+
+    fn gpu() -> PlatformSpec {
+        PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap()
+    }
+
+    fn conv_desc(out_channels: u32, out_elems: f64, k: u32, groups: u32) -> KernelDesc {
+        KernelDesc {
+            family: KernelFamily::ConvRelu,
+            flops: 2.0 * out_elems * 64.0 * (k * k) as f64 / groups as f64,
+            read_bytes: out_elems * 4.0,
+            write_bytes: out_elems * 4.0,
+            out_elems,
+            out_channels,
+            out_h: 28,
+            kernel_hw: k,
+            groups,
+            stride: 1,
+            batch: 1,
+        }
+    }
+
+    #[test]
+    fn aligned_channels_beat_misaligned() {
+        let p = gpu();
+        let aligned = conv_desc(64, 1.0e6, 3, 1);
+        let misaligned = conv_desc(61, 1.0e6, 3, 1);
+        assert!(utilization(&aligned, &p) > utilization(&misaligned, &p));
+    }
+
+    #[test]
+    fn depthwise_is_less_efficient() {
+        let p = gpu();
+        let dense = conv_desc(64, 1.0e6, 3, 1);
+        let dw = conv_desc(64, 1.0e6, 3, 64);
+        assert!(utilization(&dw, &p) < utilization(&dense, &p) * 0.5);
+    }
+
+    #[test]
+    fn small_kernels_underutilize() {
+        let p = gpu();
+        let small = conv_desc(64, 1.0e3, 3, 1);
+        let big = conv_desc(64, 1.0e7, 3, 1);
+        assert!(utilization(&small, &p) < utilization(&big, &p) * 0.6);
+    }
+
+    #[test]
+    fn isolated_latency_includes_launch() {
+        let p = gpu();
+        let tiny = KernelDesc {
+            family: KernelFamily::Relu,
+            flops: 10.0,
+            read_bytes: 40.0,
+            write_bytes: 40.0,
+            out_elems: 10.0,
+            out_channels: 10,
+            out_h: 1,
+            kernel_hw: 0,
+            groups: 1,
+            stride: 1,
+            batch: 1,
+        };
+        let lat = kernel_latency_isolated_ms(&tiny, &p);
+        // Dominated by launch overhead.
+        let launch = p.launch_us * 1.0e-3;
+        assert!((lat - launch).abs() / launch < 0.1, "latency {lat}");
+    }
+
+    #[test]
+    fn cache_discount_reduces_memory_time() {
+        let p = gpu();
+        let d = conv_desc(64, 1.0e6, 3, 1);
+        assert!(memory_ms(&d, &p, 0.5) < memory_ms(&d, &p, 0.0));
+    }
+
+    #[test]
+    fn roofline_picks_max_side() {
+        let p = gpu();
+        // Memory-heavy: relu on a huge tensor.
+        let mem_bound = KernelDesc {
+            family: KernelFamily::Relu,
+            flops: 1.0e6,
+            read_bytes: 4.0e8,
+            write_bytes: 4.0e8,
+            out_elems: 1.0e8,
+            out_channels: 64,
+            out_h: 1000,
+            kernel_hw: 0,
+            groups: 1,
+            stride: 1,
+            batch: 1,
+        };
+        let e = exec_ms(&mem_bound, &p, 0.0);
+        assert!((e - memory_ms(&mem_bound, &p, 0.0)).abs() < 1e-12);
+        assert!(e > compute_ms(&mem_bound, &p));
+    }
+
+    #[test]
+    fn int8_platform_is_faster_than_fp32_on_compute_bound() {
+        let f32p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        let i8p = PlatformSpec::by_name("gpu-T4-trt7.1-int8").unwrap();
+        let mut d = conv_desc(64, 1.0e6, 3, 1);
+        d.flops = 1.0e10;
+        // int8 descriptor carries 1/4 of the bytes.
+        let mut d8 = d.clone();
+        d8.read_bytes /= 4.0;
+        d8.write_bytes /= 4.0;
+        assert!(
+            kernel_latency_isolated_ms(&d8, &i8p) < kernel_latency_isolated_ms(&d, &f32p)
+        );
+    }
+
+    #[test]
+    fn realistic_resnet_conv_is_sub_millisecond_on_t4() {
+        // 2nd-stage ResNet conv: 64ch 56x56, 3x3 from 64ch.
+        let out_elems = 64.0 * 56.0 * 56.0;
+        let d = KernelDesc {
+            family: KernelFamily::ConvRelu,
+            flops: 2.0 * out_elems * 64.0 * 9.0,
+            read_bytes: (64.0 * 56.0 * 56.0 + 64.0 * 64.0 * 9.0) * 4.0,
+            write_bytes: out_elems * 4.0,
+            out_elems,
+            out_channels: 64,
+            out_h: 56,
+            kernel_hw: 3,
+            groups: 1,
+            stride: 1,
+            batch: 1,
+        };
+        let lat = kernel_latency_isolated_ms(&d, &gpu());
+        assert!(lat > 0.01 && lat < 1.0, "conv latency {lat} ms");
+    }
+
+    #[test]
+    fn utilization_uses_dtype_agnostic_flops() {
+        // DType enters through bytes, not the utilization itself.
+        let d = conv_desc(64, 1.0e6, 3, 1);
+        let _ = DType::F32;
+        let p = gpu();
+        assert!(utilization(&d, &p) > 0.0 && utilization(&d, &p) <= 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # nnlqp-sim
+//!
+//! A multi-platform neural-network latency simulator — the substrate that
+//! replaces the paper's physical device farm (T4/P4 GPUs, a Xeon CPU and
+//! six ASIC families behind vendor inference stacks).
+//!
+//! The simulator is mechanistic, not a lookup table:
+//!
+//! * an **operator-fusion pass** ([`fusion`]) groups graph nodes into the
+//!   same 14 kernel families the paper's fusion rules produce (Appendix D);
+//! * a **roofline kernel cost model** ([`kernel_cost`]) prices each kernel
+//!   as `launch + max(compute, memory)` with platform-specific non-linear
+//!   utilization (channel alignment, occupancy saturation, depthwise and
+//!   Winograd factors, dtype throughput);
+//! * a **multi-stream list scheduler** ([`exec`]) executes the kernel DAG
+//!   the way real runtimes do — pipelined launches, producer-to-consumer
+//!   cache reuse and parallel branches — which makes the sum of isolated
+//!   kernel latencies *exceed* the whole-model latency exactly as the
+//!   paper observes (Fig. 2);
+//! * a **measurement harness** ([`measure`]) adds run-to-run jitter and
+//!   averages repetitions like the real NNLQ does (50 runs);
+//! * a **device farm** ([`farm`]) reproduces the query pipeline of §5.1
+//!   (model transformation → device acquisition → latency measurement)
+//!   with worker threads, device leases and a simulated wall clock for the
+//!   deployment stages.
+
+pub mod exec;
+pub mod farm;
+pub mod fusion;
+pub mod kernel_cost;
+pub mod measure;
+pub mod platform;
+
+pub use exec::{model_latency_ms, sum_kernel_latencies_ms, ExecutionTrace};
+pub use farm::{DeviceFarm, FarmError, FarmResult, QueryJob};
+pub use fusion::{fuse, fusion_stats, Kernel, KernelDesc, KernelFamily};
+pub use kernel_cost::kernel_latency_isolated_ms;
+pub use measure::{measure, Measurement, DEFAULT_REPS};
+pub use platform::{DeployCosts, HardwareClass, PlatformSpec};

@@ -1,0 +1,106 @@
+//! The measurement harness: repeated timed runs with realistic jitter.
+//!
+//! NNLQ "runs each model 50 times on the target platform and takes the
+//! average result as the latency ground truth" (§8.1). The simulator adds
+//! multiplicative run-to-run noise plus occasional contention spikes, then
+//! averages — so ground-truth labels carry measurement error exactly as
+//! the paper's do.
+
+use crate::exec::model_latency_ms;
+use crate::platform::PlatformSpec;
+use nnlqp_ir::{Graph, Rng64};
+
+/// Paper-default repetition count.
+pub const DEFAULT_REPS: usize = 50;
+
+/// Result of a measurement session.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Mean latency over all runs (the ground-truth label).
+    pub mean_ms: f64,
+    /// Sample standard deviation.
+    pub std_ms: f64,
+    /// Individual timed runs.
+    pub runs: Vec<f64>,
+}
+
+/// Relative run-to-run jitter (sigma of the multiplicative noise).
+const JITTER_SIGMA: f64 = 0.012;
+/// Probability of a contention spike on any given run.
+const SPIKE_PROB: f64 = 0.03;
+/// Relative magnitude of a spike.
+const SPIKE_FRAC: f64 = 0.08;
+
+/// Measure a model `reps` times. The seed controls the jitter stream, so a
+/// measurement is reproducible for a given `(model, platform, seed)`.
+pub fn measure(g: &Graph, p: &PlatformSpec, reps: usize, seed: u64) -> Measurement {
+    let true_lat = model_latency_ms(g, p);
+    let mut r = Rng64::new(seed ^ 0xACC0_FFEE_u64);
+    let runs: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let mut lat = true_lat * (1.0 + r.normal(0.0, JITTER_SIGMA));
+            if r.bernoulli(SPIKE_PROB) {
+                lat += true_lat * SPIKE_FRAC * r.uniform();
+            }
+            lat.max(true_lat * 0.5)
+        })
+        .collect();
+    let mean = runs.iter().sum::<f64>() / runs.len() as f64;
+    let var = runs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (runs.len().max(2) - 1) as f64;
+    Measurement {
+        mean_ms: mean,
+        std_ms: var.sqrt(),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_models::ModelFamily;
+
+    fn setup() -> (Graph, PlatformSpec) {
+        (
+            ModelFamily::ResNet.canonical().unwrap(),
+            PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap(),
+        )
+    }
+
+    #[test]
+    fn mean_close_to_true_latency() {
+        let (g, p) = setup();
+        let truth = model_latency_ms(&g, &p);
+        let m = measure(&g, &p, 50, 7);
+        assert!(
+            (m.mean_ms - truth).abs() / truth < 0.02,
+            "mean {} vs truth {truth}",
+            m.mean_ms
+        );
+    }
+
+    #[test]
+    fn measurement_is_reproducible_per_seed() {
+        let (g, p) = setup();
+        let a = measure(&g, &p, 20, 42);
+        let b = measure(&g, &p, 20, 42);
+        assert_eq!(a.runs, b.runs);
+        let c = measure(&g, &p, 20, 43);
+        assert_ne!(a.runs, c.runs);
+    }
+
+    #[test]
+    fn jitter_present_but_bounded() {
+        let (g, p) = setup();
+        let m = measure(&g, &p, 50, 3);
+        assert!(m.std_ms > 0.0);
+        assert!(m.std_ms / m.mean_ms < 0.05, "cv = {}", m.std_ms / m.mean_ms);
+    }
+
+    #[test]
+    fn single_rep_supported() {
+        let (g, p) = setup();
+        let m = measure(&g, &p, 1, 9);
+        assert_eq!(m.runs.len(), 1);
+        assert!(m.mean_ms > 0.0);
+    }
+}

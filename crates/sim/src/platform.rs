@@ -1,0 +1,331 @@
+//! Platform descriptors — the simulator's stand-in for Table 1.
+//!
+//! Each spec captures the first-order determinants of inference latency on
+//! a device class: peak arithmetic throughput at the executed precision,
+//! memory bandwidth, kernel launch overhead, stream parallelism and the
+//! non-linear utilization knobs (alignment quantum, occupancy saturation,
+//! depthwise / Winograd factors). Values are order-of-magnitude realistic
+//! for the named silicon but are *not* claimed to match it — the
+//! experiments compare predictors against this simulator's ground truth.
+
+use nnlqp_ir::{DType, OpType};
+use serde::{Deserialize, Serialize};
+
+/// Grouped-convolution fallback multiplier by precision: the fast
+/// quantized/half kernels of vendor runtimes do not support grouping, so
+/// grouped layers drop to generic kernels and lose most of the dtype's
+/// throughput advantage.
+pub fn dtype_group_penalty(dt: DType) -> f64 {
+    match dt {
+        DType::F32 => 0.75,
+        DType::F16 | DType::I16 | DType::I8 => 0.40,
+    }
+}
+
+/// Broad hardware category (Table 1's "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HardwareClass {
+    Gpu,
+    Cpu,
+    Asic,
+}
+
+/// Simulated wall-clock costs of the deployment pipeline stages (§5.1),
+/// in seconds. These drive Table 2; the measurement itself adds
+/// `reps * model_latency` on top.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeployCosts {
+    /// Step 1: ONNX -> platform graph conversion.
+    pub transform_s: f64,
+    /// Step 1: compilation by the inference toolkit (TensorRT build etc.).
+    pub compile_s: f64,
+    /// Step 3: upload of executable + dependencies to the board.
+    pub upload_s: f64,
+    /// Fixed harness overhead around the timed runs.
+    pub harness_s: f64,
+}
+
+impl DeployCosts {
+    /// Total fixed pipeline cost excluding the timed runs.
+    pub fn fixed_total_s(&self) -> f64 {
+        self.transform_s + self.compile_s + self.upload_s + self.harness_s
+    }
+}
+
+/// A target platform: hardware + inference software + data type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Canonical identifier, e.g. `"gpu-T4-trt7.1-fp32"`.
+    pub name: String,
+    /// Hardware name (Table 1 column 2).
+    pub hardware: String,
+    /// Inference library (Table 1 column 3).
+    pub software: String,
+    /// Executed precision.
+    pub dtype: DType,
+    /// Hardware category.
+    pub class: HardwareClass,
+    /// Peak arithmetic throughput at `dtype`, in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Kernel launch overhead in microseconds.
+    pub launch_us: f64,
+    /// Concurrent execution streams (1 = strictly sequential kernels).
+    pub streams: usize,
+    /// Channel alignment quantum for full throughput (tensor cores /
+    /// vector lanes); misaligned widths pay `misalign_penalty`.
+    pub align: u32,
+    /// Peak efficiency loss at worst-case misalignment, 0..1.
+    pub misalign_penalty: f64,
+    /// Output-element count at which a kernel reaches half of peak
+    /// utilization (occupancy saturation scale).
+    pub sat_elems: f64,
+    /// Relative efficiency of depthwise/grouped convolutions.
+    pub dw_efficiency: f64,
+    /// Throughput multiplier for 3x3 dense convolutions (Winograd et al.).
+    pub winograd_boost: f64,
+    /// Fraction of producer-to-consumer bytes served from cache when a
+    /// kernel runs inside a model (vs. cold from DRAM when isolated).
+    pub cache_overlap: f64,
+    /// Bandwidth multiplier for cache-resident bytes.
+    pub cache_speedup: f64,
+    /// Fraction of the launch overhead hidden by pipelining when the
+    /// stream is busy (back-to-back enqueue).
+    pub launch_pipelining: f64,
+    /// Deployment-stage costs for the query pipeline.
+    pub deploy: DeployCosts,
+    /// Operators this platform's toolchain cannot compile (§9: "which
+    /// operators are not suitable — for example, hard swish is not
+    /// supported on openppl and therefore should be avoided"). The
+    /// advisory [`PlatformSpec::unsupported_in`] check surfaces these at
+    /// design time.
+    pub unsupported: Vec<OpType>,
+}
+
+impl PlatformSpec {
+    /// Best-case utilization ceiling used by the cost model.
+    pub const BASE_EFFICIENCY: f64 = 0.62;
+
+    #[allow(clippy::too_many_arguments)] // positional registry table rows
+    fn mk(
+        hardware: &str,
+        software: &str,
+        dtype: DType,
+        class: HardwareClass,
+        peak_gflops: f64,
+        mem_bw_gbps: f64,
+        launch_us: f64,
+        streams: usize,
+        align: u32,
+        deploy_fixed: f64,
+    ) -> PlatformSpec {
+        let prefix = match class {
+            HardwareClass::Gpu => "gpu-",
+            HardwareClass::Cpu => "",
+            HardwareClass::Asic => "",
+        };
+        let (dw, wino, cache, misalign) = match class {
+            HardwareClass::Gpu => (0.35, 1.45, 0.60, 0.30),
+            HardwareClass::Cpu => (0.60, 1.15, 0.75, 0.15),
+            HardwareClass::Asic => (0.50, 1.00, 0.45, 0.40),
+        };
+        PlatformSpec {
+            name: format!("{prefix}{hardware}-{software}-{}", dtype.name()),
+            hardware: hardware.to_string(),
+            software: software.to_string(),
+            dtype,
+            class,
+            peak_gflops,
+            mem_bw_gbps,
+            launch_us,
+            streams,
+            align,
+            misalign_penalty: misalign,
+            sat_elems: match class {
+                HardwareClass::Gpu => 2.0e5,
+                HardwareClass::Cpu => 2.0e4,
+                HardwareClass::Asic => 8.0e4,
+            },
+            dw_efficiency: dw,
+            winograd_boost: wino,
+            cache_overlap: cache,
+            cache_speedup: 4.0,
+            launch_pipelining: match class {
+                HardwareClass::Gpu => 0.85,
+                HardwareClass::Cpu => 0.45,
+                HardwareClass::Asic => 0.65,
+            },
+            deploy: DeployCosts {
+                transform_s: 0.08 * deploy_fixed,
+                compile_s: 0.72 * deploy_fixed,
+                upload_s: 0.08 * deploy_fixed,
+                harness_s: 0.12 * deploy_fixed,
+            },
+            unsupported: match (hardware, software) {
+                // NNIE NPUs route smooth sigmoids to the host CPU.
+                ("hi3559A", _) | ("hi3519A", _) => vec![OpType::Sigmoid],
+                // The rknn toolchain has no keepdims spatial mean.
+                ("rv1109", _) => vec![OpType::ReduceMean],
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    /// Operators of `g` this platform cannot compile (advisory design-time
+    /// check; the simulator still prices them, as vendor stacks fall back
+    /// to slow host kernels).
+    pub fn unsupported_in(&self, g: &nnlqp_ir::Graph) -> Vec<OpType> {
+        let mut found: Vec<OpType> = g
+            .nodes
+            .iter()
+            .map(|n| n.op)
+            .filter(|op| self.unsupported.contains(op))
+            .collect();
+        found.sort_unstable_by_key(|op| op.code());
+        found.dedup();
+        found
+    }
+
+    /// All platforms the simulated NNLQ supports (superset of Table 1).
+    pub fn registry() -> Vec<PlatformSpec> {
+        use DType::*;
+        use HardwareClass::*;
+        vec![
+            // CPU
+            Self::mk("cpu", "openppl", F32, Cpu, 1100.0, 95.0, 0.8, 1, 16, 150.0),
+            // Datacenter GPUs
+            Self::mk("T4", "trt7.1", F32, Gpu, 8100.0, 320.0, 10.0, 2, 8, 80.0),
+            Self::mk("T4", "trt7.1", F16, Gpu, 21000.0, 320.0, 10.0, 2, 8, 82.0),
+            Self::mk("T4", "trt7.1", I8, Gpu, 26000.0, 320.0, 10.0, 2, 16, 78.0),
+            Self::mk("P4", "trt7.1", F32, Gpu, 5500.0, 192.0, 12.0, 2, 8, 85.0),
+            Self::mk("P4", "trt7.1", I8, Gpu, 12000.0, 192.0, 12.0, 2, 16, 86.0),
+            Self::mk("T4", "trt5.0", F32, Gpu, 7700.0, 320.0, 12.0, 2, 8, 84.0),
+            Self::mk("P4", "trt5.0", F32, Gpu, 5200.0, 192.0, 14.0, 2, 8, 88.0),
+            Self::mk("gtx1660", "trt7.1", F32, Gpu, 5000.0, 192.0, 10.0, 2, 8, 76.0),
+            // ASICs
+            Self::mk("hi3559A", "nnie11", I8, Asic, 2000.0, 25.0, 40.0, 1, 16, 88.0),
+            Self::mk("hi3559A", "nnie11", I16, Asic, 1000.0, 25.0, 40.0, 1, 8, 88.0),
+            Self::mk("hi3519A", "nnie12", I8, Asic, 1200.0, 18.0, 50.0, 1, 16, 86.0),
+            Self::mk("hi3519A", "nnie12", I16, Asic, 600.0, 18.0, 50.0, 1, 8, 86.0),
+            Self::mk("atlas300", "acl", F16, Asic, 8000.0, 204.0, 22.0, 2, 16, 112.0),
+            Self::mk("atlas300", "acl", I8, Asic, 16000.0, 204.0, 22.0, 2, 32, 112.0),
+            Self::mk("mlu270", "neuware", I8, Asic, 12000.0, 102.0, 26.0, 4, 32, 106.0),
+            Self::mk("mlu270", "neuware", I16, Asic, 6000.0, 102.0, 26.0, 4, 16, 106.0),
+            Self::mk("rv1109", "rknn", I8, Asic, 800.0, 8.5, 60.0, 1, 8, 92.0),
+            Self::mk("rv1109", "rknn", I16, Asic, 400.0, 8.5, 60.0, 1, 4, 92.0),
+        ]
+    }
+
+    /// Look up a platform by its canonical name.
+    pub fn by_name(name: &str) -> Option<PlatformSpec> {
+        // Accept the paper's occasional aliases.
+        let canonical = match name {
+            "cpu-ppl2-fp32" => "cpu-openppl-fp32",
+            "mul270-neuware-int8" => "mlu270-neuware-int8",
+            other => other,
+        };
+        Self::registry().into_iter().find(|p| p.name == canonical)
+    }
+
+    /// The nine platforms of the Table 2 / Table 6 experiments, in row
+    /// order.
+    pub fn table2_platforms() -> Vec<PlatformSpec> {
+        [
+            "cpu-openppl-fp32",
+            "hi3559A-nnie11-int8",
+            "gpu-T4-trt7.1-fp32",
+            "gpu-T4-trt7.1-int8",
+            "gpu-P4-trt7.1-fp32",
+            "gpu-P4-trt7.1-int8",
+            "hi3519A-nnie12-int8",
+            "atlas300-acl-fp16",
+            "mlu270-neuware-int8",
+        ]
+        .iter()
+        .map(|n| Self::by_name(n).expect("registry platform"))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_table1_coverage() {
+        let reg = PlatformSpec::registry();
+        assert!(reg.len() >= 12);
+        for needed in [
+            "cpu-openppl-fp32",
+            "gpu-T4-trt7.1-fp32",
+            "gpu-T4-trt7.1-int8",
+            "gpu-P4-trt7.1-fp32",
+            "hi3559A-nnie11-int8",
+            "hi3519A-nnie12-int8",
+            "atlas300-acl-fp16",
+            "mlu270-neuware-int8",
+            "rv1109-rknn-int8",
+            "gpu-gtx1660-trt7.1-fp32",
+        ] {
+            assert!(
+                PlatformSpec::by_name(needed).is_some(),
+                "missing platform {needed}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let reg = PlatformSpec::registry();
+        let mut names: Vec<&str> = reg.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(
+            PlatformSpec::by_name("cpu-ppl2-fp32").unwrap().name,
+            "cpu-openppl-fp32"
+        );
+        assert_eq!(
+            PlatformSpec::by_name("mul270-neuware-int8").unwrap().name,
+            "mlu270-neuware-int8"
+        );
+    }
+
+    #[test]
+    fn table2_has_nine_rows() {
+        assert_eq!(PlatformSpec::table2_platforms().len(), 9);
+    }
+
+    #[test]
+    fn deploy_costs_total_matches_scale() {
+        let p = PlatformSpec::by_name("cpu-openppl-fp32").unwrap();
+        let t = p.deploy.fixed_total_s();
+        assert!((140.0..160.0).contains(&t), "cpu fixed deploy {t}");
+    }
+
+    #[test]
+    fn unknown_platform_is_none() {
+        assert!(PlatformSpec::by_name("tpu-v4-bf16").is_none());
+    }
+
+    #[test]
+    fn unsupported_op_check() {
+        use nnlqp_ir::{GraphBuilder, Shape};
+        let mut b = GraphBuilder::new("se", Shape::nchw(1, 16, 8, 8));
+        let c = b.conv(None, 16, 3, 1, 1, 1).unwrap();
+        b.squeeze_excite(c, 4).unwrap();
+        let g = b.finish().unwrap();
+        let nnie = PlatformSpec::by_name("hi3559A-nnie11-int8").unwrap();
+        assert_eq!(nnie.unsupported_in(&g), vec![nnlqp_ir::OpType::Sigmoid]);
+        let rknn = PlatformSpec::by_name("rv1109-rknn-int8").unwrap();
+        assert_eq!(rknn.unsupported_in(&g), vec![nnlqp_ir::OpType::ReduceMean]);
+        let gpu = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        assert!(gpu.unsupported_in(&g).is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Multi-platform deployment triage — the §9 "how does NNLQP help model
+//! design" workflow.
+//!
+//! ```text
+//! cargo run --release --example multi_platform_query
+//! ```
+//!
+//! Compares candidate backbones across every supported platform, then
+//! answers the paper's §9 design questions: which hardware is fastest for
+//! a fixed model, and what int8 buys over fp32.
+
+use nnlqp::{Nnlqp, QueryParams};
+use nnlqp_models::ModelFamily;
+use nnlqp_sim::PlatformSpec;
+
+fn main() {
+    let mut system = Nnlqp::with_default_farm();
+    system.reps = 10;
+
+    let candidates = [
+        ModelFamily::ResNet,
+        ModelFamily::MobileNetV2,
+        ModelFamily::SqueezeNet,
+        ModelFamily::EfficientNet,
+    ];
+    let platforms: Vec<String> = PlatformSpec::table2_platforms()
+        .iter()
+        .map(|p| p.name.clone())
+        .collect();
+
+    // Latency matrix: candidates x platforms.
+    println!("latency matrix (ms), batch 1:\n");
+    print!("{:<14}", "model");
+    for p in &platforms {
+        print!("  {:>20}", &p[..p.len().min(20)]);
+    }
+    println!();
+    for fam in candidates {
+        let model = fam.canonical().expect("generator is valid");
+        print!("{:<14}", fam.name());
+        for p in &platforms {
+            let r = system
+                .query(&QueryParams {
+                    model: model.clone(),
+                    batch_size: 1,
+                    platform_name: p.clone(),
+                })
+                .expect("platform registered");
+            print!("  {:>20.3}", r.latency_ms);
+        }
+        println!();
+    }
+
+    // §9: choice of hardware — ResNet18 on P4 vs T4 (paper: T4 ~2x faster
+    // at int8, so switching devices buys ~50%).
+    let resnet = ModelFamily::ResNet.canonical().unwrap();
+    let lat = |platform: &str| {
+        system
+            .query(&QueryParams {
+                model: resnet.clone(),
+                batch_size: 1,
+                platform_name: platform.into(),
+            })
+            .expect("platform registered")
+            .latency_ms
+    };
+    let (p4, t4) = (lat("gpu-P4-trt7.1-int8"), lat("gpu-T4-trt7.1-int8"));
+    println!(
+        "\nResNet int8 batch 1: P4 {:.3} ms vs T4 {:.3} ms -> switching to T4 saves {:.0}%",
+        p4,
+        t4,
+        (1.0 - t4 / p4) * 100.0
+    );
+
+    // §9: choice of data type — fp32 vs int8 on the same silicon.
+    let (fp32, int8) = (lat("gpu-T4-trt7.1-fp32"), lat("gpu-T4-trt7.1-int8"));
+    println!(
+        "ResNet on T4: fp32 {:.3} ms vs int8 {:.3} ms -> int8 speedup {:.2}x",
+        fp32,
+        int8,
+        fp32 / int8
+    );
+
+    // §9: choice of hardware class — atlas300 vs mlu270 under int8-ish.
+    let a = lat("atlas300-acl-fp16");
+    let m = lat("mlu270-neuware-int8");
+    println!("atlas300 {a:.3} ms vs mlu270 {m:.3} ms (paper: atlas300 is faster)");
+
+    let stats = system.stats();
+    println!(
+        "\ndatabase after the session: {} models, {} latency records",
+        stats.models, stats.latencies
+    );
+}

@@ -1,0 +1,100 @@
+//! Quickstart: the paper's §7 interface in Rust.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a model, queries its true latency on two platforms (the first
+//! query measures on the simulated farm, the second hits the database
+//! cache), trains the predictor from the accumulated records, and
+//! predicts the latency of an unseen variant.
+
+use nnlqp::{Nnlqp, QueryParams, TrainPredictorConfig};
+use nnlqp_models::ModelFamily;
+
+fn main() {
+    // The system owns the evolving database, the device farm, and the
+    // predictor — the analogue of `import NNLQP`.
+    let mut system = Nnlqp::with_default_farm();
+    system.reps = 10;
+
+    // A model: canonical ResNet-18 (use nnlqp_ir::GraphBuilder or the
+    // generators in nnlqp-models for your own architectures).
+    let model = ModelFamily::ResNet.canonical().expect("generator is valid");
+    println!(
+        "model: {} ({} nodes, {} edges)",
+        model.name,
+        model.len(),
+        model.num_edges()
+    );
+
+    // --- NNLQP.query: true latency -------------------------------------
+    for platform in ["gpu-T4-trt7.1-fp32", "cpu-openppl-fp32"] {
+        let params = QueryParams {
+            model: model.clone(),
+            batch_size: 1,
+            platform_name: platform.into(),
+        };
+        let first = system.query(&params).expect("platform registered");
+        let second = system.query(&params).expect("platform registered");
+        println!(
+            "{platform}: {:.3} ms  (first query: measured, {:.0} s pipeline; \
+             second query: cache {}, {:.1} s)",
+            first.latency_ms,
+            first.cost_s,
+            if second.cache_hit { "hit" } else { "miss" },
+            second.cost_s
+        );
+    }
+
+    // --- Evolving database: accumulate some more models ----------------
+    let variants: Vec<_> = nnlqp_models::generate_family(ModelFamily::ResNet, 80, 7)
+        .into_iter()
+        .map(|m| m.graph)
+        .collect();
+    let fresh = system
+        .warm_cache(&variants, "gpu-T4-trt7.1-fp32", 1)
+        .expect("warming succeeds");
+    println!("\nwarmed the database with {fresh} fresh measurements");
+    let stats = system.stats();
+    println!(
+        "database: {} models, {} platforms, {} latency records (~{} KiB)",
+        stats.models,
+        stats.platforms,
+        stats.latencies,
+        stats.total_bytes / 1024
+    );
+
+    // --- NNLQP.predict: train from the database, predict unseen model --
+    let samples = system
+        .train_predictor(
+            &["gpu-T4-trt7.1-fp32"],
+            TrainPredictorConfig {
+                epochs: 60,
+                ..Default::default()
+            },
+        )
+        .expect("training data exists");
+    println!("\ntrained the predictor on {samples} database records");
+
+    let unseen = nnlqp_models::generate_family(ModelFamily::ResNet, 40, 4242)
+        .pop()
+        .expect("non-empty")
+        .graph;
+    let params = QueryParams {
+        model: unseen,
+        batch_size: 1,
+        platform_name: "gpu-T4-trt7.1-fp32".into(),
+    };
+    let predicted = system.predict(&params).expect("predictor trained");
+    let truth = system.query(&params).expect("platform registered");
+    println!(
+        "unseen variant: predicted {:.3} ms vs measured {:.3} ms ({:+.1}% error, \
+         prediction cost {:.2} s vs measurement {:.0} s)",
+        predicted.latency_ms,
+        truth.latency_ms,
+        (predicted.latency_ms / truth.latency_ms - 1.0) * 100.0,
+        predicted.cost_s,
+        truth.cost_s,
+    );
+}

@@ -1,0 +1,13 @@
+//! Workspace umbrella crate: re-exports the member crates so the
+//! integration tests and examples have one import root, and hosts no
+//! logic of its own.
+
+pub use nnlqp as core;
+pub use nnlqp_db as db;
+pub use nnlqp_hash as hash;
+pub use nnlqp_ir as ir;
+pub use nnlqp_models as models;
+pub use nnlqp_nas as nas;
+pub use nnlqp_nn as nn;
+pub use nnlqp_predict as predict;
+pub use nnlqp_sim as sim;

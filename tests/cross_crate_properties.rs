@@ -1,0 +1,98 @@
+//! Property-based integration tests: invariants that must hold across
+//! crate boundaries for randomly generated corpus models.
+
+use nnlqp_hash::graph_hash;
+use nnlqp_ir::{serialize, Rng64};
+use nnlqp_models::{family::CORPUS_FAMILIES, ModelFamily};
+use nnlqp_sim::{exec, fusion, PlatformSpec};
+use proptest::prelude::*;
+
+fn arbitrary_corpus_model() -> impl Strategy<Value = nnlqp_ir::Graph> {
+    (0usize..CORPUS_FAMILIES.len(), any::<u64>()).prop_map(|(fi, seed)| {
+        let fam: ModelFamily = CORPUS_FAMILIES[fi];
+        let mut r = Rng64::new(seed);
+        fam.sample("prop", &mut r).expect("generators are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serialization must preserve the graph hash — otherwise the database
+    /// cache would miss after a round trip through storage.
+    #[test]
+    fn hash_stable_across_serialization(g in arbitrary_corpus_model()) {
+        let h1 = graph_hash(&g);
+        let g2 = serialize::decode(serialize::encode(&g)).unwrap();
+        prop_assert_eq!(h1, graph_hash(&g2));
+    }
+
+    /// Fusion must assign every node to exactly one kernel for every
+    /// generator output.
+    #[test]
+    fn fusion_partitions_all_corpus_models(g in arbitrary_corpus_model()) {
+        let kernels = fusion::fuse(&g);
+        let mut seen = vec![0u8; g.len()];
+        for k in &kernels {
+            for n in &k.nodes {
+                seen[n.index()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// Kernel additivity is violated in the expected direction on every
+    /// platform for every model (Fig. 2 generalized).
+    #[test]
+    fn additivity_violation_holds_on_all_platforms(g in arbitrary_corpus_model()) {
+        for p in [
+            "gpu-T4-trt7.1-fp32",
+            "cpu-openppl-fp32",
+            "hi3559A-nnie11-int8",
+            "rv1109-rknn-int8",
+        ] {
+            let spec = PlatformSpec::by_name(p).unwrap();
+            let model = exec::model_latency_ms(&g, &spec);
+            let sum = exec::sum_kernel_latencies_ms(&g, &spec);
+            prop_assert!(model.is_finite() && model > 0.0);
+            prop_assert!(sum >= model, "{p}: sum {sum} < model {model}");
+        }
+    }
+
+    /// Latency is monotone in precision on the same silicon: fp32 is
+    /// never faster than int8 on the T4 (same bandwidth, higher compute
+    /// and bytes).
+    #[test]
+    fn int8_not_slower_than_fp32(g in arbitrary_corpus_model()) {
+        let f32p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        let i8p = PlatformSpec::by_name("gpu-T4-trt7.1-int8").unwrap();
+        let lf = exec::model_latency_ms(&g, &f32p);
+        let li = exec::model_latency_ms(&g, &i8p);
+        prop_assert!(li <= lf * 1.05, "int8 {li} vs fp32 {lf}");
+    }
+
+    /// Feature extraction is total over the corpus and dimensions agree
+    /// with the graph.
+    #[test]
+    fn features_extract_for_all_corpus_models(g in arbitrary_corpus_model()) {
+        let f = nnlqp_predict::extract_features(&g);
+        prop_assert_eq!(f.nodes.rows, g.len());
+        prop_assert_eq!(f.adj.n(), g.len());
+        prop_assert!(f.stat.iter().all(|v| v.is_finite() && *v >= 0.0));
+        prop_assert!(f.nodes.data.iter().all(|v| v.is_finite()));
+    }
+
+    /// The database cache key (hash, platform, batch) is sound: inserting
+    /// then looking up through an independently deserialized copy of the
+    /// graph hits.
+    #[test]
+    fn db_cache_key_roundtrip(g in arbitrary_corpus_model()) {
+        let db = nnlqp_db::Database::new();
+        let (mid, _) = db.insert_model(&g);
+        let pid = db.get_or_create_platform("T4", "trt7.1", "fp32");
+        db.insert_latency(mid, pid, 1, 2.5, 0.0, 0, 0).unwrap();
+        let g2 = serialize::decode(serialize::encode(&g)).unwrap();
+        let hit = db.lookup_latency(graph_hash(&g2), pid, 1);
+        prop_assert!(hit.is_some());
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration: the full NNLQ query path across ir, hash, db, sim and
+//! core — measure, cache, persist, reload, re-hit.
+
+use nnlqp::{Nnlqp, QueryParams};
+use nnlqp_db::persist;
+use nnlqp_hash::graph_hash;
+use nnlqp_models::ModelFamily;
+use nnlqp_sim::{DeviceFarm, PlatformSpec};
+
+fn system() -> Nnlqp {
+    let mut s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 2));
+    s.reps = 5;
+    s
+}
+
+#[test]
+fn query_cache_persist_reload_cycle() {
+    let s = system();
+    let models: Vec<_> = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 5, 1)
+        .into_iter()
+        .map(|m| m.graph)
+        .collect();
+    // Measure all on two platforms.
+    for platform in ["gpu-T4-trt7.1-fp32", "cpu-openppl-fp32"] {
+        for m in &models {
+            let r = s
+                .query(&QueryParams {
+                    model: m.clone(),
+                    batch_size: 1,
+                    platform_name: platform.into(),
+                })
+                .unwrap();
+            assert!(!r.cache_hit);
+        }
+    }
+    assert_eq!(s.stats().models, 5);
+    assert_eq!(s.stats().latencies, 10);
+
+    // Snapshot, reload into a second deployment, verify cache hits with
+    // identical latencies.
+    let bytes = persist::to_bytes(&s.db);
+    let db2 = persist::from_bytes(bytes).unwrap();
+    for m in &models {
+        let hash = graph_hash(m);
+        let spec = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        let pid = db2.get_or_create_platform(&spec.hardware, &spec.software, spec.dtype.name());
+        let hit = db2.lookup_latency(hash, pid, 1).expect("reloaded cache hit");
+        assert!(hit.cost_ms > 0.0);
+    }
+}
+
+#[test]
+fn cache_is_keyed_on_structure_not_name() {
+    let s = system();
+    let mut a = ModelFamily::ResNet.canonical().unwrap();
+    let r1 = s
+        .query(&QueryParams {
+            model: a.clone(),
+            batch_size: 1,
+            platform_name: "gpu-T4-trt7.1-fp32".into(),
+        })
+        .unwrap();
+    // Rename: structurally identical model must hit.
+    a.name = "some-other-name".into();
+    let r2 = s
+        .query(&QueryParams {
+            model: a,
+            batch_size: 1,
+            platform_name: "gpu-T4-trt7.1-fp32".into(),
+        })
+        .unwrap();
+    assert!(r2.cache_hit);
+    assert_eq!(r1.latency_ms, r2.latency_ms);
+}
+
+#[test]
+fn measured_latencies_match_simulator_ground_truth() {
+    // The whole stack must preserve the simulator's values within
+    // measurement noise.
+    let s = system();
+    let g = ModelFamily::MobileNetV2.canonical().unwrap();
+    let spec = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+    let truth = nnlqp_sim::exec::model_latency_ms(&g, &spec);
+    let r = s
+        .query(&QueryParams {
+            model: g,
+            batch_size: 1,
+            platform_name: spec.name.clone(),
+        })
+        .unwrap();
+    assert!(
+        (r.latency_ms - truth).abs() / truth < 0.05,
+        "measured {} vs truth {truth}",
+        r.latency_ms
+    );
+}
+
+#[test]
+fn hit_ratio_improves_aggregate_cost() {
+    // The Table 2 effect at integration level: a warm cache answers the
+    // same workload dramatically faster.
+    let s = system();
+    let models: Vec<_> = nnlqp_models::generate_family(ModelFamily::AlexNet, 6, 9)
+        .into_iter()
+        .map(|m| m.graph)
+        .collect();
+    let run_cost = |sys: &Nnlqp| -> f64 {
+        models
+            .iter()
+            .map(|m| {
+                sys.query(&QueryParams {
+                    model: m.clone(),
+                    batch_size: 1,
+                    platform_name: "gpu-T4-trt7.1-fp32".into(),
+                })
+                .unwrap()
+                .cost_s
+            })
+            .sum()
+    };
+    let cold = run_cost(&s);
+    let warm = run_cost(&s);
+    assert!(
+        cold > 10.0 * warm,
+        "cold {cold:.1}s should dwarf warm {warm:.1}s"
+    );
+}
+
+#[test]
+fn batch_size_is_part_of_the_key_and_scales_latency() {
+    let s = system();
+    let g = ModelFamily::SqueezeNet.canonical().unwrap();
+    let lat = |batch: u32| {
+        s.query(&QueryParams {
+            model: g.clone(),
+            batch_size: batch,
+            platform_name: "gpu-T4-trt7.1-fp32".into(),
+        })
+        .unwrap()
+        .latency_ms
+    };
+    let l1 = lat(1);
+    let l8 = lat(8);
+    assert!(l8 > l1, "batch 8 {l8} should exceed batch 1 {l1}");
+    assert!(l8 < 8.0 * l1, "batch scaling should be sublinear");
+}

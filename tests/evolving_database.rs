@@ -1,0 +1,71 @@
+//! Integration: the *evolving* database claim — as queries accumulate,
+//! retraining the predictor on the grown database improves accuracy on
+//! unseen models (the feedback loop of Fig. 1's thin black arrows).
+
+use nnlqp::{Nnlqp, QueryParams, TrainPredictorConfig};
+use nnlqp_models::ModelFamily;
+use nnlqp_predict::mape;
+use nnlqp_sim::{DeviceFarm, PlatformSpec};
+
+#[test]
+fn predictor_improves_as_database_grows() {
+    let mut system = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1));
+    system.reps = 5;
+    let platform = "gpu-T4-trt7.1-fp32";
+
+    // A stream of arriving models (what production queries look like).
+    let stream: Vec<_> = nnlqp_models::generate_family(ModelFamily::MobileNetV2, 60, 13)
+        .into_iter()
+        .map(|m| m.graph)
+        .collect();
+    // A fixed evaluation set from a different seed.
+    let eval: Vec<_> = nnlqp_models::generate_family(ModelFamily::MobileNetV2, 20, 99)
+        .into_iter()
+        .map(|m| m.graph)
+        .collect();
+
+    let cfg = TrainPredictorConfig {
+        epochs: 30,
+        hidden: 32,
+        gnn_layers: 2,
+        ..Default::default()
+    };
+
+    let eval_mape = |system: &Nnlqp| -> f64 {
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for g in &eval {
+            let p = QueryParams {
+                model: g.clone(),
+                batch_size: 1,
+                platform_name: platform.into(),
+            };
+            preds.push(system.predict(&p).unwrap().latency_ms);
+            // Ground truth from the simulator directly (not via query, to
+            // keep the database containing only the training stream).
+            let spec = PlatformSpec::by_name(platform).unwrap();
+            truths.push(nnlqp_sim::exec::model_latency_ms(g, &spec));
+        }
+        mape(&preds, &truths)
+    };
+
+    // Phase 1: a young database with 10 records.
+    system.warm_cache(&stream[..10], platform, 1).unwrap();
+    let n1 = system.train_predictor(&[platform], cfg).unwrap();
+    assert_eq!(n1, 10);
+    let young = eval_mape(&system);
+
+    // Phase 2: the database evolves to 60 records; same architecture,
+    // retrained.
+    system.warm_cache(&stream, platform, 1).unwrap();
+    let n2 = system.train_predictor(&[platform], cfg).unwrap();
+    assert_eq!(n2, 60);
+    let grown = eval_mape(&system);
+
+    assert!(
+        grown < young,
+        "grown-database predictor ({grown:.1}% MAPE) should beat the young one ({young:.1}%)"
+    );
+    // And it must be genuinely useful, not just "less bad".
+    assert!(grown < 30.0, "grown MAPE {grown:.1}% implausibly high");
+}

