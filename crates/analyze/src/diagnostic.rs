@@ -1,0 +1,428 @@
+//! The shared diagnostic vocabulary: stable codes, severities, anchors and
+//! human/JSON rendering.
+//!
+//! Every pass in this crate reports through [`Diagnostic`]. Codes are
+//! stable API: tools (and the seeded-mutation property tests) match on them,
+//! so a code is never renumbered or reused once released.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Error` findings make a graph untrustworthy as ground truth: a strict
+/// query refuses to measure it and `nnlqp lint` exits non-zero. `Warn`
+/// findings are almost certainly mistakes but do not corrupt results.
+/// `Lint` findings are optimization opportunities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Correctness violation; rejects the graph in strict mode.
+    Error,
+    /// Suspicious construct; reported but not fatal.
+    Warn,
+    /// Improvement opportunity (e.g. a CSE candidate).
+    Lint,
+}
+
+impl Severity {
+    /// Lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Lint => "lint",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// Numbering scheme: `NNL0xx` are IR dataflow lints, `NNL1xx` are
+/// fusion-legality violations, `NNL2xx` are schedule hazards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// NNL001 — a node references an input id that is not a node.
+    OrphanInput,
+    /// NNL002 — the node vector is not in (canonical) topological order;
+    /// consumers must follow their producers or graph-hash canonicalization
+    /// and every downstream pass break.
+    NonCanonicalOrder,
+    /// NNL003 — input arity does not match the operator.
+    ArityMismatch,
+    /// NNL004 — stored output shape disagrees with re-run shape inference.
+    ShapeMismatch,
+    /// NNL005 — a tensor shape has zero elements.
+    DegenerateShape,
+    /// NNL006 — dead node: its value never reaches the model output.
+    DeadNode,
+    /// NNL007 — duplicate subgraph: the node recomputes a value an earlier
+    /// node already produces (common-subexpression-elimination candidate).
+    DuplicateSubgraph,
+    /// NNL008 — suspicious attribute combination for the operator.
+    SuspiciousAttrs,
+    /// NNL009 — the graph does not survive a serialize/deserialize round
+    /// trip with its hash intact, so the database cache key is not
+    /// canonical.
+    HashNotCanonical,
+    /// NNL101 — fusion did not cover a node by exactly one kernel.
+    KernelCoverage,
+    /// NNL102 — the kernel dependency graph has a cycle.
+    KernelCycle,
+    /// NNL103 — a kernel is not convex: a data path leaves the kernel and
+    /// re-enters it, so no legal launch order exists for its members.
+    KernelNotConvex,
+    /// NNL201 — happens-before violation: a kernel starts before one of its
+    /// producers finishes.
+    HazardHappensBefore,
+    /// NNL202 — two kernels overlap in time on the same stream.
+    HazardStreamOverlap,
+    /// NNL203 — the trace's reported latency is not the max finish time.
+    LatencyMismatch,
+    /// NNL204 — two executions of the same graph produced different
+    /// schedules (nondeterminism poisons the evolving database).
+    NonDeterministic,
+    /// NNL205 — a kernel ran on a stream the platform does not have.
+    StreamOutOfRange,
+}
+
+/// All codes, in numbering order (for documentation and exhaustive tests).
+pub const ALL_CODES: [Code; 17] = [
+    Code::OrphanInput,
+    Code::NonCanonicalOrder,
+    Code::ArityMismatch,
+    Code::ShapeMismatch,
+    Code::DegenerateShape,
+    Code::DeadNode,
+    Code::DuplicateSubgraph,
+    Code::SuspiciousAttrs,
+    Code::HashNotCanonical,
+    Code::KernelCoverage,
+    Code::KernelCycle,
+    Code::KernelNotConvex,
+    Code::HazardHappensBefore,
+    Code::HazardStreamOverlap,
+    Code::LatencyMismatch,
+    Code::NonDeterministic,
+    Code::StreamOutOfRange,
+];
+
+impl Code {
+    /// The stable `NNLxxx` identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::OrphanInput => "NNL001",
+            Code::NonCanonicalOrder => "NNL002",
+            Code::ArityMismatch => "NNL003",
+            Code::ShapeMismatch => "NNL004",
+            Code::DegenerateShape => "NNL005",
+            Code::DeadNode => "NNL006",
+            Code::DuplicateSubgraph => "NNL007",
+            Code::SuspiciousAttrs => "NNL008",
+            Code::HashNotCanonical => "NNL009",
+            Code::KernelCoverage => "NNL101",
+            Code::KernelCycle => "NNL102",
+            Code::KernelNotConvex => "NNL103",
+            Code::HazardHappensBefore => "NNL201",
+            Code::HazardStreamOverlap => "NNL202",
+            Code::LatencyMismatch => "NNL203",
+            Code::NonDeterministic => "NNL204",
+            Code::StreamOutOfRange => "NNL205",
+        }
+    }
+
+    /// Default severity of findings with this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::OrphanInput
+            | Code::NonCanonicalOrder
+            | Code::ArityMismatch
+            | Code::ShapeMismatch
+            | Code::HashNotCanonical
+            | Code::KernelCoverage
+            | Code::KernelCycle
+            | Code::KernelNotConvex
+            | Code::HazardHappensBefore
+            | Code::HazardStreamOverlap
+            | Code::LatencyMismatch
+            | Code::NonDeterministic => Severity::Error,
+            Code::DegenerateShape
+            | Code::DeadNode
+            | Code::SuspiciousAttrs
+            | Code::StreamOutOfRange => Severity::Warn,
+            Code::DuplicateSubgraph => Severity::Lint,
+        }
+    }
+
+    /// One-line description used in documentation and `nnlqp lint --help`.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::OrphanInput => "input id does not name a node",
+            Code::NonCanonicalOrder => "node vector is not topologically ordered",
+            Code::ArityMismatch => "input arity does not match the operator",
+            Code::ShapeMismatch => "stored shape disagrees with shape inference",
+            Code::DegenerateShape => "tensor shape has zero elements",
+            Code::DeadNode => "node output never reaches the model output",
+            Code::DuplicateSubgraph => "duplicate subgraph (CSE candidate)",
+            Code::SuspiciousAttrs => "suspicious operator attributes",
+            Code::HashNotCanonical => "graph hash not stable across serialization",
+            Code::KernelCoverage => "node not covered by exactly one kernel",
+            Code::KernelCycle => "kernel dependency graph has a cycle",
+            Code::KernelNotConvex => "kernel node set is not convex",
+            Code::HazardHappensBefore => "kernel starts before a producer finishes",
+            Code::HazardStreamOverlap => "kernels overlap on one stream",
+            Code::LatencyMismatch => "reported latency is not the max finish time",
+            Code::NonDeterministic => "re-execution produced a different schedule",
+            Code::StreamOutOfRange => "kernel ran on a nonexistent stream",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Anchor {
+    /// The graph as a whole.
+    Graph,
+    /// A node, by id.
+    Node(u32),
+    /// A fused kernel, by index in the fusion output.
+    Kernel(usize),
+    /// An execution stream, by index.
+    Stream(usize),
+}
+
+impl fmt::Display for Anchor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anchor::Graph => write!(f, "graph"),
+            Anchor::Node(n) => write!(f, "n{n}"),
+            Anchor::Kernel(k) => write!(f, "k{k}"),
+            Anchor::Stream(s) => write!(f, "s{s}"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (defaults to `code.severity()`, occasionally escalated).
+    pub severity: Severity,
+    /// What the finding points at.
+    pub anchor: Anchor,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A finding at the code's default severity.
+    pub fn new(code: Code, anchor: Anchor, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            anchor,
+            message: message.into(),
+        }
+    }
+
+    /// A finding escalated to `Error` regardless of the code's default.
+    pub fn error(code: Code, anchor: Anchor, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            anchor,
+            message: message.into(),
+        }
+    }
+
+    /// `error[NNL001] n3: message` style single-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.anchor, self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Minimal JSON string escaping (the diagnostic messages are ASCII, but
+/// graph names are user-controlled).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The result of running an [`crate::Analyzer`] over one graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Report {
+    /// Name of the analyzed graph.
+    pub graph_name: String,
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Passes that ran, in order.
+    pub passes_run: Vec<&'static str>,
+    /// Passes skipped because an earlier pass reported errors.
+    pub passes_skipped: Vec<&'static str>,
+}
+
+impl Report {
+    /// True when any finding is `Severity::Error`.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// True when nothing at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings at a given severity.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// All findings with a given code.
+    pub fn with_code(&self, code: Code) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// True if at least one finding carries `code`.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// `2 errors, 1 warning, 0 lints` style one-liner.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} error(s), {} warning(s), {} lint(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Lint)
+        )
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}: {}\n", self.graph_name, self.summary()));
+        for d in &self.diagnostics {
+            out.push_str("  ");
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        if !self.passes_skipped.is_empty() {
+            out.push_str(&format!(
+                "  note: skipped passes after errors: {}\n",
+                self.passes_skipped.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering (hand-rolled: no serialization
+    /// dependency, stable field order).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"graph\":\"{}\",", json_escape(&self.graph_name)));
+        out.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},\"lints\":{},",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Lint)
+        ));
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"anchor\":\"{}\",\"message\":\"{}\"}}",
+                d.code,
+                d.severity,
+                d.anchor,
+                json_escape(&d.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for c in ALL_CODES {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            assert!(c.as_str().starts_with("NNL"));
+            assert_eq!(c.as_str().len(), 6);
+        }
+    }
+
+    #[test]
+    fn rendering_shapes() {
+        let d = Diagnostic::new(Code::DeadNode, Anchor::Node(3), "unused");
+        assert_eq!(d.render(), "warn[NNL006] n3: unused");
+        let e = Diagnostic::error(Code::DegenerateShape, Anchor::Graph, "empty");
+        assert_eq!(e.severity, Severity::Error);
+    }
+
+    #[test]
+    fn report_counts_and_json() {
+        let mut r = Report {
+            graph_name: "g\"x".into(),
+            ..Default::default()
+        };
+        r.diagnostics
+            .push(Diagnostic::new(Code::OrphanInput, Anchor::Node(0), "bad"));
+        r.diagnostics.push(Diagnostic::new(
+            Code::DuplicateSubgraph,
+            Anchor::Node(1),
+            "dup",
+        ));
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Lint), 1);
+        let j = r.render_json();
+        assert!(j.contains("\"errors\":1"));
+        assert!(j.contains("NNL007"));
+        assert!(j.contains("g\\\"x"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

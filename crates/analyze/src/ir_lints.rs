@@ -1,0 +1,515 @@
+//! IR dataflow lints (`NNL001`–`NNL009`).
+//!
+//! These passes re-derive, diagnostically, everything
+//! [`nnlqp_ir::validate::validate`] enforces fatally — and go further:
+//! validation stops at the first violation, while the linter reports every
+//! finding with a stable code, then layers on dataflow facts validation
+//! does not track (liveness, value numbering, serialization round trips).
+
+use crate::diagnostic::{Anchor, Code, Diagnostic};
+use crate::{AnalysisContext, Pass};
+use nnlqp_hash::{graph_hash, HashAlgo, StreamHasher};
+use nnlqp_ir::infer::infer_shape;
+use nnlqp_ir::{serialize, Graph, OpType, Shape};
+use std::collections::HashMap;
+
+/// The `ir-lints` pass: runs every check in this module.
+pub struct IrLintPass;
+
+impl Pass for IrLintPass {
+    fn name(&self) -> &'static str {
+        "ir-lints"
+    }
+
+    fn run(&self, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let g = ctx.graph;
+        let mut out = check_structure(g);
+        let structurally_sound = !out.iter().any(|d| crate::is_structural(d.code));
+        out.extend(check_degenerate_shapes(g));
+        if structurally_sound {
+            // Liveness, value numbering and serialization all walk edges /
+            // round-trip the graph; only meaningful on a sound IR.
+            out.extend(check_dead_nodes(g));
+            out.extend(check_duplicate_subgraphs(g));
+            out.extend(check_cache_canonical(g));
+        }
+        out.extend(check_suspicious_attrs(g));
+        out
+    }
+}
+
+/// `NNL001`–`NNL004`: orphan inputs, non-canonical order, arity and shape
+/// violations. The diagnostic mirror of [`nnlqp_ir::validate::validate`],
+/// but exhaustive instead of fail-fast.
+pub fn check_structure(g: &Graph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if g.nodes.is_empty() {
+        out.push(Diagnostic::error(
+            Code::DegenerateShape,
+            Anchor::Graph,
+            "graph has no nodes",
+        ));
+        return out;
+    }
+    for (i, n) in g.nodes.iter().enumerate() {
+        let id = i as u32;
+        let mut inputs_ok = true;
+        for &inp in &n.inputs {
+            if inp.index() >= g.len() {
+                inputs_ok = false;
+                out.push(Diagnostic::new(
+                    Code::OrphanInput,
+                    Anchor::Node(id),
+                    format!(
+                        "input n{} does not exist (graph has {} nodes)",
+                        inp.0,
+                        g.len()
+                    ),
+                ));
+            } else if inp.index() >= i {
+                inputs_ok = false;
+                out.push(Diagnostic::new(
+                    Code::NonCanonicalOrder,
+                    Anchor::Node(id),
+                    format!(
+                        "input n{} does not precede its consumer; the node vector is not a \
+                         topological order, so the graph hash is not a canonical cache key",
+                        inp.0
+                    ),
+                ));
+            }
+        }
+        let (min, max) = n.op.arity();
+        let got = n.inputs.len();
+        // Zero inputs means the node reads the graph input, legal only for
+        // ops whose minimum arity is zero.
+        let arity_ok = if got == 0 {
+            min == 0
+        } else {
+            got >= min.max(1) && got <= max
+        };
+        if !arity_ok {
+            out.push(Diagnostic::new(
+                Code::ArityMismatch,
+                Anchor::Node(id),
+                format!(
+                    "{} expects {}..={} inputs, got {}",
+                    n.op.name(),
+                    min,
+                    max,
+                    got
+                ),
+            ));
+            continue;
+        }
+        if !inputs_ok {
+            continue; // cannot infer shapes over broken edges
+        }
+        let in_shapes: Vec<&Shape> = n
+            .inputs
+            .iter()
+            .map(|x| &g.nodes[x.index()].out_shape)
+            .collect();
+        match infer_shape(id, n.op, &n.attrs, &in_shapes, &g.input_shape) {
+            Ok(expect) if expect == n.out_shape => {}
+            Ok(expect) => out.push(Diagnostic::new(
+                Code::ShapeMismatch,
+                Anchor::Node(id),
+                format!(
+                    "stored shape {} but inference yields {}",
+                    n.out_shape, expect
+                ),
+            )),
+            Err(e) => out.push(Diagnostic::new(
+                Code::ShapeMismatch,
+                Anchor::Node(id),
+                format!("shape inference failed: {e}"),
+            )),
+        }
+    }
+    out
+}
+
+/// `NNL005`: zero-element tensors anywhere in the graph. These execute as
+/// no-ops but corrupt FLOPs/memory accounting and latency records.
+pub fn check_degenerate_shapes(g: &Graph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if g.input_shape.numel() == 0 {
+        out.push(Diagnostic::new(
+            Code::DegenerateShape,
+            Anchor::Graph,
+            format!("graph input shape {} has zero elements", g.input_shape),
+        ));
+    }
+    for (i, n) in g.nodes.iter().enumerate() {
+        if n.out_shape.numel() == 0 {
+            out.push(Diagnostic::new(
+                Code::DegenerateShape,
+                Anchor::Node(i as u32),
+                format!(
+                    "{} output shape {} has zero elements",
+                    n.op.name(),
+                    n.out_shape
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `NNL006`: nodes whose value never reaches the model output (the last
+/// sink, which is what [`Graph::output_shape`] reports and what the
+/// simulator's makespan is measured against).
+pub fn check_dead_nodes(g: &Graph) -> Vec<Diagnostic> {
+    let Some(&output) = g.sinks().last() else {
+        return Vec::new();
+    };
+    // Mark ancestors of the output by walking the node vector backwards —
+    // it is a topological order (check_structure ran first).
+    let mut live = vec![false; g.len()];
+    live[output.index()] = true;
+    for i in (0..g.len()).rev() {
+        if live[i] {
+            for inp in &g.nodes[i].inputs {
+                live[inp.index()] = true;
+            }
+        }
+    }
+    live.iter()
+        .enumerate()
+        .filter(|(_, &l)| !l)
+        .map(|(i, _)| {
+            Diagnostic::new(
+                Code::DeadNode,
+                Anchor::Node(i as u32),
+                format!(
+                    "{} output never reaches the model output n{}",
+                    g.nodes[i].op.name(),
+                    output.0
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Forward value number of every node: op code, attributes and the value
+/// numbers of its inputs (sorted for commutative ops, so `add(a, b)` and
+/// `add(b, a)` match). Two nodes with equal value numbers compute the same
+/// value from the same sources.
+fn value_numbers(g: &Graph) -> Vec<u64> {
+    // Sentinel value number for "reads the graph input".
+    const GRAPH_INPUT: u64 = 0x6e6e_6c71_7069_6e00;
+    let mut vn = vec![0u64; g.len()];
+    for (i, n) in g.nodes.iter().enumerate() {
+        let mut h = StreamHasher::new(HashAlgo::Fnv1a);
+        h.write_u64(n.op.code() as u64);
+        for a in n.attrs.to_vec() {
+            h.write_f32(a);
+        }
+        let mut ins: Vec<u64> = if n.inputs.is_empty() {
+            vec![GRAPH_INPUT]
+        } else {
+            n.inputs.iter().map(|x| vn[x.index()]).collect()
+        };
+        if matches!(n.op, OpType::Add | OpType::Mul) {
+            ins.sort_unstable();
+        }
+        h.write_all(&ins);
+        vn[i] = h.finish();
+    }
+    vn
+}
+
+/// `NNL007`: duplicate subgraphs. A node whose value number collides with
+/// an earlier node recomputes an identical subgraph — a common
+/// subexpression elimination candidate (and a latency the database pays
+/// twice for).
+pub fn check_duplicate_subgraphs(g: &Graph) -> Vec<Diagnostic> {
+    let vn = value_numbers(g);
+    let mut first: HashMap<u64, usize> = HashMap::new();
+    let mut out = Vec::new();
+    for (i, &h) in vn.iter().enumerate() {
+        if let Some(&earlier) = first.get(&h) {
+            out.push(Diagnostic::new(
+                Code::DuplicateSubgraph,
+                Anchor::Node(i as u32),
+                format!(
+                    "recomputes the same value as n{earlier} ({}); CSE candidate",
+                    g.nodes[earlier].op.name()
+                ),
+            ));
+        } else {
+            first.insert(h, i);
+        }
+    }
+    out
+}
+
+/// `NNL008`: attribute combinations that type-check but cannot mean what
+/// the author intended.
+pub fn check_suspicious_attrs(g: &Graph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, n) in g.nodes.iter().enumerate() {
+        let id = i as u32;
+        let a = &n.attrs;
+        match n.op {
+            OpType::Clip if a.clip_min > a.clip_max => out.push(Diagnostic::new(
+                Code::SuspiciousAttrs,
+                Anchor::Node(id),
+                format!(
+                    "clip_min {} > clip_max {}: output is constant",
+                    a.clip_min, a.clip_max
+                ),
+            )),
+            OpType::Conv | OpType::MaxPool | OpType::AveragePool => {
+                if a.kernel[0] == 0 || a.kernel[1] == 0 {
+                    out.push(Diagnostic::new(
+                        Code::SuspiciousAttrs,
+                        Anchor::Node(id),
+                        format!("{} with zero kernel size {:?}", n.op.name(), a.kernel),
+                    ));
+                }
+                if a.stride[0] == 0 || a.stride[1] == 0 {
+                    out.push(Diagnostic::new(
+                        Code::SuspiciousAttrs,
+                        Anchor::Node(id),
+                        format!("{} with zero stride {:?}", n.op.name(), a.stride),
+                    ));
+                }
+                if n.op == OpType::Conv {
+                    if a.groups == 0 {
+                        out.push(Diagnostic::new(
+                            Code::SuspiciousAttrs,
+                            Anchor::Node(id),
+                            "conv with zero groups",
+                        ));
+                    } else if a.out_channels % a.groups != 0 {
+                        out.push(Diagnostic::new(
+                            Code::SuspiciousAttrs,
+                            Anchor::Node(id),
+                            format!(
+                                "groups {} does not divide out_channels {}",
+                                a.groups, a.out_channels
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `NNL009`: the database cache key is the graph hash of the *stored*
+/// graph. If a serialize → deserialize round trip changes the hash (or
+/// fails), the graph that comes back out of `nnlqp-db` is a different
+/// cache key than the one that went in, and every future lookup misses.
+pub fn check_cache_canonical(g: &Graph) -> Vec<Diagnostic> {
+    let before = graph_hash(g);
+    match serialize::decode(serialize::encode(g)) {
+        Err(e) => vec![Diagnostic::new(
+            Code::HashNotCanonical,
+            Anchor::Graph,
+            format!("graph does not survive serialization: {e}"),
+        )],
+        Ok(back) => {
+            let after = graph_hash(&back);
+            if after == before {
+                Vec::new()
+            } else {
+                vec![Diagnostic::new(
+                    Code::HashNotCanonical,
+                    Anchor::Graph,
+                    format!(
+                        "graph hash {before:#018x} becomes {after:#018x} after a \
+                         serialize round trip; the database would never hit on this key"
+                    ),
+                )]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::{GraphBuilder, NodeId};
+
+    fn chain() -> Graph {
+        let mut b = GraphBuilder::new("chain", Shape::nchw(1, 3, 16, 16));
+        let c = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+        let r = b.relu(c).unwrap();
+        let p = b.global_avgpool(r).unwrap();
+        let f = b.flatten(p).unwrap();
+        b.gemm(f, 10).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn clean_chain_has_no_findings() {
+        let g = chain();
+        assert!(check_structure(&g).is_empty());
+        assert!(check_degenerate_shapes(&g).is_empty());
+        assert!(check_dead_nodes(&g).is_empty());
+        assert!(check_duplicate_subgraphs(&g).is_empty());
+        assert!(check_suspicious_attrs(&g).is_empty());
+        assert!(check_cache_canonical(&g).is_empty());
+    }
+
+    #[test]
+    fn orphan_input_is_nnl001() {
+        let mut g = chain();
+        g.nodes[1].inputs = vec![NodeId(99)];
+        let out = check_structure(&g);
+        assert!(out.iter().any(|d| d.code == Code::OrphanInput));
+    }
+
+    #[test]
+    fn forward_edge_is_nnl002() {
+        let mut g = chain();
+        g.nodes[0].inputs = vec![NodeId(1)];
+        let out = check_structure(&g);
+        assert!(out.iter().any(|d| d.code == Code::NonCanonicalOrder));
+    }
+
+    #[test]
+    fn extra_input_is_nnl003() {
+        let mut g = chain();
+        g.nodes[1].inputs = vec![NodeId(0), NodeId(0)];
+        let out = check_structure(&g);
+        assert!(out.iter().any(|d| d.code == Code::ArityMismatch));
+    }
+
+    #[test]
+    fn tampered_shape_is_nnl004() {
+        let mut g = chain();
+        g.nodes[1].out_shape = Shape::nchw(1, 99, 16, 16);
+        let out = check_structure(&g);
+        assert!(out.iter().any(|d| d.code == Code::ShapeMismatch));
+    }
+
+    #[test]
+    fn reports_every_violation_not_just_first() {
+        let mut g = chain();
+        g.nodes[1].inputs = vec![NodeId(99)];
+        g.nodes[2].inputs = vec![NodeId(50)];
+        let out = check_structure(&g);
+        assert_eq!(
+            out.iter().filter(|d| d.code == Code::OrphanInput).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn dead_branch_is_nnl006() {
+        // A second sink that never reaches the model output.
+        let mut b = GraphBuilder::new("dead", Shape::nchw(1, 3, 16, 16));
+        let c = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+        b.sigmoid(c).unwrap(); // dead: nothing consumes it, not the output
+        let r = b.relu(c).unwrap();
+        let p = b.global_avgpool(r).unwrap();
+        let f = b.flatten(p).unwrap();
+        b.gemm(f, 10).unwrap();
+        let g = b.finish().unwrap();
+        let out = check_dead_nodes(&g);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::DeadNode);
+        assert_eq!(out[0].anchor, Anchor::Node(1));
+    }
+
+    #[test]
+    fn duplicate_branches_are_nnl007() {
+        let mut b = GraphBuilder::new("dup", Shape::nchw(1, 8, 8, 8));
+        let stem = b.conv(None, 8, 1, 1, 0, 1).unwrap();
+        let x = b.conv(Some(stem), 8, 3, 1, 1, 1).unwrap();
+        let y = b.conv(Some(stem), 8, 3, 1, 1, 1).unwrap(); // identical twin
+        b.add(x, y).unwrap();
+        let g = b.finish().unwrap();
+        let out = check_duplicate_subgraphs(&g);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].anchor, Anchor::Node(y.0));
+    }
+
+    #[test]
+    fn commutative_inputs_value_number_equal() {
+        // add(x, y) and add(y, x) are the same value.
+        let mut b = GraphBuilder::new("comm", Shape::nchw(1, 8, 8, 8));
+        let stem = b.conv(None, 8, 1, 1, 0, 1).unwrap();
+        let x = b.conv(Some(stem), 8, 3, 1, 1, 1).unwrap();
+        let y = b.conv(Some(stem), 8, 5, 1, 2, 1).unwrap();
+        let a1 = b.add(x, y).unwrap();
+        let a2 = b.add(y, x).unwrap();
+        b.mul(a1, a2).unwrap();
+        let g = b.finish().unwrap();
+        let out = check_duplicate_subgraphs(&g);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].anchor, Anchor::Node(a2.0));
+    }
+
+    #[test]
+    fn bad_clip_range_is_nnl008() {
+        let mut b = GraphBuilder::new("clip", Shape::nchw(1, 8, 8, 8));
+        let c = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+        b.relu6(c).unwrap();
+        let mut g = b.finish().unwrap();
+        g.nodes[1].attrs.clip_min = 9.0;
+        let out = check_suspicious_attrs(&g);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::SuspiciousAttrs);
+    }
+
+    #[test]
+    fn group_mismatch_is_nnl008() {
+        let mut g = chain();
+        g.nodes[0].attrs.groups = 3; // 3 does not divide 8
+        let out = check_suspicious_attrs(&g);
+        assert!(out.iter().any(|d| d.code == Code::SuspiciousAttrs));
+    }
+
+    #[test]
+    fn truncating_serialization_is_nnl009() {
+        // The binary format stores out_channels as u16: a conv with
+        // 65536 + 8 output channels is internally consistent (no NNL004)
+        // but round-trips to out_channels = 8, so the decoded graph is a
+        // different cache key.
+        let mut b = GraphBuilder::new("wide", Shape::nchw(1, 3, 8, 8));
+        let c = b.conv(None, 65_544, 3, 1, 1, 1).unwrap();
+        b.relu(c).unwrap();
+        let g = b.finish().unwrap();
+        assert!(check_structure(&g).is_empty());
+        let out = check_cache_canonical(&g);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::HashNotCanonical);
+    }
+
+    #[test]
+    fn degenerate_node_is_detected() {
+        let mut g = chain();
+        g.nodes[1].out_shape = Shape(vec![1, 0, 16, 16]);
+        let out = check_degenerate_shapes(&g);
+        assert!(out.iter().any(|d| d.code == Code::DegenerateShape));
+    }
+
+    #[test]
+    fn full_pass_on_builder_output_is_clean() {
+        let pass = IrLintPass;
+        let g = chain();
+        let ctx = AnalysisContext {
+            graph: &g,
+            platform: None,
+        };
+        assert!(pass.run(&ctx).is_empty());
+    }
+
+    #[test]
+    fn attrs_defaults_do_not_trip_nnl008() {
+        // Non-conv ops carry kernel [0, 0] in their default attrs; only
+        // conv/pool ops may be flagged for it.
+        let mut b = GraphBuilder::new("d", Shape::nchw(1, 4, 8, 8));
+        let c = b.conv(None, 4, 1, 1, 0, 1).unwrap();
+        b.relu(c).unwrap();
+        let g = b.finish().unwrap();
+        assert!(check_suspicious_attrs(&g).is_empty());
+    }
+}

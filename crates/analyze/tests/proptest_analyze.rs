@@ -1,0 +1,331 @@
+//! Property tests for the analyzer: every built-in model family lints
+//! clean, and seeded mutations each trigger their specific diagnostic code.
+
+use nnlqp_analyze::{analyze, fusion_checks, schedule_checks, Analyzer, Code};
+use nnlqp_ir::{Graph, NodeId, Rng64, Shape};
+use nnlqp_models::family::CORPUS_FAMILIES;
+use nnlqp_models::ModelFamily;
+use nnlqp_sim::platform::PlatformSpec;
+use nnlqp_sim::{exec, fusion};
+use proptest::prelude::*;
+
+fn t4() -> PlatformSpec {
+    PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap()
+}
+
+/// A canonical family graph picked by seed.
+fn family_graph(seed: u64) -> Graph {
+    let f = CORPUS_FAMILIES[(seed as usize) % CORPUS_FAMILIES.len()];
+    f.canonical().unwrap()
+}
+
+#[test]
+fn every_builtin_family_lints_clean() {
+    let p = t4();
+    let analyzer = Analyzer::full();
+    for f in CORPUS_FAMILIES {
+        let g = f.canonical().unwrap();
+        let report = analyzer.analyze(&g, Some(&p));
+        assert!(!report.has_errors(), "{f}:\n{}", report.render_text());
+        assert_eq!(report.passes_run.len(), 3, "{f} skipped a pass");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sampled (randomized) family variants lint without errors too — the
+    /// strict query path must never reject a graph our own generators made.
+    #[test]
+    fn sampled_family_variants_lint_clean(seed in 0u64..1_000) {
+        let f = CORPUS_FAMILIES[(seed as usize) % CORPUS_FAMILIES.len()];
+        let mut r = Rng64::new(seed);
+        let g = f.sample(&format!("prop-{seed}"), &mut r).unwrap();
+        let report = analyze(&g, Some(&t4()));
+        prop_assert!(!report.has_errors(), "{}", report.render_text());
+    }
+
+    /// NNL001: retargeting an edge at a nonexistent node.
+    #[test]
+    fn dangling_input_triggers_nnl001(seed in 0u64..64) {
+        let mut g = family_graph(seed);
+        let mut r = Rng64::new(seed);
+        // Pick a non-source node and point one input out of range.
+        let victims: Vec<usize> =
+            (0..g.len()).filter(|&i| !g.nodes[i].inputs.is_empty()).collect();
+        let v = victims[r.below(victims.len())];
+        g.nodes[v].inputs[0] = NodeId(g.len() as u32 + 7);
+        let report = analyze(&g, None);
+        prop_assert!(report.has_code(Code::OrphanInput), "{}", report.render_text());
+        prop_assert!(report.has_errors());
+    }
+
+    /// NNL002: shuffling the node vector of a sequential model breaks
+    /// canonical topological order.
+    #[test]
+    fn shuffled_node_order_triggers_nnl002(seed in 0u64..64) {
+        // VGG is a chain: every non-identity permutation breaks order.
+        let mut g = ModelFamily::Vgg.canonical().unwrap();
+        let mut r = Rng64::new(seed ^ 0xabcd);
+        // Seeded Fisher-Yates, retried until the permutation moves something.
+        let before = g.nodes.clone();
+        loop {
+            for i in (1..g.nodes.len()).rev() {
+                g.nodes.swap(i, r.below(i + 1));
+            }
+            if g.nodes != before {
+                break;
+            }
+        }
+        let report = analyze(&g, None);
+        prop_assert!(report.has_code(Code::NonCanonicalOrder), "{}", report.render_text());
+    }
+
+    /// NNL003: adding a surplus input to a unary op.
+    #[test]
+    fn surplus_input_triggers_nnl003(seed in 0u64..64) {
+        let mut g = family_graph(seed);
+        let v = g
+            .iter()
+            .find(|(_, n)| n.op.arity().1 == 1 && !n.inputs.is_empty())
+            .map(|(id, _)| id)
+            .unwrap();
+        let extra = g.nodes[v.index()].inputs[0];
+        g.nodes[v.index()].inputs.push(extra);
+        let report = analyze(&g, None);
+        prop_assert!(report.has_code(Code::ArityMismatch), "{}", report.render_text());
+    }
+
+    /// NNL004: tampering with a stored output shape.
+    #[test]
+    fn tampered_shape_triggers_nnl004(seed in 0u64..64) {
+        let mut g = family_graph(seed);
+        let mut r = Rng64::new(seed);
+        let v = r.below(g.len());
+        g.nodes[v].out_shape = Shape(vec![3, 5, 7, 11]);
+        let report = analyze(&g, None);
+        prop_assert!(report.has_code(Code::ShapeMismatch), "{}", report.render_text());
+    }
+
+    /// NNL005: a zero dimension anywhere is degenerate.
+    #[test]
+    fn zero_dim_triggers_nnl005(seed in 0u64..64) {
+        let mut g = family_graph(seed);
+        let mut r = Rng64::new(seed);
+        let v = r.below(g.len());
+        g.nodes[v].out_shape = Shape(vec![0; g.nodes[v].out_shape.rank()]);
+        let report = analyze(&g, None);
+        prop_assert!(report.has_code(Code::DegenerateShape), "{}", report.render_text());
+    }
+}
+
+#[test]
+fn dead_branch_triggers_nnl006() {
+    // Graft a sigmoid onto an interior node; nothing consumes it, so it
+    // never reaches the model output. A trailing relu keeps the original
+    // classifier head as the last sink (= the model output).
+    let mut g = ModelFamily::ResNet.canonical().unwrap();
+    let mid = NodeId((g.len() / 2) as u32);
+    let head = NodeId((g.len() - 1) as u32);
+    let dead_id = g.len() as u32;
+    g.nodes.push(nnlqp_ir::Node {
+        op: nnlqp_ir::OpType::Sigmoid,
+        attrs: nnlqp_ir::Attrs::default(),
+        inputs: vec![mid],
+        out_shape: g.node(mid).out_shape.clone(),
+    });
+    g.nodes.push(nnlqp_ir::Node {
+        op: nnlqp_ir::OpType::Relu,
+        attrs: nnlqp_ir::Attrs::default(),
+        inputs: vec![head],
+        out_shape: g.node(head).out_shape.clone(),
+    });
+    let report = analyze(&g, None);
+    let dead = report.with_code(Code::DeadNode);
+    assert_eq!(dead.len(), 1, "{}", report.render_text());
+    assert_eq!(dead[0].anchor, nnlqp_analyze::Anchor::Node(dead_id));
+    // A dead node is a warning, not an error: the graph still executes.
+    assert!(!report.has_errors(), "{}", report.render_text());
+}
+
+#[test]
+fn duplicate_branch_triggers_nnl007() {
+    // Clone an interior unary node so two nodes compute the same value.
+    // Appending keeps the node vector topologically ordered.
+    let mut g = ModelFamily::ResNet.canonical().unwrap();
+    let twin = g
+        .iter()
+        .find(|(_, n)| n.op.arity().1 == 1 && !n.inputs.is_empty())
+        .map(|(_, n)| n.clone())
+        .unwrap();
+    g.nodes.push(twin);
+    let report = analyze(&g, None);
+    assert!(
+        report.has_code(Code::DuplicateSubgraph),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn inverted_clip_triggers_nnl008() {
+    let mut g = ModelFamily::MobileNetV2.canonical().unwrap();
+    let clip = g
+        .iter()
+        .find(|(_, n)| n.op == nnlqp_ir::OpType::Clip)
+        .map(|(id, _)| id)
+        .unwrap();
+    let a = &mut g.nodes[clip.index()].attrs;
+    std::mem::swap(&mut a.clip_min, &mut a.clip_max);
+    let report = analyze(&g, None);
+    assert!(
+        report.has_code(Code::SuspiciousAttrs),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn u16_truncation_triggers_nnl009() {
+    // out_channels wider than the u16 the binary format stores: the graph
+    // is self-consistent (no NNL004) yet changes under a round trip.
+    let mut b = nnlqp_ir::GraphBuilder::new("wide", Shape::nchw(1, 3, 8, 8));
+    let c = b.conv(None, 65_536 + 16, 1, 1, 0, 1).unwrap();
+    b.relu(c).unwrap();
+    let g = b.finish().unwrap();
+    let report = analyze(&g, None);
+    assert!(
+        report.has_code(Code::HashNotCanonical),
+        "{}",
+        report.render_text()
+    );
+    assert!(!report.has_code(Code::ShapeMismatch));
+}
+
+#[test]
+fn dropped_kernel_triggers_nnl101() {
+    let g = ModelFamily::SqueezeNet.canonical().unwrap();
+    let mut kernels = fusion::fuse(&g);
+    kernels.remove(kernels.len() / 2);
+    let out = fusion_checks::verify_partition(&g, &kernels);
+    assert!(
+        out.iter().any(|d| d.code == Code::KernelCoverage),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn illegal_grouping_triggers_nnl102_and_nnl103() {
+    // Merge two dependent kernels while leaving the node between them
+    // outside: the plan is cyclic and the merged kernel non-convex.
+    let mut b = nnlqp_ir::GraphBuilder::new("chain3", Shape::nchw(1, 8, 8, 8));
+    let c1 = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+    let s = b.sigmoid(c1).unwrap();
+    b.conv(Some(s), 8, 3, 1, 1, 1).unwrap();
+    let g = b.finish().unwrap();
+    let kernels = vec![
+        fusion::Kernel {
+            family: fusion::KernelFamily::Conv,
+            nodes: vec![NodeId(0), NodeId(2)],
+        },
+        fusion::Kernel {
+            family: fusion::KernelFamily::Sigmoid,
+            nodes: vec![NodeId(1)],
+        },
+    ];
+    let out = fusion_checks::verify_kernels(&g, &kernels);
+    assert!(out.iter().any(|d| d.code == Code::KernelCycle), "{out:?}");
+    assert!(
+        out.iter().any(|d| d.code == Code::KernelNotConvex),
+        "{out:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// NNL201: pulling a dependent kernel's start before its producer's
+    /// finish violates happens-before.
+    #[test]
+    fn early_start_triggers_nnl201(seed in 0u64..64) {
+        let g = family_graph(seed);
+        let p = t4();
+        let kernels = fusion::fuse(&g);
+        let deps = fusion::kernel_deps(&g, &kernels);
+        let mut trace = exec::execute(&g, &p);
+        let mut r = Rng64::new(seed);
+        let dependents: Vec<usize> =
+            (0..deps.len()).filter(|&i| !deps[i].is_empty()).collect();
+        let v = dependents[r.below(dependents.len())];
+        let producer = deps[v][0];
+        trace.kernels[v].start_ms = trace.kernels[producer].finish_ms - 0.5;
+        let out = schedule_checks::verify_trace(&trace, &deps, p.streams);
+        prop_assert!(out.iter().any(|d| d.code == Code::HazardHappensBefore), "{out:?}");
+    }
+
+    /// NNL202: collapsing a parallel schedule onto one stream makes its
+    /// intervals overlap.
+    #[test]
+    fn overlapping_intervals_trigger_nnl202(seed in 0u64..64) {
+        // GoogleNet's inception branches guarantee true multi-stream
+        // parallelism in the trace; the seed varies the collapsed stream.
+        let g = ModelFamily::GoogleNet.canonical().unwrap();
+        let p = t4();
+        let target = (seed as usize) % p.streams;
+        let kernels = fusion::fuse(&g);
+        let deps = fusion::kernel_deps(&g, &kernels);
+        let mut trace = exec::execute(&g, &p);
+        prop_assert!(trace.kernels.iter().any(|k| k.stream != trace.kernels[0].stream));
+        for k in &mut trace.kernels {
+            k.stream = target;
+        }
+        let out = schedule_checks::verify_trace(&trace, &deps, p.streams);
+        prop_assert!(out.iter().any(|d| d.code == Code::HazardStreamOverlap), "{out:?}");
+    }
+
+    /// NNL203: any tampering with the reported latency is caught.
+    #[test]
+    fn tampered_latency_triggers_nnl203(seed in 0u64..64) {
+        let g = family_graph(seed);
+        let p = t4();
+        let kernels = fusion::fuse(&g);
+        let deps = fusion::kernel_deps(&g, &kernels);
+        let mut trace = exec::execute(&g, &p);
+        trace.latency_ms += 0.125;
+        let out = schedule_checks::verify_trace(&trace, &deps, p.streams);
+        prop_assert!(out.iter().any(|d| d.code == Code::LatencyMismatch), "{out:?}");
+    }
+
+    /// NNL204: a single bit of drift between two executions is
+    /// nondeterminism.
+    #[test]
+    fn trace_drift_triggers_nnl204(seed in 0u64..64) {
+        let g = family_graph(seed);
+        let p = t4();
+        let a = exec::execute(&g, &p);
+        let mut b = exec::execute(&g, &p);
+        // Sanity: identical runs compare clean.
+        prop_assert!(schedule_checks::compare_traces(&a, &b).is_empty());
+        let mut r = Rng64::new(seed);
+        let v = r.below(b.kernels.len());
+        let bits = b.kernels[v].finish_ms.to_bits() ^ 1;
+        b.kernels[v].finish_ms = f64::from_bits(bits);
+        let out = schedule_checks::compare_traces(&a, &b);
+        prop_assert!(out.iter().any(|d| d.code == Code::NonDeterministic), "{out:?}");
+    }
+
+    /// NNL205: a stream index past the platform's stream count.
+    #[test]
+    fn ghost_stream_triggers_nnl205(seed in 0u64..64) {
+        let g = family_graph(seed);
+        let p = t4();
+        let kernels = fusion::fuse(&g);
+        let deps = fusion::kernel_deps(&g, &kernels);
+        let mut trace = exec::execute(&g, &p);
+        let mut r = Rng64::new(seed);
+        let v = r.below(trace.kernels.len());
+        trace.kernels[v].stream = p.streams + 3;
+        let out = schedule_checks::verify_trace(&trace, &deps, p.streams);
+        prop_assert!(out.iter().any(|d| d.code == Code::StreamOutOfRange), "{out:?}");
+    }
+}

@@ -29,14 +29,14 @@ fn bench_lookup_scaling(c: &mut Criterion) {
             b.iter(|| {
                 i = (i + 1) % hashes.len();
                 black_box(db.model_by_hash(hashes[i]))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
             let mut i = 0;
             b.iter(|| {
                 i = (i + 1) % hashes.len();
                 black_box(db.model_by_hash_scan(hashes[i]))
-            })
+            });
         });
     }
     group.finish();
@@ -53,11 +53,11 @@ fn bench_insert_and_snapshot(c: &mut Criterion) {
             for g in &models {
                 black_box(db.insert_model(g));
             }
-        })
+        });
     });
     let (db, _) = populated(400);
     c.bench_function("db_snapshot_400_models", |b| {
-        b.iter(|| black_box(nnlqp_db::persist::to_bytes(&db)))
+        b.iter(|| black_box(nnlqp_db::persist::to_bytes(&db)));
     });
 }
 

@@ -32,7 +32,7 @@ fn setup() -> (NnlpModel, Sample) {
 fn bench_feature_extraction(c: &mut Criterion) {
     let g = ModelFamily::EfficientNet.canonical().unwrap();
     c.bench_function("extract_features_efficientnet", |b| {
-        b.iter(|| black_box(extract_features(black_box(&g))))
+        b.iter(|| black_box(extract_features(black_box(&g))));
     });
 }
 
@@ -42,7 +42,7 @@ fn bench_forward(c: &mut Criterion) {
         b.iter(|| {
             let (p, _) = model.forward(&s.nodes, &s.adj, &s.stat, 0, None);
             black_box(p)
-        })
+        });
     });
 }
 
@@ -52,7 +52,7 @@ fn bench_multi_head_amortization(c: &mut Criterion) {
     let g = ModelFamily::ResNet.canonical().unwrap();
     let feats = extract_features(&g);
     c.bench_function("predict_9_heads_shared_backbone", |b| {
-        b.iter(|| black_box(model.predict_all_heads_ms(&feats)))
+        b.iter(|| black_box(model.predict_all_heads_ms(&feats)));
     });
     c.bench_function("predict_9_heads_independent_passes", |b| {
         b.iter(|| {
@@ -61,7 +61,7 @@ fn bench_multi_head_amortization(c: &mut Criterion) {
                 acc += model.predict_ms(&feats, h);
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -70,10 +70,9 @@ fn bench_train_step(c: &mut Criterion) {
     c.bench_function("nnlp_loss_and_grads_resnet18", |b| {
         let mut rng = Rng64::new(2);
         b.iter(|| {
-            let (l, g) =
-                model.loss_and_grads(&s.nodes, &s.adj, &s.stat, s.target_log, 0, &mut rng);
+            let (l, g) = model.loss_and_grads(&s.nodes, &s.adj, &s.stat, s.target_log, 0, &mut rng);
             black_box((l, g.head_idx))
-        })
+        });
     });
 }
 

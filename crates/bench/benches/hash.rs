@@ -12,7 +12,11 @@ fn bench_graph_hash(c: &mut Criterion) {
     let medium = ModelFamily::ResNet.canonical().unwrap();
     let large = ModelFamily::EfficientNet.canonical().unwrap();
     let mut group = c.benchmark_group("graph_hash");
-    for (name, g) in [("alexnet", &small), ("resnet18", &medium), ("efficientnet", &large)] {
+    for (name, g) in [
+        ("alexnet", &small),
+        ("resnet18", &medium),
+        ("efficientnet", &large),
+    ] {
         for algo in [HashAlgo::Fnv1a, HashAlgo::Mix64] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{algo:?}"), format!("{name}/{}nodes", g.len())),
@@ -37,7 +41,7 @@ fn bench_hash_collision_scan(c: &mut Criterion) {
                 acc ^= graph_hash_with(black_box(g), HashAlgo::Fnv1a);
             }
             acc
-        })
+        });
     });
 }
 

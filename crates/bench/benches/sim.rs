@@ -10,7 +10,7 @@ use std::hint::black_box;
 fn bench_fusion(c: &mut Criterion) {
     let g = ModelFamily::EfficientNet.canonical().unwrap();
     c.bench_function("fuse_efficientnet", |b| {
-        b.iter(|| black_box(fusion::fuse(black_box(&g))))
+        b.iter(|| black_box(fusion::fuse(black_box(&g))));
     });
 }
 
@@ -42,14 +42,17 @@ fn bench_stream_width_ablation(c: &mut Criterion) {
     for streams in [1usize, 2, 4] {
         let mut p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
         p.streams = streams;
-        group.bench_with_input(
-            BenchmarkId::from_parameter(streams),
-            &p,
-            |b, p| b.iter(|| black_box(exec::model_latency_ms(&googlenet, p))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(streams), &p, |b, p| {
+            b.iter(|| black_box(exec::model_latency_ms(&googlenet, p)));
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fusion, bench_model_latency, bench_stream_width_ablation);
+criterion_group!(
+    benches,
+    bench_fusion,
+    bench_model_latency,
+    bench_stream_width_ablation
+);
 criterion_main!(benches);

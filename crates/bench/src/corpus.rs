@@ -61,13 +61,7 @@ mod tests {
     #[test]
     fn corpus_is_labelled_and_measured() {
         let p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
-        let c = measured_corpus(
-            &[ModelFamily::SqueezeNet, ModelFamily::ResNet],
-            3,
-            &p,
-            1,
-            5,
-        );
+        let c = measured_corpus(&[ModelFamily::SqueezeNet, ModelFamily::ResNet], 3, &p, 1, 5);
         assert_eq!(c.len(), 6);
         assert!(c.iter().all(|m| m.latency_ms > 0.0));
     }
@@ -75,13 +69,7 @@ mod tests {
     #[test]
     fn leave_one_out_partitions() {
         let p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
-        let c = measured_corpus(
-            &[ModelFamily::SqueezeNet, ModelFamily::ResNet],
-            3,
-            &p,
-            1,
-            5,
-        );
+        let c = measured_corpus(&[ModelFamily::SqueezeNet, ModelFamily::ResNet], 3, &p, 1, 5);
         let (test, train) = leave_one_out(&c, ModelFamily::ResNet);
         assert_eq!(test.len(), 3);
         assert_eq!(train.len(), 3);

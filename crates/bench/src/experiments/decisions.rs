@@ -17,8 +17,14 @@ pub fn run(opts: &Opts) {
 
     // 1. Operator support.
     println!("1. Which operators are not suitable:");
-    let mbv3 = ModelFamily::MobileNetV3.canonical().expect("generator is valid");
-    for platform in ["hi3559A-nnie11-int8", "rv1109-rknn-int8", "gpu-T4-trt7.1-fp32"] {
+    let mbv3 = ModelFamily::MobileNetV3
+        .canonical()
+        .expect("generator is valid");
+    for platform in [
+        "hi3559A-nnie11-int8",
+        "rv1109-rknn-int8",
+        "gpu-T4-trt7.1-fp32",
+    ] {
         let p = PlatformSpec::by_name(platform).expect("registry platform");
         let bad = p.unsupported_in(&mbv3);
         if bad.is_empty() {
@@ -69,10 +75,7 @@ pub fn run(opts: &Opts) {
         model_latency_ms(&resnet18, &atlas),
         model_latency_ms(&resnet18, &mlu),
     );
-    println!(
-        "   atlas300 {:.3} ms vs mlu270 {:.3} ms (paper: atlas300 is faster)",
-        la, lm
-    );
+    println!("   atlas300 {la:.3} ms vs mlu270 {lm:.3} ms (paper: atlas300 is faster)");
 
     // 4. Data-type choice.
     let t4_fp32 = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").expect("registry platform");
@@ -87,10 +90,14 @@ pub fn run(opts: &Opts) {
     );
     println!("   marginal (<5%), prefer fp32 to avoid accuracy risk (paper's ViT example).");
 
-    save_json(&opts.out_dir, "decisions", &serde_json::json!({
-        "regnet_vs_resnet_p4int8": lr / lres,
-        "resnet_p4_over_t4_int8": lp4 / lt4,
-        "atlas_ms": la, "mlu_ms": lm,
-        "t4_fp32_over_int8": lf / li,
-    }));
+    save_json(
+        &opts.out_dir,
+        "decisions",
+        &serde_json::json!({
+            "regnet_vs_resnet_p4int8": lr / lres,
+            "resnet_p4_over_t4_int8": lp4 / lt4,
+            "atlas_ms": la, "mlu_ms": lm,
+            "t4_fp32_over_int8": lf / li,
+        }),
+    );
 }

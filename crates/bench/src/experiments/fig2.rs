@@ -47,11 +47,12 @@ pub fn run(opts: &Opts) {
         // Linearity: R^2 of the through-origin fit.
         let ymean = points.iter().map(|(_, y)| y).sum::<f64>() / points.len() as f64;
         let ss_tot: f64 = points.iter().map(|(_, y)| (y - ymean).powi(2)).sum();
-        let ss_res: f64 = points
-            .iter()
-            .map(|(x, y)| (y - slope * x).powi(2))
-            .sum();
-        let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let ss_res: f64 = points.iter().map(|(x, y)| (y - slope * x).powi(2)).sum();
+        let r2 = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
         rows.push(vec![
             fam.name().to_string(),
             points.len().to_string(),
@@ -65,7 +66,12 @@ pub fn run(opts: &Opts) {
         }));
     }
     print_table(
-        &["Model Family", "Models", "Slope sum/model", "R^2 (linear fit)"],
+        &[
+            "Model Family",
+            "Models",
+            "Slope sum/model",
+            "R^2 (linear fit)",
+        ],
         &rows,
     );
     println!(

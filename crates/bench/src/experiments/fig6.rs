@@ -80,7 +80,8 @@ pub fn run(opts: &Opts) {
             .into_iter()
             .enumerate()
             .map(|(i, m)| {
-                let l = measure(&m.graph, &platform, opts.reps, opts.seed ^ (i as u64) << 4).mean_ms;
+                let l =
+                    measure(&m.graph, &platform, opts.reps, opts.seed ^ (i as u64) << 4).mean_ms;
                 (m.graph, l)
             })
             .collect();
@@ -116,10 +117,20 @@ pub fn run(opts: &Opts) {
         json_out.push(serde_json::json!({"family": fam.name(), "curve": fam_json}));
     }
     print_table(
-        &["Family", "Samples", "Scratch Acc(10%)", "Pre-trained Acc(10%)", "Gain"],
+        &[
+            "Family",
+            "Samples",
+            "Scratch Acc(10%)",
+            "Pre-trained Acc(10%)",
+            "Gain",
+        ],
         &rows,
     );
     println!("\nPaper: pre-trained curves lie above scratch at every sample count;");
     println!("the gain is largest at few samples (ResNet: +30.8% at 32 samples, +1.7% at 1000).");
-    save_json(&opts.out_dir, "fig6", &serde_json::json!({"families": json_out}));
+    save_json(
+        &opts.out_dir,
+        "fig6",
+        &serde_json::json!({"families": json_out}),
+    );
 }

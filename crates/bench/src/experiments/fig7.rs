@@ -154,10 +154,20 @@ pub fn run(opts: &Opts) {
         ]);
     }
     print_table(
-        &["Target Platform", "Samples", "Scratch Acc(10%)", "Pre-trained Acc(10%)", "Gain"],
+        &[
+            "Target Platform",
+            "Samples",
+            "Scratch Acc(10%)",
+            "Pre-trained Acc(10%)",
+            "Gain",
+        ],
         &rows,
     );
     println!("\nPaper (Fig. 7e): the pre-trained average curve lies above scratch at");
     println!("every sample count — platform knowledge transfers to new hardware.");
-    save_json(&opts.out_dir, "fig7", &serde_json::json!({"platforms": json_out}));
+    save_json(
+        &opts.out_dir,
+        "fig7",
+        &serde_json::json!({"platforms": json_out}),
+    );
 }

@@ -30,8 +30,10 @@ pub fn run(opts: &Opts) {
         opts.seed,
         opts.reps,
     );
-    let entries: Vec<(&Graph, f64, usize)> =
-        cls.iter().map(|m| (&m.graph, m.latency_ms, 0usize)).collect();
+    let entries: Vec<(&Graph, f64, usize)> = cls
+        .iter()
+        .map(|m| (&m.graph, m.latency_ms, 0usize))
+        .collect();
     let ds = Dataset::build(&entries);
     let mut rng = Rng64::new(opts.seed ^ 0xF8);
     let mut pre = NnlpModel::new(
@@ -45,7 +47,10 @@ pub fn run(opts: &Opts) {
         ds.norm.clone(),
         &mut rng,
     );
-    eprintln!("  pre-training on {} classification models...", ds.samples.len());
+    eprintln!(
+        "  pre-training on {} classification models...",
+        ds.samples.len()
+    );
     train(
         &mut pre,
         &ds.samples,
@@ -59,16 +64,19 @@ pub fn run(opts: &Opts) {
     // Detection pool.
     let big_n = (opts.per_family * 4).clamp(100, 1000);
     eprintln!("  generating {} detection models...", big_n + TEST_COUNT);
-    let det: Vec<(Graph, f64)> = generate_family(ModelFamily::Detection, big_n + TEST_COUNT, opts.seed ^ 0xDE7)
-        .into_iter()
-        .enumerate()
-        .map(|(i, m)| {
-            let l = measure(&m.graph, &platform, opts.reps, opts.seed ^ (i as u64) << 2).mean_ms;
-            (m.graph, l)
-        })
-        .collect();
-    let det_entries: Vec<(&Graph, f64, usize)> =
-        det.iter().map(|(g, l)| (g, *l, 0usize)).collect();
+    let det: Vec<(Graph, f64)> = generate_family(
+        ModelFamily::Detection,
+        big_n + TEST_COUNT,
+        opts.seed ^ 0xDE7,
+    )
+    .into_iter()
+    .enumerate()
+    .map(|(i, m)| {
+        let l = measure(&m.graph, &platform, opts.reps, opts.seed ^ (i as u64) << 2).mean_ms;
+        (m.graph, l)
+    })
+    .collect();
+    let det_entries: Vec<(&Graph, f64, usize)> = det.iter().map(|(g, l)| (g, *l, 0usize)).collect();
     let samples = ds.extend_with(&det_entries);
     let (pool, test) = samples.split_at(big_n);
     let t = truths(test);
@@ -99,9 +107,13 @@ pub fn run(opts: &Opts) {
     );
     println!("\nPaper: 0.038 (1000 scratch) / 0.044 (50 scratch) / 0.040 (50 + pre-trained)");
     println!("-> 50 pre-trained samples nearly match 1000 scratch samples (~20x data efficiency).");
-    save_json(&opts.out_dir, "fig8", &serde_json::json!({
-        "scratch_big": {"samples": big_n, "mape": m_big},
-        "scratch_50": {"samples": 50, "mape": m_50},
-        "pretrained_50": {"samples": 50, "mape": m_50p},
-    }));
+    save_json(
+        &opts.out_dir,
+        "fig8",
+        &serde_json::json!({
+            "scratch_big": {"samples": big_n, "mape": m_big},
+            "scratch_50": {"samples": 50, "mape": m_50},
+            "pretrained_50": {"samples": 50, "mape": m_50p},
+        }),
+    );
 }

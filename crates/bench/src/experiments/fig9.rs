@@ -29,7 +29,9 @@ pub fn run(opts: &Opts) {
     let train_pool: Vec<(Graph, f64)> = (0..n_train)
         .map(|i| {
             let cfg = SubnetConfig::sample(&mut rng);
-            let g = sn.subnet_graph(&cfg, &format!("train-{i}")).expect("valid subnet");
+            let g = sn
+                .subnet_graph(&cfg, &format!("train-{i}"))
+                .expect("valid subnet");
             let l = model_latency_ms(&g, &platform);
             (g, l)
         })
@@ -74,7 +76,9 @@ pub fn run(opts: &Opts) {
     let mut accuracy = Vec::with_capacity(n_eval);
     for i in 0..n_eval {
         let cfg = SubnetConfig::sample(&mut rng);
-        let g = sn.subnet_graph(&cfg, &format!("eval-{i}")).expect("valid subnet");
+        let g = sn
+            .subnet_graph(&cfg, &format!("eval-{i}"))
+            .expect("valid subnet");
         let gf = cost::graph_cost(&g, DType::F32).flops;
         flops.push(gf);
         lookup.push(lut.estimate_ms(&cfg));
@@ -98,7 +102,12 @@ pub fn run(opts: &Opts) {
         .filter(|&i| (true_lat[i] - median).abs() <= 0.15 * median)
         .collect();
     let slice = |v: &[f64]| -> Vec<f64> { band.iter().map(|&i| v[i]).collect() };
-    let (bf, bl, bp, bt) = (slice(&flops), slice(&lookup), slice(&predicted), slice(&true_lat));
+    let (bf, bl, bp, bt) = (
+        slice(&flops),
+        slice(&lookup),
+        slice(&predicted),
+        slice(&true_lat),
+    );
     let tau_band = [
         kendall_tau(&bf, &bt),
         kendall_tau(&bl, &bt),
@@ -106,11 +115,23 @@ pub fn run(opts: &Opts) {
     ];
 
     print_table(
-        &["Metric vs true latency", "Kendall tau (full)", "Kendall tau (budget band)"],
+        &[
+            "Metric vs true latency",
+            "Kendall tau (full)",
+            "Kendall tau (budget band)",
+        ],
         &[
             vec!["FLOPs".into(), num(tau_full[0], 2), num(tau_band[0], 2)],
-            vec!["Lookup table".into(), num(tau_full[1], 2), num(tau_band[1], 2)],
-            vec!["NNLP predicted".into(), num(tau_full[2], 2), num(tau_band[2], 2)],
+            vec![
+                "Lookup table".into(),
+                num(tau_full[1], 2),
+                num(tau_band[1], 2),
+            ],
+            vec![
+                "NNLP predicted".into(),
+                num(tau_full[2], 2),
+                num(tau_band[2], 2),
+            ],
         ],
     );
 
@@ -126,23 +147,45 @@ pub fn run(opts: &Opts) {
         pareto::best_accuracy_under_budget(&flops, &true_lat, &accuracy, budget).unwrap_or(0.0);
     println!("\nBest accuracy within the {budget:.2} ms budget, by selection metric:");
     print_table(
-        &["Selection metric", "Best accuracy", "Gap to true-latency front"],
+        &[
+            "Selection metric",
+            "Best accuracy",
+            "Gap to true-latency front",
+        ],
         &[
             vec!["True latency".into(), num(acc_true, 2), num(0.0, 2)],
-            vec!["NNLP predicted".into(), num(acc_pred, 2), num(acc_true - acc_pred, 2)],
-            vec!["Lookup table".into(), num(acc_lut, 2), num(acc_true - acc_lut, 2)],
-            vec!["FLOPs".into(), num(acc_flops, 2), num(acc_true - acc_flops, 2)],
+            vec![
+                "NNLP predicted".into(),
+                num(acc_pred, 2),
+                num(acc_true - acc_pred, 2),
+            ],
+            vec![
+                "Lookup table".into(),
+                num(acc_lut, 2),
+                num(acc_true - acc_lut, 2),
+            ],
+            vec![
+                "FLOPs".into(),
+                num(acc_flops, 2),
+                num(acc_true - acc_flops, 2),
+            ],
         ],
     );
     println!("\nPaper: taus 0.87/0.91/0.92 (full) -> 0.38/0.53/0.73 (300M budget);");
-    println!("the predictor front gains +1.2% accuracy over the FLOPs front and +0.6% over lookup.");
-    save_json(&opts.out_dir, "fig9", &serde_json::json!({
-        "tau_full": {"flops": tau_full[0], "lookup": tau_full[1], "predicted": tau_full[2]},
-        "tau_band": {"flops": tau_band[0], "lookup": tau_band[1], "predicted": tau_band[2]},
-        "band_size": band.len(),
-        "budget_ms": budget,
-        "best_accuracy": {
-            "true": acc_true, "predicted": acc_pred, "lookup": acc_lut, "flops": acc_flops,
-        },
-    }));
+    println!(
+        "the predictor front gains +1.2% accuracy over the FLOPs front and +0.6% over lookup."
+    );
+    save_json(
+        &opts.out_dir,
+        "fig9",
+        &serde_json::json!({
+            "tau_full": {"flops": tau_full[0], "lookup": tau_full[1], "predicted": tau_full[2]},
+            "tau_band": {"flops": tau_band[0], "lookup": tau_band[1], "predicted": tau_band[2]},
+            "band_size": band.len(),
+            "budget_ms": budget,
+            "best_accuracy": {
+                "true": acc_true, "predicted": acc_pred, "lookup": acc_lut, "flops": acc_flops,
+            },
+        }),
+    );
 }

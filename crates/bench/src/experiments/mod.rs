@@ -19,8 +19,20 @@ use crate::opts::Opts;
 
 /// All experiment names, in paper order.
 pub const ALL: [&str; 14] = [
-    "table1", "fig2", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-    "fig6", "fig7", "fig8", "fig9", "decisions",
+    "table1",
+    "fig2",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "decisions",
 ];
 
 /// Dispatch one experiment by name.

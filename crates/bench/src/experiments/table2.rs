@@ -10,7 +10,7 @@ use nnlqp::interface::QueryParams;
 use nnlqp::predictor::{FLOPS_MAC_COST_S, PREDICT_COST_S};
 use nnlqp::Nnlqp;
 use nnlqp_ir::{Graph, Rng64};
-use nnlqp_models::{generate_family, family::CORPUS_FAMILIES};
+use nnlqp_models::{family::CORPUS_FAMILIES, generate_family};
 use nnlqp_sim::{DeviceFarm, PlatformSpec};
 
 /// Number of query models (paper: 100, 10 per family).
@@ -96,21 +96,35 @@ pub fn run(opts: &Opts) {
     }
     rows.push(
         std::iter::once("Average".to_string())
-            .chain(avgs.iter().enumerate().map(|(i, v)| num(*v, if i < 3 { 1 } else { 2 })))
+            .chain(
+                avgs.iter()
+                    .enumerate()
+                    .map(|(i, v)| num(*v, if i < 3 { 1 } else { 2 })),
+            )
             .collect(),
     );
     print_table(
         &[
-            "Platform", "Hit-0%", "Hit-50%", "Hit-100%", "FLOPs+MAC", "NNLP",
-            "Spd-50%", "Spd-100%", "Spd-F+M", "Spd-NNLP",
+            "Platform",
+            "Hit-0%",
+            "Hit-50%",
+            "Hit-100%",
+            "FLOPs+MAC",
+            "NNLP",
+            "Spd-50%",
+            "Spd-100%",
+            "Spd-F+M",
+            "Spd-NNLP",
         ],
         &rows,
     );
     println!(
         "\nPaper: average speedups 1.82x (Hit-50%), 52.7x (Hit-100%), 1084x (FLOPs+MAC), 1016x (NNLP);"
     );
-    println!(
-        "at the observed ~53% production hit ratio the overall query speedup is ~1.8x."
+    println!("at the observed ~53% production hit ratio the overall query speedup is ~1.8x.");
+    save_json(
+        &opts.out_dir,
+        "table2",
+        &serde_json::json!({ "rows": json_rows }),
     );
-    save_json(&opts.out_dir, "table2", &serde_json::json!({ "rows": json_rows }));
 }

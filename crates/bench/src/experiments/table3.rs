@@ -48,7 +48,10 @@ pub fn run(opts: &Opts) {
     let headers: Vec<&str> = std::iter::once("Model Family")
         .chain(methods.iter().map(|m| m.name()))
         .collect();
-    for (metric_idx, metric_name) in [(0usize, "MAPE (lower is better)"), (1, "Acc(10%) (higher is better)")] {
+    for (metric_idx, metric_name) in [
+        (0usize, "MAPE (lower is better)"),
+        (1, "Acc(10%) (higher is better)"),
+    ] {
         println!("\n{metric_name}:");
         let mut rows = Vec::new();
         let mut avg = vec![0.0f64; methods.len()];

@@ -55,9 +55,13 @@ pub fn run(opts: &Opts) {
     print_table(&headers, &rows);
     println!("\nPaper averages — NNLP 10.66%, wo/F0 31.61%, wo/gnn 25.15%, wo/static 23.59%");
     println!("(importance order: node features > GNN > static features)");
-    save_json(&opts.out_dir, "table4", &serde_json::json!({
-        "methods": methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
-        "rows": json_rows,
-        "average": avg,
-    }));
+    save_json(
+        &opts.out_dir,
+        "table4",
+        &serde_json::json!({
+            "methods": methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            "rows": json_rows,
+            "average": avg,
+        }),
+    );
 }

@@ -6,12 +6,12 @@ use crate::opts::Opts;
 use crate::report::{pct, print_table, save_json};
 use nnlqp_ir::{Graph, Rng64};
 use nnlqp_models::{family::CORPUS_FAMILIES, generate_family};
+use nnlqp_nn::{RandomForest, RandomForestConfig};
 use nnlqp_predict::kernels::{
     build_kernel_dataset, kernel_feature_vector, KernelSample, NnlpKernelPredictor, TpuPredictor,
 };
 use nnlqp_predict::mape;
 use nnlqp_sim::{KernelFamily, PlatformSpec};
-use nnlqp_nn::{RandomForest, RandomForestConfig};
 use std::collections::BTreeMap;
 
 /// Run the experiment.
@@ -71,7 +71,10 @@ pub fn run(opts: &Opts) {
     }
     // TPU and NNLP kernel GNNs.
     let epochs = opts.epochs.max(15);
-    eprintln!("  training TPU kernel model ({} kernels)...", train_ks.len());
+    eprintln!(
+        "  training TPU kernel model ({} kernels)...",
+        train_ks.len()
+    );
     let tpu = TpuPredictor::fit(&refs, &train_ks, &[], epochs, opts.seed);
     eprintln!("  training NNLP kernel model...");
     let nnlp = NnlpKernelPredictor::fit(&refs, &train_ks, epochs, opts.seed + 1);
@@ -84,7 +87,11 @@ pub fn run(opts: &Opts) {
         e.0.push(k.latency_ms);
         let nm = forests
             .get(&k.desc.family)
-            .map(|f| f.predict(&kernel_feature_vector(&k.desc)).exp_m1().max(1e-6))
+            .map(|f| {
+                f.predict(&kernel_feature_vector(&k.desc))
+                    .exp_m1()
+                    .max(1e-6)
+            })
             .unwrap_or(k.latency_ms);
         e.1.push(nm);
         e.2.push(tpu.predict_kernel(refs[k.graph_idx], &k.kernel));
@@ -118,5 +125,9 @@ pub fn run(opts: &Opts) {
     ]);
     print_table(&["Kernel Family", "nn-Meter", "TPU", "NNLP"], &rows);
     println!("\nPaper averages — nn-Meter 8.33%, TPU 8.01%, NNLP 7.67%");
-    save_json(&opts.out_dir, "table5", &serde_json::json!({"rows": json_rows, "average": sums}));
+    save_json(
+        &opts.out_dir,
+        "table5",
+        &serde_json::json!({"rows": json_rows, "average": sums}),
+    );
 }

@@ -69,7 +69,10 @@ pub fn run(opts: &Opts) {
     }
     let union_ds = Dataset::build(&union_entries);
     let mut rng = Rng64::new(opts.seed ^ 0x600D);
-    eprintln!("  training the single multi-head model ({} samples)...", union_ds.samples.len());
+    eprintln!(
+        "  training the single multi-head model ({} samples)...",
+        union_ds.samples.len()
+    );
     let mut single = NnlpModel::new(cfg(platforms.len()), union_ds.norm.clone(), &mut rng);
     train(&mut single, &union_ds.samples, tc);
 
@@ -149,9 +152,13 @@ pub fn run(opts: &Opts) {
         multi_cost / single_cost.max(1e-9),
     );
     println!("Paper: 93.41s vs 10.59s (~9x saving); average Acc(10%) 80.6% vs 79.5%");
-    save_json(&opts.out_dir, "table6", &serde_json::json!({
-        "rows": json_rows,
-        "average": {"multi_models": avg[0], "single_model": avg[1]},
-        "cost_s": {"multi_models": multi_cost, "single_model": single_cost},
-    }));
+    save_json(
+        &opts.out_dir,
+        "table6",
+        &serde_json::json!({
+            "rows": json_rows,
+            "average": {"multi_models": avg[0], "single_model": avg[1]},
+            "cost_s": {"multi_models": multi_cost, "single_model": single_cost},
+        }),
+    );
 }

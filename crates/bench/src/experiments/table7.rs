@@ -23,7 +23,14 @@ pub fn run(opts: &Opts) {
         })
         .collect();
     print_table(
-        &["strategy", "measured", "predicted", "test models", "time cost", "speedup"],
+        &[
+            "strategy",
+            "measured",
+            "predicted",
+            "test models",
+            "time cost",
+            "speedup",
+        ],
         &table,
     );
     println!("\nPaper: 1x / 0.99x / 16.7x (T = one prediction, 1000T = one true measurement)");

@@ -36,7 +36,11 @@ pub fn run(opts: &Opts) {
         "\nAverage kernels per model: {:.1} (paper: ~18; Conv+Relu dominates at 59.9%)",
         total as f64 / graphs.len() as f64
     );
-    save_json(&opts.out_dir, "table8", &serde_json::json!({
-        "rows": json_rows, "total": total, "models": graphs.len(),
-    }));
+    save_json(
+        &opts.out_dir,
+        "table8",
+        &serde_json::json!({
+            "rows": json_rows, "total": total, "models": graphs.len(),
+        }),
+    );
 }

@@ -207,13 +207,7 @@ mod tests {
     #[test]
     fn every_method_fits_and_predicts() {
         let p = PlatformSpec::by_name("gpu-gtx1660-trt7.1-fp32").unwrap();
-        let corpus = measured_corpus(
-            &[ModelFamily::ResNet, ModelFamily::SqueezeNet],
-            8,
-            &p,
-            3,
-            5,
-        );
+        let corpus = measured_corpus(&[ModelFamily::ResNet, ModelFamily::SqueezeNet], 8, &p, 3, 5);
         let refs: Vec<&MeasuredModel> = corpus.iter().collect();
         let opts = Opts {
             epochs: 10,
@@ -222,7 +216,11 @@ mod tests {
         for m in Method::TABLE3.iter().chain(&Method::TABLE4) {
             let fitted = fit(*m, &refs, &p, &opts);
             let preds: Vec<f64> = corpus.iter().map(|x| fitted.predict(&x.graph)).collect();
-            assert!(preds.iter().all(|&x| x.is_finite() && x > 0.0), "{}", m.name());
+            assert!(
+                preds.iter().all(|&x| x.is_finite() && x > 0.0),
+                "{}",
+                m.name()
+            );
             let truth: Vec<f64> = corpus.iter().map(|x| x.latency_ms).collect();
             let e = mape(&preds, &truth);
             assert!(e < 500.0, "{} wildly off: {e}%", m.name());

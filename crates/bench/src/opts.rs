@@ -73,8 +73,10 @@ mod tests {
 
     #[test]
     fn full_flags() {
-        let o = Opts::parse(&argv("--per-family 200 --epochs 10 --seed 9 --reps 50 --out /tmp/x"))
-            .unwrap();
+        let o = Opts::parse(&argv(
+            "--per-family 200 --epochs 10 --seed 9 --reps 50 --out /tmp/x",
+        ))
+        .unwrap();
         assert_eq!(o.per_family, 200);
         assert_eq!(o.epochs, 10);
         assert_eq!(o.seed, 9);

@@ -21,7 +21,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         }
         println!("{}", s.trim_end());
     };
-    line(headers.iter().map(|h| h.to_string()).collect());
+    line(headers.iter().map(ToString::to_string).collect());
     line(widths.iter().map(|w| "-".repeat(*w)).collect());
     for row in rows {
         line(row.clone());
@@ -66,7 +66,7 @@ mod tests {
     #[test]
     fn pct_and_num_format() {
         assert_eq!(pct(12.306), "12.31%");
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(2.99792, 2), "3.00");
     }
 
     #[test]
@@ -77,11 +77,7 @@ mod tests {
     #[test]
     fn save_json_writes_file() {
         let dir = std::env::temp_dir().join("nnlqp-bench-test");
-        save_json(
-            &Some(dir.clone()),
-            "unit",
-            &serde_json::json!({"ok": true}),
-        );
+        save_json(&Some(dir.clone()), "unit", &serde_json::json!({"ok": true}));
         let content = std::fs::read_to_string(dir.join("unit.json")).unwrap();
         assert!(content.contains("\"ok\": true"));
         std::fs::remove_dir_all(&dir).ok();

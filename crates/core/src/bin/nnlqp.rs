@@ -6,9 +6,12 @@
 //!               [--train-family ResNet --train-count 40]
 //! nnlqp platforms
 //! nnlqp export-model --family ResNet --output model.json
+//! nnlqp lint    --model model.json [--platform NAME] [--json]
+//! nnlqp lint    --all-families
 //! ```
 //!
 //! Model files are the JSON graph format of `nnlqp_ir::serialize`.
+//! `lint` exits 1 when the analyzer reports any error-severity finding.
 
 use nnlqp::{Nnlqp, QueryParams, TrainPredictorConfig};
 use nnlqp_ir::serialize;
@@ -23,14 +26,23 @@ fn usage() -> ! {
     eprintln!("                [--train-family FAMILY] [--train-count N] [--epochs E]");
     eprintln!("  nnlqp platforms");
     eprintln!("  nnlqp export-model --family FAMILY --output FILE [--seed S]");
+    eprintln!("  nnlqp lint    (--model FILE | --family FAMILY | --all-families)");
+    eprintln!("                [--platform NAME] [--json]");
     std::process::exit(2);
 }
+
+/// Flags that take no value.
+const BOOL_FLAGS: [&str; 2] = ["json", "all-families"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&key) {
+                out.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             match it.next() {
                 Some(v) => {
                     out.insert(key.to_string(), v.clone());
@@ -104,11 +116,62 @@ fn main() {
                 eprintln!("error: cannot write {output}: {e}");
                 std::process::exit(1);
             });
-            println!(
-                "wrote {} ({} nodes) to {output}",
-                graph.name,
-                graph.len()
-            );
+            println!("wrote {} ({} nodes) to {output}", graph.name, graph.len());
+        }
+        "lint" => {
+            let platform = flags
+                .get("platform")
+                .map(String::as_str)
+                .unwrap_or("gpu-T4-trt7.1-fp32");
+            let Some(spec) = PlatformSpec::by_name(platform) else {
+                eprintln!("error: unknown platform: {platform}");
+                std::process::exit(1);
+            };
+            // Assemble the lint targets.
+            let mut graphs: Vec<nnlqp_ir::Graph> = Vec::new();
+            if flags.contains_key("all-families") {
+                for f in nnlqp_models::family::CORPUS_FAMILIES {
+                    graphs.push(f.canonical().expect("built-in generator is valid"));
+                }
+            } else if let Some(f) = flags.get("family") {
+                let family = ModelFamily::parse(f).unwrap_or_else(|| {
+                    eprintln!("error: --family must name a model family");
+                    usage();
+                });
+                graphs.push(family.canonical().expect("built-in generator is valid"));
+            } else if let Some(path) = flags.get("model") {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("error: cannot read {path}: {e}");
+                    std::process::exit(1);
+                });
+                // Unchecked load: the linter diagnoses malformed graphs
+                // instead of refusing to open them.
+                let g = serialize::from_json_unchecked(&text).unwrap_or_else(|e| {
+                    eprintln!("error: {path} is not a model file: {e}");
+                    std::process::exit(1);
+                });
+                graphs.push(g);
+            } else {
+                eprintln!("error: one of --model, --family, --all-families is required");
+                usage();
+            }
+
+            let analyzer = nnlqp_analyze::Analyzer::full();
+            let mut any_errors = false;
+            let mut json_reports = Vec::new();
+            for g in &graphs {
+                let report = analyzer.analyze(g, Some(&spec));
+                any_errors |= report.has_errors();
+                if flags.contains_key("json") {
+                    json_reports.push(report.render_json());
+                } else {
+                    print!("{}", report.render_text());
+                }
+            }
+            if flags.contains_key("json") {
+                println!("[{}]", json_reports.join(","));
+            }
+            std::process::exit(i32::from(any_errors));
         }
         "query" => {
             let model = load_model(&flags);

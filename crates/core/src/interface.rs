@@ -39,6 +39,9 @@ pub enum QueryError {
     UnknownPlatform(String),
     /// Rebatching the model failed (invalid batch).
     BadBatch(String),
+    /// Strict mode: the analyzer found errors, so the graph was rejected
+    /// before touching the farm (the payload is the rendered report).
+    Lint(String),
 }
 
 impl fmt::Display for QueryError {
@@ -46,6 +49,7 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::UnknownPlatform(p) => write!(f, "unknown platform: {p}"),
             QueryError::BadBatch(d) => write!(f, "bad batch size: {d}"),
+            QueryError::Lint(r) => write!(f, "model rejected by static analysis:\n{r}"),
         }
     }
 }
@@ -71,6 +75,11 @@ pub struct Nnlqp {
     farm: DeviceFarm,
     /// Measurement repetitions per query (paper: 50).
     pub reps: usize,
+    /// When set, every query first runs the `nnlqp-analyze` pipeline over
+    /// the effective graph and refuses to measure (or cache) anything the
+    /// analyzer flags with an error — keeping poisoned ground truth out of
+    /// the evolving database.
+    pub strict: bool,
     seed: Mutex<Rng64>,
     pub(crate) predictor: parking_lot::RwLock<Option<crate::predictor::PredictorHandle>>,
 }
@@ -82,6 +91,7 @@ impl Nnlqp {
             db: Database::new(),
             farm,
             reps: nnlqp_sim::DEFAULT_REPS,
+            strict: false,
             seed: Mutex::new(Rng64::new(0x4e4e_4c51_5021)),
             predictor: parking_lot::RwLock::new(None),
         }
@@ -90,6 +100,12 @@ impl Nnlqp {
     /// System over the full platform registry, one device each.
     pub fn with_default_farm() -> Self {
         Self::new(DeviceFarm::full_registry())
+    }
+
+    /// Builder-style toggle for strict (analyze-before-measure) mode.
+    pub fn with_strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
     }
 
     /// Reseed the measurement/jitter stream (distinct deployments of the
@@ -120,6 +136,12 @@ impl Nnlqp {
     pub fn query(&self, params: &QueryParams) -> Result<QueryResult, QueryError> {
         let spec = self.canonical_platform(&params.platform_name)?;
         let graph = self.effective_graph(params)?;
+        if self.strict {
+            let report = nnlqp_analyze::analyze(&graph, Some(&spec));
+            if report.has_errors() {
+                return Err(QueryError::Lint(report.render_text()));
+            }
+        }
         let hash = graph_hash(&graph);
         let platform_id =
             self.db
@@ -151,8 +173,12 @@ impl Nnlqp {
         let result = self.farm.measure_blocking(&job)?;
         let (model_id, _) = self.db.insert_model(&graph);
         let mem = cost::graph_cost(&graph, spec.dtype).mem_bytes;
-        self.db
-            .insert_latency(
+        // Atomic check-then-insert: when two threads miss on the same key
+        // concurrently, both return the first writer's measurement — the
+        // value every later cache hit will serve.
+        let (record, _) = self
+            .db
+            .get_or_insert_latency(
                 model_id,
                 platform_id,
                 params.batch_size,
@@ -163,7 +189,7 @@ impl Nnlqp {
             )
             .expect("fresh foreign keys are valid");
         Ok(QueryResult {
-            latency_ms: result.measurement.mean_ms,
+            latency_ms: record.cost_ms,
             cache_hit: false,
             cost_s: result.pipeline_cost_s + CACHE_HIT_COST_S * 0.5, // miss still pays the lookup
         })
@@ -171,7 +197,12 @@ impl Nnlqp {
 
     /// Pre-populate the database (the "evolving" loop: every served query
     /// enriches later ones). Returns the number of fresh measurements.
-    pub fn warm_cache(&self, models: &[Graph], platform_name: &str, batch: u32) -> Result<usize, QueryError> {
+    pub fn warm_cache(
+        &self,
+        models: &[Graph],
+        platform_name: &str,
+        batch: u32,
+    ) -> Result<usize, QueryError> {
         let mut fresh = 0;
         for m in models {
             let r = self.query(&QueryParams {
@@ -268,6 +299,43 @@ mod tests {
         assert_eq!(fresh, 3);
         let again = s.warm_cache(&models, "gpu-T4-trt7.1-fp32", 1).unwrap();
         assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn strict_mode_rejects_malformed_graph() {
+        let s = system().with_strict(true);
+        let mut p = params("gpu-T4-trt7.1-fp32");
+        // Tamper a stored shape: validate() would also catch this, but the
+        // analyzer reports it with a stable code instead of panicking the
+        // farm pipeline — and nothing must be cached.
+        p.model.nodes[1].out_shape = nnlqp_ir::Shape::nchw(1, 999, 1, 1);
+        let err = s.query(&p).unwrap_err();
+        match err {
+            QueryError::Lint(report) => assert!(report.contains("NNL004"), "{report}"),
+            other => panic!("expected Lint error, got {other:?}"),
+        }
+        assert_eq!(s.stats().models, 0);
+        assert_eq!(s.stats().latencies, 0);
+    }
+
+    #[test]
+    fn strict_mode_passes_clean_graph() {
+        let s = system().with_strict(true);
+        let p = params("gpu-T4-trt7.1-fp32");
+        let first = s.query(&p).unwrap();
+        assert!(!first.cache_hit);
+        assert!(s.query(&p).unwrap().cache_hit);
+        assert_eq!(first.latency_ms, s.query(&p).unwrap().latency_ms);
+    }
+
+    #[test]
+    fn non_strict_mode_does_not_analyze() {
+        // Default mode keeps the historical behavior: a graph the linter
+        // would warn about is still measured.
+        let s = system();
+        assert!(!s.strict);
+        let r = s.query(&params("gpu-T4-trt7.1-fp32")).unwrap();
+        assert!(r.latency_ms > 0.0);
     }
 
     #[test]

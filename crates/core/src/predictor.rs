@@ -3,8 +3,8 @@
 
 use crate::interface::{Nnlqp, QueryError, QueryParams};
 use nnlqp_ir::Rng64;
-use nnlqp_predict::{extract_features, NnlpConfig, NnlpModel};
 use nnlqp_predict::train::{train, Dataset, TrainConfig};
+use nnlqp_predict::{extract_features, NnlpConfig, NnlpModel};
 use nnlqp_sim::PlatformSpec;
 use std::collections::HashMap;
 
@@ -79,11 +79,9 @@ impl Nnlqp {
             let spec = PlatformSpec::by_name(name)
                 .ok_or_else(|| QueryError::UnknownPlatform(name.to_string()))?;
             head_of.insert(spec.name.clone(), head);
-            let pid = self.db.get_or_create_platform(
-                &spec.hardware,
-                &spec.software,
-                spec.dtype.name(),
-            );
+            let pid =
+                self.db
+                    .get_or_create_platform(&spec.hardware, &spec.software, spec.dtype.name());
             for rec in self.db.latencies_for_platform(pid) {
                 let g = self
                     .db
@@ -207,7 +205,12 @@ mod tests {
         let pred = s.predict(&p).unwrap();
         let truth = s.query(&p).unwrap();
         let rel = (pred.latency_ms - truth.latency_ms).abs() / truth.latency_ms;
-        assert!(rel < 0.6, "pred {} truth {}", pred.latency_ms, truth.latency_ms);
+        assert!(
+            rel < 0.6,
+            "pred {} truth {}",
+            pred.latency_ms,
+            truth.latency_ms
+        );
         assert!(pred.cost_s < 1.0);
     }
 

@@ -31,7 +31,11 @@ fn export_then_query_roundtrip() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     let out = bin()
@@ -46,11 +50,61 @@ fn export_then_query_roundtrip() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("\"latency_ms\""), "stdout: {stdout}");
     assert!(stdout.contains("\"cache_hit\": false"));
     std::fs::remove_file(&model).ok();
+}
+
+#[test]
+fn lint_family_reports_clean() {
+    let out = bin()
+        .args(["lint", "--family", "ResNet"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 error(s)"), "stdout: {stdout}");
+}
+
+#[test]
+fn lint_all_families_json_zero_errors() {
+    let out = bin()
+        .args(["lint", "--all-families", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.trim_start().starts_with('['), "stdout: {stdout}");
+    // One report per corpus family, each with zero errors.
+    assert_eq!(
+        stdout.matches("\"errors\":0").count(),
+        10,
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn lint_unknown_platform_fails() {
+    let out = bin()
+        .args(["lint", "--family", "ResNet", "--platform", "abacus"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown platform"));
 }
 
 #[test]

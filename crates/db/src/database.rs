@@ -170,8 +170,58 @@ impl Database {
             device_mem,
             created_seq: seq,
         });
-        inner.by_query.insert((model_id, platform_id, batch_size), id);
+        inner
+            .by_query
+            .insert((model_id, platform_id, batch_size), id);
         Ok(id)
+    }
+
+    /// Atomic check-then-insert for the query miss path. When two callers
+    /// race on the same (model, platform, batch) key, the first insert
+    /// wins and the loser is handed the winner's row — so every caller
+    /// returns the same latency that later cache hits will serve.
+    ///
+    /// Returns the authoritative record and whether this call inserted it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_insert_latency(
+        &self,
+        model_id: ModelId,
+        platform_id: PlatformId,
+        batch_size: u32,
+        cost_ms: f64,
+        mem_access: f64,
+        host_mem: u64,
+        device_mem: u64,
+    ) -> Result<(LatencyRecord, bool), DbError> {
+        let mut inner = self.inner.write();
+        if model_id.0 as usize >= inner.models.len() {
+            return Err(DbError::ForeignKey("model"));
+        }
+        if platform_id.0 as usize >= inner.platforms.len() {
+            return Err(DbError::ForeignKey("platform"));
+        }
+        if let Some(&lid) = inner.by_query.get(&(model_id, platform_id, batch_size)) {
+            return Ok((inner.latencies[lid.0 as usize], false));
+        }
+        let id = LatencyId(inner.latencies.len() as u32);
+        let seq = inner.seq;
+        inner.seq += 1;
+        let rec = LatencyRecord {
+            id,
+            model_id,
+            platform_id,
+            batch_size,
+            cost_ms,
+            mem_access,
+            host_mem,
+            device_mem,
+            created_seq: seq,
+        };
+        inner.latencies.push(rec);
+        inner
+            .by_query
+            .insert((model_id, platform_id, batch_size), id);
+        Ok((rec, true))
     }
 
     /// The cache-hit path of NNLQ: does the database already hold a
@@ -208,17 +258,17 @@ impl Database {
     /// (`bench/db` compares this against the hash index).
     pub fn model_by_hash_scan(&self, hash: u64) -> Option<ModelRecord> {
         let inner = self.inner.read();
-        inner
-            .models
-            .iter()
-            .find(|m| m.graph_hash == hash)
-            .cloned()
+        inner.models.iter().find(|m| m.graph_hash == hash).cloned()
     }
 
     /// Aggregate statistics.
     pub fn stats(&self) -> DbStats {
         let inner = self.inner.read();
-        let model_bytes: usize = inner.models.iter().map(|m| m.storage_bytes()).sum();
+        let model_bytes: usize = inner
+            .models
+            .iter()
+            .map(super::records::ModelRecord::storage_bytes)
+            .sum();
         DbStats {
             models: inner.models.len(),
             platforms: inner.platforms.len(),
@@ -311,6 +361,30 @@ mod tests {
     }
 
     #[test]
+    fn get_or_insert_first_writer_wins() {
+        let db = Database::new();
+        let (mid, _) = db.insert_model(&graph(8));
+        let pid = db.get_or_create_platform("T4", "trt7.1", "fp32");
+        let (a, fresh_a) = db
+            .get_or_insert_latency(mid, pid, 1, 5.0, 0.0, 0, 0)
+            .unwrap();
+        let (b, fresh_b) = db
+            .get_or_insert_latency(mid, pid, 1, 4.2, 0.0, 0, 0)
+            .unwrap();
+        assert!(fresh_a && !fresh_b);
+        assert_eq!(a.cost_ms, 5.0);
+        assert_eq!(b.cost_ms, 5.0); // loser gets the winner's row
+        assert_eq!(db.stats().latencies, 1);
+        // The lookup path serves the same row.
+        let hash = graph_hash(&graph(8));
+        assert_eq!(db.lookup_latency(hash, pid, 1).unwrap().cost_ms, 5.0);
+        // Foreign keys still enforced.
+        assert!(db
+            .get_or_insert_latency(ModelId(9), pid, 1, 1.0, 0.0, 0, 0)
+            .is_err());
+    }
+
+    #[test]
     fn foreign_keys_enforced() {
         let db = Database::new();
         let err = db
@@ -370,7 +444,11 @@ mod tests {
         let s = db.stats();
         assert_eq!(
             s.total_bytes,
-            db.model_by_hash(graph_hash(&graph(8))).unwrap().storage_bytes() + 152 + 52
+            db.model_by_hash(graph_hash(&graph(8)))
+                .unwrap()
+                .storage_bytes()
+                + 152
+                + 52
         );
     }
 }

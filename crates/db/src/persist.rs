@@ -226,7 +226,8 @@ mod tests {
         let pid2 = db.get_or_create_platform("cpu", "openppl", "fp32");
         for c in [8u32, 16, 32] {
             let (mid, _) = db.insert_model(&graph(c));
-            db.insert_latency(mid, pid, 1, c as f64, 1e5, 10, 20).unwrap();
+            db.insert_latency(mid, pid, 1, c as f64, 1e5, 10, 20)
+                .unwrap();
             db.insert_latency(mid, pid2, 4, c as f64 * 3.0, 1e5, 10, 20)
                 .unwrap();
         }

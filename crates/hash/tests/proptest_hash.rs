@@ -12,7 +12,9 @@ fn random_graph(seed: u64) -> nnlqp_ir::Graph {
     let mut r = Rng64::new(seed);
     let hw = *r.choice(&[16usize, 32, 64]);
     let mut b = GraphBuilder::new("h", Shape::nchw(1, 3, hw, hw));
-    let mut cur = b.conv(None, 8 + 2 * r.below(32) as u32, 3, 1, 1, 1).unwrap();
+    let mut cur = b
+        .conv(None, 8 + 2 * r.below(32) as u32, 3, 1, 1, 1)
+        .unwrap();
     for _ in 0..(2 + r.below(10)) {
         cur = match r.below(4) {
             0 => {
@@ -23,7 +25,9 @@ fn random_graph(seed: u64) -> nnlqp_ir::Graph {
             1 => b.relu(cur).unwrap(),
             2 => b.sigmoid(cur).unwrap(),
             _ => {
-                let c1 = b.conv(Some(cur), b.channels(cur) as u32, 3, 1, 1, 1).unwrap();
+                let c1 = b
+                    .conv(Some(cur), b.channels(cur) as u32, 3, 1, 1, 1)
+                    .unwrap();
                 b.add(cur, c1).unwrap()
             }
         };

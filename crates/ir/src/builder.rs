@@ -93,7 +93,13 @@ impl GraphBuilder {
     }
 
     /// Depthwise convolution: groups == channels of `input`.
-    pub fn dwconv(&mut self, input: NodeId, kernel: u32, stride: u32, pad: u32) -> IrResult<NodeId> {
+    pub fn dwconv(
+        &mut self,
+        input: NodeId,
+        kernel: u32,
+        stride: u32,
+        pad: u32,
+    ) -> IrResult<NodeId> {
         let c = self.channels(input) as u32;
         self.conv(Some(input), c, kernel, stride, pad, c)
     }
@@ -136,13 +142,29 @@ impl GraphBuilder {
     }
 
     /// Max pooling.
-    pub fn maxpool(&mut self, input: NodeId, kernel: u32, stride: u32, pad: u32) -> IrResult<NodeId> {
+    pub fn maxpool(
+        &mut self,
+        input: NodeId,
+        kernel: u32,
+        stride: u32,
+        pad: u32,
+    ) -> IrResult<NodeId> {
         self.push(OpType::MaxPool, Attrs::pool(kernel, stride, pad), &[input])
     }
 
     /// Average pooling.
-    pub fn avgpool(&mut self, input: NodeId, kernel: u32, stride: u32, pad: u32) -> IrResult<NodeId> {
-        self.push(OpType::AveragePool, Attrs::pool(kernel, stride, pad), &[input])
+    pub fn avgpool(
+        &mut self,
+        input: NodeId,
+        kernel: u32,
+        stride: u32,
+        pad: u32,
+    ) -> IrResult<NodeId> {
+        self.push(
+            OpType::AveragePool,
+            Attrs::pool(kernel, stride, pad),
+            &[input],
+        )
     }
 
     /// Global average pooling.

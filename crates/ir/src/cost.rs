@@ -106,9 +106,7 @@ pub fn node_cost(g: &Graph, id: NodeId, dt: DType) -> NodeCost {
         OpType::MaxPool | OpType::AveragePool => {
             out_elems * n.attrs.kernel[0] as f64 * n.attrs.kernel[1] as f64
         }
-        OpType::GlobalAveragePool | OpType::ReduceMean => {
-            input_shapes[0].numel() as f64
-        }
+        OpType::GlobalAveragePool | OpType::ReduceMean => input_shapes[0].numel() as f64,
         OpType::Concat | OpType::Flatten => 0.0,
     };
 

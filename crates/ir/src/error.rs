@@ -11,7 +11,12 @@ pub enum IrError {
     /// Shape inference failed for a node.
     ShapeMismatch { node: u32, detail: String },
     /// An operator received the wrong number of inputs.
-    Arity { node: u32, op: &'static str, expected: &'static str, got: usize },
+    Arity {
+        node: u32,
+        op: &'static str,
+        expected: &'static str,
+        got: usize,
+    },
     /// An attribute value is invalid for the operator (e.g. zero stride).
     BadAttr { node: u32, detail: String },
     /// The graph is structurally empty or has no output.
@@ -24,12 +29,20 @@ impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrError::BadTopology { node, input } => {
-                write!(f, "node {node} references input {input} that is not an earlier node")
+                write!(
+                    f,
+                    "node {node} references input {input} that is not an earlier node"
+                )
             }
             IrError::ShapeMismatch { node, detail } => {
                 write!(f, "shape inference failed at node {node}: {detail}")
             }
-            IrError::Arity { node, op, expected, got } => {
+            IrError::Arity {
+                node,
+                op,
+                expected,
+                got,
+            } => {
                 write!(f, "node {node} ({op}) expects {expected} inputs, got {got}")
             }
             IrError::BadAttr { node, detail } => {

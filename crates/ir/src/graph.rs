@@ -109,8 +109,7 @@ impl Graph {
                 .iter()
                 .map(|id| &nodes[id.index()].out_shape)
                 .collect();
-            let out_shape =
-                infer::infer_shape(i as u32, n.op, &n.attrs, &in_shapes, &input_shape)?;
+            let out_shape = infer::infer_shape(i as u32, n.op, &n.attrs, &in_shapes, &input_shape)?;
             let mut m = n.clone();
             m.out_shape = out_shape;
             nodes.push(m);

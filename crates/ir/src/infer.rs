@@ -71,10 +71,22 @@ pub fn infer_shape(
                     attrs.groups
                 )));
             }
-            let h = conv_out(s.height(), attrs.kernel[0], attrs.stride[0], attrs.pad[0], attrs.dilation[0])
-                .map_err(|_| err(format!("conv window H does not fit: in {s}")))?;
-            let w = conv_out(s.width(), attrs.kernel[1], attrs.stride[1], attrs.pad[1], attrs.dilation[1])
-                .map_err(|_| err(format!("conv window W does not fit: in {s}")))?;
+            let h = conv_out(
+                s.height(),
+                attrs.kernel[0],
+                attrs.stride[0],
+                attrs.pad[0],
+                attrs.dilation[0],
+            )
+            .map_err(|_| err(format!("conv window H does not fit: in {s}")))?;
+            let w = conv_out(
+                s.width(),
+                attrs.kernel[1],
+                attrs.stride[1],
+                attrs.pad[1],
+                attrs.dilation[1],
+            )
+            .map_err(|_| err(format!("conv window W does not fit: in {s}")))?;
             Ok(Shape::nchw(s.batch(), attrs.out_channels as usize, h, w))
         }
         OpType::MaxPool | OpType::AveragePool => {
@@ -85,8 +97,14 @@ pub fn infer_shape(
             if s.rank() != 4 {
                 return Err(err(format!("pool needs rank-4 input, got {s}")));
             }
-            let h = conv_out(s.height(), attrs.kernel[0], attrs.stride[0], attrs.pad[0], 1)
-                .map_err(|_| err(format!("pool window H does not fit: in {s}")))?;
+            let h = conv_out(
+                s.height(),
+                attrs.kernel[0],
+                attrs.stride[0],
+                attrs.pad[0],
+                1,
+            )
+            .map_err(|_| err(format!("pool window H does not fit: in {s}")))?;
             let w = conv_out(s.width(), attrs.kernel[1], attrs.stride[1], attrs.pad[1], 1)
                 .map_err(|_| err(format!("pool window W does not fit: in {s}")))?;
             Ok(Shape::nchw(s.batch(), s.channels(), h, w))
@@ -139,7 +157,10 @@ pub fn infer_shape(
             if attrs.axis != 1 {
                 return Err(IrError::BadAttr {
                     node,
-                    detail: format!("only channel-axis concat supported, got axis {}", attrs.axis),
+                    detail: format!(
+                        "only channel-axis concat supported, got axis {}",
+                        attrs.axis
+                    ),
                 });
             }
             let first = ins[0];
@@ -210,21 +231,30 @@ mod tests {
     fn conv_same_padding() {
         let a = Attrs::conv(64, 3, 1, 1, 1);
         let s = Shape::nchw(1, 3, 224, 224);
-        assert_eq!(infer(OpType::Conv, &a, &[&s]).unwrap(), Shape::nchw(1, 64, 224, 224));
+        assert_eq!(
+            infer(OpType::Conv, &a, &[&s]).unwrap(),
+            Shape::nchw(1, 64, 224, 224)
+        );
     }
 
     #[test]
     fn conv_stride2_halves() {
         let a = Attrs::conv(32, 3, 2, 1, 1);
         let s = Shape::nchw(1, 16, 56, 56);
-        assert_eq!(infer(OpType::Conv, &a, &[&s]).unwrap(), Shape::nchw(1, 32, 28, 28));
+        assert_eq!(
+            infer(OpType::Conv, &a, &[&s]).unwrap(),
+            Shape::nchw(1, 32, 28, 28)
+        );
     }
 
     #[test]
     fn conv_7x7_s2_p3_imagenet_stem() {
         let a = Attrs::conv(64, 7, 2, 3, 1);
         let s = Shape::nchw(1, 3, 224, 224);
-        assert_eq!(infer(OpType::Conv, &a, &[&s]).unwrap(), Shape::nchw(1, 64, 112, 112));
+        assert_eq!(
+            infer(OpType::Conv, &a, &[&s]).unwrap(),
+            Shape::nchw(1, 64, 112, 112)
+        );
     }
 
     #[test]
@@ -235,7 +265,10 @@ mod tests {
             ..Attrs::conv(8, 3, 1, 0, 1)
         };
         let s = Shape::nchw(1, 4, 16, 16);
-        assert_eq!(infer(OpType::Conv, &a, &[&s]).unwrap(), Shape::nchw(1, 8, 12, 12));
+        assert_eq!(
+            infer(OpType::Conv, &a, &[&s]).unwrap(),
+            Shape::nchw(1, 8, 12, 12)
+        );
     }
 
     #[test]
@@ -256,7 +289,10 @@ mod tests {
     fn maxpool_imagenet_stem() {
         let a = Attrs::pool(3, 2, 1);
         let s = Shape::nchw(1, 64, 112, 112);
-        assert_eq!(infer(OpType::MaxPool, &a, &[&s]).unwrap(), Shape::nchw(1, 64, 56, 56));
+        assert_eq!(
+            infer(OpType::MaxPool, &a, &[&s]).unwrap(),
+            Shape::nchw(1, 64, 56, 56)
+        );
     }
 
     #[test]
@@ -287,8 +323,14 @@ mod tests {
     fn mul_broadcast_se_scaling() {
         let act = Shape::nchw(1, 128, 28, 28);
         let gate = Shape::nchw(1, 128, 1, 1);
-        assert_eq!(infer(OpType::Mul, &Attrs::default(), &[&act, &gate]).unwrap(), act);
-        assert_eq!(infer(OpType::Mul, &Attrs::default(), &[&gate, &act]).unwrap(), act);
+        assert_eq!(
+            infer(OpType::Mul, &Attrs::default(), &[&act, &gate]).unwrap(),
+            act
+        );
+        assert_eq!(
+            infer(OpType::Mul, &Attrs::default(), &[&gate, &act]).unwrap(),
+            act
+        );
     }
 
     #[test]
@@ -326,7 +368,12 @@ mod tests {
     #[test]
     fn flatten_collapses() {
         assert_eq!(
-            infer(OpType::Flatten, &Attrs::default(), &[&Shape::nchw(2, 256, 6, 6)]).unwrap(),
+            infer(
+                OpType::Flatten,
+                &Attrs::default(),
+                &[&Shape::nchw(2, 256, 6, 6)]
+            )
+            .unwrap(),
             Shape::nc(2, 256 * 36)
         );
     }

@@ -144,9 +144,15 @@ pub fn to_json(g: &Graph) -> String {
 
 /// JSON import with validation.
 pub fn from_json(s: &str) -> IrResult<Graph> {
-    let g: Graph = serde_json::from_str(s).map_err(|e| IrError::Decode(e.to_string()))?;
+    let g = from_json_unchecked(s)?;
     crate::validate::validate(&g)?;
     Ok(g)
+}
+
+/// JSON import without validation — for diagnostic tools (`nnlqp lint`)
+/// that report on malformed graphs rather than refusing to open them.
+pub fn from_json_unchecked(s: &str) -> IrResult<Graph> {
+    serde_json::from_str(s).map_err(|e| IrError::Decode(e.to_string()))
 }
 
 #[cfg(test)]

@@ -19,15 +19,23 @@ pub fn validate(g: &Graph) -> IrResult<()> {
         let id = i as u32;
         for &inp in &n.inputs {
             if inp.index() >= i {
-                return Err(IrError::BadTopology { node: id, input: inp.0 });
+                return Err(IrError::BadTopology {
+                    node: id,
+                    input: inp.0,
+                });
             }
         }
         let (min, max) = n.op.arity();
         let got = n.inputs.len();
-        // Zero inputs is allowed for unary ops (they read the graph input).
-        let effective = if got == 0 && min == 0 { 1 } else { got };
-        let lo = min.max(1);
-        if got != 0 && (got < lo || got > max) || (got == 0 && min > 0) {
+        // Zero inputs means the node reads the graph input — legal exactly
+        // when the op's minimum arity is zero; otherwise at least one and
+        // within the op's range.
+        let arity_ok = if got == 0 {
+            min == 0
+        } else {
+            got >= min.max(1) && got <= max
+        };
+        if !arity_ok {
             return Err(IrError::Arity {
                 node: id,
                 op: n.op.name(),
@@ -35,7 +43,6 @@ pub fn validate(g: &Graph) -> IrResult<()> {
                 got,
             });
         }
-        let _ = effective;
         let in_shapes: Vec<&Shape> = n
             .inputs
             .iter()
@@ -113,5 +120,54 @@ mod tests {
             out_shape: Shape::nchw(1, 8, 8, 8),
         });
         assert!(validate(&g).is_err());
+    }
+
+    #[test]
+    fn zero_input_unary_reads_graph_input() {
+        // A 0-input unary op is legal: it consumes the graph input.
+        let g = Graph {
+            name: "u".into(),
+            input_shape: Shape::nchw(1, 3, 8, 8),
+            nodes: vec![Node {
+                op: OpType::Relu,
+                attrs: Attrs::default(),
+                inputs: vec![],
+                out_shape: Shape::nchw(1, 3, 8, 8),
+            }],
+        };
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn zero_input_binary_rejected() {
+        // Binary ops (min arity 2) may not fall back to the graph input.
+        let g = Graph {
+            name: "b".into(),
+            input_shape: Shape::nchw(1, 3, 8, 8),
+            nodes: vec![Node {
+                op: OpType::Add,
+                attrs: Attrs::default(),
+                inputs: vec![],
+                out_shape: Shape::nchw(1, 3, 8, 8),
+            }],
+        };
+        assert!(matches!(
+            validate(&g),
+            Err(IrError::Arity {
+                op: "Add",
+                got: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unary_with_one_explicit_input_still_valid() {
+        // The other leg of the 0-or-1 unary rule: one explicit input.
+        assert!(validate(&ok_graph()).is_ok());
+        let mut g = ok_graph();
+        // Two inputs to a unary op is too many.
+        g.nodes[1].inputs = vec![NodeId(0), NodeId(0)];
+        assert!(matches!(validate(&g), Err(IrError::Arity { got: 2, .. })));
     }
 }

@@ -24,7 +24,6 @@ fn random_graph(seed: u64) -> nnlqp_ir::Graph {
             1 => {
                 let newc = 8 + 8 * r.below(16) as u32;
                 cur = b.conv(Some(cur), newc, 1, 1, 0, 1).unwrap();
-                prev_same_shape = None;
             }
             2 => {
                 cur = b.relu(cur).unwrap();
@@ -35,7 +34,6 @@ fn random_graph(seed: u64) -> nnlqp_ir::Graph {
             4 => {
                 if b.out_shape(cur).height() >= 2 {
                     cur = b.maxpool(cur, 2, 2, 0).unwrap();
-                    prev_same_shape = None;
                 }
             }
             _ => {

@@ -93,7 +93,13 @@ pub fn build(name: &str, cfg: &DetectionConfig) -> IrResult<Graph> {
             cfg.head_depth,
             cfg.anchors * cfg.classes,
         )?;
-        head(&mut b, lr, cfg.head_channels, cfg.head_depth, cfg.anchors * 4)?;
+        head(
+            &mut b,
+            lr,
+            cfg.head_channels,
+            cfg.head_depth,
+            cfg.anchors * 4,
+        )?;
     }
     b.finish()
 }

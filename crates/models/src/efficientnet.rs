@@ -135,7 +135,11 @@ mod tests {
         let g = build("effnet-b0", &EfficientNetConfig::default()).unwrap();
         assert!(validate(&g).is_ok());
         // Every MBConv has an SE block -> one ReduceMean each (16 blocks).
-        let se = g.nodes.iter().filter(|n| n.op == OpType::ReduceMean).count();
+        let se = g
+            .nodes
+            .iter()
+            .filter(|n| n.op == OpType::ReduceMean)
+            .count();
         assert_eq!(se, 16);
     }
 

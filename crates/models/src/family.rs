@@ -118,7 +118,10 @@ mod tests {
         for f in CORPUS_FAMILIES {
             assert_eq!(ModelFamily::parse(f.name()), Some(f));
         }
-        assert_eq!(ModelFamily::parse("Detection"), Some(ModelFamily::Detection));
+        assert_eq!(
+            ModelFamily::parse("Detection"),
+            Some(ModelFamily::Detection)
+        );
         assert_eq!(ModelFamily::parse("nonsense"), None);
     }
 

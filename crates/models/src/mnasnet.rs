@@ -143,7 +143,11 @@ mod tests {
     fn a1_builds() {
         let g = build("mnasnet-a1", &MnasNetConfig::default()).unwrap();
         assert!(validate(&g).is_ok());
-        let se = g.nodes.iter().filter(|n| n.op == OpType::ReduceMean).count();
+        let se = g
+            .nodes
+            .iter()
+            .filter(|n| n.op == OpType::ReduceMean)
+            .count();
         assert_eq!(se, 3 + 2 + 3); // SE stages: 40x3, 112x2, 160x3
     }
 
@@ -157,7 +161,11 @@ mod tests {
             },
         )
         .unwrap();
-        let se = g.nodes.iter().filter(|n| n.op == OpType::ReduceMean).count();
+        let se = g
+            .nodes
+            .iter()
+            .filter(|n| n.op == OpType::ReduceMean)
+            .count();
         assert_eq!(se, 0);
     }
 

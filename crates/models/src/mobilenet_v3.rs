@@ -74,7 +74,11 @@ fn v3_block(
         cur = if use_swish { b.swish(e)? } else { b.relu6(e)? };
     }
     let dw = b.conv(Some(cur), expand_c, dw_k, stride, same_pad(dw_k), expand_c)?;
-    cur = if use_swish { b.swish(dw)? } else { b.relu6(dw)? };
+    cur = if use_swish {
+        b.swish(dw)?
+    } else {
+        b.relu6(dw)?
+    };
     if use_se {
         cur = b.squeeze_excite(cur, se_reduction)?;
     }
@@ -143,7 +147,11 @@ mod tests {
         let muls = g.nodes.iter().filter(|n| n.op == OpType::Mul).count();
         assert!(sigmoids > 5, "expected SE gates + swish, got {sigmoids}");
         assert!(muls >= sigmoids); // every sigmoid feeds a mul
-        let reduces = g.nodes.iter().filter(|n| n.op == OpType::ReduceMean).count();
+        let reduces = g
+            .nodes
+            .iter()
+            .filter(|n| n.op == OpType::ReduceMean)
+            .count();
         assert_eq!(reduces, 8); // SE blocks in stages 3, 5, 6
     }
 

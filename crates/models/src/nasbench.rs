@@ -272,6 +272,10 @@ mod tests {
             hashes.insert(g.len() * 1000 + g.num_edges());
         }
         // Many structurally different graphs (not just reparameterized).
-        assert!(hashes.len() > 10, "only {} distinct topologies", hashes.len());
+        assert!(
+            hashes.len() > 10,
+            "only {} distinct topologies",
+            hashes.len()
+        );
     }
 }

@@ -60,7 +60,13 @@ pub fn sample_config(r: &mut Rng64) -> RegNetConfig {
 }
 
 /// X block: 1x1 -> grouped 3x3 -> 1x1 with a residual.
-fn x_block(b: &mut GraphBuilder, x: NodeId, w: u32, stride: u32, group_width: u32) -> IrResult<NodeId> {
+fn x_block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    w: u32,
+    stride: u32,
+    group_width: u32,
+) -> IrResult<NodeId> {
     let groups = (w / group_width).max(1);
     let c1 = b.conv(Some(x), w, 1, 1, 0, 1)?;
     let r1 = b.relu(c1)?;
@@ -127,7 +133,11 @@ mod tests {
     #[test]
     fn widths_divisible_by_group_width() {
         let g = build("r", &RegNetConfig::default()).unwrap();
-        for n in g.nodes.iter().filter(|n| n.op == OpType::Conv && n.attrs.groups > 1) {
+        for n in g
+            .nodes
+            .iter()
+            .filter(|n| n.op == OpType::Conv && n.attrs.groups > 1)
+        {
             assert_eq!(n.attrs.out_channels % 8, 0);
         }
     }

@@ -103,10 +103,7 @@ pub fn build_backbone(b: &mut GraphBuilder, cfg: &ResNetConfig) -> IrResult<Node
 }
 
 /// Per-stage feature maps (C2..C5) for FPN-style heads.
-pub fn build_backbone_pyramid(
-    b: &mut GraphBuilder,
-    cfg: &ResNetConfig,
-) -> IrResult<Vec<NodeId>> {
+pub fn build_backbone_pyramid(b: &mut GraphBuilder, cfg: &ResNetConfig) -> IrResult<Vec<NodeId>> {
     let stem = b.conv(None, scale_c(64, cfg.width), 7, 2, 3, 1)?;
     let sr = b.relu(stem)?;
     let mut cur = b.maxpool(sr, 3, 2, 1)?;

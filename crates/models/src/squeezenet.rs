@@ -51,12 +51,7 @@ pub fn sample_config(r: &mut Rng64) -> SqueezeNetConfig {
 
 /// One fire module: squeeze(1x1) -> relu -> {expand1x1, expand3x3} ->
 /// relus -> concat.
-fn fire(
-    b: &mut GraphBuilder,
-    x: NodeId,
-    squeeze_c: u32,
-    expand_c: u32,
-) -> IrResult<NodeId> {
+fn fire(b: &mut GraphBuilder, x: NodeId, squeeze_c: u32, expand_c: u32) -> IrResult<NodeId> {
     let s = b.conv(Some(x), squeeze_c, 1, 1, 0, 1)?;
     let sr = b.relu(s)?;
     let e1 = b.conv(Some(sr), expand_c, 1, 1, 0, 1)?;

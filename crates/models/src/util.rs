@@ -70,7 +70,7 @@ mod tests {
         assert_eq!(scale_c(64, 1.0), 64);
         assert_eq!(scale_c(64, 0.05), 8);
         assert_eq!(scale_c(10, 1.05), 12); // 10.5 -> 11 -> rounded up to even 12
-        assert!(scale_c(37, 1.0) % 2 == 0);
+        assert!(scale_c(37, 1.0).is_multiple_of(2));
     }
 
     #[test]

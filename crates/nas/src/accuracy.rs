@@ -53,7 +53,12 @@ mod tests {
         let b = accuracy_surrogate(&cfg(2, 3, 3), 0.2);
         let c = accuracy_surrogate(&cfg(2, 3, 3), 0.6);
         let d = accuracy_surrogate(&cfg(2, 3, 3), 0.7);
-        assert!((b - a) > (d - c), "early gain {} late gain {}", b - a, d - c);
+        assert!(
+            (b - a) > (d - c),
+            "early gain {} late gain {}",
+            b - a,
+            d - c
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ mod tests {
         // samples -> speedups 1x, 0.99x, 16.7x.
         let rows = table7_rows(1_000, 10_000, 50);
         assert_eq!(rows[0].cost_t, 1_000_000);
-        assert!((rows[1].speedup - 0.99).abs() < 0.005, "{}", rows[1].speedup);
+        assert!(
+            (rows[1].speedup - 0.99).abs() < 0.005,
+            "{}",
+            rows[1].speedup
+        );
         assert!((rows[2].speedup - 16.7).abs() < 0.1, "{}", rows[2].speedup);
     }
 

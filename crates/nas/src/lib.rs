@@ -20,7 +20,7 @@ pub mod pareto;
 pub mod supernet;
 
 pub use accuracy::accuracy_surrogate;
-pub use cost::{CostRow, table7_rows};
+pub use cost::{table7_rows, CostRow};
 pub use lookup::LookupTable;
 pub use pareto::{pareto_front, ParetoPoint};
 pub use supernet::{SubnetConfig, Supernet};

@@ -4,7 +4,7 @@
 //! and overlap across block boundaries — which is why it loses to a
 //! learned predictor at tight latency budgets (Fig. 9).
 
-use crate::supernet::{Supernet, SubnetConfig, EXPAND_CHOICES, KERNEL_CHOICES, NUM_STAGES};
+use crate::supernet::{SubnetConfig, Supernet, EXPAND_CHOICES, KERNEL_CHOICES, NUM_STAGES};
 use nnlqp_sim::{measure, PlatformSpec};
 use std::collections::HashMap;
 
@@ -126,6 +126,9 @@ mod tests {
         // ~1% absolute bias is enough to scramble rankings inside a tight
         // latency band (Fig. 9's budget slice), while keeping the global
         // ordering strong.
-        assert!(mean_abs_rel > 0.008, "lookup suspiciously exact: {mean_abs_rel}");
+        assert!(
+            mean_abs_rel > 0.008,
+            "lookup suspiciously exact: {mean_abs_rel}"
+        );
     }
 }

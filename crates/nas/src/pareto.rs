@@ -19,7 +19,11 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
         a.latency_ms
             .partial_cmp(&b.latency_ms)
             .expect("finite latency")
-            .then(b.accuracy.partial_cmp(&a.accuracy).expect("finite accuracy"))
+            .then(
+                b.accuracy
+                    .partial_cmp(&a.accuracy)
+                    .expect("finite accuracy"),
+            )
     });
     let mut front = Vec::new();
     let mut best_acc = f64::NEG_INFINITY;
@@ -75,7 +79,12 @@ mod tests {
 
     #[test]
     fn dominated_points_removed() {
-        let pts = vec![p(0, 1.0, 70.0), p(1, 2.0, 69.0), p(2, 3.0, 75.0), p(3, 2.5, 72.0)];
+        let pts = vec![
+            p(0, 1.0, 70.0),
+            p(1, 2.0, 69.0),
+            p(2, 3.0, 75.0),
+            p(3, 2.5, 72.0),
+        ];
         let front = pareto_front(&pts);
         let ids: Vec<usize> = front.iter().map(|q| q.idx).collect();
         assert_eq!(ids, vec![0, 3, 2]);

@@ -117,7 +117,11 @@ impl Supernet {
             hw /= STAGE_STRIDES[s] as usize;
             c_in = STAGE_CHANNELS[s];
         }
-        let stride = if block_idx == 0 { STAGE_STRIDES[stage] } else { 1 };
+        let stride = if block_idx == 0 {
+            STAGE_STRIDES[stage]
+        } else {
+            1
+        };
         let (hw, c_in) = if block_idx == 0 {
             (hw, c_in)
         } else {
@@ -132,14 +136,7 @@ impl Supernet {
         let hidden = c_in * expand;
         let e = b.conv(None, hidden, 1, 1, 0, 1)?;
         let er = b.relu6(e)?;
-        let dw = b.conv(
-            Some(er),
-            hidden,
-            kernel,
-            stride,
-            (kernel - 1) / 2,
-            hidden,
-        )?;
+        let dw = b.conv(Some(er), hidden, kernel, stride, (kernel - 1) / 2, hidden)?;
         let dr = b.relu6(dw)?;
         b.conv(Some(dr), STAGE_CHANNELS[stage], 1, 1, 0, 1)?;
         b.finish()
@@ -147,7 +144,10 @@ impl Supernet {
 
     /// Stem+head fixed-cost graph (for the lookup table's constant term).
     pub fn fixed_graph(&self) -> IrResult<Graph> {
-        let mut b = GraphBuilder::new("ofa-fixed", Shape::nchw(1, 3, self.resolution, self.resolution));
+        let mut b = GraphBuilder::new(
+            "ofa-fixed",
+            Shape::nchw(1, 3, self.resolution, self.resolution),
+        );
         let stem = b.conv(None, 16, 3, 2, 1, 1)?;
         let sr = b.relu6(stem)?;
         let proj = b.conv(Some(sr), 16, 1, 1, 0, 1)?;

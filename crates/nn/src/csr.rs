@@ -161,8 +161,18 @@ mod tests {
         let y = Matrix::from_fn(5, 3, |_, _| r.range_f64(-1.0, 1.0) as f32);
         let ax = csr.mean_agg(&x);
         let aty = csr.mean_agg_backward(&y);
-        let lhs: f64 = ax.data.iter().zip(&y.data).map(|(&a, &b)| (a * b) as f64).sum();
-        let rhs: f64 = x.data.iter().zip(&aty.data).map(|(&a, &b)| (a * b) as f64).sum();
+        let lhs: f64 = ax
+            .data
+            .iter()
+            .zip(&y.data)
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        let rhs: f64 = x
+            .data
+            .iter()
+            .zip(&aty.data)
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-4, "lhs {lhs} rhs {rhs}");
     }
 }

@@ -48,7 +48,8 @@ impl RandomForest {
         let mut tree_cfg = cfg.tree;
         if tree_cfg.max_features.is_none() {
             // sqrt-ish heuristic, at least 1, at most d.
-            tree_cfg.max_features = Some(((d as f64).sqrt().ceil() as usize).clamp(1, d).max(d / 3));
+            tree_cfg.max_features =
+                Some(((d as f64).sqrt().ceil() as usize).clamp(1, d).max(d / 3));
         }
         let n = x.len();
         let take = ((n as f64) * cfg.sample_frac).round().max(1.0) as usize;
@@ -153,7 +154,7 @@ mod tests {
     fn predict_many_matches_predict() {
         let (x, y) = noisy_poly(100, 65);
         let f = RandomForest::fit(&x, &y, RandomForestConfig::default(), 4);
-        let batch = f.predict_many(&x[..5].to_vec());
+        let batch = f.predict_many(&x[..5]);
         for (b, xi) in batch.iter().zip(&x[..5]) {
             assert_eq!(*b, f.predict(xi));
         }

@@ -149,7 +149,13 @@ pub fn l2_normalize_rows(x: &Matrix) -> (Matrix, Vec<f32>) {
     let mut y = x.clone();
     let mut norms = Vec::with_capacity(x.rows);
     for i in 0..x.rows {
-        let n = y.row(i).iter().map(|v| v * v).sum::<f32>().sqrt().max(L2_EPS);
+        let n = y
+            .row(i)
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+            .max(L2_EPS);
         for v in y.row_mut(i) {
             *v /= n;
         }

@@ -29,7 +29,9 @@ pub mod tree;
 pub use adam::Adam;
 pub use csr::Csr;
 pub use forest::{RandomForest, RandomForestConfig};
-pub use layers::{l2_normalize_rows, l2_normalize_rows_backward, relu, relu_backward, Dropout, Linear, LinearGrad};
+pub use layers::{
+    l2_normalize_rows, l2_normalize_rows_backward, relu, relu_backward, Dropout, Linear, LinearGrad,
+};
 pub use linreg::LinearRegression;
 pub use sage::{SageGrad, SageLayer};
 pub use tensor::Matrix;

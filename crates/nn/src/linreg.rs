@@ -66,7 +66,7 @@ impl LinearRegression {
         assert!(!x.is_empty(), "empty training set");
         let d = x[0].len();
         let n = d + 1; // + intercept column
-        // Normal equations over the augmented design matrix [X | 1].
+                       // Normal equations over the augmented design matrix [X | 1].
         let mut xtx = vec![0.0f64; n * n];
         let mut xty = vec![0.0f64; n];
         for (row, &target) in x.iter().zip(y) {

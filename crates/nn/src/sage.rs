@@ -81,7 +81,11 @@ impl SageLayer {
         let mut pre = self.w1.forward(x);
         let y2 = self.w2.forward(&agg);
         pre.add_assign(&y2);
-        let act = if self.relu { crate::layers::relu(&pre) } else { pre.clone() };
+        let act = if self.relu {
+            crate::layers::relu(&pre)
+        } else {
+            pre.clone()
+        };
         let (y_norm, norms) = l2_normalize_rows(&act);
         (
             y_norm.clone(),

@@ -195,7 +195,11 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frob(&self) -> f64 {
-        self.data.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&x| (x as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 }
 

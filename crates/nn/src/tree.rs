@@ -164,7 +164,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -233,7 +237,10 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..200)
             .map(|_| vec![r.range_f64(0.0, 1.0), r.range_f64(0.0, 1.0)])
             .collect();
-        let y: Vec<f64> = x.iter().map(|v| if v[1] > 0.5 { 10.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| if v[1] > 0.5 { 10.0 } else { 0.0 })
+            .collect();
         let t = RegressionTree::fit(&x, &y, TreeConfig::default(), &mut r);
         assert!((t.predict(&[0.9, 0.9]) - 10.0).abs() < 1.0);
         assert!(t.predict(&[0.9, 0.1]).abs() < 1.0);

@@ -1,7 +1,9 @@
 //! Property-based tests of the numeric substrate.
 
 use nnlqp_ir::Rng64;
-use nnlqp_nn::{l2_normalize_rows, Adam, Csr, LinearRegression, Matrix, RegressionTree, TreeConfig};
+use nnlqp_nn::{
+    l2_normalize_rows, Adam, Csr, LinearRegression, Matrix, RegressionTree, TreeConfig,
+};
 use proptest::prelude::*;
 
 fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -122,8 +124,8 @@ proptest! {
         let mut r = Rng64::new(seed);
         let x: Vec<Vec<f64>> = (0..60).map(|_| vec![r.range_f64(0.0, 1.0)]).collect();
         let y: Vec<f64> = (0..60).map(|_| r.range_f64(-10.0, 10.0)).collect();
-        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let t = RegressionTree::fit(&x, &y, TreeConfig::default(), &mut r);
         for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
             let p = t.predict(&[q]);

@@ -56,7 +56,11 @@ mod tests {
     fn corpus() -> Vec<(Graph, f64)> {
         let p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
         let mut out = Vec::new();
-        for f in [ModelFamily::Vgg, ModelFamily::ResNet, ModelFamily::MobileNetV2] {
+        for f in [
+            ModelFamily::Vgg,
+            ModelFamily::ResNet,
+            ModelFamily::MobileNetV2,
+        ] {
             for m in nnlqp_models::generate_family(f, 20, 3) {
                 let l = model_latency_ms(&m.graph, &p);
                 out.push((m.graph, l));

@@ -339,8 +339,7 @@ mod tests {
         assert!(ks.len() > graphs.len() * 5, "kernels {}", ks.len());
         assert!(ks.iter().all(|k| k.latency_ms > 0.0));
         // Every graph contributed.
-        let covered: std::collections::HashSet<usize> =
-            ks.iter().map(|k| k.graph_idx).collect();
+        let covered: std::collections::HashSet<usize> = ks.iter().map(|k| k.graph_idx).collect();
         assert_eq!(covered.len(), graphs.len());
     }
 

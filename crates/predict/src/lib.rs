@@ -31,7 +31,9 @@ pub mod model;
 pub mod train;
 pub mod transfer;
 
-pub use features::{extract_features, extract_kernel_features, GraphFeatures, Normalizer, NODE_FEAT_DIM, STATIC_DIM};
+pub use features::{
+    extract_features, extract_kernel_features, GraphFeatures, Normalizer, NODE_FEAT_DIM, STATIC_DIM,
+};
 pub use metrics::{acc_at, kendall_tau, mape};
 pub use model::{Head, NnlpConfig, NnlpModel};
 pub use train::{train, Dataset, Sample, TrainConfig, TrainReport};

@@ -291,8 +291,11 @@ impl NnlpModel {
 
     /// Add a head for a new (unseen) platform; returns its index.
     pub fn add_head(&mut self, rng: &mut Rng64) -> usize {
-        self.heads
-            .push(Head::new(self.cfg.embedding_dim(), self.cfg.head_hidden, rng));
+        self.heads.push(Head::new(
+            self.cfg.embedding_dim(),
+            self.cfg.head_hidden,
+            rng,
+        ));
         self.cfg.n_heads = self.heads.len();
         self.heads.len() - 1
     }
@@ -526,10 +529,7 @@ mod tests {
     fn ablation_configs_have_expected_dims() {
         assert_eq!(NnlpConfig::default().embedding_dim(), 64 + 4);
         assert_eq!(NnlpConfig::without_node_features().embedding_dim(), 4);
-        assert_eq!(
-            NnlpConfig::without_gnn().embedding_dim(),
-            NODE_FEAT_DIM + 4
-        );
+        assert_eq!(NnlpConfig::without_gnn().embedding_dim(), NODE_FEAT_DIM + 4);
         assert_eq!(NnlpConfig::without_static().embedding_dim(), 64);
         assert_eq!(NnlpConfig::brp_nas().embedding_dim(), 64);
     }
@@ -547,8 +547,7 @@ mod tests {
             let nodes = m.norm.normalize_nodes(&feats.nodes);
             let stat = m.norm.normalize_stat(&feats.stat);
             let mut rng = Rng64::new(81);
-            let (loss, grads) =
-                m.loss_and_grads(&nodes, &feats.adj, &stat, 1.0, 0, &mut rng);
+            let (loss, grads) = m.loss_and_grads(&nodes, &feats.adj, &stat, 1.0, 0, &mut rng);
             assert!(loss.is_finite());
             assert_eq!(grads.sage.len(), m.sage.len());
         }

@@ -43,8 +43,10 @@ impl Dataset {
     /// fitted on exactly these graphs — fit on *training* data only, then
     /// use [`Dataset::extend_with`] for evaluation sets.
     pub fn build(entries: &[(&Graph, f64, usize)]) -> Dataset {
-        let feats: Vec<GraphFeatures> =
-            entries.iter().map(|(g, _, _)| extract_features(g)).collect();
+        let feats: Vec<GraphFeatures> = entries
+            .iter()
+            .map(|(g, _, _)| extract_features(g))
+            .collect();
         let norm = Normalizer::fit(&feats.iter().collect::<Vec<_>>());
         let samples = feats
             .iter()
@@ -111,11 +113,7 @@ pub struct TrainReport {
 /// Train a model in place on `samples` (multi-platform capable: each
 /// sample routes its gradient to its own head while the backbone is shared
 /// — Algorithm 1 with mini-batching).
-pub fn train(
-    model: &mut NnlpModel,
-    samples: &[Sample],
-    cfg: TrainConfig,
-) -> TrainReport {
+pub fn train(model: &mut NnlpModel, samples: &[Sample], cfg: TrainConfig) -> TrainReport {
     assert!(!samples.is_empty(), "empty training set");
     let mut opt = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..samples.len()).collect();
@@ -134,14 +132,7 @@ pub fn train(
                     let mut srng = Rng64::new(
                         cfg.seed ^ ((epoch as u64) << 40) ^ ((bi as u64) << 20) ^ si as u64,
                     );
-                    model.loss_and_grads(
-                        &s.nodes,
-                        &s.adj,
-                        &s.stat,
-                        s.target_log,
-                        s.head,
-                        &mut srng,
-                    )
+                    model.loss_and_grads(&s.nodes, &s.adj, &s.stat, s.target_log, s.head, &mut srng)
                 })
                 .collect();
 

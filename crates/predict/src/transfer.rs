@@ -94,8 +94,7 @@ mod tests {
         let p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
         let mut pre = family_data(ModelFamily::MobileNetV2, 25, 21, &p);
         pre.extend(family_data(ModelFamily::SqueezeNet, 25, 22, &p));
-        let entries: Vec<(&Graph, f64, usize)> =
-            pre.iter().map(|(g, l)| (g, *l, 0usize)).collect();
+        let entries: Vec<(&Graph, f64, usize)> = pre.iter().map(|(g, l)| (g, *l, 0usize)).collect();
         let ds = Dataset::build(&entries);
         let mut rng = Rng64::new(23);
         let mut base = NnlpModel::new(

@@ -53,7 +53,13 @@ impl ExecutionTrace {
             }
         }
         busy.iter()
-            .map(|b| if self.latency_ms > 0.0 { b / self.latency_ms } else { 0.0 })
+            .map(|b| {
+                if self.latency_ms > 0.0 {
+                    b / self.latency_ms
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
@@ -83,10 +89,7 @@ pub fn execute(g: &Graph, p: &PlatformSpec) -> ExecutionTrace {
     // later; schedule in kernel-DAG topological order.
     for i in fusion::topo_order(&deps) {
         // Ready when all producers are done.
-        let ready = deps[i]
-            .iter()
-            .map(|&d| finish[d])
-            .fold(0.0f64, f64::max);
+        let ready = deps[i].iter().map(|&d| finish[d]).fold(0.0f64, f64::max);
         // Pick the stream that lets us start earliest; among ties prefer
         // the stream with the *latest* free time (smallest idle gap) —
         // real runtimes keep a dependent chain on its producer's stream,
@@ -198,10 +201,7 @@ mod tests {
             let g = f.canonical().unwrap();
             let model = model_latency_ms(&g, &p);
             let sum = sum_kernel_latencies_ms(&g, &p);
-            assert!(
-                sum > model,
-                "{f}: sum {sum} !> model {model}"
-            );
+            assert!(sum > model, "{f}: sum {sum} !> model {model}");
         }
     }
 
@@ -325,8 +325,8 @@ mod tests {
             let g = f.canonical().unwrap();
             ratios.push(model_latency_ms(&g, &asic) / model_latency_ms(&g, &gpu));
         }
-        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+        let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().copied().fold(0.0f64, f64::max);
         assert!(max / min > 1.5, "ratios too uniform: {min}..{max}");
     }
 }

@@ -165,7 +165,10 @@ impl DeviceFarm {
                 .iter()
                 .map(|job| s.spawn(move || self.measure_blocking(job)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
         })
     }
 }
@@ -187,7 +190,9 @@ mod tests {
     #[test]
     fn basic_measurement_roundtrip() {
         let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 1);
-        let r = farm.measure_blocking(&job("gpu-T4-trt7.1-fp32", 1)).unwrap();
+        let r = farm
+            .measure_blocking(&job("gpu-T4-trt7.1-fp32", 1))
+            .unwrap();
         assert!(r.measurement.mean_ms > 0.0);
         assert!(r.pipeline_cost_s > 10.0, "pipeline {}", r.pipeline_cost_s);
     }
@@ -210,7 +215,9 @@ mod tests {
     fn leases_are_returned() {
         let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 2);
         assert_eq!(farm.idle_devices("gpu-T4-trt7.1-fp32"), 2);
-        let _ = farm.measure_blocking(&job("gpu-T4-trt7.1-fp32", 1)).unwrap();
+        let _ = farm
+            .measure_blocking(&job("gpu-T4-trt7.1-fp32", 1))
+            .unwrap();
         assert_eq!(farm.idle_devices("gpu-T4-trt7.1-fp32"), 2);
     }
 
@@ -246,8 +253,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 1);
-        let a = farm.measure_blocking(&job("gpu-T4-trt7.1-fp32", 5)).unwrap();
-        let b = farm.measure_blocking(&job("gpu-T4-trt7.1-fp32", 5)).unwrap();
+        let a = farm
+            .measure_blocking(&job("gpu-T4-trt7.1-fp32", 5))
+            .unwrap();
+        let b = farm
+            .measure_blocking(&job("gpu-T4-trt7.1-fp32", 5))
+            .unwrap();
         assert_eq!(a.measurement.mean_ms, b.measurement.mean_ms);
         assert_eq!(a.pipeline_cost_s, b.pipeline_cost_s);
     }

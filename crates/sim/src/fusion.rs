@@ -266,7 +266,9 @@ pub fn describe(g: &Graph, k: &Kernel, dt: DType) -> KernelDesc {
 }
 
 /// Kernel-count statistics over a corpus (Table 8).
-pub fn fusion_stats<'a>(graphs: impl IntoIterator<Item = &'a Graph>) -> BTreeMap<KernelFamily, usize> {
+pub fn fusion_stats<'a>(
+    graphs: impl IntoIterator<Item = &'a Graph>,
+) -> BTreeMap<KernelFamily, usize> {
     let mut stats = BTreeMap::new();
     for g in graphs {
         for k in fuse(g) {

@@ -223,9 +223,7 @@ mod tests {
         let mut d8 = d.clone();
         d8.read_bytes /= 4.0;
         d8.write_bytes /= 4.0;
-        assert!(
-            kernel_latency_isolated_ms(&d8, &i8p) < kernel_latency_isolated_ms(&d, &f32p)
-        );
+        assert!(kernel_latency_isolated_ms(&d8, &i8p) < kernel_latency_isolated_ms(&d, &f32p));
     }
 
     #[test]

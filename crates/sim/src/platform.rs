@@ -202,16 +202,34 @@ impl PlatformSpec {
             Self::mk("P4", "trt7.1", I8, Gpu, 12000.0, 192.0, 12.0, 2, 16, 86.0),
             Self::mk("T4", "trt5.0", F32, Gpu, 7700.0, 320.0, 12.0, 2, 8, 84.0),
             Self::mk("P4", "trt5.0", F32, Gpu, 5200.0, 192.0, 14.0, 2, 8, 88.0),
-            Self::mk("gtx1660", "trt7.1", F32, Gpu, 5000.0, 192.0, 10.0, 2, 8, 76.0),
+            Self::mk(
+                "gtx1660", "trt7.1", F32, Gpu, 5000.0, 192.0, 10.0, 2, 8, 76.0,
+            ),
             // ASICs
-            Self::mk("hi3559A", "nnie11", I8, Asic, 2000.0, 25.0, 40.0, 1, 16, 88.0),
-            Self::mk("hi3559A", "nnie11", I16, Asic, 1000.0, 25.0, 40.0, 1, 8, 88.0),
-            Self::mk("hi3519A", "nnie12", I8, Asic, 1200.0, 18.0, 50.0, 1, 16, 86.0),
-            Self::mk("hi3519A", "nnie12", I16, Asic, 600.0, 18.0, 50.0, 1, 8, 86.0),
-            Self::mk("atlas300", "acl", F16, Asic, 8000.0, 204.0, 22.0, 2, 16, 112.0),
-            Self::mk("atlas300", "acl", I8, Asic, 16000.0, 204.0, 22.0, 2, 32, 112.0),
-            Self::mk("mlu270", "neuware", I8, Asic, 12000.0, 102.0, 26.0, 4, 32, 106.0),
-            Self::mk("mlu270", "neuware", I16, Asic, 6000.0, 102.0, 26.0, 4, 16, 106.0),
+            Self::mk(
+                "hi3559A", "nnie11", I8, Asic, 2000.0, 25.0, 40.0, 1, 16, 88.0,
+            ),
+            Self::mk(
+                "hi3559A", "nnie11", I16, Asic, 1000.0, 25.0, 40.0, 1, 8, 88.0,
+            ),
+            Self::mk(
+                "hi3519A", "nnie12", I8, Asic, 1200.0, 18.0, 50.0, 1, 16, 86.0,
+            ),
+            Self::mk(
+                "hi3519A", "nnie12", I16, Asic, 600.0, 18.0, 50.0, 1, 8, 86.0,
+            ),
+            Self::mk(
+                "atlas300", "acl", F16, Asic, 8000.0, 204.0, 22.0, 2, 16, 112.0,
+            ),
+            Self::mk(
+                "atlas300", "acl", I8, Asic, 16000.0, 204.0, 22.0, 2, 32, 112.0,
+            ),
+            Self::mk(
+                "mlu270", "neuware", I8, Asic, 12000.0, 102.0, 26.0, 4, 32, 106.0,
+            ),
+            Self::mk(
+                "mlu270", "neuware", I16, Asic, 6000.0, 102.0, 26.0, 4, 16, 106.0,
+            ),
             Self::mk("rv1109", "rknn", I8, Asic, 800.0, 8.5, 60.0, 1, 8, 92.0),
             Self::mk("rv1109", "rknn", I16, Asic, 400.0, 8.5, 60.0, 1, 4, 92.0),
         ]

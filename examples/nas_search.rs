@@ -93,8 +93,8 @@ fn main() {
         ("lookup table", &lookups),
         ("FLOPs", &flops),
     ] {
-        let best = pareto::best_accuracy_under_budget(metric, &truths, &accs, budget)
-            .unwrap_or(f64::NAN);
+        let best =
+            pareto::best_accuracy_under_budget(metric, &truths, &accs, budget).unwrap_or(f64::NAN);
         println!("  {name:<15} {best:.2}%");
     }
     println!("\n(paper: the predictor front gains up to +1.2% accuracy over FLOPs");

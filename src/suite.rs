@@ -3,6 +3,7 @@
 //! logic of its own.
 
 pub use nnlqp as core;
+pub use nnlqp_analyze as analyze;
 pub use nnlqp_db as db;
 pub use nnlqp_hash as hash;
 pub use nnlqp_ir as ir;

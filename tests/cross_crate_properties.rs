@@ -82,6 +82,22 @@ proptest! {
         prop_assert!(f.nodes.data.iter().all(|v| v.is_finite()));
     }
 
+    /// Every generated corpus model survives the full static-analysis
+    /// pipeline — IR lints, fusion legality, and schedule hazards — with
+    /// zero errors on a multi-stream platform.
+    #[test]
+    fn corpus_models_analyze_without_errors(g in arbitrary_corpus_model()) {
+        let spec = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        let report = nnlqp_analyze::analyze(&g, Some(&spec));
+        prop_assert!(
+            !report.has_errors(),
+            "analyzer found errors:\n{}",
+            report.render_text()
+        );
+        // All three pass families must actually have run.
+        prop_assert_eq!(report.passes_run.len(), 3);
+    }
+
     /// The database cache key (hash, platform, batch) is sound: inserting
     /// then looking up through an independently deserialized copy of the
     /// graph hits.

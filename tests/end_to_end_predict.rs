@@ -3,11 +3,11 @@
 //! on an unseen family, and the pre-trained embedding transfers.
 
 use nnlqp_ir::Graph;
+use nnlqp_ir::Rng64;
 use nnlqp_models::ModelFamily;
 use nnlqp_predict::baselines::{StaticBaseline, StaticBaselineKind};
 use nnlqp_predict::train::{predict_samples, train, truths, Dataset, TrainConfig};
 use nnlqp_predict::{extract_features, mape, NnlpConfig, NnlpModel};
-use nnlqp_ir::Rng64;
 use nnlqp_sim::{measure, PlatformSpec};
 
 fn measured(fam: ModelFamily, n: usize, seed: u64, p: &PlatformSpec) -> Vec<(Graph, f64)> {
@@ -74,11 +74,17 @@ fn nnlp_beats_static_proxies_on_unseen_family() {
 
     let t: Vec<f64> = test_data.iter().map(|(_, l)| *l).collect();
     let m_flops = mape(
-        &test_data.iter().map(|(g, _)| flops.predict(g)).collect::<Vec<_>>(),
+        &test_data
+            .iter()
+            .map(|(g, _)| flops.predict(g))
+            .collect::<Vec<_>>(),
         &t,
     );
     let m_fm = mape(
-        &test_data.iter().map(|(g, _)| fm.predict(g)).collect::<Vec<_>>(),
+        &test_data
+            .iter()
+            .map(|(g, _)| fm.predict(g))
+            .collect::<Vec<_>>(),
         &t,
     );
     let m_nnlp = mape(
@@ -146,8 +152,14 @@ fn multi_platform_heads_specialize() {
     // Evaluate per head on the training pool (sanity of specialization).
     let (gpu_samples, asic_samples): (Vec<_>, Vec<_>) =
         ds.samples.iter().cloned().partition(|s| s.head == 0);
-    let mg = mape(&predict_samples(&model, &gpu_samples), &truths(&gpu_samples));
-    let ma = mape(&predict_samples(&model, &asic_samples), &truths(&asic_samples));
+    let mg = mape(
+        &predict_samples(&model, &gpu_samples),
+        &truths(&gpu_samples),
+    );
+    let ma = mape(
+        &predict_samples(&model, &asic_samples),
+        &truths(&asic_samples),
+    );
     assert!(mg < 35.0, "gpu head MAPE {mg}%");
     assert!(ma < 35.0, "asic head MAPE {ma}%");
     // The ASIC is dramatically slower; heads must reflect that.

@@ -7,6 +7,19 @@ use nnlqp_hash::graph_hash;
 use nnlqp_models::ModelFamily;
 use nnlqp_sim::{DeviceFarm, PlatformSpec};
 
+/// Every model a test feeds into the system must be clean under the
+/// static analyzer — the same bar `--strict` queries enforce.
+fn assert_lints_clean(g: &nnlqp_ir::Graph, platform: &str) {
+    let spec = PlatformSpec::by_name(platform).unwrap();
+    let report = nnlqp_analyze::analyze(g, Some(&spec));
+    assert!(
+        !report.has_errors(),
+        "{} should lint clean:\n{}",
+        g.name,
+        report.render_text()
+    );
+}
+
 fn system() -> Nnlqp {
     let mut s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 2));
     s.reps = 5;
@@ -23,6 +36,7 @@ fn query_cache_persist_reload_cycle() {
     // Measure all on two platforms.
     for platform in ["gpu-T4-trt7.1-fp32", "cpu-openppl-fp32"] {
         for m in &models {
+            assert_lints_clean(m, platform);
             let r = s
                 .query(&QueryParams {
                     model: m.clone(),
@@ -44,7 +58,9 @@ fn query_cache_persist_reload_cycle() {
         let hash = graph_hash(m);
         let spec = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
         let pid = db2.get_or_create_platform(&spec.hardware, &spec.software, spec.dtype.name());
-        let hit = db2.lookup_latency(hash, pid, 1).expect("reloaded cache hit");
+        let hit = db2
+            .lookup_latency(hash, pid, 1)
+            .expect("reloaded cache hit");
         assert!(hit.cost_ms > 0.0);
     }
 }
@@ -77,10 +93,13 @@ fn cache_is_keyed_on_structure_not_name() {
 fn measured_latencies_match_simulator_ground_truth() {
     // The whole stack must preserve the simulator's values within
     // measurement noise.
-    let s = system();
+    let s = system().with_strict(true);
     let g = ModelFamily::MobileNetV2.canonical().unwrap();
     let spec = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+    assert_lints_clean(&g, &spec.name);
     let truth = nnlqp_sim::exec::model_latency_ms(&g, &spec);
+    // Strict mode runs the analyzer inside `query` and rejects models
+    // with errors; a clean canonical model must pass unimpeded.
     let r = s
         .query(&QueryParams {
             model: g,

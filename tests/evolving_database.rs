@@ -24,6 +24,17 @@ fn predictor_improves_as_database_grows() {
         .map(|m| m.graph)
         .collect();
 
+    // Everything entering the database must be clean under the analyzer;
+    // a polluted training stream would invalidate the learning claim.
+    let spec = PlatformSpec::by_name(platform).unwrap();
+    for g in stream.iter().chain(&eval) {
+        assert!(
+            !nnlqp_analyze::analyze(g, Some(&spec)).has_errors(),
+            "{} failed static analysis",
+            g.name
+        );
+    }
+
     let cfg = TrainPredictorConfig {
         epochs: 30,
         hidden: 32,
