@@ -1,0 +1,141 @@
+//! Offline stub of `criterion`: the entry points the workspace's benches
+//! use (`bench_function`, `benchmark_group`/`bench_with_input`,
+//! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros) over a
+//! minimal timing loop. No statistics, plots, or CLI — each benchmark
+//! runs a short warmup, then a timed burst, and prints the mean.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 3;
+const TARGET_RUNTIME: Duration = Duration::from_millis(20);
+
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(body());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(body());
+            iters += 1;
+            if start.elapsed() >= TARGET_RUNTIME {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.total = start.elapsed();
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label}: no iterations recorded");
+            return;
+        }
+        let mean = self.total.as_secs_f64() / self.iters as f64;
+        println!("{label}: {:.3} us/iter ({} iters)", mean * 1e6, self.iters);
+    }
+}
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function(&mut self, name: &str, mut body: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, |b| body(b));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, |b| body(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, body: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        total: Duration::ZERO,
+    };
+    body(&mut b);
+    b.report(label);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u32, |b, &n| b.iter(|| n * n));
+        g.finish();
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline stub of `rayon`: the prelude's `par_iter` / `into_par_iter` /
+//! `par_chunks_mut` entry points as sequential adapters over std
+//! iterators. Semantics are identical to the parallel versions for the
+//! pure per-item closures this workspace uses; only wall-clock differs.
+
+/// `.par_iter()` on slices (and `Vec` via auto-deref).
+pub trait ParIterExt {
+    type Item;
+    fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+}
+
+impl<T> ParIterExt for [T] {
+    type Item = T;
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// `.into_par_iter()` on anything iterable (Vec, ranges, ...).
+pub trait IntoParIterExt {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParIterExt for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// `.par_chunks_mut(n)` on mutable slices.
+pub trait ParChunksMutExt {
+    type Item;
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, Self::Item>;
+}
+
+impl<T> ParChunksMutExt for [T] {
+    type Item = T;
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(size)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParIterExt, ParChunksMutExt, ParIterExt};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_match_sequential() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v.par_iter().sum::<i32>(), 6);
+        assert_eq!(v.clone().into_par_iter().max(), Some(3));
+        assert_eq!((0..4usize).into_par_iter().count(), 4);
+        let mut buf = [0u8; 6];
+        buf.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,727 @@
+//! Offline stub of `serde_json`. The `Value` tree and the `json!` macro
+//! are fully functional (construction, indexing, accessors, compact and
+//! pretty rendering). The *generic* codec paths — `to_string::<T>` /
+//! `from_str::<T>` for derived types — return `Err`, because the stub
+//! `serde_derive` emits marker impls with no codec logic. The workspace's
+//! durable format is the binary codec in `nnlqp-ir`/`nnlqp-db`; JSON here
+//! is for reports and inspection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                render_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].render(out, indent, depth + 1);
+                });
+            }
+            Value::Object(map) => {
+                let entries: Vec<(&String, &Value)> = map.iter().collect();
+                render_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (k, v) = entries[i];
+                    escape_into(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.render(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(&mut s, None, 0);
+        f.write_str(&s)
+    }
+}
+
+impl serde::Serialize for Value {
+    fn __stub_to_json(&self) -> Option<String> {
+        Some(self.to_string())
+    }
+
+    fn __stub_to_json_pretty(&self) -> Option<String> {
+        let mut s = String::new();
+        self.render(&mut s, Some(2), 0);
+        Some(s)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn __stub_from_json(s: &str) -> Option<Result<Self, String>> {
+        Some(parse::parse(s))
+    }
+}
+
+impl std::str::FromStr for Value {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self, Error> {
+        parse::parse(s).map_err(|msg| Error { msg })
+    }
+}
+
+// -------------------------------------------------------------- parsing
+
+mod parse {
+    use super::Value;
+    use std::collections::BTreeMap;
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", c as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+                None => Err("unexpected end of input".to_string()),
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(Value::Number)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let cp = self.hex4()?;
+                                // Surrogate pair: combine, else replacement.
+                                let c = if (0xD800..0xDC00).contains(&cp) {
+                                    if self.peek() == Some(b'\\') {
+                                        self.pos += 1;
+                                        self.eat(b'u')?;
+                                        let lo = self.hex4()?;
+                                        char::from_u32(
+                                            0x10000
+                                                + ((cp - 0xD800) << 10)
+                                                + (lo.wrapping_sub(0xDC00) & 0x3FF),
+                                        )
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    char::from_u32(cp)
+                                };
+                                out.push(c.unwrap_or('\u{FFFD}'));
+                            }
+                            c => return Err(format!("bad escape '\\{}'", c as char)),
+                        }
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 character (multi-byte safe).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid utf-8".to_string())?;
+                        let c = rest.chars().next().ok_or("unterminated string")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, String> {
+            if self.pos + 4 > self.bytes.len() {
+                return Err("truncated \\u escape".to_string());
+            }
+            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                .map_err(|_| "bad \\u escape".to_string())?;
+            self.pos += 4;
+            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.eat(b'{')?;
+            let mut map = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.eat(b':')?;
+                self.skip_ws();
+                map.insert(key, self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- indexing
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+// ---------------------------------------------------------- conversions
+
+macro_rules! from_number {
+    ($($ty:ty),* $(,)?) => {
+        $(impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::Number(v as f64)
+            }
+        })*
+    };
+}
+
+from_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// By-reference conversion used by `json!`, mirroring real serde_json's
+/// `to_value(&expr)`: expressions are borrowed, not moved, so struct
+/// fields can appear as values without `.clone()`.
+#[doc(hidden)]
+pub trait ToValue {
+    fn __to_value(&self) -> Value;
+}
+
+macro_rules! to_value_via_copy {
+    ($($ty:ty),* $(,)?) => {
+        $(impl ToValue for $ty {
+            fn __to_value(&self) -> Value {
+                Value::from(*self)
+            }
+        })*
+    };
+}
+
+to_value_via_copy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl ToValue for String {
+    fn __to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToValue for str {
+    fn __to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToValue for Value {
+    fn __to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToValue> ToValue for Vec<T> {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::__to_value).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for [T] {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::__to_value).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn __to_value(&self) -> Value {
+        self.as_ref().map_or(Value::Null, ToValue::__to_value)
+    }
+}
+
+impl<T: ToValue, const N: usize> ToValue for [T; N] {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::__to_value).collect())
+    }
+}
+
+macro_rules! to_value_tuples {
+    ($(($($name:ident : $idx:tt),+))*) => {
+        $(impl<$($name: ToValue),+> ToValue for ($($name,)+) {
+            fn __to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.__to_value()),+])
+            }
+        })*
+    };
+}
+
+to_value_tuples! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<T: ToValue + ?Sized> ToValue for &T {
+    fn __to_value(&self) -> Value {
+        (**self).__to_value()
+    }
+}
+
+// --------------------------------------------------------------- errors
+
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn unsupported(what: &str) -> Error {
+        Error {
+            msg: format!("{what} is unavailable offline: derived serde impls are codec-free stubs"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------- entry points
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    value
+        .__stub_to_json()
+        .ok_or_else(|| Error::unsupported("generic serialization"))
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    value
+        .__stub_to_json_pretty()
+        .ok_or_else(|| Error::unsupported("generic serialization"))
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(s: &'a str) -> Result<T, Error> {
+    match T::__stub_from_json(s) {
+        Some(Ok(v)) => Ok(v),
+        Some(Err(msg)) => Err(Error { msg }),
+        None => Err(Error::unsupported("generic deserialization")),
+    }
+}
+
+// ----------------------------------------------------------- json! macro
+
+/// Build a [`Value`] from JSON-ish syntax. Keys must be string literals;
+/// values may be nested `{...}` / `[...]` literals, `null`, or any Rust
+/// expression convertible with `Value::from`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(::std::collections::BTreeMap::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut map = ::std::collections::BTreeMap::<::std::string::String, $crate::Value>::new();
+        $crate::json_internal!(@object map $($body)+);
+        $crate::Value::Object(map)
+    }};
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($body:tt)+ ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let items = {
+            let mut items = ::std::vec::Vec::<$crate::Value>::new();
+            $crate::json_internal!(@array items $($body)+);
+            items
+        };
+        $crate::Value::Array(items)
+    }};
+    ($other:expr) => { $crate::ToValue::__to_value(&$other) };
+
+    // -- object entries: key is a string literal; value is a nested
+    //    literal, null, or a plain expression (expr matching absorbs
+    //    everything up to the next top-level comma).
+    (@object $map:ident) => {};
+    (@object $map:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.into(), $crate::Value::Null);
+        $crate::json_internal!(@object $map $($($rest)*)?);
+    };
+    (@object $map:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.into(), $crate::json_internal!({ $($inner)* }));
+        $crate::json_internal!(@object $map $($($rest)*)?);
+    };
+    (@object $map:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.into(), $crate::json_internal!([ $($inner)* ]));
+        $crate::json_internal!(@object $map $($($rest)*)?);
+    };
+    (@object $map:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.into(), $crate::ToValue::__to_value(&$value));
+        $crate::json_internal!(@object $map $($rest)*);
+    };
+    (@object $map:ident $key:literal : $value:expr) => {
+        $map.insert($key.into(), $crate::ToValue::__to_value(&$value));
+    };
+
+    // -- array elements, same shapes as object values.
+    (@array $items:ident) => {};
+    (@array $items:ident null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $crate::json_internal!(@array $items $($($rest)*)?);
+    };
+    (@array $items:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json_internal!({ $($inner)* }));
+        $crate::json_internal!(@array $items $($($rest)*)?);
+    };
+    (@array $items:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json_internal!([ $($inner)* ]));
+        $crate::json_internal!(@array $items $($($rest)*)?);
+    };
+    (@array $items:ident $value:expr , $($rest:tt)*) => {
+        $items.push($crate::ToValue::__to_value(&$value));
+        $crate::json_internal!(@array $items $($rest)*);
+    };
+    (@array $items:ident $value:expr) => {
+        $items.push($crate::ToValue::__to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let rows: Vec<Value> = (0..2).map(|i| json!({ "id": i })).collect();
+        let v = json!({
+            "name": "nnlqp",
+            "nested": { "a": 1, "b": [1.5, 2, 3] },
+            "rows": rows,
+            "flag": true,
+            "none": null,
+        });
+        assert_eq!(v["name"].as_str(), Some("nnlqp"));
+        assert_eq!(v["nested"]["a"].as_u64(), Some(1));
+        assert_eq!(v["nested"]["b"].as_array().unwrap().len(), 3);
+        assert_eq!(v["rows"][1]["id"].as_u64(), Some(1));
+        assert_eq!(v["flag"].as_bool(), Some(true));
+        assert!(v["none"].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn rendering_compact_and_pretty() {
+        let v = json!({ "b": [1, 2], "a": "x\"y" });
+        assert_eq!(v.to_string(), r#"{"a":"x\"y","b":[1,2]}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\""));
+        assert_eq!(to_string(&v).unwrap(), v.to_string());
+    }
+
+    #[test]
+    fn generic_paths_err_cleanly() {
+        struct Opaque;
+        impl serde::Serialize for Opaque {}
+        impl<'de> serde::Deserialize<'de> for Opaque {}
+        assert!(to_string(&Opaque).is_err());
+        assert!(from_str::<Opaque>("{}").is_err());
+    }
+}

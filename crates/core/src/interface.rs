@@ -1,11 +1,14 @@
 //! `NNLQP.query` — the cached latency-query path (§5.2).
 
-use nnlqp_db::Database;
+use nnlqp_db::{Database, PlatformId};
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::{cost, Graph, Rng64};
 use nnlqp_sim::{DeviceFarm, FarmError, PlatformSpec, QueryJob};
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Parameters of a query or prediction — the paper's
 /// `{model_path, batch_size, platform_name}` with the model passed as a
@@ -42,6 +45,9 @@ pub enum QueryError {
     /// Strict mode: the analyzer found errors, so the graph was rejected
     /// before touching the farm (the payload is the rendered report).
     Lint(String),
+    /// The farm could not serve the measurement (busy past the caller's
+    /// deadline, or shutting down).
+    Farm(FarmError),
 }
 
 impl fmt::Display for QueryError {
@@ -50,6 +56,7 @@ impl fmt::Display for QueryError {
             QueryError::UnknownPlatform(p) => write!(f, "unknown platform: {p}"),
             QueryError::BadBatch(d) => write!(f, "bad batch size: {d}"),
             QueryError::Lint(r) => write!(f, "model rejected by static analysis:\n{r}"),
+            QueryError::Farm(e) => write!(f, "farm error: {e}"),
         }
     }
 }
@@ -60,6 +67,39 @@ impl From<FarmError> for QueryError {
     fn from(e: FarmError) -> Self {
         match e {
             FarmError::UnknownPlatform(p) => QueryError::UnknownPlatform(p),
+            other => QueryError::Farm(other),
+        }
+    }
+}
+
+/// Monotonic counters over the facade's query traffic, exposed for the
+/// serving layer (`nnlqp-serve`) and for tests that need to prove how
+/// often hardware actually ran.
+#[derive(Debug, Default)]
+pub struct QueryCounters {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    measurements: AtomicU64,
+}
+
+/// A point-in-time copy of [`QueryCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CountersSnapshot {
+    /// `query` calls answered (hit or miss).
+    pub queries: u64,
+    /// Queries served straight from the database.
+    pub cache_hits: u64,
+    /// Farm measurements performed (query misses + direct
+    /// [`Nnlqp::query_measured`] calls).
+    pub measurements: u64,
+}
+
+impl QueryCounters {
+    fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            measurements: self.measurements.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,8 +120,27 @@ pub struct Nnlqp {
     /// analyzer flags with an error — keeping poisoned ground truth out of
     /// the evolving database.
     pub strict: bool,
+    /// Base seed folded into every measurement's per-key seed: a
+    /// measurement is a deterministic function of (graph hash, platform,
+    /// batch, base seed), independent of arrival order — so concurrent
+    /// serving layers stay reproducible.
+    base_seed: u64,
     seed: Mutex<Rng64>,
+    counters: QueryCounters,
     pub(crate) predictor: parking_lot::RwLock<Option<crate::predictor::PredictorHandle>>,
+}
+
+/// Default base seed (`b"NNLQP!"` as a integer tag).
+const DEFAULT_SEED: u64 = 0x4e4e_4c51_5021;
+
+/// Fold the query key into a measurement seed (FNV-1a over the platform
+/// name, mixed with the graph hash, batch and base seed).
+fn measurement_seed(base: u64, graph_hash: u64, platform: &str, batch: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for b in platform.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ base ^ graph_hash.rotate_left(17) ^ u64::from(batch).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl Nnlqp {
@@ -92,7 +151,9 @@ impl Nnlqp {
             farm,
             reps: nnlqp_sim::DEFAULT_REPS,
             strict: false,
-            seed: Mutex::new(Rng64::new(0x4e4e_4c51_5021)),
+            base_seed: DEFAULT_SEED,
+            seed: Mutex::new(Rng64::new(DEFAULT_SEED)),
+            counters: QueryCounters::default(),
             predictor: parking_lot::RwLock::new(None),
         }
     }
@@ -111,7 +172,19 @@ impl Nnlqp {
     /// Reseed the measurement/jitter stream (distinct deployments of the
     /// system observe distinct noise).
     pub fn set_seed(&mut self, seed: u64) {
+        self.base_seed = seed;
         *self.seed.lock() = Rng64::new(seed);
+    }
+
+    /// Traffic counters (queries, cache hits, farm measurements).
+    pub fn counters(&self) -> CountersSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// The farm's lifetime measurement count — the hardware-side view of
+    /// [`CountersSnapshot::measurements`].
+    pub fn farm_measurements(&self) -> u64 {
+        self.farm.measurements_performed()
     }
 
     fn canonical_platform(&self, name: &str) -> Result<PlatformSpec, QueryError> {
@@ -134,6 +207,7 @@ impl Nnlqp {
     /// the graph hash + platform + batch is already stored, otherwise by
     /// measuring on the farm and recording the result.
     pub fn query(&self, params: &QueryParams) -> Result<QueryResult, QueryError> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
         let spec = self.canonical_platform(&params.platform_name)?;
         let graph = self.effective_graph(params)?;
         if self.strict {
@@ -148,6 +222,7 @@ impl Nnlqp {
                 .get_or_create_platform(&spec.hardware, &spec.software, spec.dtype.name());
 
         if let Some(hit) = self.db.lookup_latency(hash, platform_id, params.batch_size) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             let jitter = {
                 let mut s = self.seed.lock();
                 s.uniform()
@@ -159,20 +234,69 @@ impl Nnlqp {
             });
         }
 
-        // Miss: deploy + measure on the farm, then record.
-        let seed = {
-            let mut s = self.seed.lock();
-            s.next_u64()
-        };
+        // Miss: deploy + measure on the farm, then record. The graph moves
+        // into an `Arc` shared with the farm job — no per-miss deep copy.
+        self.measure_and_record(
+            &Arc::new(graph),
+            &spec,
+            platform_id,
+            hash,
+            params.batch_size,
+            None,
+        )
+    }
+
+    /// The miss path as a standalone entry point: measure `graph` on the
+    /// farm and record the result, skipping the cache lookup (the caller —
+    /// typically `nnlqp-serve` — has already established the miss).
+    ///
+    /// `graph` must already be at the effective batch size. `farm_wait`
+    /// bounds device acquisition: `None` blocks until a device frees up,
+    /// `Some(d)` gives up with [`QueryError::Farm`]`(`[`FarmError::Busy`]`)`
+    /// after `d`.
+    pub fn query_measured(
+        &self,
+        graph: &Arc<Graph>,
+        platform_name: &str,
+        batch_size: u32,
+        farm_wait: Option<Duration>,
+    ) -> Result<QueryResult, QueryError> {
+        let spec = self.canonical_platform(platform_name)?;
+        if self.strict {
+            let report = nnlqp_analyze::analyze(graph, Some(&spec));
+            if report.has_errors() {
+                return Err(QueryError::Lint(report.render_text()));
+            }
+        }
+        let hash = graph_hash(graph);
+        let platform_id =
+            self.db
+                .get_or_create_platform(&spec.hardware, &spec.software, spec.dtype.name());
+        self.measure_and_record(graph, &spec, platform_id, hash, batch_size, farm_wait)
+    }
+
+    fn measure_and_record(
+        &self,
+        graph: &Arc<Graph>,
+        spec: &PlatformSpec,
+        platform_id: PlatformId,
+        hash: u64,
+        batch_size: u32,
+        farm_wait: Option<Duration>,
+    ) -> Result<QueryResult, QueryError> {
         let job = QueryJob {
-            graph: graph.clone(),
+            graph: Arc::clone(graph),
             platform: spec.name.clone(),
             reps: self.reps,
-            seed,
+            seed: measurement_seed(self.base_seed, hash, &spec.name, batch_size),
         };
-        let result = self.farm.measure_blocking(&job)?;
-        let (model_id, _) = self.db.insert_model(&graph);
-        let mem = cost::graph_cost(&graph, spec.dtype).mem_bytes;
+        let result = match farm_wait {
+            None => self.farm.measure_blocking(&job)?,
+            Some(d) => self.farm.measure_timeout(&job, d)?,
+        };
+        self.counters.measurements.fetch_add(1, Ordering::Relaxed);
+        let (model_id, _) = self.db.insert_model(graph);
+        let mem = cost::graph_cost(graph, spec.dtype).mem_bytes;
         // Atomic check-then-insert: when two threads miss on the same key
         // concurrently, both return the first writer's measurement — the
         // value every later cache hit will serve.
@@ -181,7 +305,7 @@ impl Nnlqp {
             .get_or_insert_latency(
                 model_id,
                 platform_id,
-                params.batch_size,
+                batch_size,
                 result.measurement.mean_ms,
                 mem,
                 (mem * 1.3) as u64,
@@ -253,6 +377,37 @@ mod tests {
         assert!(second.cost_s < 3.0);
         assert_eq!(s.stats().models, 1);
         assert_eq!(s.stats().latencies, 1);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let s = system();
+        let p = params("gpu-T4-trt7.1-fp32");
+        s.query(&p).unwrap();
+        s.query(&p).unwrap();
+        s.query(&p).unwrap();
+        let c = s.counters();
+        assert_eq!(c.queries, 3);
+        assert_eq!(c.cache_hits, 2);
+        assert_eq!(c.measurements, 1);
+        assert_eq!(s.farm_measurements(), 1);
+    }
+
+    #[test]
+    fn query_measured_bypasses_cache_but_records() {
+        let s = system();
+        let g = Arc::new(ModelFamily::SqueezeNet.canonical().unwrap());
+        let a = s.query_measured(&g, "gpu-T4-trt7.1-fp32", 1, None).unwrap();
+        assert!(!a.cache_hit);
+        // Key-derived seeds: re-measuring the same key reproduces the
+        // same ground truth, and the recorded row wins either way.
+        let b = s
+            .query_measured(&g, "gpu-T4-trt7.1-fp32", 1, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(s.counters().measurements, 2);
+        // The normal query path now hits.
+        assert!(s.query(&params("gpu-T4-trt7.1-fp32")).unwrap().cache_hit);
     }
 
     #[test]

@@ -28,5 +28,5 @@
 pub mod interface;
 pub mod predictor;
 
-pub use interface::{Nnlqp, QueryError, QueryParams, QueryResult};
+pub use interface::{CountersSnapshot, Nnlqp, QueryError, QueryParams, QueryResult};
 pub use predictor::{PredictResult, PredictorHandle, TrainPredictorConfig};

@@ -134,11 +134,42 @@ impl Nnlqp {
         *self.predictor.write() = Some(handle);
     }
 
+    /// True when a trained predictor is installed and has a head for the
+    /// platform — i.e. the degrade-to-prediction path can serve it.
+    pub fn has_predictor_for(&self, platform_name: &str) -> bool {
+        let Some(spec) = PlatformSpec::by_name(platform_name) else {
+            return false;
+        };
+        self.predictor
+            .read()
+            .as_ref()
+            .is_some_and(|h| h.head_of.contains_key(&spec.name))
+    }
+
     /// The paper's `NNLQP.predict`: estimate latency without touching
     /// hardware. Requires a trained predictor covering the platform.
     pub fn predict(&self, params: &QueryParams) -> Result<PredictResult, QueryError> {
-        let spec = PlatformSpec::by_name(&params.platform_name)
-            .ok_or_else(|| QueryError::UnknownPlatform(params.platform_name.clone()))?;
+        if params.model.input_shape.batch() == params.batch_size as usize {
+            self.predict_effective(&params.model, &params.platform_name)
+        } else {
+            let graph = params
+                .model
+                .rebatch(params.batch_size as usize)
+                .map_err(|e| QueryError::BadBatch(e.to_string()))?;
+            self.predict_effective(&graph, &params.platform_name)
+        }
+    }
+
+    /// `predict` over a graph that is already at the effective batch size
+    /// — the zero-copy entry point for serving layers that resolved the
+    /// graph once up front.
+    pub fn predict_effective(
+        &self,
+        graph: &nnlqp_ir::Graph,
+        platform_name: &str,
+    ) -> Result<PredictResult, QueryError> {
+        let spec = PlatformSpec::by_name(platform_name)
+            .ok_or_else(|| QueryError::UnknownPlatform(platform_name.to_string()))?;
         let guard = self.predictor.read();
         let handle = guard
             .as_ref()
@@ -147,15 +178,7 @@ impl Nnlqp {
             .head_of
             .get(&spec.name)
             .ok_or_else(|| QueryError::UnknownPlatform(format!("no head for {}", spec.name)))?;
-        let graph = if params.model.input_shape.batch() == params.batch_size as usize {
-            params.model.clone()
-        } else {
-            params
-                .model
-                .rebatch(params.batch_size as usize)
-                .map_err(|e| QueryError::BadBatch(e.to_string()))?
-        };
-        let feats = extract_features(&graph);
+        let feats = extract_features(graph);
         let latency_ms = handle.model.predict_ms(&feats, head);
         Ok(PredictResult {
             latency_ms,

@@ -137,9 +137,38 @@ pub fn storage_bytes(g: &Graph) -> usize {
     encode(g).len()
 }
 
-/// JSON export (pretty).
+/// JSON export (pretty). The field layout matches what a serde derive
+/// would emit: shapes as plain arrays, ops by canonical name.
 pub fn to_json(g: &Graph) -> String {
-    serde_json::to_string_pretty(g).expect("graph serializes")
+    let nodes: Vec<serde_json::Value> = g
+        .nodes
+        .iter()
+        .map(|n| {
+            let inputs: Vec<u32> = n.inputs.iter().map(|i| i.0).collect();
+            serde_json::json!({
+                "op": n.op.name(),
+                "attrs": {
+                    "kernel": n.attrs.kernel,
+                    "stride": n.attrs.stride,
+                    "pad": n.attrs.pad,
+                    "dilation": n.attrs.dilation,
+                    "groups": n.attrs.groups,
+                    "out_channels": n.attrs.out_channels,
+                    "axis": n.attrs.axis,
+                    "clip_min": n.attrs.clip_min,
+                    "clip_max": n.attrs.clip_max,
+                },
+                "inputs": inputs,
+                "out_shape": n.out_shape.0,
+            })
+        })
+        .collect();
+    let v = serde_json::json!({
+        "name": g.name,
+        "input_shape": g.input_shape.0,
+        "nodes": nodes,
+    });
+    serde_json::to_string_pretty(&v).expect("value serializes")
 }
 
 /// JSON import with validation.
@@ -152,7 +181,74 @@ pub fn from_json(s: &str) -> IrResult<Graph> {
 /// JSON import without validation — for diagnostic tools (`nnlqp lint`)
 /// that report on malformed graphs rather than refusing to open them.
 pub fn from_json_unchecked(s: &str) -> IrResult<Graph> {
-    serde_json::from_str(s).map_err(|e| IrError::Decode(e.to_string()))
+    let v: serde_json::Value =
+        serde_json::from_str(s).map_err(|e| IrError::Decode(e.to_string()))?;
+    let bad = |what: &str| IrError::Decode(format!("missing or malformed {what}"));
+
+    let name = v["name"].as_str().ok_or_else(|| bad("name"))?.to_string();
+    let input_shape = Shape(shape_dims(&v["input_shape"]).ok_or_else(|| bad("input_shape"))?);
+    let raw_nodes = v["nodes"].as_array().ok_or_else(|| bad("nodes"))?;
+    let mut nodes = Vec::with_capacity(raw_nodes.len());
+    for (i, n) in raw_nodes.iter().enumerate() {
+        let op = n["op"]
+            .as_str()
+            .and_then(OpType::parse)
+            .ok_or_else(|| bad(&format!("nodes[{i}].op")))?;
+        let a = &n["attrs"];
+        let attrs = Attrs {
+            kernel: u32_pair(&a["kernel"]).ok_or_else(|| bad(&format!("nodes[{i}].kernel")))?,
+            stride: u32_pair(&a["stride"]).ok_or_else(|| bad(&format!("nodes[{i}].stride")))?,
+            pad: u32_pair(&a["pad"]).ok_or_else(|| bad(&format!("nodes[{i}].pad")))?,
+            dilation: u32_pair(&a["dilation"])
+                .ok_or_else(|| bad(&format!("nodes[{i}].dilation")))?,
+            groups: u32_field(&a["groups"]).ok_or_else(|| bad(&format!("nodes[{i}].groups")))?,
+            out_channels: u32_field(&a["out_channels"])
+                .ok_or_else(|| bad(&format!("nodes[{i}].out_channels")))?,
+            axis: u32_field(&a["axis"]).ok_or_else(|| bad(&format!("nodes[{i}].axis")))?,
+            clip_min: a["clip_min"].as_f64().ok_or_else(|| bad("clip_min"))? as f32,
+            clip_max: a["clip_max"].as_f64().ok_or_else(|| bad("clip_max"))? as f32,
+        };
+        let inputs = n["inputs"]
+            .as_array()
+            .ok_or_else(|| bad(&format!("nodes[{i}].inputs")))?
+            .iter()
+            .map(|x| x.as_u64().map(|id| NodeId(id as u32)))
+            .collect::<Option<Vec<NodeId>>>()
+            .ok_or_else(|| bad(&format!("nodes[{i}].inputs")))?;
+        let out_shape = Shape(
+            shape_dims(&n["out_shape"]).ok_or_else(|| bad(&format!("nodes[{i}].out_shape")))?,
+        );
+        nodes.push(Node {
+            op,
+            attrs,
+            inputs,
+            out_shape,
+        });
+    }
+    Ok(Graph {
+        name,
+        input_shape,
+        nodes,
+    })
+}
+
+fn shape_dims(v: &serde_json::Value) -> Option<Vec<usize>> {
+    v.as_array()?
+        .iter()
+        .map(|d| d.as_u64().map(|d| d as usize))
+        .collect()
+}
+
+fn u32_field(v: &serde_json::Value) -> Option<u32> {
+    v.as_u64().map(|x| x as u32)
+}
+
+fn u32_pair(v: &serde_json::Value) -> Option<[u32; 2]> {
+    let a = v.as_array()?;
+    match a.as_slice() {
+        [x, y] => Some([u32_field(x)?, u32_field(y)?]),
+        _ => None,
+    }
 }
 
 #[cfg(test)]

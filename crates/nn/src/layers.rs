@@ -18,6 +18,27 @@ pub struct Linear {
     pub b: Vec<f32>,
 }
 
+impl Linear {
+    /// JSON value form (checkpointing).
+    pub fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({ "w": self.w.to_value(), "b": self.b })
+    }
+
+    /// Inverse of [`Linear::to_value`].
+    pub fn from_value(v: &serde_json::Value) -> Result<Self, String> {
+        let w = Matrix::from_value(&v["w"])?;
+        let b = v["b"]
+            .as_array()
+            .and_then(|a| {
+                a.iter()
+                    .map(|x| x.as_f64().map(|f| f as f32))
+                    .collect::<Option<Vec<f32>>>()
+            })
+            .ok_or("linear bias missing")?;
+        Ok(Linear { w, b })
+    }
+}
+
 /// Gradients of a [`Linear`] layer.
 #[derive(Debug, Clone)]
 pub struct LinearGrad {

@@ -24,6 +24,26 @@ pub struct SageLayer {
     pub relu: bool,
 }
 
+impl SageLayer {
+    /// JSON value form (checkpointing).
+    pub fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "w1": self.w1.to_value(),
+            "w2": self.w2.to_value(),
+            "relu": self.relu,
+        })
+    }
+
+    /// Inverse of [`SageLayer::to_value`].
+    pub fn from_value(v: &serde_json::Value) -> Result<Self, String> {
+        Ok(SageLayer {
+            w1: Linear::from_value(&v["w1"])?,
+            w2: Linear::from_value(&v["w2"])?,
+            relu: v["relu"].as_bool().ok_or("sage relu flag missing")?,
+        })
+    }
+}
+
 /// Activations cached by the forward pass for the backward pass.
 #[derive(Debug, Clone)]
 pub struct SageCache {

@@ -8,10 +8,9 @@
 
 use nnlqp_ir::Rng64;
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Row-major 2-D f32 matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     /// Number of rows.
     pub rows: usize,
@@ -21,10 +20,64 @@ pub struct Matrix {
     pub data: Vec<f32>,
 }
 
+// Hand-written JSON codec (checkpointing trained heads): a flat object of
+// dims plus the row-major payload.
+impl serde::Serialize for Matrix {
+    fn __stub_to_json(&self) -> Option<String> {
+        Some(self.to_value().to_string())
+    }
+
+    fn __stub_to_json_pretty(&self) -> Option<String> {
+        serde_json::to_string_pretty(&self.to_value()).ok()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Matrix {
+    fn __stub_from_json(s: &str) -> Option<Result<Self, String>> {
+        let v: serde_json::Value = match serde_json::from_str(s) {
+            Ok(v) => v,
+            Err(e) => return Some(Err(e.to_string())),
+        };
+        Some(Matrix::from_value(&v))
+    }
+}
+
 /// Row count below which matmul stays single-threaded.
 const PAR_THRESHOLD: usize = 64;
 
 impl Matrix {
+    /// JSON value form (checkpointing).
+    pub fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "rows": self.rows,
+            "cols": self.cols,
+            "data": self.data,
+        })
+    }
+
+    /// Inverse of [`Matrix::to_value`].
+    pub fn from_value(v: &serde_json::Value) -> Result<Self, String> {
+        let dims = (v["rows"].as_u64(), v["cols"].as_u64());
+        let (Some(rows), Some(cols)) = dims else {
+            return Err("matrix dims missing".to_string());
+        };
+        let Some(data) = v["data"].as_array().and_then(|a| {
+            a.iter()
+                .map(|x| x.as_f64().map(|f| f as f32))
+                .collect::<Option<Vec<f32>>>()
+        }) else {
+            return Err("matrix data missing".to_string());
+        };
+        if data.len() != (rows * cols) as usize {
+            return Err("matrix shape/data mismatch".to_string());
+        }
+        Ok(Matrix {
+            rows: rows as usize,
+            cols: cols as usize,
+            data,
+        })
+    }
+
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {

@@ -118,6 +118,40 @@ pub struct Normalizer {
 }
 
 impl Normalizer {
+    /// JSON value form (checkpointing).
+    pub(crate) fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "node_mu": self.node_mu,
+            "node_sd": self.node_sd,
+            "stat_mu": self.stat_mu,
+            "stat_sd": self.stat_sd,
+        })
+    }
+
+    /// Inverse of [`Normalizer::to_value`].
+    pub(crate) fn from_value(v: &serde_json::Value) -> Result<Self, String> {
+        fn f32s(v: &serde_json::Value, what: &str) -> Result<Vec<f32>, String> {
+            v.as_array()
+                .and_then(|a| {
+                    a.iter()
+                        .map(|x| x.as_f64().map(|f| f as f32))
+                        .collect::<Option<Vec<f32>>>()
+                })
+                .ok_or_else(|| format!("normalizer {what} missing"))
+        }
+        fn stat(v: &serde_json::Value, what: &str) -> Result<[f32; STATIC_DIM], String> {
+            f32s(v, what)?
+                .try_into()
+                .map_err(|_| format!("normalizer {what} has wrong length"))
+        }
+        Ok(Normalizer {
+            node_mu: f32s(&v["node_mu"], "node_mu")?,
+            node_sd: f32s(&v["node_sd"], "node_sd")?,
+            stat_mu: stat(&v["stat_mu"], "stat_mu")?,
+            stat_sd: stat(&v["stat_sd"], "stat_sd")?,
+        })
+    }
+
     /// Fit per-dimension mean/std over all nodes of all training graphs
     /// (the one-hot block is left untouched) and over the log-scaled
     /// static features.

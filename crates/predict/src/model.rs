@@ -225,7 +225,7 @@ impl Head {
 }
 
 /// The full predictor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NnlpModel {
     /// Configuration (immutable after construction).
     pub cfg: NnlpConfig,
@@ -235,6 +235,110 @@ pub struct NnlpModel {
     pub heads: Vec<Head>,
     /// Feature normalizer fitted on the training corpus.
     pub norm: Normalizer,
+}
+
+impl NnlpConfig {
+    fn to_value(self) -> serde_json::Value {
+        serde_json::json!({
+            "node_feat_dim": self.node_feat_dim,
+            "hidden": self.hidden,
+            "gnn_layers": self.gnn_layers,
+            "head_hidden": self.head_hidden,
+            "n_heads": self.n_heads,
+            "dropout": self.dropout,
+            "use_node_feats": self.use_node_feats,
+            "use_gnn": self.use_gnn,
+            "use_static": self.use_static,
+            "mean_pool": self.mean_pool,
+        })
+    }
+
+    fn from_value(v: &serde_json::Value) -> Result<Self, String> {
+        let dim = |key: &str| {
+            v[key]
+                .as_u64()
+                .map(|x| x as usize)
+                .ok_or_else(|| format!("config {key} missing"))
+        };
+        let flag = |key: &str| {
+            v[key]
+                .as_bool()
+                .ok_or_else(|| format!("config {key} missing"))
+        };
+        Ok(NnlpConfig {
+            node_feat_dim: dim("node_feat_dim")?,
+            hidden: dim("hidden")?,
+            gnn_layers: dim("gnn_layers")?,
+            head_hidden: dim("head_hidden")?,
+            n_heads: dim("n_heads")?,
+            dropout: v["dropout"].as_f64().ok_or("config dropout missing")?,
+            use_node_feats: flag("use_node_feats")?,
+            use_gnn: flag("use_gnn")?,
+            use_static: flag("use_static")?,
+            mean_pool: flag("mean_pool")?,
+        })
+    }
+}
+
+impl Head {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "l1": self.l1.to_value(),
+            "l2": self.l2.to_value(),
+            "l3": self.l3.to_value(),
+        })
+    }
+
+    fn from_value(v: &serde_json::Value) -> Result<Self, String> {
+        Ok(Head {
+            l1: Linear::from_value(&v["l1"])?,
+            l2: Linear::from_value(&v["l2"])?,
+            l3: Linear::from_value(&v["l3"])?,
+        })
+    }
+}
+
+impl Serialize for NnlpModel {
+    fn __stub_to_json(&self) -> Option<String> {
+        let sage: Vec<serde_json::Value> = self.sage.iter().map(SageLayer::to_value).collect();
+        let heads: Vec<serde_json::Value> = self.heads.iter().map(Head::to_value).collect();
+        let v = serde_json::json!({
+            "cfg": self.cfg.to_value(),
+            "sage": sage,
+            "heads": heads,
+            "norm": self.norm.to_value(),
+        });
+        Some(v.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for NnlpModel {
+    fn __stub_from_json(s: &str) -> Option<Result<Self, String>> {
+        let v: serde_json::Value = match serde_json::from_str(s) {
+            Ok(v) => v,
+            Err(e) => return Some(Err(e.to_string())),
+        };
+        let parse = || -> Result<NnlpModel, String> {
+            let seq = |key: &str| {
+                v[key]
+                    .as_array()
+                    .ok_or_else(|| format!("model {key} missing"))
+            };
+            Ok(NnlpModel {
+                cfg: NnlpConfig::from_value(&v["cfg"])?,
+                sage: seq("sage")?
+                    .iter()
+                    .map(SageLayer::from_value)
+                    .collect::<Result<_, _>>()?,
+                heads: seq("heads")?
+                    .iter()
+                    .map(Head::from_value)
+                    .collect::<Result<_, _>>()?,
+                norm: Normalizer::from_value(&v["norm"])?,
+            })
+        };
+        Some(parse())
+    }
 }
 
 /// Per-sample caches for the backward pass.

@@ -1,0 +1,249 @@
+//! `serve-bench` — load generator for the concurrent latency service.
+//!
+//! ```text
+//! serve-bench [--clients N] [--dup-requests N] [--fresh-requests N]
+//!             [--workers N] [--queue N] [--degrade-backlog N]
+//!             [--platform NAME] [--family FAMILY] [--reps R] [--seed S]
+//!             [--retrain-after N] [--snapshot FILE]
+//! ```
+//!
+//! Two phases drive the two headline behaviours:
+//!
+//! 1. **Coalesce** — every client queries the *same* models through a
+//!    barrier, so concurrent misses collide on identical keys. The farm
+//!    must execute exactly one measurement per distinct key, far fewer
+//!    than the number of requests.
+//! 2. **Degrade** — a predictor is trained on phase-1 ground truth, then
+//!    every client floods the service with *disjoint fresh* models. The
+//!    worker pool saturates and requests over the backlog threshold are
+//!    served approximate predictions instead of waiting.
+//!
+//! The final metrics snapshot is printed as JSON; the exit code is
+//! nonzero unless the counters balance and both behaviours are visible.
+
+use nnlqp::{Nnlqp, TrainPredictorConfig};
+use nnlqp_models::ModelFamily;
+use nnlqp_serve::{LatencyService, ServeConfig, Served};
+use nnlqp_sim::{DeviceFarm, PlatformSpec};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!("  serve-bench [--clients N] [--dup-requests N] [--fresh-requests N]");
+    eprintln!("              [--workers N] [--queue N] [--degrade-backlog N]");
+    eprintln!("              [--platform NAME] [--family FAMILY] [--reps R] [--seed S]");
+    eprintln!("              [--retrain-after N] [--snapshot FILE]");
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("error: unexpected argument {a}");
+            usage();
+        };
+        match it.next() {
+            Some(v) => {
+                out.insert(key.to_string(), v.clone());
+            }
+            None => {
+                eprintln!("error: missing value for --{key}");
+                usage();
+            }
+        }
+    }
+    out
+}
+
+fn num(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    flags.get(key).map_or(default, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("error: --{key} must be a number");
+            usage();
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args);
+
+    let clients = num(&flags, "clients", 8).max(1);
+    let dup_requests = num(&flags, "dup-requests", 6);
+    let fresh_requests = num(&flags, "fresh-requests", 6);
+    let workers = num(&flags, "workers", 2).max(1);
+    let queue = num(&flags, "queue", 64).max(1);
+    let degrade_backlog = num(&flags, "degrade-backlog", 3);
+    let reps = num(&flags, "reps", 3).max(1);
+    let seed = num(&flags, "seed", 42) as u64;
+    let retrain_after = num(&flags, "retrain-after", 0);
+    let platform = flags
+        .get("platform")
+        .cloned()
+        .unwrap_or_else(|| "gpu-T4-trt7.1-fp32".to_string());
+    let family = flags
+        .get("family")
+        .map(|f| {
+            ModelFamily::parse(f).unwrap_or_else(|| {
+                eprintln!("error: --family must name a model family");
+                usage();
+            })
+        })
+        .unwrap_or(ModelFamily::SqueezeNet);
+
+    let mut system = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 4));
+    system.reps = reps;
+    system.set_seed(seed);
+    let system = Arc::new(system);
+
+    let cfg = ServeConfig {
+        workers,
+        queue_depth: queue,
+        cache_capacity: 4096,
+        cache_shards: 8,
+        degrade_backlog,
+        retrain_after,
+        retrain_platforms: if retrain_after > 0 {
+            vec![platform.clone()]
+        } else {
+            Vec::new()
+        },
+        train: TrainPredictorConfig {
+            epochs: 6,
+            hidden: 24,
+            gnn_layers: 2,
+            ..Default::default()
+        },
+        snapshot_path: flags.get("snapshot").map(Into::into),
+        ..Default::default()
+    };
+    let service = Arc::new(LatencyService::start(Arc::clone(&system), cfg));
+
+    // Phase 1 — every client hammers the SAME models: singleflight must
+    // collapse the duplicate misses onto one measurement per key.
+    let shared: Vec<_> = nnlqp_models::generate_family(family, dup_requests, seed)
+        .into_iter()
+        .map(|m| Arc::new(m.graph))
+        .collect();
+    let outcomes = run_clients(&service, &platform, clients, |_| shared.clone());
+    let measured_after_dup = service.metrics().measured;
+    eprintln!(
+        "phase 1 (coalesce): {} requests over {} distinct models -> {} farm measurements",
+        clients * dup_requests,
+        dup_requests,
+        measured_after_dup
+    );
+
+    // Train a predictor on the freshly measured ground truth so the
+    // degrade path has a head to fall back to.
+    let samples = system
+        .train_predictor(
+            &[platform.as_str()],
+            TrainPredictorConfig {
+                epochs: 6,
+                hidden: 24,
+                gnn_layers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: predictor training failed: {e}");
+            std::process::exit(1);
+        });
+    eprintln!("trained the degrade predictor on {samples} samples");
+
+    // Phase 2 — every client floods DISJOINT fresh models: the worker
+    // pool saturates and over-backlog requests degrade to predictions.
+    let degrade_outcomes = run_clients(&service, &platform, clients, |c| {
+        nnlqp_models::generate_family(family, fresh_requests, seed ^ (0x5eed_0000 + c as u64))
+            .into_iter()
+            .map(|m| Arc::new(m.graph))
+            .collect()
+    });
+    let snapshot = service.metrics();
+    eprintln!(
+        "phase 2 (degrade): {} fresh requests -> {} served approximate",
+        clients * fresh_requests,
+        snapshot.degraded
+    );
+    if let Err(e) = service.shutdown() {
+        eprintln!("error: shutdown snapshot failed: {e}");
+        std::process::exit(1);
+    }
+
+    let snapshot = service.metrics();
+    println!("{}", snapshot.to_json());
+
+    // Pass/fail: the counters must partition the request stream, phase 1
+    // must show coalescing (measurements < requests on duplicated keys),
+    // and phase 2 must show the degrade path firing.
+    let mut failures = Vec::new();
+    if !snapshot.balanced() {
+        failures.push("metrics do not balance".to_string());
+    }
+    if outcomes.iter().any(Result::is_err) {
+        failures.push("phase 1 had failed requests".to_string());
+    }
+    if measured_after_dup >= (clients * dup_requests) as u64 {
+        failures.push(format!(
+            "no coalescing: {} measurements for {} duplicate requests",
+            measured_after_dup,
+            clients * dup_requests
+        ));
+    }
+    if clients > 1 && snapshot.coalesced == 0 {
+        failures.push("no request ever joined an existing flight".to_string());
+    }
+    if fresh_requests > 0 && snapshot.degraded == 0 {
+        failures.push("degrade path never fired under saturation".to_string());
+    }
+    let degrade_errors = degrade_outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(e) if !e.contains("queue full")))
+        .count();
+    if degrade_errors > 0 {
+        failures.push(format!("{degrade_errors} unexpected phase 2 errors"));
+    }
+    if failures.is_empty() {
+        eprintln!("serve-bench: OK");
+    } else {
+        for f in &failures {
+            eprintln!("serve-bench: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Spawn `clients` threads behind a barrier; each queries its model list
+/// in order. Returns every outcome (latency or rendered error).
+fn run_clients(
+    service: &Arc<LatencyService>,
+    platform: &str,
+    clients: usize,
+    models_for: impl Fn(usize) -> Vec<Arc<nnlqp_ir::Graph>> + Sync,
+) -> Vec<Result<Served, String>> {
+    let barrier = Barrier::new(clients);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = Arc::clone(service);
+                let models = models_for(c);
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    models
+                        .iter()
+                        .map(|m| service.query(m, platform, 1).map_err(|e| e.to_string()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    })
+}

@@ -1,0 +1,33 @@
+//! nnlqp-serve: a long-running concurrent query service over the NNLQP
+//! facade.
+//!
+//! The paper's system is a *service*: many clients query latencies for
+//! `(model, platform, batch)` keys, the database keeps evolving with new
+//! ground truth, and the predictor absorbs that growth. This crate
+//! supplies the serving layer the library crates lack:
+//!
+//! - [`LatencyService`] — worker pool behind a bounded submission queue
+//!   (admission control: a full queue rejects instead of queueing
+//!   unboundedly);
+//! - [`ShardedLru`] — in-memory hot cache in front of `nnlqp-db`;
+//! - [`SingleFlight`] — concurrent misses on one key share a single farm
+//!   measurement;
+//! - degrade-to-predict — under measurement backlog, requests are served
+//!   an NNLP prediction tagged approximate rather than waiting;
+//! - an evolving-database loop that retrains predictor heads once enough
+//!   fresh measurements accumulate, hot-swapping them atomically;
+//! - [`ServeMetrics`] — terminal-class counters (they partition the
+//!   request stream) plus a served-latency histogram.
+//!
+//! The `serve-bench` binary drives the service with a configurable load
+//! generator and prints the metrics snapshot as JSON.
+
+pub mod cache;
+pub mod metrics;
+pub mod service;
+pub mod singleflight;
+
+pub use cache::{CacheKey, ShardedLru};
+pub use metrics::{MetricsSnapshot, ServeMetrics, HISTOGRAM_BOUNDS_MS};
+pub use service::{LatencyService, ServeConfig, ServeError, Served, Source};
+pub use singleflight::{Flight, Role, SingleFlight};

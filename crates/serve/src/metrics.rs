@@ -1,0 +1,218 @@
+//! Service metrics: terminal-outcome counters and a latency histogram.
+//!
+//! Every request ends in exactly one terminal class — hot-cache hit,
+//! database hit, measured miss, degraded prediction, rejection, or
+//! validation error — so the counters balance against `requests` at any
+//! quiescent point. `coalesced`, `measured` and the retrain counters are
+//! informational overlays, not terminal classes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bucket bounds for served latencies, in milliseconds. Values above
+/// the last bound land in the overflow bucket.
+pub const HISTOGRAM_BOUNDS_MS: [f64; 15] = [
+    0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0,
+];
+
+const BUCKETS: usize = HISTOGRAM_BOUNDS_MS.len() + 1;
+
+#[derive(Default)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    fn observe(&self, ms: f64) {
+        let idx = HISTOGRAM_BOUNDS_MS
+            .iter()
+            .position(|&b| ms <= b)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let le = HISTOGRAM_BOUNDS_MS.get(i).copied().unwrap_or(f64::INFINITY);
+                (le, b.load(Ordering::Relaxed))
+            })
+            .collect()
+    }
+}
+
+/// Live counters; cheap to bump from any thread.
+#[derive(Default)]
+pub struct ServeMetrics {
+    requests: AtomicU64,
+    hot_hits: AtomicU64,
+    db_hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    measured: AtomicU64,
+    degraded: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    retrains: AtomicU64,
+    retrain_samples: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+macro_rules! bump {
+    ($($name:ident),* $(,)?) => {
+        $(pub(crate) fn $name(&self) {
+            self.$name.fetch_add(1, Ordering::Relaxed);
+        })*
+    };
+}
+
+impl ServeMetrics {
+    bump!(requests, hot_hits, db_hits, misses, coalesced, measured, degraded, rejected, errors);
+
+    pub(crate) fn retrained(&self, samples: u64) {
+        self.retrains.fetch_add(1, Ordering::Relaxed);
+        self.retrain_samples.fetch_add(samples, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_latency(&self, ms: f64) {
+        self.latency.observe(ms);
+    }
+
+    /// Point-in-time copy of everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            hot_hits: self.hot_hits.load(Ordering::Relaxed),
+            db_hits: self.db_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            measured: self.measured.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            retrains: self.retrains.load(Ordering::Relaxed),
+            retrain_samples: self.retrain_samples.load(Ordering::Relaxed),
+            latency_histogram: self.latency.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests submitted (valid or not).
+    pub requests: u64,
+    /// Served from the in-memory LRU.
+    pub hot_hits: u64,
+    /// Served from the evolving database (and promoted into the LRU).
+    pub db_hits: u64,
+    /// Served by a farm measurement — fresh or shared through a flight.
+    pub misses: u64,
+    /// Subset of `misses` that joined an existing flight instead of
+    /// enqueueing their own measurement.
+    pub coalesced: u64,
+    /// Farm measurements actually executed by the worker pool.
+    pub measured: u64,
+    /// Served an approximate NNLP prediction because the measurement
+    /// backlog was over the degrade threshold.
+    pub degraded: u64,
+    /// Turned away: queue full or service shutting down.
+    pub rejected: u64,
+    /// Invalid requests (unknown platform, bad batch).
+    pub errors: u64,
+    /// Predictor retrains completed by the evolving-database loop.
+    pub retrains: u64,
+    /// Total training samples consumed across retrains.
+    pub retrain_samples: u64,
+    /// `(upper_bound_ms, count)` pairs; the last bound is `+inf`.
+    pub latency_histogram: Vec<(f64, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Terminal classes partition the request stream: at any quiescent
+    /// point the outcome counters must sum to `requests`.
+    pub fn balanced(&self) -> bool {
+        self.hot_hits + self.db_hits + self.misses + self.degraded + self.rejected + self.errors
+            == self.requests
+    }
+
+    /// Render as a JSON object (histogram trimmed to non-empty buckets).
+    pub fn to_json(&self) -> serde_json::Value {
+        let histogram: Vec<serde_json::Value> = self
+            .latency_histogram
+            .iter()
+            .filter(|(_, count)| *count > 0)
+            .map(|(le, count)| {
+                serde_json::json!({
+                    "le_ms": if le.is_finite() { format!("{le}") } else { "+inf".to_string() },
+                    "count": *count,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "requests": self.requests,
+            "hot_hits": self.hot_hits,
+            "db_hits": self.db_hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "measured": self.measured,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "retrains": self.retrains,
+            "retrain_samples": self.retrain_samples,
+            "balanced": self.balanced(),
+            "latency_ms_histogram": histogram,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_partition_requests() {
+        let m = ServeMetrics::default();
+        for _ in 0..5 {
+            m.requests();
+        }
+        m.hot_hits();
+        m.db_hits();
+        m.misses();
+        m.degraded();
+        m.rejected();
+        let s = m.snapshot();
+        assert!(s.balanced());
+        m.requests();
+        assert!(!m.snapshot().balanced());
+    }
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let m = ServeMetrics::default();
+        m.observe_latency(0.1); // <= 0.125
+        m.observe_latency(3.0); // <= 4
+        m.observe_latency(1.0e6); // overflow
+        let h = m.snapshot().latency_histogram;
+        assert_eq!(h[0], (0.125, 1));
+        assert_eq!(h[5], (4.0, 1));
+        let (last_bound, last_count) = h[h.len() - 1];
+        assert!(last_bound.is_infinite());
+        assert_eq!(last_count, 1);
+        assert_eq!(h.iter().map(|(_, c)| c).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let m = ServeMetrics::default();
+        m.requests();
+        m.hot_hits();
+        m.observe_latency(2.0);
+        let v = m.snapshot().to_json();
+        assert_eq!(v["requests"].as_u64(), Some(1));
+        assert_eq!(v["balanced"].as_bool(), Some(true));
+        assert_eq!(v["latency_ms_histogram"].as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,711 @@
+//! The latency-query service: admission control, worker pool, degrade
+//! path and the evolving-database retraining loop, wired around the
+//! `Nnlqp` facade.
+//!
+//! Request flow (fast to slow):
+//!
+//! 1. resolve the platform once (cached binding: canonical name + db id);
+//! 2. sharded-LRU hot cache — O(1), no db lock;
+//! 3. evolving database — hit fills the LRU;
+//! 4. degrade check — backlog over threshold and a predictor head exists:
+//!    serve an NNLP prediction tagged `approximate`;
+//! 5. singleflight — join the key's flight, or lead it by enqueueing one
+//!    measurement on the bounded worker queue (`try_send`: a full queue
+//!    rejects instead of blocking the caller — backpressure, not pileup).
+//!
+//! Workers drain the queue, measure through `Nnlqp::query_measured`
+//! (key-seeded, so results are order-independent), fill db + cache, then
+//! publish to the flight. A background loop retrains the predictor once
+//! enough fresh ground truth accumulates, hot-swapping the heads through
+//! the facade's `RwLock`. Shutdown stops intake, drains the queue, joins
+//! every thread and snapshots the database atomically.
+
+use crate::cache::{CacheKey, ShardedLru};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::singleflight::{Role, SingleFlight};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use nnlqp::{Nnlqp, TrainPredictorConfig};
+use nnlqp_db::PlatformId;
+use nnlqp_hash::graph_hash;
+use nnlqp_ir::Graph;
+use nnlqp_sim::PlatformSpec;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Measurement worker threads.
+    pub workers: usize,
+    /// Bounded submission-queue depth; a full queue rejects new leaders.
+    pub queue_depth: usize,
+    /// Total hot-cache entries.
+    pub cache_capacity: usize,
+    /// Hot-cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Queue backlog at which requests degrade to an approximate
+    /// prediction (when a predictor head covers the platform).
+    pub degrade_backlog: usize,
+    /// Bound on device acquisition inside a worker; `None` blocks.
+    pub farm_wait: Option<Duration>,
+    /// Retrain the predictor after this many fresh measurements
+    /// (0 disables the evolving-database loop).
+    pub retrain_after: usize,
+    /// Platforms the retrained predictor covers.
+    pub retrain_platforms: Vec<String>,
+    /// Training hyperparameters for each retrain.
+    pub train: TrainPredictorConfig,
+    /// Where shutdown snapshots the database (atomic temp-file + rename).
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            degrade_backlog: 32,
+            farm_wait: None,
+            retrain_after: 0,
+            retrain_platforms: Vec::new(),
+            train: TrainPredictorConfig::default(),
+            snapshot_path: None,
+        }
+    }
+}
+
+/// Service-level failures. All variants are cheap to clone — a flight
+/// publishes one error to every coalesced waiter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Platform unknown to the registry.
+    UnknownPlatform(String),
+    /// The model cannot run at the requested batch.
+    BadBatch(String),
+    /// Submission queue full — backpressure, retry later.
+    Overloaded,
+    /// The service no longer accepts work.
+    ShuttingDown,
+    /// The measurement itself failed (farm busy past the deadline, strict
+    /// lint rejection, ...).
+    Measurement(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownPlatform(p) => write!(f, "unknown platform: {p}"),
+            ServeError::BadBatch(d) => write!(f, "bad batch: {d}"),
+            ServeError::Overloaded => write!(f, "measurement queue full"),
+            ServeError::ShuttingDown => write!(f, "service shutting down"),
+            ServeError::Measurement(e) => write!(f, "measurement failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Where a served latency came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Sharded in-memory LRU.
+    HotCache,
+    /// The evolving database.
+    Database,
+    /// A farm measurement (own or shared through a flight).
+    Measured,
+    /// The NNLP predictor (degraded path).
+    Predicted,
+}
+
+/// A served latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Served {
+    /// Latency in milliseconds.
+    pub latency_ms: f64,
+    /// Which tier answered.
+    pub source: Source,
+    /// True when this is a prediction, not ground truth.
+    pub approximate: bool,
+    /// True when the request shared another request's measurement.
+    pub coalesced: bool,
+}
+
+#[derive(Clone)]
+struct PlatformBinding {
+    canonical: Arc<str>,
+    id: PlatformId,
+}
+
+struct Job {
+    key: CacheKey,
+    graph: Arc<Graph>,
+}
+
+#[derive(Default)]
+struct RetrainState {
+    fresh: usize,
+    stop: bool,
+}
+
+struct RetrainShared {
+    state: Mutex<RetrainState>,
+    wake: Condvar,
+}
+
+/// The concurrent query service. Share it across client threads with an
+/// `Arc`; call [`LatencyService::shutdown`] (or drop it) to drain and
+/// snapshot.
+pub struct LatencyService {
+    system: Arc<Nnlqp>,
+    cfg: ServeConfig,
+    cache: Arc<ShardedLru>,
+    flights: Arc<SingleFlight<CacheKey, Result<f64, ServeError>>>,
+    metrics: Arc<ServeMetrics>,
+    platforms: RwLock<HashMap<String, PlatformBinding>>,
+    tx: Mutex<Option<Sender<Job>>>,
+    retrain: Arc<RetrainShared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    stopped: AtomicBool,
+}
+
+impl LatencyService {
+    /// Spawn workers (and the retrain loop, when enabled) and start
+    /// accepting queries.
+    pub fn start(system: Arc<Nnlqp>, cfg: ServeConfig) -> Self {
+        let cache = Arc::new(ShardedLru::new(cfg.cache_capacity, cfg.cache_shards));
+        let flights = Arc::new(SingleFlight::new());
+        let metrics = Arc::new(ServeMetrics::default());
+        let retrain = Arc::new(RetrainShared {
+            state: Mutex::new(RetrainState::default()),
+            wake: Condvar::new(),
+        });
+        let (tx, rx) = bounded::<Job>(cfg.queue_depth.max(1));
+        let mut threads = Vec::new();
+        for i in 0..cfg.workers.max(1) {
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("nnlqp-serve-worker-{i}"))
+                    .spawn(worker_loop(
+                        rx.clone(),
+                        Arc::clone(&system),
+                        Arc::clone(&cache),
+                        Arc::clone(&flights),
+                        Arc::clone(&metrics),
+                        Arc::clone(&retrain),
+                        cfg.farm_wait,
+                    ))
+                    .expect("spawn worker"),
+            );
+        }
+        drop(rx);
+        if cfg.retrain_after > 0 && !cfg.retrain_platforms.is_empty() {
+            threads.push(
+                std::thread::Builder::new()
+                    .name("nnlqp-serve-retrain".to_string())
+                    .spawn(retrain_loop(
+                        Arc::clone(&system),
+                        Arc::clone(&retrain),
+                        Arc::clone(&metrics),
+                        cfg.retrain_after,
+                        cfg.retrain_platforms.clone(),
+                        cfg.train,
+                    ))
+                    .expect("spawn retrain loop"),
+            );
+        }
+        LatencyService {
+            system,
+            cfg,
+            cache,
+            flights,
+            metrics,
+            platforms: RwLock::new(HashMap::new()),
+            tx: Mutex::new(Some(tx)),
+            retrain,
+            threads: Mutex::new(threads),
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// Serve one latency query. `model` is shared, never deep-copied
+    /// (unless the batch size requires rebatching).
+    pub fn query(
+        &self,
+        model: &Arc<Graph>,
+        platform: &str,
+        batch: u32,
+    ) -> Result<Served, ServeError> {
+        self.metrics.requests();
+        let binding = match self.resolve(platform) {
+            Ok(b) => b,
+            Err(e) => {
+                self.metrics.errors();
+                return Err(e);
+            }
+        };
+        let graph = match effective_graph(model, batch) {
+            Ok(g) => g,
+            Err(e) => {
+                self.metrics.errors();
+                return Err(e);
+            }
+        };
+        let key = CacheKey {
+            graph_hash: graph_hash(&graph),
+            platform: Arc::clone(&binding.canonical),
+            batch,
+        };
+
+        // Tier 1: hot cache.
+        if let Some(ms) = self.cache.get(&key) {
+            self.metrics.hot_hits();
+            self.metrics.observe_latency(ms);
+            return Ok(Served {
+                latency_ms: ms,
+                source: Source::HotCache,
+                approximate: false,
+                coalesced: false,
+            });
+        }
+
+        // Tier 2: the evolving database; promote hits into the LRU.
+        if let Some(rec) = self
+            .system
+            .db
+            .lookup_latency(key.graph_hash, binding.id, batch)
+        {
+            self.cache.insert(key, rec.cost_ms);
+            self.metrics.db_hits();
+            self.metrics.observe_latency(rec.cost_ms);
+            return Ok(Served {
+                latency_ms: rec.cost_ms,
+                source: Source::Database,
+                approximate: false,
+                coalesced: false,
+            });
+        }
+
+        // Tier 3: graceful degradation under measurement backlog.
+        if self.backlog() >= self.cfg.degrade_backlog
+            && self.system.has_predictor_for(&binding.canonical)
+        {
+            if let Ok(p) = self.system.predict_effective(&graph, &binding.canonical) {
+                self.metrics.degraded();
+                self.metrics.observe_latency(p.latency_ms);
+                return Ok(Served {
+                    latency_ms: p.latency_ms,
+                    source: Source::Predicted,
+                    approximate: true,
+                    coalesced: false,
+                });
+            }
+        }
+
+        // Tier 4: measure, coalescing concurrent misses on the key.
+        match self.flights.begin(&key) {
+            Role::Follower(flight) => {
+                self.metrics.coalesced();
+                self.settle(flight.wait(), true)
+            }
+            Role::Leader(flight) => {
+                // Double-check: the previous flight for this key may have
+                // completed between our cache miss and begin(). Workers
+                // fill the cache BEFORE completing, so a re-check here
+                // makes "one measurement per cached key" airtight.
+                if let Some(ms) = self.cache.get(&key) {
+                    self.flights.complete(&key, Ok(ms));
+                    self.metrics.hot_hits();
+                    self.metrics.observe_latency(ms);
+                    return Ok(Served {
+                        latency_ms: ms,
+                        source: Source::HotCache,
+                        approximate: false,
+                        coalesced: false,
+                    });
+                }
+                let enqueued = {
+                    let tx = self.tx.lock();
+                    match tx.as_ref() {
+                        None => Err(ServeError::ShuttingDown),
+                        Some(tx) => tx
+                            .try_send(Job {
+                                key: key.clone(),
+                                graph,
+                            })
+                            .map_err(|e| match e {
+                                TrySendError::Full(_) => ServeError::Overloaded,
+                                TrySendError::Disconnected(_) => ServeError::ShuttingDown,
+                            }),
+                    }
+                };
+                if let Err(e) = enqueued {
+                    // Publish the rejection so coalesced followers settle
+                    // the same way instead of hanging.
+                    self.flights.complete(&key, Err(e.clone()));
+                    self.metrics.rejected();
+                    return Err(e);
+                }
+                self.settle(flight.wait(), false)
+            }
+        }
+    }
+
+    fn settle(
+        &self,
+        outcome: Result<f64, ServeError>,
+        coalesced: bool,
+    ) -> Result<Served, ServeError> {
+        match outcome {
+            Ok(ms) => {
+                self.metrics.misses();
+                self.metrics.observe_latency(ms);
+                Ok(Served {
+                    latency_ms: ms,
+                    source: Source::Measured,
+                    approximate: false,
+                    coalesced,
+                })
+            }
+            Err(e) => {
+                self.metrics.rejected();
+                Err(e)
+            }
+        }
+    }
+
+    fn resolve(&self, platform: &str) -> Result<PlatformBinding, ServeError> {
+        if let Some(b) = self.platforms.read().get(platform) {
+            return Ok(b.clone());
+        }
+        let spec = PlatformSpec::by_name(platform)
+            .ok_or_else(|| ServeError::UnknownPlatform(platform.to_string()))?;
+        let id = self.system.db.get_or_create_platform(
+            &spec.hardware,
+            &spec.software,
+            spec.dtype.name(),
+        );
+        let binding = PlatformBinding {
+            canonical: Arc::from(spec.name.as_str()),
+            id,
+        };
+        self.platforms
+            .write()
+            .insert(platform.to_string(), binding.clone());
+        Ok(binding)
+    }
+
+    /// Jobs waiting for a worker.
+    pub fn backlog(&self) -> usize {
+        self.tx.lock().as_ref().map_or(0, Sender::len)
+    }
+
+    /// Current metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Hot-cache occupancy.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The wrapped facade (database, counters, predictor).
+    pub fn system(&self) -> &Arc<Nnlqp> {
+        &self.system
+    }
+
+    /// Stop intake, drain the queue, join every background thread and
+    /// snapshot the database when configured. Idempotent.
+    pub fn shutdown(&self) -> std::io::Result<()> {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Closing the sender lets workers drain remaining jobs, then exit
+        // on disconnect — every open flight still completes.
+        self.tx.lock().take();
+        {
+            let mut st = self.retrain.state.lock();
+            st.stop = true;
+        }
+        self.retrain.wake.notify_all();
+        let threads: Vec<JoinHandle<()>> = self.threads.lock().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.cfg.snapshot_path {
+            nnlqp_db::persist::save(&self.system.db, path)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for LatencyService {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+fn effective_graph(model: &Arc<Graph>, batch: u32) -> Result<Arc<Graph>, ServeError> {
+    if batch == 0 {
+        return Err(ServeError::BadBatch("batch must be at least 1".to_string()));
+    }
+    if model.input_shape.batch() == batch as usize {
+        Ok(Arc::clone(model))
+    } else {
+        model
+            .rebatch(batch as usize)
+            .map(Arc::new)
+            .map_err(|e| ServeError::BadBatch(e.to_string()))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    rx: Receiver<Job>,
+    system: Arc<Nnlqp>,
+    cache: Arc<ShardedLru>,
+    flights: Arc<SingleFlight<CacheKey, Result<f64, ServeError>>>,
+    metrics: Arc<ServeMetrics>,
+    retrain: Arc<RetrainShared>,
+    farm_wait: Option<Duration>,
+) -> impl FnOnce() {
+    move || {
+        while let Ok(job) = rx.recv() {
+            let outcome = match system.query_measured(
+                &job.graph,
+                &job.key.platform,
+                job.key.batch,
+                farm_wait,
+            ) {
+                Ok(qr) => {
+                    cache.insert(job.key.clone(), qr.latency_ms);
+                    metrics.measured();
+                    {
+                        let mut st = retrain.state.lock();
+                        st.fresh += 1;
+                    }
+                    retrain.wake.notify_one();
+                    Ok(qr.latency_ms)
+                }
+                Err(e) => Err(ServeError::Measurement(e.to_string())),
+            };
+            // Database and cache are filled before the flight publishes:
+            // anyone arriving after this resolves as a hit, so each key is
+            // measured at most once per flight.
+            flights.complete(&job.key, outcome);
+        }
+    }
+}
+
+fn retrain_loop(
+    system: Arc<Nnlqp>,
+    shared: Arc<RetrainShared>,
+    metrics: Arc<ServeMetrics>,
+    threshold: usize,
+    platforms: Vec<String>,
+    train: TrainPredictorConfig,
+) -> impl FnOnce() {
+    move || {
+        let names: Vec<&str> = platforms.iter().map(String::as_str).collect();
+        let mut st = shared.state.lock();
+        loop {
+            if st.fresh >= threshold {
+                st.fresh = 0;
+                drop(st);
+                // Training runs outside the lock; the trained heads are
+                // hot-swapped atomically inside the facade.
+                if let Ok(n) = system.train_predictor(&names, train) {
+                    if n > 0 {
+                        metrics.retrained(n as u64);
+                    }
+                }
+                st = shared.state.lock();
+                continue;
+            }
+            if st.stop {
+                break;
+            }
+            shared.wake.wait_for(&mut st, Duration::from_millis(20));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_models::ModelFamily;
+    use nnlqp_sim::DeviceFarm;
+
+    const PLATFORM: &str = "gpu-T4-trt7.1-fp32";
+
+    fn quick_system() -> Arc<Nnlqp> {
+        let mut s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 2));
+        s.reps = 3;
+        Arc::new(s)
+    }
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 8,
+            cache_capacity: 64,
+            cache_shards: 2,
+            degrade_backlog: usize::MAX,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn miss_then_db_hit_then_hot_hit() {
+        let svc = LatencyService::start(quick_system(), small_cfg());
+        let g = Arc::new(ModelFamily::SqueezeNet.canonical().unwrap());
+        let first = svc.query(&g, PLATFORM, 1).unwrap();
+        assert_eq!(first.source, Source::Measured);
+        assert!(!first.approximate);
+        // The measurement also filled the hot cache.
+        let second = svc.query(&g, PLATFORM, 1).unwrap();
+        assert_eq!(second.source, Source::HotCache);
+        assert_eq!(second.latency_ms, first.latency_ms);
+        let m = svc.metrics();
+        assert_eq!((m.requests, m.misses, m.hot_hits, m.measured), (2, 1, 1, 1));
+        assert!(m.balanced());
+    }
+
+    #[test]
+    fn db_hits_promote_into_cache() {
+        let system = quick_system();
+        // Seed the database out-of-band: the service's own cache is cold.
+        system
+            .query(&nnlqp::QueryParams {
+                model: ModelFamily::SqueezeNet.canonical().unwrap(),
+                batch_size: 1,
+                platform_name: PLATFORM.into(),
+            })
+            .unwrap();
+        let svc = LatencyService::start(system, small_cfg());
+        let g = Arc::new(ModelFamily::SqueezeNet.canonical().unwrap());
+        assert_eq!(svc.query(&g, PLATFORM, 1).unwrap().source, Source::Database);
+        assert_eq!(svc.query(&g, PLATFORM, 1).unwrap().source, Source::HotCache);
+        assert!(svc.metrics().balanced());
+    }
+
+    #[test]
+    fn invalid_requests_count_as_errors() {
+        let svc = LatencyService::start(quick_system(), small_cfg());
+        let g = Arc::new(ModelFamily::SqueezeNet.canonical().unwrap());
+        assert!(matches!(
+            svc.query(&g, "quantum-coprocessor", 1),
+            Err(ServeError::UnknownPlatform(_))
+        ));
+        assert!(matches!(
+            svc.query(&g, PLATFORM, 0),
+            Err(ServeError::BadBatch(_))
+        ));
+        let m = svc.metrics();
+        assert_eq!((m.requests, m.errors), (2, 2));
+        assert!(m.balanced());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_snapshots() {
+        let dir = std::env::temp_dir().join(format!("nnlqp-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("snapshot.db");
+        let cfg = ServeConfig {
+            snapshot_path: Some(snap.clone()),
+            ..small_cfg()
+        };
+        let svc = LatencyService::start(quick_system(), cfg);
+        let g = Arc::new(ModelFamily::SqueezeNet.canonical().unwrap());
+        svc.query(&g, PLATFORM, 1).unwrap();
+        svc.shutdown().unwrap();
+        svc.shutdown().unwrap(); // idempotent
+        assert!(matches!(
+            svc.query(&g, PLATFORM, 4),
+            Err(ServeError::ShuttingDown)
+        ));
+        let restored = nnlqp_db::persist::load(&snap).unwrap();
+        assert_eq!(restored.stats().latencies, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degrade_serves_predictions_under_backlog() {
+        let system = quick_system();
+        // Train a tiny predictor so the degrade path has a head.
+        let models: Vec<Graph> = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 8, 3)
+            .into_iter()
+            .map(|m| m.graph)
+            .collect();
+        system.warm_cache(&models, PLATFORM, 1).unwrap();
+        system
+            .train_predictor(
+                &[PLATFORM],
+                TrainPredictorConfig {
+                    epochs: 4,
+                    hidden: 16,
+                    gnn_layers: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        // degrade_backlog = 0: every cache/db miss degrades immediately.
+        let cfg = ServeConfig {
+            degrade_backlog: 0,
+            ..small_cfg()
+        };
+        let svc = LatencyService::start(system, cfg);
+        let fresh = Arc::new(
+            nnlqp_models::generate_family(ModelFamily::SqueezeNet, 30, 99)
+                .pop()
+                .unwrap()
+                .graph,
+        );
+        let served = svc.query(&fresh, PLATFORM, 1).unwrap();
+        assert_eq!(served.source, Source::Predicted);
+        assert!(served.approximate);
+        let m = svc.metrics();
+        assert_eq!((m.degraded, m.measured), (1, 0));
+        assert!(m.balanced());
+    }
+
+    #[test]
+    fn retrain_loop_hot_swaps_predictor() {
+        let system = quick_system();
+        assert!(!system.has_predictor_for(PLATFORM));
+        let cfg = ServeConfig {
+            retrain_after: 4,
+            retrain_platforms: vec![PLATFORM.to_string()],
+            train: TrainPredictorConfig {
+                epochs: 2,
+                hidden: 16,
+                gnn_layers: 2,
+                ..Default::default()
+            },
+            ..small_cfg()
+        };
+        let svc = LatencyService::start(Arc::clone(&system), cfg);
+        for m in nnlqp_models::generate_family(ModelFamily::SqueezeNet, 6, 5) {
+            svc.query(&Arc::new(m.graph), PLATFORM, 1).unwrap();
+        }
+        // Retraining happens in the background; give it a bounded moment.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while svc.metrics().retrains == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let m = svc.metrics();
+        assert!(m.retrains >= 1, "retrain loop never fired: {m:?}");
+        assert!(m.retrain_samples >= 4);
+        assert!(system.has_predictor_for(PLATFORM));
+        assert!(m.balanced());
+    }
+}

@@ -14,17 +14,21 @@
 
 use crate::measure::{measure, Measurement};
 use crate::platform::PlatformSpec;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use nnlqp_ir::{Graph, Rng64};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// A measurement request.
+/// A measurement request. The graph is shared, not owned: callers on the
+/// query hot path hand the farm the same `Arc` they hash and store, so a
+/// miss never deep-copies the model.
 #[derive(Debug, Clone)]
 pub struct QueryJob {
-    /// Model to measure.
-    pub graph: Graph,
+    /// Model to measure (shared with the caller; never deep-copied).
+    pub graph: Arc<Graph>,
     /// Target platform name (registry canonical or paper alias).
     pub platform: String,
     /// Timed repetitions (paper default 50).
@@ -52,12 +56,19 @@ pub struct FarmResult {
 pub enum FarmError {
     /// The requested platform is not in the registry.
     UnknownPlatform(String),
+    /// All devices for the platform are leased and the caller declined to
+    /// wait (non-blocking/timeout acquisition).
+    Busy(String),
+    /// The pool's lease channel is closed — the farm is shutting down.
+    Closed(String),
 }
 
 impl fmt::Display for FarmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FarmError::UnknownPlatform(p) => write!(f, "unknown platform: {p}"),
+            FarmError::Busy(p) => write!(f, "all devices busy for platform: {p}"),
+            FarmError::Closed(p) => write!(f, "device pool closed for platform: {p}"),
         }
     }
 }
@@ -74,6 +85,10 @@ struct DevicePool {
 /// A farm of simulated devices grouped by platform.
 pub struct DeviceFarm {
     pools: HashMap<String, Arc<DevicePool>>,
+    /// Total measurements performed over the farm's lifetime (all
+    /// platforms). Serving layers use this to prove coalescing: the farm,
+    /// not the caller, is the authority on how often hardware actually ran.
+    measurements: AtomicU64,
 }
 
 impl DeviceFarm {
@@ -95,7 +110,10 @@ impl DeviceFarm {
                 }),
             );
         }
-        DeviceFarm { pools }
+        DeviceFarm {
+            pools,
+            measurements: AtomicU64::new(0),
+        }
     }
 
     /// Farm over the full registry, one device per platform.
@@ -128,17 +146,63 @@ impl DeviceFarm {
             .ok_or(FarmError::UnknownPlatform(name.to_string()))
     }
 
+    /// Lifetime count of measurements this farm has performed.
+    pub fn measurements_performed(&self) -> u64 {
+        self.measurements.load(Ordering::Relaxed)
+    }
+
     /// Execute one query, blocking until a device for the platform is
     /// idle. This is the farm's RPC entry point.
     pub fn measure_blocking(&self, job: &QueryJob) -> Result<FarmResult, FarmError> {
         let pool = self.resolve(&job.platform)?;
         // Step 2: device acquisition (blocks while all boards are leased).
-        let device_id = pool.idle_rx.recv().expect("pool never closes");
+        let device_id = pool
+            .idle_rx
+            .recv()
+            .map_err(|_| FarmError::Closed(pool.spec.name.clone()))?;
+        Ok(self.run_leased(&pool, job, device_id))
+    }
+
+    /// Non-blocking acquisition: measure only if a device is idle right
+    /// now, otherwise return [`FarmError::Busy`] without queueing.
+    pub fn try_measure(&self, job: &QueryJob) -> Result<FarmResult, FarmError> {
+        let pool = self.resolve(&job.platform)?;
+        let device_id = match pool.idle_rx.try_recv() {
+            Ok(id) => id,
+            Err(TryRecvError::Empty) => return Err(FarmError::Busy(pool.spec.name.clone())),
+            Err(TryRecvError::Disconnected) => {
+                return Err(FarmError::Closed(pool.spec.name.clone()))
+            }
+        };
+        Ok(self.run_leased(&pool, job, device_id))
+    }
+
+    /// Bounded-wait acquisition: block up to `timeout` for an idle device,
+    /// then return [`FarmError::Busy`].
+    pub fn measure_timeout(
+        &self,
+        job: &QueryJob,
+        timeout: Duration,
+    ) -> Result<FarmResult, FarmError> {
+        let pool = self.resolve(&job.platform)?;
+        let device_id = match pool.idle_rx.recv_timeout(timeout) {
+            Ok(id) => id,
+            Err(RecvTimeoutError::Timeout) => return Err(FarmError::Busy(pool.spec.name.clone())),
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(FarmError::Closed(pool.spec.name.clone()))
+            }
+        };
+        Ok(self.run_leased(&pool, job, device_id))
+    }
+
+    fn run_leased(&self, pool: &DevicePool, job: &QueryJob, device_id: usize) -> FarmResult {
         // Steps 1 & 3 on the simulated clock.
         let result = Self::run_on_device(&pool.spec, job, device_id);
-        // Release the lease.
-        pool.idle_tx.send(device_id).expect("pool never closes");
-        Ok(result)
+        self.measurements.fetch_add(1, Ordering::Relaxed);
+        // Release the lease; a closed channel means the farm is being torn
+        // down, in which case the lease is moot.
+        let _ = pool.idle_tx.send(device_id);
+        result
     }
 
     fn run_on_device(spec: &PlatformSpec, job: &QueryJob, device_id: usize) -> FarmResult {
@@ -180,7 +244,7 @@ mod tests {
 
     fn job(platform: &str, seed: u64) -> QueryJob {
         QueryJob {
-            graph: ModelFamily::SqueezeNet.canonical().unwrap(),
+            graph: Arc::new(ModelFamily::SqueezeNet.canonical().unwrap()),
             platform: platform.to_string(),
             reps: 10,
             seed,
@@ -248,6 +312,38 @@ mod tests {
         let ok = results.iter().filter(|r| r.is_ok()).count();
         let err = results.iter().filter(|r| r.is_err()).count();
         assert_eq!((ok, err), (2, 1));
+    }
+
+    #[test]
+    fn try_measure_busy_when_all_leased() {
+        let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 1);
+        let pool = farm.resolve("gpu-T4-trt7.1-fp32").unwrap();
+        // Drain the only lease by hand, then try_measure must refuse.
+        let id = pool.idle_rx.try_recv().unwrap();
+        let err = farm.try_measure(&job("gpu-T4-trt7.1-fp32", 1)).unwrap_err();
+        assert_eq!(err, FarmError::Busy("gpu-T4-trt7.1-fp32".into()));
+        let err = farm
+            .measure_timeout(&job("gpu-T4-trt7.1-fp32", 1), Duration::from_millis(5))
+            .unwrap_err();
+        assert_eq!(err, FarmError::Busy("gpu-T4-trt7.1-fp32".into()));
+        // Return the lease: the non-blocking path now succeeds.
+        pool.idle_tx.send(id).unwrap();
+        assert!(farm.try_measure(&job("gpu-T4-trt7.1-fp32", 1)).is_ok());
+    }
+
+    #[test]
+    fn measurement_counter_tracks_runs() {
+        let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 2);
+        assert_eq!(farm.measurements_performed(), 0);
+        farm.measure_blocking(&job("gpu-T4-trt7.1-fp32", 1))
+            .unwrap();
+        farm.try_measure(&job("cpu-openppl-fp32", 2)).unwrap();
+        farm.measure_timeout(&job("gpu-T4-trt7.1-fp32", 3), Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(farm.measurements_performed(), 3);
+        // Failed acquisitions don't count.
+        let _ = farm.try_measure(&job("tpu-v9", 4));
+        assert_eq!(farm.measurements_performed(), 3);
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn single_device_serializes_concurrent_jobs() {
     let farm = Arc::new(DeviceFarm::new(std::slice::from_ref(&spec), 1));
     let in_flight = Arc::new(AtomicUsize::new(0));
     let max_seen = Arc::new(AtomicUsize::new(0));
-    let graph = ModelFamily::AlexNet.canonical().unwrap();
+    let graph = Arc::new(ModelFamily::AlexNet.canonical().unwrap());
     std::thread::scope(|s| {
         for i in 0..8u64 {
             let farm = farm.clone();
@@ -48,7 +48,7 @@ fn single_device_serializes_concurrent_jobs() {
 fn multi_device_pool_distributes_jobs() {
     let spec = PlatformSpec::by_name("cpu-openppl-fp32").unwrap();
     let farm = DeviceFarm::new(std::slice::from_ref(&spec), 3);
-    let graph = ModelFamily::SqueezeNet.canonical().unwrap();
+    let graph = Arc::new(ModelFamily::SqueezeNet.canonical().unwrap());
     let jobs: Vec<QueryJob> = (0..12)
         .map(|i| QueryJob {
             graph: graph.clone(),
