@@ -8,7 +8,7 @@ use crate::opts::Opts;
 use crate::report::{num, print_table, save_json};
 use nnlqp::interface::QueryParams;
 use nnlqp::predictor::{FLOPS_MAC_COST_S, PREDICT_COST_S};
-use nnlqp::Nnlqp;
+use nnlqp::{Nnlqp, Platform};
 use nnlqp_ir::{Graph, Rng64};
 use nnlqp_models::{family::CORPUS_FAMILIES, generate_family};
 use nnlqp_sim::{DeviceFarm, PlatformSpec};
@@ -22,25 +22,24 @@ fn query_cost_at_hit_ratio(
     warm: usize,
     reps: usize,
 ) -> f64 {
-    let mut system = Nnlqp::new(DeviceFarm::new(std::slice::from_ref(platform), 1));
-    system.reps = reps;
     // Each platform deployment sees its own jitter stream.
     let mut h = 0xcbf29ce484222325u64;
     for b in platform.name.bytes() {
         h = (h ^ b as u64).wrapping_mul(0x100000001b3);
     }
-    system.set_seed(h ^ warm as u64);
+    let system = Nnlqp::builder()
+        .farm(DeviceFarm::new(std::slice::from_ref(platform), 1))
+        .reps(reps)
+        .seed(h ^ warm as u64)
+        .build();
+    let target = Platform::from(platform.clone());
     system
-        .warm_cache(&models[..warm], &platform.name, 1)
+        .warm_cache(&models[..warm], &target, 1)
         .expect("warm cache");
     let mut total = 0.0;
     for m in models {
         let r = system
-            .query(&QueryParams {
-                model: m.clone(),
-                batch_size: 1,
-                platform_name: platform.name.clone(),
-            })
+            .query(&QueryParams::new(m.clone(), 1, target.clone()))
             .expect("query");
         total += r.cost_s;
     }

@@ -4,6 +4,7 @@
 //! nnlqp query   --model model.json --platform gpu-T4-trt7.1-fp32 [--batch 1]
 //! nnlqp predict --model model.json --platform gpu-T4-trt7.1-fp32 [--batch 1] \
 //!               [--train-family ResNet --train-count 40]
+//! nnlqp trace   --model model.json --platform gpu-T4-trt7.1-fp32 [--flame]
 //! nnlqp platforms
 //! nnlqp export-model --family ResNet --output model.json
 //! nnlqp lint    --model model.json [--platform NAME] [--json]
@@ -12,10 +13,14 @@
 //!
 //! Model files are the JSON graph format of `nnlqp_ir::serialize`.
 //! `lint` exits 1 when the analyzer reports any error-severity finding.
+//! `trace` emits a Chrome-trace JSON timeline of one traced query (load
+//! it in Perfetto / `chrome://tracing`), or a text timeline with
+//! `--flame`.
 
-use nnlqp::{Nnlqp, QueryParams, TrainPredictorConfig};
+use nnlqp::{Nnlqp, Platform, QueryParams, TrainPredictorConfig};
 use nnlqp_ir::serialize;
 use nnlqp_models::ModelFamily;
+use nnlqp_obs::{render_flamegraph, to_chrome_json, Recorder};
 use nnlqp_sim::PlatformSpec;
 use std::collections::HashMap;
 
@@ -24,6 +29,8 @@ fn usage() -> ! {
     eprintln!("  nnlqp query   --model FILE --platform NAME [--batch N] [--reps R]");
     eprintln!("  nnlqp predict --model FILE --platform NAME [--batch N]");
     eprintln!("                [--train-family FAMILY] [--train-count N] [--epochs E]");
+    eprintln!("  nnlqp trace   --model FILE --platform NAME [--batch N] [--reps R]");
+    eprintln!("                [--seed S] [--output FILE] [--flame] [--width W]");
     eprintln!("  nnlqp platforms");
     eprintln!("  nnlqp export-model --family FAMILY --output FILE [--seed S]");
     eprintln!("  nnlqp lint    (--model FILE | --family FAMILY | --all-families)");
@@ -32,7 +39,7 @@ fn usage() -> ! {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 2] = ["json", "all-families"];
+const BOOL_FLAGS: [&str; 3] = ["json", "all-families", "flame"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -71,6 +78,31 @@ fn load_model(flags: &HashMap<String, String>) -> nnlqp_ir::Graph {
     });
     serialize::from_json(&text).unwrap_or_else(|e| {
         eprintln!("error: {path} is not a valid model: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Build a default-farm system honoring `--reps` and `--seed`.
+fn build_system(flags: &HashMap<String, String>) -> Nnlqp {
+    let mut b = Nnlqp::builder();
+    if let Some(r) = flags.get("reps") {
+        b = b.reps(r.parse().expect("--reps must be a number"));
+    }
+    if let Some(s) = flags.get("seed") {
+        b = b.seed(s.parse().expect("--seed must be a number"));
+    }
+    b.build()
+}
+
+/// Resolve `--platform` against the system's farm (canonical names, paper
+/// aliases and unique case-insensitive abbreviations all work).
+fn resolve_platform(system: &Nnlqp, flags: &HashMap<String, String>) -> Platform {
+    let Some(name) = flags.get("platform") else {
+        eprintln!("error: --platform is required");
+        usage();
+    };
+    Platform::parse(system.farm(), name).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
         std::process::exit(1);
     })
 }
@@ -175,20 +207,10 @@ fn main() {
         }
         "query" => {
             let model = load_model(&flags);
-            let Some(platform) = flags.get("platform") else {
-                eprintln!("error: --platform is required");
-                usage();
-            };
-            let mut system = Nnlqp::with_default_farm();
-            if let Some(r) = flags.get("reps") {
-                system.reps = r.parse().expect("--reps must be a number");
-            }
+            let system = build_system(&flags);
+            let platform = resolve_platform(&system, &flags);
             let result = system
-                .query(&QueryParams {
-                    model,
-                    batch_size: batch,
-                    platform_name: platform.clone(),
-                })
+                .query(&QueryParams::new(model, batch, platform))
                 .unwrap_or_else(|e| {
                     eprintln!("error: {e}");
                     std::process::exit(1);
@@ -198,12 +220,46 @@ fn main() {
                 result.latency_ms, result.cache_hit, result.cost_s
             );
         }
+        "trace" => {
+            let model = load_model(&flags);
+            let system = build_system(&flags);
+            let platform = resolve_platform(&system, &flags);
+            let rec = Recorder::new();
+            let result = system
+                .query_traced(&QueryParams::new(model, batch, platform), &rec)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            let timeline = rec.timeline();
+            eprintln!(
+                "traced query: latency {:.4} ms, cost {:.2} s, {} spans",
+                result.latency_ms,
+                result.cost_s,
+                timeline.spans.len()
+            );
+            let rendered = if flags.contains_key("flame") {
+                let width: usize = flags
+                    .get("width")
+                    .map(|s| s.parse().expect("--width must be a number"))
+                    .unwrap_or(100);
+                render_flamegraph(&timeline, width)
+            } else {
+                to_chrome_json(&timeline)
+            };
+            match flags.get("output") {
+                Some(path) => {
+                    std::fs::write(path, &rendered).unwrap_or_else(|e| {
+                        eprintln!("error: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    eprintln!("wrote {path}");
+                }
+                None => println!("{rendered}"),
+            }
+        }
         "predict" => {
             let model = load_model(&flags);
-            let Some(platform) = flags.get("platform") else {
-                eprintln!("error: --platform is required");
-                usage();
-            };
             // Bootstrap a predictor from freshly measured variants of a
             // chosen family (standing in for a persistent production DB).
             let family = flags
@@ -218,15 +274,15 @@ fn main() {
                 .get("epochs")
                 .map(|s| s.parse().expect("--epochs must be a number"))
                 .unwrap_or(30);
-            let mut system = Nnlqp::with_default_farm();
-            system.reps = 10;
+            let system = Nnlqp::builder().reps(10).build();
+            let platform = resolve_platform(&system, &flags);
             eprintln!("bootstrapping the database with {count} {family} variants...");
             let variants: Vec<_> = nnlqp_models::generate_family(family, count, 1)
                 .into_iter()
                 .map(|m| m.graph)
                 .collect();
             system
-                .warm_cache(&variants, platform, batch)
+                .warm_cache(&variants, &platform, batch)
                 .unwrap_or_else(|e| {
                     eprintln!("error: {e}");
                     std::process::exit(1);
@@ -234,7 +290,7 @@ fn main() {
             eprintln!("training the predictor...");
             system
                 .train_predictor(
-                    &[platform.as_str()],
+                    &[platform.name()],
                     TrainPredictorConfig {
                         epochs,
                         ..Default::default()
@@ -242,11 +298,7 @@ fn main() {
                 )
                 .expect("training data just inserted");
             let result = system
-                .predict(&QueryParams {
-                    model,
-                    batch_size: batch,
-                    platform_name: platform.clone(),
-                })
+                .predict(&QueryParams::new(model, batch, platform))
                 .unwrap_or_else(|e| {
                     eprintln!("error: {e}");
                     std::process::exit(1);

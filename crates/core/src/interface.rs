@@ -3,24 +3,52 @@
 use nnlqp_db::{Database, PlatformId};
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::{cost, Graph, Rng64};
-use nnlqp_sim::{DeviceFarm, FarmError, PlatformSpec, QueryJob};
+use nnlqp_obs::{
+    Counter, Histogram, MetricsRegistry, Recorder, SimClock, Span, Track, STAGE_SECONDS_BOUNDS,
+};
+use nnlqp_sim::{DeviceFarm, FarmError, Platform, PlatformSpec, QueryJob};
 use parking_lot::Mutex;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Parameters of a query or prediction — the paper's
 /// `{model_path, batch_size, platform_name}` with the model passed as a
-/// graph (use `nnlqp_ir::serialize::from_json` to load one from disk).
+/// graph (use `nnlqp_ir::serialize::from_json` to load one from disk) and
+/// the platform as a validated [`Platform`] handle, so an unknown name
+/// fails at construction rather than deep inside the query path.
 #[derive(Debug, Clone)]
 pub struct QueryParams {
     /// The model.
     pub model: Graph,
     /// Batch size to run at.
     pub batch_size: u32,
-    /// Target platform name (canonical or paper alias).
-    pub platform_name: String,
+    /// Target platform.
+    pub platform: Platform,
+}
+
+impl QueryParams {
+    /// Params over an already-resolved platform handle.
+    pub fn new(model: Graph, batch_size: u32, platform: Platform) -> Self {
+        QueryParams {
+            model,
+            batch_size,
+            platform,
+        }
+    }
+
+    /// Convenience constructor from a platform string (registry canonical
+    /// name or paper alias) — the stringly entry point for CLI and config
+    /// call sites.
+    pub fn by_name(model: Graph, batch_size: u32, platform: &str) -> Result<Self, QueryError> {
+        let platform = Platform::by_name(platform)
+            .ok_or_else(|| QueryError::UnknownPlatform(platform.to_string()))?;
+        Ok(QueryParams {
+            model,
+            batch_size,
+            platform,
+        })
+    }
 }
 
 /// Outcome of `query`.
@@ -37,6 +65,7 @@ pub struct QueryResult {
 
 /// Query errors.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum QueryError {
     /// The platform is not registered.
     UnknownPlatform(String),
@@ -66,23 +95,16 @@ impl std::error::Error for QueryError {}
 impl From<FarmError> for QueryError {
     fn from(e: FarmError) -> Self {
         match e {
-            FarmError::UnknownPlatform(p) => QueryError::UnknownPlatform(p),
+            FarmError::UnknownPlatform(p) | FarmError::AmbiguousPlatform(p) => {
+                QueryError::UnknownPlatform(p)
+            }
             other => QueryError::Farm(other),
         }
     }
 }
 
-/// Monotonic counters over the facade's query traffic, exposed for the
-/// serving layer (`nnlqp-serve`) and for tests that need to prove how
-/// often hardware actually ran.
-#[derive(Debug, Default)]
-pub struct QueryCounters {
-    queries: AtomicU64,
-    cache_hits: AtomicU64,
-    measurements: AtomicU64,
-}
-
-/// A point-in-time copy of [`QueryCounters`].
+/// A point-in-time copy of the facade's query counters, derived from the
+/// shared [`MetricsRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CountersSnapshot {
     /// `query` calls answered (hit or miss).
@@ -94,39 +116,44 @@ pub struct CountersSnapshot {
     pub measurements: u64,
 }
 
-impl QueryCounters {
-    fn snapshot(&self) -> CountersSnapshot {
-        CountersSnapshot {
-            queries: self.queries.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            measurements: self.measurements.load(Ordering::Relaxed),
-        }
-    }
-}
-
 /// Simulated round-trip cost of a cache-hit query: graph hashing on the
 /// CPU plus the remote database access (§8.2 measures ~1.9 s per hit).
 pub const CACHE_HIT_COST_S: f64 = 1.75;
 
-/// The NNLQP system object.
+/// Registry names of the facade's metrics (all registered by
+/// [`NnlqpBuilder::build`]).
+pub mod metric_names {
+    /// Counter: `query` calls answered (hit or miss).
+    pub const QUERIES: &str = "query.queries";
+    /// Counter: queries served straight from the database.
+    pub const CACHE_HITS: &str = "query.cache_hits";
+    /// Counter: farm measurements performed.
+    pub const MEASUREMENTS: &str = "query.measurements";
+    /// Histogram: simulated seconds spent hashing + looking up.
+    pub const STAGE_LOOKUP_S: &str = "query.stage.lookup_s";
+    /// Histogram: simulated seconds spent in the deployment pipeline.
+    pub const STAGE_MEASURE_S: &str = "query.stage.measure_s";
+}
+
+/// The NNLQP system object. Construct with [`Nnlqp::builder`].
 pub struct Nnlqp {
     /// The evolving database.
     pub db: Database,
     farm: DeviceFarm,
-    /// Measurement repetitions per query (paper: 50).
-    pub reps: usize,
-    /// When set, every query first runs the `nnlqp-analyze` pipeline over
-    /// the effective graph and refuses to measure (or cache) anything the
-    /// analyzer flags with an error — keeping poisoned ground truth out of
-    /// the evolving database.
-    pub strict: bool,
+    reps: usize,
+    strict: bool,
     /// Base seed folded into every measurement's per-key seed: a
     /// measurement is a deterministic function of (graph hash, platform,
     /// batch, base seed), independent of arrival order — so concurrent
     /// serving layers stay reproducible.
     base_seed: u64,
     seed: Mutex<Rng64>,
-    counters: QueryCounters,
+    registry: Arc<MetricsRegistry>,
+    m_queries: Arc<Counter>,
+    m_cache_hits: Arc<Counter>,
+    m_measurements: Arc<Counter>,
+    h_lookup_s: Arc<Histogram>,
+    h_measure_s: Arc<Histogram>,
     pub(crate) predictor: parking_lot::RwLock<Option<crate::predictor::PredictorHandle>>,
 }
 
@@ -143,52 +170,165 @@ fn measurement_seed(base: u64, graph_hash: u64, platform: &str, batch: u32) -> u
     h ^ base ^ graph_hash.rotate_left(17) ^ u64::from(batch).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-impl Nnlqp {
-    /// System over a given farm.
-    pub fn new(farm: DeviceFarm) -> Self {
+/// Configures and builds an [`Nnlqp`] system. Every knob has the paper's
+/// default; override only what the deployment needs:
+///
+/// ```
+/// use nnlqp::Nnlqp;
+///
+/// let system = Nnlqp::builder().reps(10).strict(true).seed(42).build();
+/// assert_eq!(system.reps(), 10);
+/// ```
+#[derive(Default)]
+pub struct NnlqpBuilder {
+    farm: Option<DeviceFarm>,
+    reps: Option<usize>,
+    strict: bool,
+    seed: Option<u64>,
+    registry: Option<Arc<MetricsRegistry>>,
+}
+
+impl NnlqpBuilder {
+    /// The device farm to measure on (default: the full platform
+    /// registry, one device each).
+    #[must_use]
+    pub fn farm(mut self, farm: DeviceFarm) -> Self {
+        self.farm = Some(farm);
+        self
+    }
+
+    /// Measurement repetitions per query (paper default: 50).
+    #[must_use]
+    pub fn reps(mut self, reps: usize) -> Self {
+        self.reps = Some(reps);
+        self
+    }
+
+    /// When set, every query first runs the `nnlqp-analyze` pipeline over
+    /// the effective graph and refuses to measure (or cache) anything the
+    /// analyzer flags with an error — keeping poisoned ground truth out of
+    /// the evolving database.
+    #[must_use]
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Base seed for measurement and jitter streams (distinct deployments
+    /// of the system observe distinct noise).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Share an existing metrics registry (e.g. one the serving layer
+    /// also registers into) instead of creating a private one.
+    #[must_use]
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Build the system.
+    pub fn build(self) -> Nnlqp {
+        let farm = self.farm.unwrap_or_else(DeviceFarm::full_registry);
+        let seed = self.seed.unwrap_or(DEFAULT_SEED);
+        let registry = self
+            .registry
+            .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+        let m_queries = registry.counter(metric_names::QUERIES);
+        let m_cache_hits = registry.counter(metric_names::CACHE_HITS);
+        let m_measurements = registry.counter(metric_names::MEASUREMENTS);
+        let h_lookup_s = registry.histogram(metric_names::STAGE_LOOKUP_S, &STAGE_SECONDS_BOUNDS);
+        let h_measure_s = registry.histogram(metric_names::STAGE_MEASURE_S, &STAGE_SECONDS_BOUNDS);
         Nnlqp {
             db: Database::new(),
             farm,
-            reps: nnlqp_sim::DEFAULT_REPS,
-            strict: false,
-            base_seed: DEFAULT_SEED,
-            seed: Mutex::new(Rng64::new(DEFAULT_SEED)),
-            counters: QueryCounters::default(),
+            reps: self.reps.unwrap_or(nnlqp_sim::DEFAULT_REPS),
+            strict: self.strict,
+            base_seed: seed,
+            seed: Mutex::new(Rng64::new(seed)),
+            registry,
+            m_queries,
+            m_cache_hits,
+            m_measurements,
+            h_lookup_s,
+            h_measure_s,
             predictor: parking_lot::RwLock::new(None),
         }
     }
+}
+
+impl Nnlqp {
+    /// Start configuring a system.
+    pub fn builder() -> NnlqpBuilder {
+        NnlqpBuilder::default()
+    }
+
+    /// System over a given farm.
+    #[deprecated(since = "0.1.0", note = "use `Nnlqp::builder().farm(farm).build()`")]
+    pub fn new(farm: DeviceFarm) -> Self {
+        Self::builder().farm(farm).build()
+    }
 
     /// System over the full platform registry, one device each.
+    #[deprecated(since = "0.1.0", note = "use `Nnlqp::builder().build()`")]
     pub fn with_default_farm() -> Self {
-        Self::new(DeviceFarm::full_registry())
+        Self::builder().build()
     }
 
     /// Builder-style toggle for strict (analyze-before-measure) mode.
+    #[deprecated(since = "0.1.0", note = "use `NnlqpBuilder::strict`")]
+    #[must_use]
     pub fn with_strict(mut self, strict: bool) -> Self {
         self.strict = strict;
         self
     }
 
-    /// Reseed the measurement/jitter stream (distinct deployments of the
-    /// system observe distinct noise).
+    /// Reseed the measurement/jitter stream.
+    #[deprecated(since = "0.1.0", note = "use `NnlqpBuilder::seed`")]
     pub fn set_seed(&mut self, seed: u64) {
         self.base_seed = seed;
         *self.seed.lock() = Rng64::new(seed);
     }
 
+    /// Measurement repetitions per query (paper: 50).
+    pub fn reps(&self) -> usize {
+        self.reps
+    }
+
+    /// Whether strict (analyze-before-measure) mode is on.
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// The device farm this system measures on — exposed so callers can
+    /// resolve user-supplied platform strings against what is actually
+    /// served (`Platform::parse(system.farm(), name)`).
+    pub fn farm(&self) -> &DeviceFarm {
+        &self.farm
+    }
+
+    /// The metrics registry behind [`Nnlqp::counters`] — shared with any
+    /// layer built via [`NnlqpBuilder::metrics`].
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
     /// Traffic counters (queries, cache hits, farm measurements).
     pub fn counters(&self) -> CountersSnapshot {
-        self.counters.snapshot()
+        CountersSnapshot {
+            queries: self.m_queries.get(),
+            cache_hits: self.m_cache_hits.get(),
+            measurements: self.m_measurements.get(),
+        }
     }
 
     /// The farm's lifetime measurement count — the hardware-side view of
     /// [`CountersSnapshot::measurements`].
     pub fn farm_measurements(&self) -> u64 {
         self.farm.measurements_performed()
-    }
-
-    fn canonical_platform(&self, name: &str) -> Result<PlatformSpec, QueryError> {
-        PlatformSpec::by_name(name).ok_or_else(|| QueryError::UnknownPlatform(name.to_string()))
     }
 
     /// Resolve the effective graph at the requested batch size.
@@ -207,11 +347,28 @@ impl Nnlqp {
     /// the graph hash + platform + batch is already stored, otherwise by
     /// measuring on the farm and recording the result.
     pub fn query(&self, params: &QueryParams) -> Result<QueryResult, QueryError> {
-        self.counters.queries.fetch_add(1, Ordering::Relaxed);
-        let spec = self.canonical_platform(&params.platform_name)?;
+        self.query_inner(params, &Recorder::disabled())
+    }
+
+    /// [`Nnlqp::query`], publishing a span timeline into `rec`: hash /
+    /// db-lookup / measure stages on the `query` track, deployment stages
+    /// on the `farm` track, and (on a miss) one span per formed kernel on
+    /// the per-stream `device` lanes. Stage spans on the `query` track
+    /// tile `[0, cost_s]` exactly. Timestamps are simulated milliseconds.
+    pub fn query_traced(
+        &self,
+        params: &QueryParams,
+        rec: &Recorder,
+    ) -> Result<QueryResult, QueryError> {
+        self.query_inner(params, rec)
+    }
+
+    fn query_inner(&self, params: &QueryParams, rec: &Recorder) -> Result<QueryResult, QueryError> {
+        self.m_queries.inc();
+        let spec = params.platform.spec();
         let graph = self.effective_graph(params)?;
         if self.strict {
-            let report = nnlqp_analyze::analyze(&graph, Some(&spec));
+            let report = nnlqp_analyze::analyze(&graph, Some(spec));
             if report.has_errors() {
                 return Err(QueryError::Lint(report.render_text()));
             }
@@ -220,17 +377,21 @@ impl Nnlqp {
         let platform_id =
             self.db
                 .get_or_create_platform(&spec.hardware, &spec.software, spec.dtype.name());
+        let mut clock = SimClock::new();
 
         if let Some(hit) = self.db.lookup_latency(hash, platform_id, params.batch_size) {
-            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.m_cache_hits.inc();
             let jitter = {
                 let mut s = self.seed.lock();
                 s.uniform()
             };
+            let cost_s = CACHE_HIT_COST_S * (0.9 + 0.2 * jitter);
+            self.h_lookup_s.observe(cost_s);
+            record_lookup_spans(rec, &mut clock, cost_s, true);
             return Ok(QueryResult {
                 latency_ms: hit.cost_ms,
                 cache_hit: true,
-                cost_s: CACHE_HIT_COST_S * (0.9 + 0.2 * jitter),
+                cost_s,
             });
         }
 
@@ -238,11 +399,13 @@ impl Nnlqp {
         // into an `Arc` shared with the farm job — no per-miss deep copy.
         self.measure_and_record(
             &Arc::new(graph),
-            &spec,
+            spec,
             platform_id,
             hash,
             params.batch_size,
             None,
+            rec,
+            &mut clock,
         )
     }
 
@@ -257,13 +420,13 @@ impl Nnlqp {
     pub fn query_measured(
         &self,
         graph: &Arc<Graph>,
-        platform_name: &str,
+        platform: &Platform,
         batch_size: u32,
         farm_wait: Option<Duration>,
     ) -> Result<QueryResult, QueryError> {
-        let spec = self.canonical_platform(platform_name)?;
+        let spec = platform.spec();
         if self.strict {
-            let report = nnlqp_analyze::analyze(graph, Some(&spec));
+            let report = nnlqp_analyze::analyze(graph, Some(spec));
             if report.has_errors() {
                 return Err(QueryError::Lint(report.render_text()));
             }
@@ -272,9 +435,19 @@ impl Nnlqp {
         let platform_id =
             self.db
                 .get_or_create_platform(&spec.hardware, &spec.software, spec.dtype.name());
-        self.measure_and_record(graph, &spec, platform_id, hash, batch_size, farm_wait)
+        self.measure_and_record(
+            graph,
+            spec,
+            platform_id,
+            hash,
+            batch_size,
+            farm_wait,
+            &Recorder::disabled(),
+            &mut SimClock::new(),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)] // private plumbing behind query/query_measured
     fn measure_and_record(
         &self,
         graph: &Arc<Graph>,
@@ -283,6 +456,8 @@ impl Nnlqp {
         hash: u64,
         batch_size: u32,
         farm_wait: Option<Duration>,
+        rec: &Recorder,
+        clock: &mut SimClock,
     ) -> Result<QueryResult, QueryError> {
         let job = QueryJob {
             graph: Arc::clone(graph),
@@ -294,7 +469,38 @@ impl Nnlqp {
             None => self.farm.measure_blocking(&job)?,
             Some(d) => self.farm.measure_timeout(&job, d)?,
         };
-        self.counters.measurements.fetch_add(1, Ordering::Relaxed);
+        self.m_measurements.inc();
+        let lookup_s = CACHE_HIT_COST_S * 0.5; // miss still pays the lookup
+        self.h_lookup_s.observe(lookup_s);
+        self.h_measure_s.observe(result.pipeline_cost_s);
+        record_lookup_spans(rec, clock, lookup_s, false);
+        if rec.is_enabled() {
+            // The whole pipeline as one stage on the query track, its
+            // per-stage split on the farm track, and one representative
+            // model execution (kernel spans) inside the runs stage.
+            let (start, dur) = clock.advance(result.pipeline_cost_s * 1.0e3);
+            rec.record(
+                Span::new("measure", "stage", Track::new("query", 0), start, dur)
+                    .arg("platform", &spec.name)
+                    .arg("device_id", result.device_id)
+                    .arg("reps", self.reps),
+            );
+            let mut at = start;
+            for (stage, secs) in result.breakdown.stages() {
+                let stage_ms = secs * 1.0e3;
+                rec.record(Span::new(
+                    stage,
+                    "deploy",
+                    Track::new("farm", 0),
+                    at,
+                    stage_ms,
+                ));
+                if stage == "runs" {
+                    nnlqp_sim::execute_recorded(graph, spec, rec, at);
+                }
+                at += stage_ms;
+            }
+        }
         let (model_id, _) = self.db.insert_model(graph);
         let mem = cost::graph_cost(graph, spec.dtype).mem_bytes;
         // Atomic check-then-insert: when two threads miss on the same key
@@ -315,7 +521,7 @@ impl Nnlqp {
         Ok(QueryResult {
             latency_ms: record.cost_ms,
             cache_hit: false,
-            cost_s: result.pipeline_cost_s + CACHE_HIT_COST_S * 0.5, // miss still pays the lookup
+            cost_s: result.pipeline_cost_s + lookup_s,
         })
     }
 
@@ -324,16 +530,12 @@ impl Nnlqp {
     pub fn warm_cache(
         &self,
         models: &[Graph],
-        platform_name: &str,
+        platform: &Platform,
         batch: u32,
     ) -> Result<usize, QueryError> {
         let mut fresh = 0;
         for m in models {
-            let r = self.query(&QueryParams {
-                model: m.clone(),
-                batch_size: batch,
-                platform_name: platform_name.to_string(),
-            })?;
+            let r = self.query(&QueryParams::new(m.clone(), batch, platform.clone()))?;
             if !r.cache_hit {
                 fresh += 1;
             }
@@ -347,21 +549,45 @@ impl Nnlqp {
     }
 }
 
+/// Lookup-phase spans on the query track: hashing the graph, then the
+/// remote database round trip, together tiling exactly `lookup_s`.
+fn record_lookup_spans(rec: &Recorder, clock: &mut SimClock, lookup_s: f64, hit: bool) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let hash_ms = lookup_s * 1.0e3 * 0.25;
+    let db_ms = lookup_s * 1.0e3 - hash_ms;
+    let (start, dur) = clock.advance(hash_ms);
+    rec.record(Span::new(
+        "hash",
+        "stage",
+        Track::new("query", 0),
+        start,
+        dur,
+    ));
+    let (start, dur) = clock.advance(db_ms);
+    rec.record(
+        Span::new("db-lookup", "stage", Track::new("query", 0), start, dur).arg("cache_hit", hit),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nnlqp_models::ModelFamily;
 
     fn system() -> Nnlqp {
-        Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+        Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .build()
     }
 
     fn params(platform: &str) -> QueryParams {
-        QueryParams {
-            model: ModelFamily::SqueezeNet.canonical().unwrap(),
-            batch_size: 1,
-            platform_name: platform.into(),
-        }
+        QueryParams::by_name(ModelFamily::SqueezeNet.canonical().unwrap(), 1, platform).unwrap()
+    }
+
+    fn t4() -> Platform {
+        Platform::by_name("gpu-T4-trt7.1-fp32").unwrap()
     }
 
     #[test]
@@ -394,15 +620,66 @@ mod tests {
     }
 
     #[test]
+    fn registry_observes_stage_histograms() {
+        let s = system();
+        let p = params("gpu-T4-trt7.1-fp32");
+        s.query(&p).unwrap(); // miss: lookup + measure observed
+        s.query(&p).unwrap(); // hit: lookup observed
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter(metric_names::QUERIES), 2);
+        assert_eq!(snap.counter(metric_names::CACHE_HITS), 1);
+        let lookup = &snap.histograms[metric_names::STAGE_LOOKUP_S];
+        assert_eq!(lookup.count, 2);
+        let measure = &snap.histograms[metric_names::STAGE_MEASURE_S];
+        assert_eq!(measure.count, 1);
+        assert!(measure.sum > 10.0, "pipeline seconds {}", measure.sum);
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let s = Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .reps(7)
+            .strict(true)
+            .seed(99)
+            .build();
+        assert_eq!(s.reps(), 7);
+        assert!(s.strict());
+        assert!(!system().strict());
+        assert_eq!(system().reps(), nnlqp_sim::DEFAULT_REPS);
+    }
+
+    #[test]
+    fn builder_shares_injected_registry() {
+        let shared = Arc::new(MetricsRegistry::new());
+        let s = Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .metrics(Arc::clone(&shared))
+            .build();
+        s.query(&params("gpu-T4-trt7.1-fp32")).unwrap();
+        assert_eq!(shared.snapshot().counter(metric_names::QUERIES), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1)).with_strict(true);
+        assert!(s.strict());
+        let mut s = Nnlqp::with_default_farm();
+        s.set_seed(5);
+        assert!(s.query(&params("gpu-T4-trt7.1-fp32")).unwrap().latency_ms > 0.0);
+    }
+
+    #[test]
     fn query_measured_bypasses_cache_but_records() {
         let s = system();
         let g = Arc::new(ModelFamily::SqueezeNet.canonical().unwrap());
-        let a = s.query_measured(&g, "gpu-T4-trt7.1-fp32", 1, None).unwrap();
+        let a = s.query_measured(&g, &t4(), 1, None).unwrap();
         assert!(!a.cache_hit);
         // Key-derived seeds: re-measuring the same key reproduces the
         // same ground truth, and the recorded row wins either way.
         let b = s
-            .query_measured(&g, "gpu-T4-trt7.1-fp32", 1, Some(Duration::from_secs(5)))
+            .query_measured(&g, &t4(), 1, Some(Duration::from_secs(5)))
             .unwrap();
         assert_eq!(a.latency_ms, b.latency_ms);
         assert_eq!(s.counters().measurements, 2);
@@ -434,9 +711,13 @@ mod tests {
     }
 
     #[test]
-    fn unknown_platform_rejected() {
-        let s = system();
-        let err = s.query(&params("quantum-coprocessor")).unwrap_err();
+    fn unknown_platform_rejected_at_construction() {
+        let err = QueryParams::by_name(
+            ModelFamily::SqueezeNet.canonical().unwrap(),
+            1,
+            "quantum-coprocessor",
+        )
+        .unwrap_err();
         assert_eq!(
             err,
             QueryError::UnknownPlatform("quantum-coprocessor".into())
@@ -450,15 +731,18 @@ mod tests {
             .into_iter()
             .map(|m| m.graph)
             .collect();
-        let fresh = s.warm_cache(&models, "gpu-T4-trt7.1-fp32", 1).unwrap();
+        let fresh = s.warm_cache(&models, &t4(), 1).unwrap();
         assert_eq!(fresh, 3);
-        let again = s.warm_cache(&models, "gpu-T4-trt7.1-fp32", 1).unwrap();
+        let again = s.warm_cache(&models, &t4(), 1).unwrap();
         assert_eq!(again, 0);
     }
 
     #[test]
     fn strict_mode_rejects_malformed_graph() {
-        let s = system().with_strict(true);
+        let s = Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .strict(true)
+            .build();
         let mut p = params("gpu-T4-trt7.1-fp32");
         // Tamper a stored shape: validate() would also catch this, but the
         // analyzer reports it with a stable code instead of panicking the
@@ -475,7 +759,10 @@ mod tests {
 
     #[test]
     fn strict_mode_passes_clean_graph() {
-        let s = system().with_strict(true);
+        let s = Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .strict(true)
+            .build();
         let p = params("gpu-T4-trt7.1-fp32");
         let first = s.query(&p).unwrap();
         assert!(!first.cache_hit);
@@ -488,7 +775,7 @@ mod tests {
         // Default mode keeps the historical behavior: a graph the linter
         // would warn about is still measured.
         let s = system();
-        assert!(!s.strict);
+        assert!(!s.strict());
         let r = s.query(&params("gpu-T4-trt7.1-fp32")).unwrap();
         assert!(r.latency_ms > 0.0);
     }
@@ -498,6 +785,51 @@ mod tests {
         let s = system();
         let r = s.query(&params("mul270-neuware-int8")).unwrap();
         assert!(r.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn traced_query_stages_tile_cost() {
+        let s = system();
+        let p = params("gpu-T4-trt7.1-fp32");
+
+        let rec = Recorder::new();
+        let miss = s.query_traced(&p, &rec).unwrap();
+        let t = rec.timeline();
+        assert!(
+            t.first_overlap().is_none(),
+            "per-lane spans must not overlap"
+        );
+        let query_track = Track::new("query", 0);
+        let stage_sum_ms: f64 = t.on_track(&query_track).iter().map(|s| s.dur_ms).sum();
+        let rel = (stage_sum_ms - miss.cost_s * 1.0e3).abs() / (miss.cost_s * 1.0e3);
+        assert!(
+            rel < 1.0e-9,
+            "stage sum {stage_sum_ms} vs cost {}",
+            miss.cost_s
+        );
+        // Deployment stages and kernels appear on their own tracks.
+        assert!(
+            t.on_track(&Track::new("farm", 0)).len() == 5,
+            "5 deploy stages"
+        );
+        assert!(t.total_ms("kernel") > 0.0, "kernel spans recorded");
+
+        let rec2 = Recorder::new();
+        let hit = s.query_traced(&p, &rec2).unwrap();
+        assert!(hit.cache_hit);
+        let t2 = rec2.timeline();
+        let sum2: f64 = t2.on_track(&query_track).iter().map(|s| s.dur_ms).sum();
+        let rel2 = (sum2 - hit.cost_s * 1.0e3).abs() / (hit.cost_s * 1.0e3);
+        assert!(rel2 < 1.0e-9, "hit stage sum {sum2} vs cost {}", hit.cost_s);
+        assert_eq!(t2.spans.len(), 2, "hit path: hash + db-lookup only");
+    }
+
+    #[test]
+    fn untraced_query_records_nothing() {
+        let s = system();
+        let rec = Recorder::disabled();
+        s.query_traced(&params("gpu-T4-trt7.1-fp32"), &rec).unwrap();
+        assert!(rec.is_empty());
     }
 
     #[test]
@@ -512,11 +844,7 @@ mod tests {
             for m in &models {
                 let s = s.clone();
                 sc.spawn(move || {
-                    let p = QueryParams {
-                        model: m.clone(),
-                        batch_size: 1,
-                        platform_name: "gpu-T4-trt7.1-fp32".into(),
-                    };
+                    let p = QueryParams::by_name(m.clone(), 1, "gpu-T4-trt7.1-fp32").unwrap();
                     let a = s.query(&p).unwrap();
                     let b = s.query(&p).unwrap();
                     assert_eq!(a.latency_ms, b.latency_ms);

@@ -13,12 +13,13 @@
 //! use nnlqp::{Nnlqp, QueryParams};
 //! use nnlqp_models::ModelFamily;
 //!
-//! let system = Nnlqp::with_default_farm();
-//! let params = QueryParams {
-//!     model: ModelFamily::SqueezeNet.canonical().unwrap(),
-//!     batch_size: 1,
-//!     platform_name: "gpu-T4-trt7.1-fp32".into(),
-//! };
+//! let system = Nnlqp::builder().build();
+//! let params = QueryParams::by_name(
+//!     ModelFamily::SqueezeNet.canonical().unwrap(),
+//!     1,
+//!     "gpu-T4-trt7.1-fp32",
+//! )
+//! .unwrap();
 //! let first = system.query(&params).unwrap();   // measured on the farm
 //! let second = system.query(&params).unwrap();  // served from the cache
 //! assert!(!first.cache_hit && second.cache_hit);
@@ -28,5 +29,8 @@
 pub mod interface;
 pub mod predictor;
 
-pub use interface::{CountersSnapshot, Nnlqp, QueryError, QueryParams, QueryResult};
+pub use interface::{
+    metric_names, CountersSnapshot, Nnlqp, NnlqpBuilder, QueryError, QueryParams, QueryResult,
+};
+pub use nnlqp_sim::Platform;
 pub use predictor::{PredictResult, PredictorHandle, TrainPredictorConfig};

@@ -150,13 +150,13 @@ impl Nnlqp {
     /// hardware. Requires a trained predictor covering the platform.
     pub fn predict(&self, params: &QueryParams) -> Result<PredictResult, QueryError> {
         if params.model.input_shape.batch() == params.batch_size as usize {
-            self.predict_effective(&params.model, &params.platform_name)
+            self.predict_effective(&params.model, params.platform.name())
         } else {
             let graph = params
                 .model
                 .rebatch(params.batch_size as usize)
                 .map_err(|e| QueryError::BadBatch(e.to_string()))?;
-            self.predict_effective(&graph, &params.platform_name)
+            self.predict_effective(&graph, params.platform.name())
         }
     }
 
@@ -191,18 +191,21 @@ impl Nnlqp {
 mod tests {
     use super::*;
     use nnlqp_models::ModelFamily;
-    use nnlqp_sim::DeviceFarm;
+    use nnlqp_sim::{DeviceFarm, Platform};
 
     #[test]
     fn evolving_loop_query_train_predict() {
-        let mut s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1));
-        s.reps = 5;
+        let s = Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .reps(5)
+            .build();
+        let t4 = Platform::by_name("gpu-T4-trt7.1-fp32").unwrap();
         let models: Vec<nnlqp_ir::Graph> =
             nnlqp_models::generate_family(ModelFamily::SqueezeNet, 24, 3)
                 .into_iter()
                 .map(|m| m.graph)
                 .collect();
-        s.warm_cache(&models, "gpu-T4-trt7.1-fp32", 1).unwrap();
+        s.warm_cache(&models, &t4, 1).unwrap();
         let n = s
             .train_predictor(
                 &["gpu-T4-trt7.1-fp32"],
@@ -220,11 +223,7 @@ mod tests {
             .pop()
             .unwrap()
             .graph;
-        let p = QueryParams {
-            model: fresh.clone(),
-            batch_size: 1,
-            platform_name: "gpu-T4-trt7.1-fp32".into(),
-        };
+        let p = QueryParams::by_name(fresh.clone(), 1, "gpu-T4-trt7.1-fp32").unwrap();
         let pred = s.predict(&p).unwrap();
         let truth = s.query(&p).unwrap();
         let rel = (pred.latency_ms - truth.latency_ms).abs() / truth.latency_ms;
@@ -239,18 +238,23 @@ mod tests {
 
     #[test]
     fn predict_without_training_errors() {
-        let s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1));
-        let p = QueryParams {
-            model: ModelFamily::SqueezeNet.canonical().unwrap(),
-            batch_size: 1,
-            platform_name: "gpu-T4-trt7.1-fp32".into(),
-        };
+        let s = Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .build();
+        let p = QueryParams::by_name(
+            ModelFamily::SqueezeNet.canonical().unwrap(),
+            1,
+            "gpu-T4-trt7.1-fp32",
+        )
+        .unwrap();
         assert!(s.predict(&p).is_err());
     }
 
     #[test]
     fn train_with_empty_db_is_zero() {
-        let s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1));
+        let s = Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .build();
         let n = s
             .train_predictor(&["gpu-T4-trt7.1-fp32"], Default::default())
             .unwrap();

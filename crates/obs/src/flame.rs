@@ -1,0 +1,169 @@
+//! Compact text flamegraph: one bar row per track, plus a span legend.
+//!
+//! Not a call-stack flamegraph (spans here are scheduler lanes, not
+//! frames) — a *timeline* graph in the terminal: each track is a row of
+//! cells over `[0, end_ms]`, each span paints its interval with a glyph,
+//! and the legend maps glyphs back to names, durations and shares. Wide
+//! enough for "where did the time go" at a glance; `chrome.rs` has the
+//! zoomable version.
+
+use crate::span::Timeline;
+use std::fmt::Write as _;
+
+/// Glyph cycle for successive spans on one track.
+const GLYPHS: [char; 8] = ['#', '=', '@', '%', '+', '*', 'o', ':'];
+
+/// Render the timeline as text, `width` cells per bar.
+pub fn render(timeline: &Timeline, width: usize) -> String {
+    let width = width.clamp(20, 400);
+    let end = timeline.end_ms();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline: {end:.3} ms over {} spans",
+        timeline.spans.len()
+    );
+    if timeline.spans.is_empty() || end <= 0.0 {
+        return out;
+    }
+    let cell_ms = end / width as f64;
+    let label_w = timeline
+        .tracks()
+        .iter()
+        .map(|t| t.to_string().len())
+        .max()
+        .unwrap_or(0);
+
+    for track in timeline.tracks() {
+        let spans = timeline.on_track(&track);
+        let mut bar = vec!['.'; width];
+        for (i, s) in spans.iter().enumerate() {
+            let glyph = GLYPHS[i % GLYPHS.len()];
+            let a = (s.start_ms / cell_ms).floor() as usize;
+            let b = ((s.end_ms() / cell_ms).ceil() as usize).min(width);
+            // Every span gets at least one cell, however short.
+            for cell in bar
+                .iter_mut()
+                .take(b.max(a + 1).min(width))
+                .skip(a.min(width - 1))
+            {
+                *cell = glyph;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:label_w$} |{}|",
+            track.to_string(),
+            bar.iter().collect::<String>()
+        );
+    }
+
+    // Legend: per-track span list with glyphs, durations and share of the
+    // makespan.
+    out.push('\n');
+    for track in timeline.tracks() {
+        let _ = writeln!(out, "{track}:");
+        for (i, s) in timeline.on_track(&track).iter().enumerate() {
+            let glyph = GLYPHS[i % GLYPHS.len()];
+            let _ = writeln!(
+                out,
+                "  {glyph} {:<24} {:>10.4} ms  ({:>5.1}%)  @ {:.4}",
+                clip(&s.name, 24),
+                s.dur_ms,
+                100.0 * s.dur_ms / end,
+                s.start_ms,
+            );
+        }
+    }
+    out
+}
+
+/// Aggregate view: total duration per span name (descending), for "which
+/// kernels dominate" summaries.
+pub fn top_spans(timeline: &Timeline, cat: &str, limit: usize) -> Vec<(String, f64, usize)> {
+    let mut totals: Vec<(String, f64, usize)> = Vec::new();
+    for s in timeline.spans.iter().filter(|s| s.cat == cat) {
+        match totals.iter_mut().find(|(n, _, _)| n == &s.name) {
+            Some((_, d, c)) => {
+                *d += s.dur_ms;
+                *c += 1;
+            }
+            None => totals.push((s.name.clone(), s.dur_ms, 1)),
+        }
+    }
+    totals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite durations"));
+    totals.truncate(limit);
+    totals
+}
+
+fn clip(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Recorder, Span, Track};
+
+    fn sample() -> Timeline {
+        let r = Recorder::new();
+        r.record(Span::new("hash", "stage", Track::new("query", 0), 0.0, 2.0));
+        r.record(Span::new(
+            "lookup",
+            "stage",
+            Track::new("query", 0),
+            2.0,
+            2.0,
+        ));
+        r.record(Span::new(
+            "Conv",
+            "kernel",
+            Track::new("device", 0),
+            1.0,
+            1.0,
+        ));
+        r.record(Span::new(
+            "Conv",
+            "kernel",
+            Track::new("device", 1),
+            1.5,
+            0.5,
+        ));
+        r.timeline()
+    }
+
+    #[test]
+    fn render_has_all_tracks_and_legend() {
+        let text = render(&sample(), 40);
+        assert!(text.contains("query/0"), "{text}");
+        assert!(text.contains("device/0"), "{text}");
+        assert!(text.contains("device/1"), "{text}");
+        assert!(text.contains("hash"), "{text}");
+        assert!(text.contains("( 50.0%)"), "{text}");
+    }
+
+    #[test]
+    fn render_empty_timeline() {
+        let t = Timeline::default();
+        assert!(render(&t, 80).contains("0 spans"));
+    }
+
+    #[test]
+    fn top_spans_aggregates_by_name() {
+        let top = top_spans(&sample(), "kernel", 10);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, "Conv");
+        assert_eq!(top[0].1, 1.5);
+        assert_eq!(top[0].2, 2);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        assert_eq!(render(&sample(), 60), render(&sample(), 60));
+    }
+}

@@ -1,0 +1,32 @@
+//! # nnlqp-obs
+//!
+//! Structured observability for the NNLQP stack: the paper's central
+//! claims (Fig. 2 kernel-additivity violation, §8.2 query cost) are
+//! statements about *where time goes* inside a query, and this crate is
+//! how the rest of the workspace answers that question.
+//!
+//! Three pieces, all std-only:
+//!
+//! * **Spans** ([`Recorder`], [`Span`], [`SimClock`]) — closed intervals
+//!   on the deterministic simulated clock. `nnlqp-sim` records one span
+//!   per formed kernel (stream, fusion family, compute/memory phases,
+//!   launch overhead); the `nnlqp` facade wraps queries with
+//!   hash / db-lookup / deployment-stage spans.
+//! * **Exporters** — [`to_chrome_json`] renders a [`Timeline`] as
+//!   Chrome-trace JSON (loadable in `chrome://tracing` and Perfetto);
+//!   [`render_flamegraph`] draws a compact per-track text timeline.
+//! * **Metrics** ([`MetricsRegistry`]) — named counters and histograms
+//!   shared across the facade, farm and serving layer, snapshotted by
+//!   `serve-bench` and the CLI.
+
+pub mod chrome;
+pub mod flame;
+pub mod metrics;
+pub mod span;
+
+pub use chrome::to_chrome_json;
+pub use flame::{render as render_flamegraph, top_spans};
+pub use metrics::{
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot, STAGE_SECONDS_BOUNDS,
+};
+pub use span::{Recorder, SimClock, Span, Timeline, Track};

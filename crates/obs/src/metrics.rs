@@ -1,0 +1,340 @@
+//! The unified metrics registry: named counters and histograms shared by
+//! every layer of the stack.
+//!
+//! The facade, the device farm and the serving layer all publish into one
+//! [`MetricsRegistry`]; `serve-bench` and the CLI snapshot it to report
+//! where requests went *and* how long each stage took — replacing the
+//! per-crate private counter structs. Handles are `Arc`s: register once,
+//! bump lock-free forever.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed upper bucket bounds plus an overflow bucket,
+/// with a running sum for means. Unit-agnostic: the name carries the unit
+/// by convention (`"...:ms"`, `"...:s"`).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of observed values, stored as f64 bits and updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.into(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + value).to_bits())
+            });
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds; the implicit final bucket is `+inf`.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0..=1).
+    /// `+inf` when it lands in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// Default histogram bounds for stage durations in simulated seconds
+/// (queries span ~1 s cache hits to ~200 s cold deployments).
+pub const STAGE_SECONDS_BOUNDS: [f64; 12] = [
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+];
+
+/// The registry: name → counter / histogram. One per deployment; share
+/// it with `Arc`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`. The handle is lock-free to bump;
+    /// keep it around instead of re-resolving per event.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counters
+            .lock()
+            .expect("registry lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the histogram `name`. Bounds are fixed by the first
+    /// registration; later calls reuse the existing instance.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histograms
+            .lock()
+            .expect("registry lock")
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+            .clone()
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Counter value (0 when absent — reading a metric nobody has
+    /// published yet is not an error).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Render as a JSON object: counters verbatim, histograms as
+    /// `{count, mean, p50, p99}` plus non-empty buckets.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "\"{k}\": {v}");
+        }
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{k}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50_le\": {}, \"p99_le\": {}, \"buckets\": [",
+                h.count,
+                h.sum,
+                h.mean(),
+                json_num(h.quantile(0.5)),
+                json_num(h.quantile(0.99)),
+            );
+            let mut first_b = true;
+            for (i, c) in h.buckets.iter().enumerate() {
+                if *c == 0 {
+                    continue;
+                }
+                if !first_b {
+                    out.push_str(", ");
+                }
+                first_b = false;
+                let le = h.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                let _ = write!(out, "{{\"le\": {}, \"count\": {c}}}", json_num(le));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// JSON has no infinity; render it as a string, finite values as numbers.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "\"+inf\"".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        assert_eq!(reg.snapshot().counter("x"), 3);
+        assert_eq!(reg.snapshot().counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.6, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 2, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert!((s.sum - 106.6).abs() < 1e-9);
+        assert!((s.mean() - 21.32).abs() < 1e-9);
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert!(s.quantile(0.99).is_infinite());
+    }
+
+    #[test]
+    fn histogram_bounds_fixed_by_first_registration() {
+        let reg = MetricsRegistry::new();
+        let a = reg.histogram("h", &[1.0]);
+        let b = reg.histogram("h", &[5.0, 10.0]);
+        a.observe(0.5);
+        b.observe(0.6);
+        assert_eq!(reg.histogram("h", &[]).snapshot().count, 2);
+        assert_eq!(b.snapshot().bounds, vec![1.0]);
+    }
+
+    #[test]
+    fn snapshot_json_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.requests").add(7);
+        reg.histogram("stage:s", &[1.0, 2.0]).observe(1.5);
+        let json = reg.snapshot().to_json_string();
+        assert!(json.contains("\"serve.requests\": 7"), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+        assert!(json.contains("\"le\": 2, \"count\": 1"), "{json}");
+    }
+
+    #[test]
+    fn concurrent_bumps_are_lossless() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("n");
+        let h = reg.histogram("v", &STAGE_SECONDS_BOUNDS);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(f64::from(i % 100));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 8000);
+        assert!((s.sum - 8.0 * 1000.0 * 49.5).abs() < 1e-6);
+    }
+}

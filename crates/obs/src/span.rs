@@ -1,0 +1,303 @@
+//! Span recording on a simulated clock.
+//!
+//! A [`Span`] is one closed interval of simulated time attributed to a
+//! named activity on a [`Track`] (a display lane: a device stream, the
+//! query pipeline, ...). A [`Recorder`] collects spans from any number of
+//! producers; a disabled recorder makes every call a cheap no-op, so hot
+//! paths can thread one through unconditionally.
+//!
+//! Timestamps are *simulated* milliseconds: the stack's deterministic sim
+//! clock, not wall time. That is what makes traces goldenable — the same
+//! seeded query always yields byte-identical timelines.
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// A display lane for spans: a named group plus a lane index within it
+/// (Chrome-trace renders groups as processes and lanes as threads).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Track {
+    /// Lane group, e.g. `"query"` or `"device"`.
+    pub group: String,
+    /// Lane within the group, e.g. the stream id.
+    pub lane: u32,
+}
+
+impl Track {
+    /// Track in `group` at `lane`.
+    pub fn new(group: &str, lane: u32) -> Self {
+        Track {
+            group: group.to_string(),
+            lane,
+        }
+    }
+}
+
+impl fmt::Display for Track {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.group, self.lane)
+    }
+}
+
+/// One recorded interval of simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Activity name, e.g. `"Conv+Add+Relu"` or `"db.lookup"`.
+    pub name: String,
+    /// Category, e.g. `"stage"` or `"kernel"` (Chrome-trace `cat`).
+    pub cat: String,
+    /// Display lane.
+    pub track: Track,
+    /// Start, in simulated milliseconds.
+    pub start_ms: f64,
+    /// Duration, in simulated milliseconds.
+    pub dur_ms: f64,
+    /// Free-form key/value annotations (Chrome-trace `args`).
+    pub args: Vec<(String, String)>,
+}
+
+impl Span {
+    /// A span with no annotations.
+    pub fn new(name: &str, cat: &str, track: Track, start_ms: f64, dur_ms: f64) -> Self {
+        Span {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            track,
+            start_ms,
+            dur_ms,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attach an annotation (builder style).
+    #[must_use]
+    pub fn arg(mut self, key: &str, value: impl fmt::Display) -> Self {
+        self.args.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// End of the interval.
+    pub fn end_ms(&self) -> f64 {
+        self.start_ms + self.dur_ms
+    }
+}
+
+/// A monotonic simulated clock: sequential stages advance it and get back
+/// their interval. Purely local state — one per traced operation.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ms: f64,
+}
+
+impl SimClock {
+    /// Clock at t = 0.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Advance by `dur_ms` and return the consumed `(start, dur)`.
+    pub fn advance(&mut self, dur_ms: f64) -> (f64, f64) {
+        let start = self.now_ms;
+        self.now_ms += dur_ms;
+        (start, dur_ms)
+    }
+}
+
+/// Thread-safe span collector. Cloneless: share it by reference (or wrap
+/// in an `Arc`); producers push, the owner drains a [`Timeline`] at the
+/// end.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder.
+    pub fn new() -> Self {
+        Recorder {
+            enabled: true,
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A recorder that drops everything — the zero-cost default for
+    /// untraced hot paths.
+    pub fn disabled() -> Self {
+        Recorder {
+            enabled: false,
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether records are kept; producers can skip building expensive
+    /// annotations when false.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one span (no-op when disabled).
+    pub fn record(&self, span: Span) {
+        if self.enabled {
+            self.spans.lock().expect("recorder lock").push(span);
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("recorder lock").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the recorded spans as an ordered [`Timeline`].
+    pub fn timeline(&self) -> Timeline {
+        let mut spans = self.spans.lock().expect("recorder lock").clone();
+        // Deterministic order regardless of producer interleaving.
+        spans.sort_by(|a, b| {
+            (&a.track, a.start_ms, &a.name)
+                .partial_cmp(&(&b.track, b.start_ms, &b.name))
+                .expect("finite timestamps")
+        });
+        Timeline { spans }
+    }
+}
+
+/// An ordered snapshot of recorded spans, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Spans sorted by `(track, start, name)`.
+    pub spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Latest span end (0 for an empty timeline).
+    pub fn end_ms(&self) -> f64 {
+        self.spans.iter().map(Span::end_ms).fold(0.0, f64::max)
+    }
+
+    /// Distinct tracks in display order.
+    pub fn tracks(&self) -> Vec<Track> {
+        let mut out: Vec<Track> = Vec::new();
+        for s in &self.spans {
+            if !out.contains(&s.track) {
+                out.push(s.track.clone());
+            }
+        }
+        out
+    }
+
+    /// Spans on one track, in start order.
+    pub fn on_track(&self, track: &Track) -> Vec<&Span> {
+        self.spans.iter().filter(|s| &s.track == track).collect()
+    }
+
+    /// Total duration of spans whose category is `cat`.
+    pub fn total_ms(&self, cat: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.cat == cat)
+            .map(|s| s.dur_ms)
+            .sum()
+    }
+
+    /// First pair of spans on the same track that overlap in time, if
+    /// any — the invariant checker behind the golden trace tests (kernel
+    /// spans within one stream must never overlap).
+    pub fn first_overlap(&self) -> Option<(&Span, &Span)> {
+        for t in self.tracks() {
+            let on = self.on_track(&t);
+            for w in on.windows(2) {
+                // Sorted by start: an overlap is "next starts before
+                // previous ends" (with a float-noise guard band).
+                if w[1].start_ms < w[0].end_ms() - 1e-9 {
+                    return Some((w[0], w[1]));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_drops_spans() {
+        let r = Recorder::disabled();
+        r.record(Span::new("x", "stage", Track::new("q", 0), 0.0, 1.0));
+        assert!(!r.is_enabled());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        let (s1, d1) = c.advance(2.5);
+        let (s2, _) = c.advance(1.0);
+        assert_eq!((s1, d1), (0.0, 2.5));
+        assert_eq!(s2, 2.5);
+        assert_eq!(c.now_ms(), 3.5);
+    }
+
+    #[test]
+    fn timeline_sorts_and_groups() {
+        let r = Recorder::new();
+        r.record(Span::new("b", "k", Track::new("s", 1), 5.0, 1.0));
+        r.record(Span::new("a", "k", Track::new("s", 0), 2.0, 1.0));
+        r.record(Span::new("c", "k", Track::new("s", 0), 0.0, 1.0));
+        let t = r.timeline();
+        assert_eq!(t.spans[0].name, "c");
+        assert_eq!(t.spans[1].name, "a");
+        assert_eq!(t.spans[2].name, "b");
+        assert_eq!(t.tracks().len(), 2);
+        assert_eq!(t.end_ms(), 6.0);
+        assert_eq!(t.total_ms("k"), 3.0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let r = Recorder::new();
+        r.record(Span::new("a", "k", Track::new("s", 0), 0.0, 2.0));
+        r.record(Span::new("b", "k", Track::new("s", 0), 1.0, 2.0));
+        let t = r.timeline();
+        let (x, y) = t.first_overlap().expect("overlap found");
+        assert_eq!((x.name.as_str(), y.name.as_str()), ("a", "b"));
+
+        // Different lanes may overlap freely.
+        let r = Recorder::new();
+        r.record(Span::new("a", "k", Track::new("s", 0), 0.0, 2.0));
+        r.record(Span::new("b", "k", Track::new("s", 1), 1.0, 2.0));
+        assert!(r.timeline().first_overlap().is_none());
+
+        // Back-to-back spans do not count as overlapping.
+        let r = Recorder::new();
+        r.record(Span::new("a", "k", Track::new("s", 0), 0.0, 2.0));
+        r.record(Span::new("b", "k", Track::new("s", 0), 2.0, 2.0));
+        assert!(r.timeline().first_overlap().is_none());
+    }
+
+    #[test]
+    fn span_args_builder() {
+        let s = Span::new("conv", "kernel", Track::new("d", 0), 0.0, 1.0)
+            .arg("stream", 0)
+            .arg("flops", 12.5);
+        assert_eq!(s.args.len(), 2);
+        assert_eq!(s.args[1], ("flops".to_string(), "12.5".to_string()));
+    }
+}

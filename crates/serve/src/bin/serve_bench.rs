@@ -94,10 +94,13 @@ fn main() {
         })
         .unwrap_or(ModelFamily::SqueezeNet);
 
-    let mut system = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 4));
-    system.reps = reps;
-    system.set_seed(seed);
-    let system = Arc::new(system);
+    let system = Arc::new(
+        Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 4))
+            .reps(reps)
+            .seed(seed)
+            .build(),
+    );
 
     let cfg = ServeConfig {
         workers,
@@ -176,6 +179,12 @@ fn main() {
 
     let snapshot = service.metrics();
     println!("{}", snapshot.to_json());
+    // The full registry (facade query stages + serve tiers) on stderr,
+    // keeping stdout a single JSON document.
+    eprintln!(
+        "registry: {}",
+        system.registry().snapshot().to_json_string()
+    );
 
     // Pass/fail: the counters must partition the request stream, phase 1
     // must show coalescing (measurements < requests on duplicated keys),

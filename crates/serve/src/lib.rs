@@ -28,6 +28,6 @@ pub mod service;
 pub mod singleflight;
 
 pub use cache::{CacheKey, ShardedLru};
-pub use metrics::{MetricsSnapshot, ServeMetrics, HISTOGRAM_BOUNDS_MS};
+pub use metrics::{metric_names, MetricsSnapshot, ServeMetrics, HISTOGRAM_BOUNDS_MS};
 pub use service::{LatencyService, ServeConfig, ServeError, Served, Source};
 pub use singleflight::{Flight, Role, SingleFlight};

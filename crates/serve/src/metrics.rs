@@ -1,12 +1,19 @@
-//! Service metrics: terminal-outcome counters and a latency histogram.
+//! Service metrics: terminal-outcome counters and a latency histogram,
+//! registered in the workspace-wide [`MetricsRegistry`].
 //!
 //! Every request ends in exactly one terminal class — hot-cache hit,
 //! database hit, measured miss, degraded prediction, rejection, or
 //! validation error — so the counters balance against `requests` at any
 //! quiescent point. `coalesced`, `measured` and the retrain counters are
 //! informational overlays, not terminal classes.
+//!
+//! [`ServeMetrics`] holds pre-resolved handles into a registry — usually
+//! the facade's own ([`crate::LatencyService::start`] passes
+//! `system.registry()`), so one snapshot shows the serving tiers next to
+//! the query-stage histograms.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use nnlqp_obs::{Counter, Histogram, MetricsRegistry};
+use std::sync::Arc;
 
 /// Upper bucket bounds for served latencies, in milliseconds. Values above
 /// the last bound land in the overflow bucket.
@@ -14,65 +21,91 @@ pub const HISTOGRAM_BOUNDS_MS: [f64; 15] = [
     0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0,
 ];
 
-const BUCKETS: usize = HISTOGRAM_BOUNDS_MS.len() + 1;
-
-#[derive(Default)]
-struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
+/// Registry names of the serving layer's metrics.
+pub mod metric_names {
+    /// Counter: requests submitted (valid or not).
+    pub const REQUESTS: &str = "serve.requests";
+    /// Counter: served from the in-memory LRU.
+    pub const HOT_HITS: &str = "serve.hot_hits";
+    /// Counter: served from the evolving database.
+    pub const DB_HITS: &str = "serve.db_hits";
+    /// Counter: served by a farm measurement.
+    pub const MISSES: &str = "serve.misses";
+    /// Counter: misses that joined an existing flight.
+    pub const COALESCED: &str = "serve.coalesced";
+    /// Counter: farm measurements executed by the worker pool.
+    pub const MEASURED: &str = "serve.measured";
+    /// Counter: served an approximate prediction under backlog.
+    pub const DEGRADED: &str = "serve.degraded";
+    /// Counter: turned away (queue full or shutting down).
+    pub const REJECTED: &str = "serve.rejected";
+    /// Counter: invalid requests.
+    pub const ERRORS: &str = "serve.errors";
+    /// Counter: predictor retrains completed.
+    pub const RETRAINS: &str = "serve.retrains";
+    /// Counter: training samples consumed across retrains.
+    pub const RETRAIN_SAMPLES: &str = "serve.retrain_samples";
+    /// Histogram: served latencies in milliseconds.
+    pub const LATENCY_MS: &str = "serve.latency_ms";
 }
 
-impl LatencyHistogram {
-    fn observe(&self, ms: f64) {
-        let idx = HISTOGRAM_BOUNDS_MS
-            .iter()
-            .position(|&b| ms <= b)
-            .unwrap_or(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self) -> Vec<(f64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .map(|(i, b)| {
-                let le = HISTOGRAM_BOUNDS_MS.get(i).copied().unwrap_or(f64::INFINITY);
-                (le, b.load(Ordering::Relaxed))
-            })
-            .collect()
-    }
-}
-
-/// Live counters; cheap to bump from any thread.
-#[derive(Default)]
+/// Live handles to the service's counters; cheap to bump from any thread.
 pub struct ServeMetrics {
-    requests: AtomicU64,
-    hot_hits: AtomicU64,
-    db_hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
-    measured: AtomicU64,
-    degraded: AtomicU64,
-    rejected: AtomicU64,
-    errors: AtomicU64,
-    retrains: AtomicU64,
-    retrain_samples: AtomicU64,
-    latency: LatencyHistogram,
+    requests: Arc<Counter>,
+    hot_hits: Arc<Counter>,
+    db_hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    measured: Arc<Counter>,
+    degraded: Arc<Counter>,
+    rejected: Arc<Counter>,
+    errors: Arc<Counter>,
+    retrains: Arc<Counter>,
+    retrain_samples: Arc<Counter>,
+    latency: Arc<Histogram>,
 }
 
 macro_rules! bump {
     ($($name:ident),* $(,)?) => {
         $(pub(crate) fn $name(&self) {
-            self.$name.fetch_add(1, Ordering::Relaxed);
+            self.$name.inc();
         })*
     };
 }
 
+impl Default for ServeMetrics {
+    /// Metrics over a private registry (tests and standalone use).
+    fn default() -> Self {
+        Self::new(&MetricsRegistry::new())
+    }
+}
+
 impl ServeMetrics {
+    /// Register the service's counters and histogram in `registry`.
+    /// Re-registering over the same registry resumes the existing series
+    /// (handles are get-or-create).
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            requests: registry.counter(metric_names::REQUESTS),
+            hot_hits: registry.counter(metric_names::HOT_HITS),
+            db_hits: registry.counter(metric_names::DB_HITS),
+            misses: registry.counter(metric_names::MISSES),
+            coalesced: registry.counter(metric_names::COALESCED),
+            measured: registry.counter(metric_names::MEASURED),
+            degraded: registry.counter(metric_names::DEGRADED),
+            rejected: registry.counter(metric_names::REJECTED),
+            errors: registry.counter(metric_names::ERRORS),
+            retrains: registry.counter(metric_names::RETRAINS),
+            retrain_samples: registry.counter(metric_names::RETRAIN_SAMPLES),
+            latency: registry.histogram(metric_names::LATENCY_MS, &HISTOGRAM_BOUNDS_MS),
+        }
+    }
+
     bump!(requests, hot_hits, db_hits, misses, coalesced, measured, degraded, rejected, errors);
 
     pub(crate) fn retrained(&self, samples: u64) {
-        self.retrains.fetch_add(1, Ordering::Relaxed);
-        self.retrain_samples.fetch_add(samples, Ordering::Relaxed);
+        self.retrains.inc();
+        self.retrain_samples.add(samples);
     }
 
     pub(crate) fn observe_latency(&self, ms: f64) {
@@ -81,19 +114,29 @@ impl ServeMetrics {
 
     /// Point-in-time copy of everything.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let h = self.latency.snapshot();
+        let latency_histogram = h
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| {
+                let le = h.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                (le, count)
+            })
+            .collect();
         MetricsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            hot_hits: self.hot_hits.load(Ordering::Relaxed),
-            db_hits: self.db_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            measured: self.measured.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            retrains: self.retrains.load(Ordering::Relaxed),
-            retrain_samples: self.retrain_samples.load(Ordering::Relaxed),
-            latency_histogram: self.latency.snapshot(),
+            requests: self.requests.get(),
+            hot_hits: self.hot_hits.get(),
+            db_hits: self.db_hits.get(),
+            misses: self.misses.get(),
+            coalesced: self.coalesced.get(),
+            measured: self.measured.get(),
+            degraded: self.degraded.get(),
+            rejected: self.rejected.get(),
+            errors: self.errors.get(),
+            retrains: self.retrains.get(),
+            retrain_samples: self.retrain_samples.get(),
+            latency_histogram,
         }
     }
 }
@@ -214,5 +257,18 @@ mod tests {
         assert_eq!(v["requests"].as_u64(), Some(1));
         assert_eq!(v["balanced"].as_bool(), Some(true));
         assert_eq!(v["latency_ms_histogram"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shared_registry_sees_serve_series() {
+        let registry = MetricsRegistry::new();
+        let m = ServeMetrics::new(&registry);
+        m.requests();
+        m.hot_hits();
+        m.observe_latency(1.5);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(metric_names::REQUESTS), 1);
+        assert_eq!(snap.counter(metric_names::HOT_HITS), 1);
+        assert_eq!(snap.histograms[metric_names::LATENCY_MS].count, 1);
     }
 }

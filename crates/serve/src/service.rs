@@ -24,11 +24,11 @@ use crate::cache::{CacheKey, ShardedLru};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::singleflight::{Role, SingleFlight};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use nnlqp::{Nnlqp, TrainPredictorConfig};
+use nnlqp::{Nnlqp, QueryError, TrainPredictorConfig};
 use nnlqp_db::PlatformId;
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::Graph;
-use nnlqp_sim::PlatformSpec;
+use nnlqp_sim::{FarmError, Platform};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
@@ -85,6 +85,7 @@ impl Default for ServeConfig {
 /// Service-level failures. All variants are cheap to clone — a flight
 /// publishes one error to every coalesced waiter.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ServeError {
     /// Platform unknown to the registry.
     UnknownPlatform(String),
@@ -112,6 +113,29 @@ impl fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<FarmError> for ServeError {
+    fn from(e: FarmError) -> Self {
+        match e {
+            FarmError::UnknownPlatform(p) | FarmError::AmbiguousPlatform(p) => {
+                ServeError::UnknownPlatform(p)
+            }
+            FarmError::Closed(_) => ServeError::ShuttingDown,
+            other => ServeError::Measurement(other.to_string()),
+        }
+    }
+}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::UnknownPlatform(p) => ServeError::UnknownPlatform(p),
+            QueryError::BadBatch(d) => ServeError::BadBatch(d),
+            QueryError::Farm(f) => f.into(),
+            other => ServeError::Measurement(other.to_string()),
+        }
+    }
+}
 
 /// Where a served latency came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,12 +165,14 @@ pub struct Served {
 
 #[derive(Clone)]
 struct PlatformBinding {
+    platform: Platform,
     canonical: Arc<str>,
     id: PlatformId,
 }
 
 struct Job {
     key: CacheKey,
+    platform: Platform,
     graph: Arc<Graph>,
 }
 
@@ -183,7 +209,9 @@ impl LatencyService {
     pub fn start(system: Arc<Nnlqp>, cfg: ServeConfig) -> Self {
         let cache = Arc::new(ShardedLru::new(cfg.cache_capacity, cfg.cache_shards));
         let flights = Arc::new(SingleFlight::new());
-        let metrics = Arc::new(ServeMetrics::default());
+        // Serve-tier series live next to the facade's query-stage metrics
+        // in the system's registry, so one snapshot covers the stack.
+        let metrics = Arc::new(ServeMetrics::new(system.registry()));
         let retrain = Arc::new(RetrainShared {
             state: Mutex::new(RetrainState::default()),
             wake: Condvar::new(),
@@ -339,6 +367,7 @@ impl LatencyService {
                         Some(tx) => tx
                             .try_send(Job {
                                 key: key.clone(),
+                                platform: binding.platform.clone(),
                                 graph,
                             })
                             .map_err(|e| match e {
@@ -386,15 +415,17 @@ impl LatencyService {
         if let Some(b) = self.platforms.read().get(platform) {
             return Ok(b.clone());
         }
-        let spec = PlatformSpec::by_name(platform)
+        let handle = Platform::by_name(platform)
             .ok_or_else(|| ServeError::UnknownPlatform(platform.to_string()))?;
+        let spec = handle.spec();
         let id = self.system.db.get_or_create_platform(
             &spec.hardware,
             &spec.software,
             spec.dtype.name(),
         );
         let binding = PlatformBinding {
-            canonical: Arc::from(spec.name.as_str()),
+            canonical: Arc::from(handle.name()),
+            platform: handle,
             id,
         };
         self.platforms
@@ -480,24 +511,20 @@ fn worker_loop(
 ) -> impl FnOnce() {
     move || {
         while let Ok(job) = rx.recv() {
-            let outcome = match system.query_measured(
-                &job.graph,
-                &job.key.platform,
-                job.key.batch,
-                farm_wait,
-            ) {
-                Ok(qr) => {
-                    cache.insert(job.key.clone(), qr.latency_ms);
-                    metrics.measured();
-                    {
-                        let mut st = retrain.state.lock();
-                        st.fresh += 1;
+            let outcome =
+                match system.query_measured(&job.graph, &job.platform, job.key.batch, farm_wait) {
+                    Ok(qr) => {
+                        cache.insert(job.key.clone(), qr.latency_ms);
+                        metrics.measured();
+                        {
+                            let mut st = retrain.state.lock();
+                            st.fresh += 1;
+                        }
+                        retrain.wake.notify_one();
+                        Ok(qr.latency_ms)
                     }
-                    retrain.wake.notify_one();
-                    Ok(qr.latency_ms)
-                }
-                Err(e) => Err(ServeError::Measurement(e.to_string())),
-            };
+                    Err(e) => Err(e.into()),
+                };
             // Database and cache are filled before the flight publishes:
             // anyone arriving after this resolves as a hit, so each key is
             // measured at most once per flight.
@@ -543,14 +570,17 @@ fn retrain_loop(
 mod tests {
     use super::*;
     use nnlqp_models::ModelFamily;
-    use nnlqp_sim::DeviceFarm;
+    use nnlqp_sim::{DeviceFarm, PlatformSpec};
 
     const PLATFORM: &str = "gpu-T4-trt7.1-fp32";
 
     fn quick_system() -> Arc<Nnlqp> {
-        let mut s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 2));
-        s.reps = 3;
-        Arc::new(s)
+        Arc::new(
+            Nnlqp::builder()
+                .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 2))
+                .reps(3)
+                .build(),
+        )
     }
 
     fn small_cfg() -> ServeConfig {
@@ -585,11 +615,14 @@ mod tests {
         let system = quick_system();
         // Seed the database out-of-band: the service's own cache is cold.
         system
-            .query(&nnlqp::QueryParams {
-                model: ModelFamily::SqueezeNet.canonical().unwrap(),
-                batch_size: 1,
-                platform_name: PLATFORM.into(),
-            })
+            .query(
+                &nnlqp::QueryParams::by_name(
+                    ModelFamily::SqueezeNet.canonical().unwrap(),
+                    1,
+                    PLATFORM,
+                )
+                .unwrap(),
+            )
             .unwrap();
         let svc = LatencyService::start(system, small_cfg());
         let g = Arc::new(ModelFamily::SqueezeNet.canonical().unwrap());
@@ -646,7 +679,9 @@ mod tests {
             .into_iter()
             .map(|m| m.graph)
             .collect();
-        system.warm_cache(&models, PLATFORM, 1).unwrap();
+        system
+            .warm_cache(&models, &Platform::by_name(PLATFORM).unwrap(), 1)
+            .unwrap();
         system
             .train_predictor(
                 &[PLATFORM],

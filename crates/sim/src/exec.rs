@@ -18,6 +18,7 @@ use crate::fusion::{self, Kernel, KernelDesc};
 use crate::kernel_cost;
 use crate::platform::PlatformSpec;
 use nnlqp_ir::Graph;
+use nnlqp_obs::{Recorder, Span, Track};
 
 /// Per-kernel scheduling record, for inspection and tests.
 #[derive(Debug, Clone)]
@@ -30,6 +31,14 @@ pub struct ScheduledKernel {
     pub start_ms: f64,
     /// Finish time (ms).
     pub finish_ms: f64,
+    /// Launch-phase share of the interval: dispatch overhead actually
+    /// paid (after pipelining hid what it could).
+    pub launch_ms: f64,
+    /// Compute-side roofline time of the execution phase.
+    pub compute_ms: f64,
+    /// Memory-IO-side roofline time of the execution phase (the phase
+    /// itself lasts `max(compute_ms, memory_ms)`).
+    pub memory_ms: f64,
 }
 
 /// Full execution trace of one model on one platform.
@@ -131,7 +140,9 @@ pub fn execute(g: &Graph, p: &PlatformSpec) -> ExecutionTrace {
         } else {
             p.cache_overlap
         };
-        let exec = kernel_cost::exec_ms(&descs[i], p, cached_frac);
+        let compute = kernel_cost::compute_ms(&descs[i], p);
+        let memory = kernel_cost::memory_ms(&descs[i], p, cached_frac);
+        let exec = compute.max(memory);
 
         let end = start + launch_ms + exec;
         stream_free[stream] = end;
@@ -142,6 +153,9 @@ pub fn execute(g: &Graph, p: &PlatformSpec) -> ExecutionTrace {
             stream,
             start_ms: start,
             finish_ms: end,
+            launch_ms,
+            compute_ms: compute,
+            memory_ms: memory,
         });
     }
 
@@ -153,6 +167,52 @@ pub fn execute(g: &Graph, p: &PlatformSpec) -> ExecutionTrace {
             .collect(),
         latency_ms,
     }
+}
+
+/// Track group used for kernel spans (`stream N` lanes under it).
+pub const KERNEL_TRACK_GROUP: &str = "device";
+
+impl ExecutionTrace {
+    /// Publish the schedule into a recorder: one `kernel`-category span
+    /// per formed kernel, on the `device` track group with one lane per
+    /// stream, shifted by `base_ms` (the position of this model run on
+    /// the caller's timeline). Each span carries the fusion family and
+    /// its launch / compute / memory-IO phase split as args.
+    pub fn record_into(&self, rec: &Recorder, base_ms: f64) {
+        if !rec.is_enabled() {
+            return;
+        }
+        for k in &self.kernels {
+            rec.record(
+                Span::new(
+                    k.desc.family.name(),
+                    "kernel",
+                    Track::new(KERNEL_TRACK_GROUP, k.stream as u32),
+                    base_ms + k.start_ms,
+                    k.finish_ms - k.start_ms,
+                )
+                .arg("stream", k.stream)
+                .arg("fusion_group", k.desc.family.name())
+                .arg("launch_ms", k.launch_ms)
+                .arg("compute_ms", k.compute_ms)
+                .arg("memory_io_ms", k.memory_ms)
+                .arg("flops", k.desc.flops),
+            );
+        }
+    }
+}
+
+/// Execute a graph and publish the kernel timeline into `rec` at offset
+/// `base_ms` — the tracing entry point behind `nnlqp trace`.
+pub fn execute_recorded(
+    g: &Graph,
+    p: &PlatformSpec,
+    rec: &Recorder,
+    base_ms: f64,
+) -> ExecutionTrace {
+    let trace = execute(g, p);
+    trace.record_into(rec, base_ms);
+    trace
 }
 
 /// Noise-free model latency in milliseconds.

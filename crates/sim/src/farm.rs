@@ -37,6 +37,42 @@ pub struct QueryJob {
     pub seed: u64,
 }
 
+/// Per-stage wall-clock split of one fulfilled deployment pipeline (§5.1),
+/// in simulated seconds, jitter included. [`FarmResult::pipeline_cost_s`]
+/// is exactly [`PipelineBreakdown::total_s`], so stage spans derived from
+/// this struct tile the pipeline interval with no gap or overlap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineBreakdown {
+    /// Step 1: ONNX -> platform graph conversion.
+    pub transform_s: f64,
+    /// Step 1: compilation by the inference toolkit.
+    pub compile_s: f64,
+    /// Step 3: upload of executable + dependencies to the board.
+    pub upload_s: f64,
+    /// Fixed harness overhead around the timed runs.
+    pub harness_s: f64,
+    /// The timed repetitions themselves.
+    pub runs_s: f64,
+}
+
+impl PipelineBreakdown {
+    /// Total pipeline wall-clock, the sum of all five stages.
+    pub fn total_s(&self) -> f64 {
+        self.transform_s + self.compile_s + self.upload_s + self.harness_s + self.runs_s
+    }
+
+    /// Stage `(name, seconds)` pairs in pipeline order, for span export.
+    pub fn stages(&self) -> [(&'static str, f64); 5] {
+        [
+            ("transform", self.transform_s),
+            ("compile", self.compile_s),
+            ("upload", self.upload_s),
+            ("harness", self.harness_s),
+            ("runs", self.runs_s),
+        ]
+    }
+}
+
 /// Outcome of a fulfilled query.
 #[derive(Debug, Clone)]
 pub struct FarmResult {
@@ -45,17 +81,24 @@ pub struct FarmResult {
     /// The measurement session (mean is the ground-truth latency).
     pub measurement: Measurement,
     /// Simulated wall-clock cost of the full pipeline, in seconds:
-    /// transform + compile + upload + harness + timed runs.
+    /// transform + compile + upload + harness + timed runs. Always equal
+    /// to `breakdown.total_s()`.
     pub pipeline_cost_s: f64,
+    /// Per-stage split of `pipeline_cost_s`.
+    pub breakdown: PipelineBreakdown,
     /// Device that served the job.
     pub device_id: usize,
 }
 
 /// Farm errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FarmError {
     /// The requested platform is not in the registry.
     UnknownPlatform(String),
+    /// The requested platform abbreviation matches several platforms; the
+    /// payload lists the candidates.
+    AmbiguousPlatform(String),
     /// All devices for the platform are leased and the caller declined to
     /// wait (non-blocking/timeout acquisition).
     Busy(String),
@@ -67,6 +110,7 @@ impl fmt::Display for FarmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FarmError::UnknownPlatform(p) => write!(f, "unknown platform: {p}"),
+            FarmError::AmbiguousPlatform(p) => write!(f, "ambiguous platform: {p}"),
             FarmError::Busy(p) => write!(f, "all devices busy for platform: {p}"),
             FarmError::Closed(p) => write!(f, "device pool closed for platform: {p}"),
         }
@@ -131,6 +175,13 @@ impl DeviceFarm {
     /// Number of currently idle devices for a platform.
     pub fn idle_devices(&self, platform: &str) -> usize {
         self.pools.get(platform).map_or(0, |p| p.idle_rx.len())
+    }
+
+    /// Spec of a platform this farm serves, by canonical name. Unlike
+    /// [`PlatformSpec::by_name`] this also sees custom (non-registry)
+    /// specs the farm was built with.
+    pub fn spec_of(&self, canonical: &str) -> Option<PlatformSpec> {
+        self.pools.get(canonical).map(|p| p.spec.clone())
     }
 
     fn resolve(&self, name: &str) -> Result<Arc<DevicePool>, FarmError> {
@@ -210,12 +261,19 @@ impl DeviceFarm {
         // Deployment stages vary run to run (compiler caches, board load).
         let mut r = Rng64::new(job.seed ^ 0x00DE_B10F_u64);
         let jitter = 0.9 + 0.2 * r.uniform();
-        let fixed = spec.deploy.fixed_total_s() * jitter;
         let runs_s = measurement.runs.iter().sum::<f64>() / 1.0e3 + job.reps as f64 * 0.01;
+        let breakdown = PipelineBreakdown {
+            transform_s: spec.deploy.transform_s * jitter,
+            compile_s: spec.deploy.compile_s * jitter,
+            upload_s: spec.deploy.upload_s * jitter,
+            harness_s: spec.deploy.harness_s * jitter,
+            runs_s,
+        };
         FarmResult {
             platform: spec.name.clone(),
             measurement,
-            pipeline_cost_s: fixed + runs_s,
+            pipeline_cost_s: breakdown.total_s(),
+            breakdown,
             device_id,
         }
     }

@@ -31,9 +31,11 @@ pub mod kernel_cost;
 pub mod measure;
 pub mod platform;
 
-pub use exec::{model_latency_ms, sum_kernel_latencies_ms, ExecutionTrace};
-pub use farm::{DeviceFarm, FarmError, FarmResult, QueryJob};
+pub use exec::{
+    execute_recorded, model_latency_ms, sum_kernel_latencies_ms, ExecutionTrace, KERNEL_TRACK_GROUP,
+};
+pub use farm::{DeviceFarm, FarmError, FarmResult, PipelineBreakdown, QueryJob};
 pub use fusion::{fuse, fusion_stats, Kernel, KernelDesc, KernelFamily};
 pub use kernel_cost::kernel_latency_isolated_ms;
 pub use measure::{measure, Measurement, DEFAULT_REPS};
-pub use platform::{DeployCosts, HardwareClass, PlatformSpec};
+pub use platform::{DeployCosts, HardwareClass, Platform, PlatformSpec};

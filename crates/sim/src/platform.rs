@@ -8,8 +8,12 @@
 //! for the named silicon but are *not* claimed to match it — the
 //! experiments compare predictors against this simulator's ground truth.
 
+use crate::farm::{DeviceFarm, FarmError};
 use nnlqp_ir::{DType, OpType};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Grouped-convolution fallback multiplier by precision: the fast
 /// quantized/half kernels of vendor runtimes do not support grouping, so
@@ -266,6 +270,108 @@ impl PlatformSpec {
     }
 }
 
+/// A validated platform handle: proof that a requested name resolved to a
+/// spec some farm (or the registry) actually serves. APIs that previously
+/// took stringly platform names take this instead, moving the
+/// unknown-platform failure to construction time. Cheap to clone (the
+/// spec is shared behind an `Arc`); equality and hashing go by canonical
+/// name.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    spec: Arc<PlatformSpec>,
+}
+
+impl Platform {
+    /// Resolve a canonical registry name or paper alias.
+    pub fn by_name(name: &str) -> Option<Platform> {
+        PlatformSpec::by_name(name).map(Platform::from)
+    }
+
+    /// Resolve a user-supplied platform string against a farm.
+    ///
+    /// Resolution order:
+    /// 1. canonical name or paper alias, if the farm serves it (this also
+    ///    finds custom non-registry specs the farm was built with);
+    /// 2. otherwise a case-insensitive abbreviation match over the farm's
+    ///    platforms: every `-`-separated token of the query must appear,
+    ///    in order, among the candidate's tokens (substring per token) —
+    ///    so `"atlas"` finds `atlas300-acl-fp16` and `"T4-fp32"` finds
+    ///    `gpu-T4-trt7.1-fp32` on a Table 2 farm. Unique hits resolve;
+    ///    multiple hits are [`FarmError::AmbiguousPlatform`] listing the
+    ///    candidates.
+    pub fn parse(farm: &DeviceFarm, query: &str) -> Result<Platform, FarmError> {
+        if let Some(spec) = PlatformSpec::by_name(query) {
+            if let Some(served) = farm.spec_of(&spec.name) {
+                return Ok(Platform::from(served));
+            }
+        }
+        if let Some(spec) = farm.spec_of(query) {
+            return Ok(Platform::from(spec));
+        }
+        let needle = query.to_ascii_lowercase();
+        let hits: Vec<String> = farm
+            .platforms()
+            .into_iter()
+            .filter(|p| abbreviates(&needle, &p.to_ascii_lowercase()))
+            .collect();
+        match hits.as_slice() {
+            [] => Err(FarmError::UnknownPlatform(query.to_string())),
+            [only] => Ok(Platform::from(
+                farm.spec_of(only).expect("listed platform has a pool"),
+            )),
+            many => Err(FarmError::AmbiguousPlatform(format!(
+                "\"{query}\" matches {}",
+                many.join(", ")
+            ))),
+        }
+    }
+
+    /// Canonical platform name, e.g. `"gpu-T4-trt7.1-fp32"`.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+}
+
+/// Does lowercase `query` abbreviate lowercase `name`? Each `-`-separated
+/// query token must substring-match a distinct `name` token, in order.
+fn abbreviates(query: &str, name: &str) -> bool {
+    let mut name_tokens = name.split('-');
+    query.split('-').all(|q| name_tokens.any(|n| n.contains(q)))
+}
+
+impl From<PlatformSpec> for Platform {
+    fn from(spec: PlatformSpec) -> Self {
+        Platform {
+            spec: Arc::new(spec),
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl PartialEq for Platform {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec.name == other.spec.name
+    }
+}
+
+impl Eq for Platform {}
+
+impl Hash for Platform {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.spec.name.hash(state);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +436,66 @@ mod tests {
     #[test]
     fn unknown_platform_is_none() {
         assert!(PlatformSpec::by_name("tpu-v4-bf16").is_none());
+    }
+
+    #[test]
+    fn platform_handle_by_name_and_alias() {
+        let p = Platform::by_name("cpu-ppl2-fp32").unwrap();
+        assert_eq!(p.name(), "cpu-openppl-fp32");
+        assert_eq!(p.to_string(), "cpu-openppl-fp32");
+        assert_eq!(p, Platform::by_name("cpu-openppl-fp32").unwrap());
+        assert!(Platform::by_name("tpu-v4-bf16").is_none());
+    }
+
+    #[test]
+    fn platform_parse_exact_alias_and_substring() {
+        let farm = DeviceFarm::new(&PlatformSpec::table2_platforms(), 1);
+        // Exact and alias hits.
+        assert_eq!(
+            Platform::parse(&farm, "gpu-T4-trt7.1-fp32").unwrap().name(),
+            "gpu-T4-trt7.1-fp32"
+        );
+        assert_eq!(
+            Platform::parse(&farm, "cpu-ppl2-fp32").unwrap().name(),
+            "cpu-openppl-fp32"
+        );
+        // Unique case-insensitive abbreviations: single token and
+        // hyphenated token subsequence.
+        assert_eq!(
+            Platform::parse(&farm, "ATLAS").unwrap().name(),
+            "atlas300-acl-fp16"
+        );
+        assert_eq!(
+            Platform::parse(&farm, "T4-fp32").unwrap().name(),
+            "gpu-T4-trt7.1-fp32"
+        );
+        // Multiple hits name the candidates; misses are unknown.
+        match Platform::parse(&farm, "T4").unwrap_err() {
+            FarmError::AmbiguousPlatform(msg) => {
+                assert!(msg.contains("gpu-T4-trt7.1-fp32"), "{msg}");
+                assert!(msg.contains("gpu-T4-trt7.1-int8"), "{msg}");
+            }
+            other => panic!("expected ambiguous, got {other:?}"),
+        }
+        assert_eq!(
+            Platform::parse(&farm, "tpu-v9").unwrap_err(),
+            FarmError::UnknownPlatform("tpu-v9".into())
+        );
+    }
+
+    #[test]
+    fn platform_parse_sees_custom_farm_specs() {
+        let mut spec = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        spec.name = "lab-fpga-fp32".to_string();
+        let farm = DeviceFarm::new(&[spec], 1);
+        assert_eq!(
+            Platform::parse(&farm, "lab-fpga-fp32").unwrap().name(),
+            "lab-fpga-fp32"
+        );
+        assert_eq!(
+            Platform::parse(&farm, "fpga").unwrap().name(),
+            "lab-fpga-fp32"
+        );
     }
 
     #[test]

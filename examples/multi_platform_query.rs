@@ -14,8 +14,7 @@ use nnlqp_models::ModelFamily;
 use nnlqp_sim::PlatformSpec;
 
 fn main() {
-    let mut system = Nnlqp::with_default_farm();
-    system.reps = 10;
+    let system = Nnlqp::builder().reps(10).build();
 
     let candidates = [
         ModelFamily::ResNet,
@@ -40,11 +39,7 @@ fn main() {
         print!("{:<14}", fam.name());
         for p in &platforms {
             let r = system
-                .query(&QueryParams {
-                    model: model.clone(),
-                    batch_size: 1,
-                    platform_name: p.clone(),
-                })
+                .query(&QueryParams::by_name(model.clone(), 1, p).expect("platform resolves"))
                 .expect("platform registered");
             print!("  {:>20.3}", r.latency_ms);
         }
@@ -56,11 +51,7 @@ fn main() {
     let resnet = ModelFamily::ResNet.canonical().unwrap();
     let lat = |platform: &str| {
         system
-            .query(&QueryParams {
-                model: resnet.clone(),
-                batch_size: 1,
-                platform_name: platform.into(),
-            })
+            .query(&QueryParams::by_name(resnet.clone(), 1, platform).expect("platform resolves"))
             .expect("platform registered")
             .latency_ms
     };

@@ -9,14 +9,13 @@
 //! cache), trains the predictor from the accumulated records, and
 //! predicts the latency of an unseen variant.
 
-use nnlqp::{Nnlqp, QueryParams, TrainPredictorConfig};
+use nnlqp::{Nnlqp, Platform, QueryParams, TrainPredictorConfig};
 use nnlqp_models::ModelFamily;
 
 fn main() {
     // The system owns the evolving database, the device farm, and the
     // predictor — the analogue of `import NNLQP`.
-    let mut system = Nnlqp::with_default_farm();
-    system.reps = 10;
+    let system = Nnlqp::builder().reps(10).build();
 
     // A model: canonical ResNet-18 (use nnlqp_ir::GraphBuilder or the
     // generators in nnlqp-models for your own architectures).
@@ -30,11 +29,7 @@ fn main() {
 
     // --- NNLQP.query: true latency -------------------------------------
     for platform in ["gpu-T4-trt7.1-fp32", "cpu-openppl-fp32"] {
-        let params = QueryParams {
-            model: model.clone(),
-            batch_size: 1,
-            platform_name: platform.into(),
-        };
+        let params = QueryParams::by_name(model.clone(), 1, platform).expect("platform resolves");
         let first = system.query(&params).expect("platform registered");
         let second = system.query(&params).expect("platform registered");
         println!(
@@ -52,8 +47,9 @@ fn main() {
         .into_iter()
         .map(|m| m.graph)
         .collect();
+    let t4 = Platform::by_name("gpu-T4-trt7.1-fp32").expect("platform registered");
     let fresh = system
-        .warm_cache(&variants, "gpu-T4-trt7.1-fp32", 1)
+        .warm_cache(&variants, &t4, 1)
         .expect("warming succeeds");
     println!("\nwarmed the database with {fresh} fresh measurements");
     let stats = system.stats();
@@ -81,11 +77,7 @@ fn main() {
         .pop()
         .expect("non-empty")
         .graph;
-    let params = QueryParams {
-        model: unseen,
-        batch_size: 1,
-        platform_name: "gpu-T4-trt7.1-fp32".into(),
-    };
+    let params = QueryParams::new(unseen, 1, t4);
     let predicted = system.predict(&params).expect("predictor trained");
     let truth = system.query(&params).expect("platform registered");
     println!(

@@ -21,9 +21,10 @@ fn assert_lints_clean(g: &nnlqp_ir::Graph, platform: &str) {
 }
 
 fn system() -> Nnlqp {
-    let mut s = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 2));
-    s.reps = 5;
-    s
+    Nnlqp::builder()
+        .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 2))
+        .reps(5)
+        .build()
 }
 
 #[test]
@@ -38,11 +39,7 @@ fn query_cache_persist_reload_cycle() {
         for m in &models {
             assert_lints_clean(m, platform);
             let r = s
-                .query(&QueryParams {
-                    model: m.clone(),
-                    batch_size: 1,
-                    platform_name: platform.into(),
-                })
+                .query(&QueryParams::by_name(m.clone(), 1, platform).unwrap())
                 .unwrap();
             assert!(!r.cache_hit);
         }
@@ -70,20 +67,12 @@ fn cache_is_keyed_on_structure_not_name() {
     let s = system();
     let mut a = ModelFamily::ResNet.canonical().unwrap();
     let r1 = s
-        .query(&QueryParams {
-            model: a.clone(),
-            batch_size: 1,
-            platform_name: "gpu-T4-trt7.1-fp32".into(),
-        })
+        .query(&QueryParams::by_name(a.clone(), 1, "gpu-T4-trt7.1-fp32").unwrap())
         .unwrap();
     // Rename: structurally identical model must hit.
     a.name = "some-other-name".into();
     let r2 = s
-        .query(&QueryParams {
-            model: a,
-            batch_size: 1,
-            platform_name: "gpu-T4-trt7.1-fp32".into(),
-        })
+        .query(&QueryParams::by_name(a, 1, "gpu-T4-trt7.1-fp32").unwrap())
         .unwrap();
     assert!(r2.cache_hit);
     assert_eq!(r1.latency_ms, r2.latency_ms);
@@ -93,7 +82,11 @@ fn cache_is_keyed_on_structure_not_name() {
 fn measured_latencies_match_simulator_ground_truth() {
     // The whole stack must preserve the simulator's values within
     // measurement noise.
-    let s = system().with_strict(true);
+    let s = Nnlqp::builder()
+        .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 2))
+        .reps(5)
+        .strict(true)
+        .build();
     let g = ModelFamily::MobileNetV2.canonical().unwrap();
     let spec = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
     assert_lints_clean(&g, &spec.name);
@@ -101,11 +94,7 @@ fn measured_latencies_match_simulator_ground_truth() {
     // Strict mode runs the analyzer inside `query` and rejects models
     // with errors; a clean canonical model must pass unimpeded.
     let r = s
-        .query(&QueryParams {
-            model: g,
-            batch_size: 1,
-            platform_name: spec.name.clone(),
-        })
+        .query(&QueryParams::by_name(g, 1, &spec.name).unwrap())
         .unwrap();
     assert!(
         (r.latency_ms - truth).abs() / truth < 0.05,
@@ -127,13 +116,9 @@ fn hit_ratio_improves_aggregate_cost() {
         models
             .iter()
             .map(|m| {
-                sys.query(&QueryParams {
-                    model: m.clone(),
-                    batch_size: 1,
-                    platform_name: "gpu-T4-trt7.1-fp32".into(),
-                })
-                .unwrap()
-                .cost_s
+                sys.query(&QueryParams::by_name(m.clone(), 1, "gpu-T4-trt7.1-fp32").unwrap())
+                    .unwrap()
+                    .cost_s
             })
             .sum()
     };
@@ -150,13 +135,9 @@ fn batch_size_is_part_of_the_key_and_scales_latency() {
     let s = system();
     let g = ModelFamily::SqueezeNet.canonical().unwrap();
     let lat = |batch: u32| {
-        s.query(&QueryParams {
-            model: g.clone(),
-            batch_size: batch,
-            platform_name: "gpu-T4-trt7.1-fp32".into(),
-        })
-        .unwrap()
-        .latency_ms
+        s.query(&QueryParams::by_name(g.clone(), batch, "gpu-T4-trt7.1-fp32").unwrap())
+            .unwrap()
+            .latency_ms
     };
     let l1 = lat(1);
     let l8 = lat(8);

@@ -2,16 +2,19 @@
 //! retraining the predictor on the grown database improves accuracy on
 //! unseen models (the feedback loop of Fig. 1's thin black arrows).
 
-use nnlqp::{Nnlqp, QueryParams, TrainPredictorConfig};
+use nnlqp::{Nnlqp, Platform, QueryParams, TrainPredictorConfig};
 use nnlqp_models::ModelFamily;
 use nnlqp_predict::mape;
 use nnlqp_sim::{DeviceFarm, PlatformSpec};
 
 #[test]
 fn predictor_improves_as_database_grows() {
-    let mut system = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1));
-    system.reps = 5;
+    let system = Nnlqp::builder()
+        .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+        .reps(5)
+        .build();
     let platform = "gpu-T4-trt7.1-fp32";
+    let handle = Platform::by_name(platform).unwrap();
 
     // A stream of arriving models (what production queries look like).
     let stream: Vec<_> = nnlqp_models::generate_family(ModelFamily::MobileNetV2, 60, 13)
@@ -46,11 +49,7 @@ fn predictor_improves_as_database_grows() {
         let mut preds = Vec::new();
         let mut truths = Vec::new();
         for g in &eval {
-            let p = QueryParams {
-                model: g.clone(),
-                batch_size: 1,
-                platform_name: platform.into(),
-            };
+            let p = QueryParams::by_name(g.clone(), 1, platform).unwrap();
             preds.push(system.predict(&p).unwrap().latency_ms);
             // Ground truth from the simulator directly (not via query, to
             // keep the database containing only the training stream).
@@ -61,14 +60,14 @@ fn predictor_improves_as_database_grows() {
     };
 
     // Phase 1: a young database with 10 records.
-    system.warm_cache(&stream[..10], platform, 1).unwrap();
+    system.warm_cache(&stream[..10], &handle, 1).unwrap();
     let n1 = system.train_predictor(&[platform], cfg).unwrap();
     assert_eq!(n1, 10);
     let young = eval_mape(&system);
 
     // Phase 2: the database evolves to 60 records; same architecture,
     // retrained.
-    system.warm_cache(&stream, platform, 1).unwrap();
+    system.warm_cache(&stream, &handle, 1).unwrap();
     let n2 = system.train_predictor(&[platform], cfg).unwrap();
     assert_eq!(n2, 60);
     let grown = eval_mape(&system);

@@ -68,10 +68,11 @@ fn multi_device_pool_distributes_jobs() {
 
 #[test]
 fn parallel_queries_keep_database_consistent() {
-    let system = Arc::new(Nnlqp::new(DeviceFarm::new(
-        &PlatformSpec::table2_platforms(),
-        2,
-    )));
+    let system = Arc::new(
+        Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 2))
+            .build(),
+    );
     let models: Vec<_> = nnlqp_models::generate_family(ModelFamily::MobileNetV2, 6, 5)
         .into_iter()
         .map(|m| m.graph)
@@ -85,11 +86,7 @@ fn parallel_queries_keep_database_consistent() {
             let models = models.clone();
             s.spawn(move || {
                 for m in &models {
-                    let p = QueryParams {
-                        model: m.clone(),
-                        batch_size: 1,
-                        platform_name: "gpu-T4-trt7.1-int8".into(),
-                    };
+                    let p = QueryParams::by_name(m.clone(), 1, "gpu-T4-trt7.1-int8").unwrap();
                     let a = system.query(&p).unwrap();
                     let b = system.query(&p).unwrap();
                     assert!(b.cache_hit);

@@ -23,10 +23,13 @@ const PLATFORM: &str = "gpu-T4-trt7.1-fp32";
 const SEED: u64 = 2024;
 
 fn service(workers: usize) -> (Arc<Nnlqp>, LatencyService) {
-    let mut system = Nnlqp::new(DeviceFarm::new(&PlatformSpec::table2_platforms(), 4));
-    system.reps = 3;
-    system.set_seed(SEED);
-    let system = Arc::new(system);
+    let system = Arc::new(
+        Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 4))
+            .reps(3)
+            .seed(SEED)
+            .build(),
+    );
     let cfg = ServeConfig {
         workers,
         queue_depth: 64,
