@@ -133,6 +133,12 @@ pub mod metric_names {
     pub const STAGE_LOOKUP_S: &str = "query.stage.lookup_s";
     /// Histogram: simulated seconds spent in the deployment pipeline.
     pub const STAGE_MEASURE_S: &str = "query.stage.measure_s";
+    /// Counter: predictions served from a cached graph embedding (only
+    /// the MLP head ran).
+    pub const EMBED_HITS: &str = "predict.embed_cache_hits";
+    /// Counter: predictions that paid the full feature-extraction + GNN
+    /// backbone cost.
+    pub const EMBED_MISSES: &str = "predict.embed_cache_misses";
 }
 
 /// The NNLQP system object. Construct with [`Nnlqp::builder`].
@@ -155,6 +161,13 @@ pub struct Nnlqp {
     h_lookup_s: Arc<Histogram>,
     h_measure_s: Arc<Histogram>,
     pub(crate) predictor: parking_lot::RwLock<Option<crate::predictor::PredictorHandle>>,
+    /// Generation counter for the installed predictor; bumped under the
+    /// `predictor` write lock on every hot-swap so embed-cache keys from
+    /// an older model can never resolve.
+    pub(crate) predictor_version: std::sync::atomic::AtomicU64,
+    pub(crate) embed_cache: crate::embed_cache::EmbedCache,
+    pub(crate) m_embed_hits: Arc<Counter>,
+    pub(crate) m_embed_misses: Arc<Counter>,
 }
 
 /// Default base seed (`b"NNLQP!"` as a integer tag).
@@ -186,7 +199,13 @@ pub struct NnlqpBuilder {
     strict: bool,
     seed: Option<u64>,
     registry: Option<Arc<MetricsRegistry>>,
+    embed_cache_capacity: Option<usize>,
 }
+
+/// Default number of cached graph embeddings.
+const DEFAULT_EMBED_CACHE_CAPACITY: usize = 2048;
+/// Shard count of the embed cache (rounded to a power of two inside).
+const EMBED_CACHE_SHARDS: usize = 8;
 
 impl NnlqpBuilder {
     /// The device farm to measure on (default: the full platform
@@ -230,6 +249,16 @@ impl NnlqpBuilder {
         self
     }
 
+    /// Capacity of the graph-embedding cache behind `predict` (default
+    /// 2048 entries). `0` disables embedding reuse entirely — every
+    /// prediction pays the full backbone cost; useful as a benchmarking
+    /// baseline.
+    #[must_use]
+    pub fn embed_cache(mut self, capacity: usize) -> Self {
+        self.embed_cache_capacity = Some(capacity);
+        self
+    }
+
     /// Build the system.
     pub fn build(self) -> Nnlqp {
         let farm = self.farm.unwrap_or_else(DeviceFarm::full_registry);
@@ -242,6 +271,11 @@ impl NnlqpBuilder {
         let m_measurements = registry.counter(metric_names::MEASUREMENTS);
         let h_lookup_s = registry.histogram(metric_names::STAGE_LOOKUP_S, &STAGE_SECONDS_BOUNDS);
         let h_measure_s = registry.histogram(metric_names::STAGE_MEASURE_S, &STAGE_SECONDS_BOUNDS);
+        let m_embed_hits = registry.counter(metric_names::EMBED_HITS);
+        let m_embed_misses = registry.counter(metric_names::EMBED_MISSES);
+        let embed_capacity = self
+            .embed_cache_capacity
+            .unwrap_or(DEFAULT_EMBED_CACHE_CAPACITY);
         Nnlqp {
             db: Database::new(),
             farm,
@@ -256,6 +290,10 @@ impl NnlqpBuilder {
             h_lookup_s,
             h_measure_s,
             predictor: parking_lot::RwLock::new(None),
+            predictor_version: std::sync::atomic::AtomicU64::new(0),
+            embed_cache: crate::embed_cache::EmbedCache::new(embed_capacity, EMBED_CACHE_SHARDS),
+            m_embed_hits,
+            m_embed_misses,
         }
     }
 }

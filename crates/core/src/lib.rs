@@ -26,11 +26,16 @@
 //! assert!(second.cost_s < first.cost_s);
 //! ```
 
+pub mod embed_cache;
 pub mod interface;
 pub mod predictor;
 
+pub use embed_cache::{EmbedCache, EmbedKey, SharedEmbedding};
 pub use interface::{
     metric_names, CountersSnapshot, Nnlqp, NnlqpBuilder, QueryError, QueryParams, QueryResult,
 };
 pub use nnlqp_sim::Platform;
-pub use predictor::{PredictResult, PredictorHandle, TrainPredictorConfig};
+pub use predictor::{
+    BatchPredictResult, PredictResult, PredictorHandle, TrainPredictorConfig,
+    CACHED_PREDICT_COST_S, PREDICT_COST_S,
+};

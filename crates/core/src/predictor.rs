@@ -1,16 +1,25 @@
 //! `NNLQP.predict` — the prediction path, trained from the evolving
 //! database.
 
+use crate::embed_cache::EmbedKey;
 use crate::interface::{Nnlqp, QueryError, QueryParams};
+use nnlqp_hash::graph_hash;
 use nnlqp_ir::Rng64;
 use nnlqp_predict::train::{train, Dataset, TrainConfig};
 use nnlqp_predict::{extract_features, NnlpConfig, NnlpModel};
 use nnlqp_sim::PlatformSpec;
+use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Simulated wall-clock cost of one prediction (feature extraction + GNN
 /// inference; §8.2 measures ~0.10 s per model).
 pub const PREDICT_COST_S: f64 = 0.100;
+
+/// Simulated wall-clock cost of a prediction whose graph embedding was
+/// already cached: only the graph hash and the per-platform MLP head run.
+pub const CACHED_PREDICT_COST_S: f64 = 0.002;
 
 /// Simulated wall-clock cost of one FLOPs+MAC prediction (§8.2: ~0.094 s).
 pub const FLOPS_MAC_COST_S: f64 = 0.094;
@@ -61,6 +70,21 @@ pub struct PredictResult {
     pub latency_ms: f64,
     /// Wall-clock cost of answering, in (simulated) seconds.
     pub cost_s: f64,
+}
+
+/// Outcome of [`Nnlqp::predict_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchPredictResult {
+    /// `latencies_ms[g][p]` is the prediction for `graphs[g]` on
+    /// `platform_names[p]`, in milliseconds.
+    pub latencies_ms: Vec<Vec<f64>>,
+    /// Total simulated wall-clock cost: one full-backbone prediction per
+    /// embed miss, one cheap head-only prediction for everything else.
+    pub cost_s: f64,
+    /// Graphs whose embedding was served from the cache.
+    pub embed_hits: u64,
+    /// Graphs whose embedding had to be computed.
+    pub embed_misses: u64,
 }
 
 impl Nnlqp {
@@ -125,13 +149,37 @@ impl Nnlqp {
                 seed: cfg.seed,
             },
         );
-        *self.predictor.write() = Some(PredictorHandle { model, head_of });
+        self.install_predictor(PredictorHandle { model, head_of });
         Ok(entries.len())
     }
 
     /// Install an externally trained predictor.
     pub fn set_predictor(&self, handle: PredictorHandle) {
-        *self.predictor.write() = Some(handle);
+        self.install_predictor(handle);
+    }
+
+    /// Swap in a predictor and bump the generation counter while still
+    /// holding the write lock, so any reader that observes the new model
+    /// also observes (at least) the new version — embeddings computed by
+    /// an older model can never be served against the new heads.
+    fn install_predictor(&self, handle: PredictorHandle) {
+        let mut guard = self.predictor.write();
+        self.predictor_version.fetch_add(1, Ordering::Release);
+        *guard = Some(handle);
+    }
+
+    /// Generation of the installed predictor (0 = never installed);
+    /// incremented by every [`Nnlqp::train_predictor`] /
+    /// [`Nnlqp::set_predictor`] hot-swap.
+    pub fn predictor_version(&self) -> u64 {
+        self.predictor_version.load(Ordering::Acquire)
+    }
+
+    /// A clone of the installed predictor, if any — lets callers move a
+    /// trained model between systems (e.g. into a cache-disabled baseline
+    /// for benchmarking) via [`Nnlqp::set_predictor`].
+    pub fn predictor_handle(&self) -> Option<PredictorHandle> {
+        self.predictor.read().clone()
     }
 
     /// True when a trained predictor is installed and has a head for the
@@ -163,6 +211,12 @@ impl Nnlqp {
     /// `predict` over a graph that is already at the effective batch size
     /// — the zero-copy entry point for serving layers that resolved the
     /// graph once up front.
+    ///
+    /// The expensive half of a prediction (feature extraction + GNN
+    /// backbone) is cached by `(graph_hash, batch, predictor version)`;
+    /// a repeat prediction of the same graph — on any platform — only
+    /// runs the per-platform MLP head and reports the much smaller
+    /// [`CACHED_PREDICT_COST_S`].
     pub fn predict_effective(
         &self,
         graph: &nnlqp_ir::Graph,
@@ -178,12 +232,108 @@ impl Nnlqp {
             .head_of
             .get(&spec.name)
             .ok_or_else(|| QueryError::UnknownPlatform(format!("no head for {}", spec.name)))?;
+        let key = self.embed_key(graph);
+        if let Some(emb) = self.embed_cache.get(&key) {
+            self.m_embed_hits.inc();
+            return Ok(PredictResult {
+                latency_ms: handle.model.head_eval(&emb, head),
+                cost_s: CACHED_PREDICT_COST_S,
+            });
+        }
+        self.m_embed_misses.inc();
         let feats = extract_features(graph);
-        let latency_ms = handle.model.predict_ms(&feats, head);
+        let emb = Arc::new(handle.model.embed(&feats));
+        let latency_ms = handle.model.head_eval(&emb, head);
+        self.embed_cache.insert(key, emb);
         Ok(PredictResult {
             latency_ms,
             cost_s: PREDICT_COST_S,
         })
+    }
+
+    /// Batched multi-platform prediction: hash and cache-probe every
+    /// graph, compute the missing embeddings in parallel (each runs the
+    /// backbone exactly once), then fan each embedding across all
+    /// requested platform heads. Numerically identical to calling
+    /// [`Nnlqp::predict`] per `(graph, platform)` pair — see the
+    /// `predict_fastpath` parity suite — while paying the backbone cost
+    /// per *graph* instead of per *pair*.
+    pub fn predict_batch(
+        &self,
+        graphs: &[nnlqp_ir::Graph],
+        platform_names: &[&str],
+    ) -> Result<BatchPredictResult, QueryError> {
+        let mut heads = Vec::with_capacity(platform_names.len());
+        let guard = self.predictor.read();
+        let handle = guard
+            .as_ref()
+            .ok_or_else(|| QueryError::UnknownPlatform("no predictor trained".into()))?;
+        for name in platform_names {
+            let spec = PlatformSpec::by_name(name)
+                .ok_or_else(|| QueryError::UnknownPlatform(name.to_string()))?;
+            let head = *handle
+                .head_of
+                .get(&spec.name)
+                .ok_or_else(|| QueryError::UnknownPlatform(format!("no head for {}", spec.name)))?;
+            heads.push(head);
+        }
+
+        // Serial probe pass: hash each graph and consult the cache.
+        let keys: Vec<EmbedKey> = graphs.iter().map(|g| self.embed_key(g)).collect();
+        let mut embeddings: Vec<Option<crate::embed_cache::SharedEmbedding>> =
+            keys.iter().map(|k| self.embed_cache.get(k)).collect();
+        let hits = embeddings.iter().flatten().count() as u64;
+        self.m_embed_hits.add(hits);
+
+        // Backbone pass over the misses only, embarrassingly parallel —
+        // the per-graph scratch arena keeps each worker allocation-light.
+        let missing: Vec<usize> = (0..graphs.len())
+            .filter(|&i| embeddings[i].is_none())
+            .collect();
+        self.m_embed_misses.add(missing.len() as u64);
+        let fresh: Vec<crate::embed_cache::SharedEmbedding> = missing
+            .par_iter()
+            .map(|&i| {
+                let feats = extract_features(&graphs[i]);
+                Arc::new(handle.model.embed(&feats))
+            })
+            .collect();
+        for (&i, emb) in missing.iter().zip(&fresh) {
+            self.embed_cache.insert(keys[i].clone(), Arc::clone(emb));
+            embeddings[i] = Some(Arc::clone(emb));
+        }
+
+        // Head fan-out: every embedding against every requested platform.
+        let latencies_ms: Vec<Vec<f64>> = embeddings
+            .par_iter()
+            .map(|emb| {
+                let emb = emb.as_ref().expect("all embeddings resolved");
+                let mut scratch = nnlqp_predict::Scratch::new();
+                heads
+                    .iter()
+                    .map(|&h| handle.model.head_eval_with(emb, h, &mut scratch))
+                    .collect()
+            })
+            .collect();
+
+        let misses = missing.len() as u64;
+        let total = (graphs.len() * platform_names.len()) as u64;
+        Ok(BatchPredictResult {
+            latencies_ms,
+            cost_s: misses as f64 * PREDICT_COST_S
+                + total.saturating_sub(misses) as f64 * CACHED_PREDICT_COST_S,
+            embed_hits: hits,
+            embed_misses: misses,
+        })
+    }
+
+    /// Cache key of a graph under the currently installed predictor.
+    fn embed_key(&self, graph: &nnlqp_ir::Graph) -> EmbedKey {
+        EmbedKey {
+            graph_hash: graph_hash(graph),
+            batch: graph.input_shape.batch() as u32,
+            version: self.predictor_version.load(Ordering::Acquire),
+        }
     }
 }
 
@@ -259,5 +409,151 @@ mod tests {
             .train_predictor(&["gpu-T4-trt7.1-fp32"], Default::default())
             .unwrap();
         assert_eq!(n, 0);
+    }
+
+    /// A tiny trained system plus a disjoint probe graph.
+    fn trained_system() -> (Nnlqp, nnlqp_ir::Graph) {
+        let s = Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .reps(3)
+            .build();
+        let t4 = Platform::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        let models: Vec<nnlqp_ir::Graph> =
+            nnlqp_models::generate_family(ModelFamily::SqueezeNet, 8, 3)
+                .into_iter()
+                .map(|m| m.graph)
+                .collect();
+        s.warm_cache(&models, &t4, 1).unwrap();
+        s.train_predictor(
+            &["gpu-T4-trt7.1-fp32", "cpu-openppl-fp32"],
+            TrainPredictorConfig {
+                epochs: 3,
+                hidden: 16,
+                gnn_layers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let probe = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 20, 77)
+            .pop()
+            .unwrap()
+            .graph;
+        (s, probe)
+    }
+
+    #[test]
+    fn repeat_prediction_hits_embed_cache_and_is_identical() {
+        let (s, probe) = trained_system();
+        let p = QueryParams::by_name(probe, 1, "gpu-T4-trt7.1-fp32").unwrap();
+        let first = s.predict(&p).unwrap();
+        assert_eq!(first.cost_s, PREDICT_COST_S);
+        let second = s.predict(&p).unwrap();
+        assert_eq!(
+            second.latency_ms, first.latency_ms,
+            "hit must be bit-identical"
+        );
+        assert_eq!(second.cost_s, CACHED_PREDICT_COST_S);
+        // Same graph, other platform: backbone shared, head differs.
+        let cross = s.predict_effective(&p.model, "cpu-openppl-fp32").unwrap();
+        assert_eq!(cross.cost_s, CACHED_PREDICT_COST_S);
+        let snap = s.registry().snapshot();
+        assert_eq!(
+            snap.counter(crate::metric_names::EMBED_HITS),
+            2,
+            "repeat + cross-platform both hit"
+        );
+        assert_eq!(snap.counter(crate::metric_names::EMBED_MISSES), 1);
+    }
+
+    #[test]
+    fn hot_swap_invalidates_embed_cache() {
+        let (s, probe) = trained_system();
+        let p = QueryParams::by_name(probe, 1, "gpu-T4-trt7.1-fp32").unwrap();
+        let v0 = s.predictor_version();
+        s.predict(&p).unwrap(); // populate the cache
+                                // Hot-swap the same handle back in: the version bump alone must
+                                // force the next prediction down the full-backbone path.
+        let handle = s.predictor.read().clone().unwrap();
+        s.set_predictor(handle);
+        assert_eq!(s.predictor_version(), v0 + 1);
+        let after = s.predict(&p).unwrap();
+        assert_eq!(
+            after.cost_s, PREDICT_COST_S,
+            "stale embedding must not serve"
+        );
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter(crate::metric_names::EMBED_MISSES), 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_always_misses() {
+        let s = Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .reps(3)
+            .embed_cache(0)
+            .build();
+        let t4 = Platform::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        let models: Vec<nnlqp_ir::Graph> =
+            nnlqp_models::generate_family(ModelFamily::SqueezeNet, 6, 3)
+                .into_iter()
+                .map(|m| m.graph)
+                .collect();
+        s.warm_cache(&models, &t4, 1).unwrap();
+        s.train_predictor(
+            &["gpu-T4-trt7.1-fp32"],
+            TrainPredictorConfig {
+                epochs: 2,
+                hidden: 16,
+                gnn_layers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let p = QueryParams::by_name(models[0].clone(), 1, "gpu-T4-trt7.1-fp32").unwrap();
+        let a = s.predict(&p).unwrap();
+        let b = s.predict(&p).unwrap();
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(b.cost_s, PREDICT_COST_S, "caching disabled");
+        assert_eq!(
+            s.registry()
+                .snapshot()
+                .counter(crate::metric_names::EMBED_MISSES),
+            2
+        );
+    }
+
+    #[test]
+    fn predict_batch_shares_backbone_across_heads() {
+        let (s, probe) = trained_system();
+        let more = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 21, 78)
+            .pop()
+            .unwrap()
+            .graph;
+        let graphs = vec![probe, more];
+        let platforms = ["gpu-T4-trt7.1-fp32", "cpu-openppl-fp32"];
+        let batch = s.predict_batch(&graphs, &platforms).unwrap();
+        assert_eq!(batch.latencies_ms.len(), 2);
+        assert_eq!(batch.embed_misses, 2, "one backbone run per graph");
+        assert_eq!(batch.embed_hits, 0);
+        // Bit-for-bit equal to the per-call path served from the cache
+        // the batch populated.
+        for (g, row) in graphs.iter().zip(&batch.latencies_ms) {
+            for (name, &want) in platforms.iter().zip(row) {
+                let got = s.predict_effective(g, name).unwrap();
+                assert_eq!(got.latency_ms, want);
+                assert_eq!(got.cost_s, CACHED_PREDICT_COST_S);
+            }
+        }
+        // Re-batching the same graphs is all hits and cheaper.
+        let again = s.predict_batch(&graphs, &platforms).unwrap();
+        assert_eq!(again.embed_hits, 2);
+        assert_eq!(again.latencies_ms, batch.latencies_ms);
+        assert!(again.cost_s < batch.cost_s);
+    }
+
+    #[test]
+    fn predict_batch_rejects_unknown_platform() {
+        let (s, probe) = trained_system();
+        assert!(s.predict_batch(&[probe], &["quantum-coprocessor"]).is_err());
     }
 }

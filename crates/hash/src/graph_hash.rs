@@ -27,16 +27,44 @@ fn attr_hash(algo: HashAlgo, node: &nnlqp_ir::Node) -> u64 {
 /// descendant sub-graphs rooted there are identical in topology, attributes
 /// and shapes.
 pub fn node_hashes(g: &Graph, algo: HashAlgo) -> Vec<u64> {
-    let succ = g.successors();
-    let mut hashes = vec![0u64; g.len()];
+    let n = g.len();
+    // Successor lists in CSR form (two flat buffers) instead of one Vec
+    // per node: counting pass, prefix sums, then a scatter pass.
+    let mut offsets = vec![0u32; n + 1];
+    for (_, node) in g.iter() {
+        for &inp in &node.inputs {
+            offsets[inp.index() + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut succ = vec![0u32; offsets[n] as usize];
+    let mut cursor = offsets.clone();
+    for (id, node) in g.iter() {
+        for &inp in &node.inputs {
+            let c = &mut cursor[inp.index()];
+            succ[*c as usize] = id.0;
+            *c += 1;
+        }
+    }
+    let mut hashes = vec![0u64; n];
+    // One record buffer reused across nodes — the hot path of every query
+    // and cache key allocates nothing per node.
+    let mut record: Vec<u64> = Vec::new();
     // Nodes are stored in topological order; walk backwards.
-    for i in (0..g.len()).rev() {
-        let mut succ_hashes: Vec<u64> = succ[i].iter().map(|s| hashes[s.index()]).collect();
-        succ_hashes.sort_unstable(); // f_sort over successor hashes
+    for i in (0..n).rev() {
+        record.clear();
+        record.extend(
+            succ[offsets[i] as usize..offsets[i + 1] as usize]
+                .iter()
+                .map(|&s| hashes[s as usize]),
+        );
+        record.sort_unstable(); // f_sort over successor hashes
         let mut h = StreamHasher::new(algo);
         h.write_u64(attr_hash(algo, &g.nodes[i]));
-        h.write_u64(succ_hashes.len() as u64);
-        h.write_all(&succ_hashes);
+        h.write_u64(record.len() as u64);
+        h.write_all(&record);
         hashes[i] = h.finish();
     }
     hashes

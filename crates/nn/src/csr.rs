@@ -71,24 +71,36 @@ impl Csr {
     /// isolated nodes).
     pub fn mean_agg(&self, x: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.n(), x.cols);
+        self.mean_agg_into(x, &mut out);
+        out
+    }
+
+    /// [`Csr::mean_agg`] written into a caller-provided (scratch) matrix —
+    /// zeroed first, then accumulated row-by-row in neighbor order, so the
+    /// result is bit-identical to the allocating form.
+    pub fn mean_agg_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.n(), x.cols),
+            "mean_agg out shape mismatch"
+        );
+        out.data.fill(0.0);
         for i in 0..self.n() {
             let nb = self.neighbors(i);
             if nb.is_empty() {
                 continue;
             }
             let inv = 1.0 / nb.len() as f32;
-            // Split borrow: copy into a scratch row then write once.
-            let mut acc = vec![0.0f32; x.cols];
+            let orow = out.row_mut(i);
             for &j in nb {
-                for (a, &v) in acc.iter_mut().zip(x.row(j as usize)) {
-                    *a += v;
+                for (o, &v) in orow.iter_mut().zip(x.row(j as usize)) {
+                    *o += v;
                 }
             }
-            for (o, a) in out.row_mut(i).iter_mut().zip(&acc) {
-                *o = a * inv;
+            for o in orow {
+                *o *= inv;
             }
         }
-        out
     }
 
     /// Backward of [`Csr::mean_agg`]: given `d_out`, scatter
@@ -102,8 +114,7 @@ impl Csr {
             }
             let inv = 1.0 / nb.len() as f32;
             for &j in nb {
-                let src: Vec<f32> = d_out.row(i).to_vec();
-                for (d, v) in dx.row_mut(j as usize).iter_mut().zip(src) {
+                for (d, &v) in dx.row_mut(j as usize).iter_mut().zip(d_out.row(i)) {
                     *d += v * inv;
                 }
             }
@@ -141,6 +152,18 @@ mod tests {
         // node0: mean(row1) = [3,2]; node1: mean(rows 0,2) = [3,2];
         // node2: mean(row1) = [3,2].
         assert_eq!(y.data, vec![3.0, 2.0, 3.0, 2.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_agg_into_matches_allocating_form() {
+        use nnlqp_ir::Rng64;
+        let mut r = Rng64::new(21);
+        let csr = Csr::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4)]);
+        let x = Matrix::from_fn(6, 4, |_, _| r.range_f64(-1.0, 1.0) as f32);
+        let want = csr.mean_agg(&x);
+        let mut out = Matrix::from_fn(6, 4, |_, _| f32::NAN);
+        csr.mean_agg_into(&x, &mut out);
+        assert_eq!(out, want);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! training trivial: forward/backward borrow the model immutably, per-
 //! sample gradients are summed afterwards.
 
-use crate::tensor::Matrix;
+use crate::tensor::{Activation, Matrix};
 use nnlqp_ir::Rng64;
 use serde::{Deserialize, Serialize};
 
@@ -90,6 +90,15 @@ impl Linear {
         y
     }
 
+    /// Fused inference entry point: `out = act(x W + b)` with no
+    /// intermediate matrices — the GEMM writes `out` in place (via `pack`
+    /// for panel reuse) and the bias + activation run as one epilogue
+    /// sweep. Arithmetic is bit-identical to `forward` followed by `relu`.
+    pub fn forward_into(&self, x: &Matrix, act: Activation, out: &mut Matrix, pack: &mut Vec<f32>) {
+        x.matmul_into(&self.w, out, pack);
+        out.bias_act(&self.b, act);
+    }
+
     /// Backward. `x` is the forward input, `dy` the upstream gradient.
     /// Returns `(dx, grads)`.
     pub fn backward(&self, x: &Matrix, dy: &Matrix) -> (Matrix, LinearGrad) {
@@ -109,6 +118,15 @@ pub fn relu(x: &Matrix) -> Matrix {
         }
     }
     y
+}
+
+/// ReLU in place (inference path — no extra matrix).
+pub fn relu_inplace(x: &mut Matrix) {
+    for v in &mut x.data {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
 }
 
 /// ReLU backward: gradient masked by the forward *input* sign.
@@ -183,6 +201,23 @@ pub fn l2_normalize_rows(x: &Matrix) -> (Matrix, Vec<f32>) {
         norms.push(n);
     }
     (y, norms)
+}
+
+/// [`l2_normalize_rows`] in place, discarding the norms (inference path —
+/// the backward pass never runs, so nothing needs to be kept).
+pub fn l2_normalize_rows_inplace(x: &mut Matrix) {
+    for i in 0..x.rows {
+        let n = x
+            .row(i)
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+            .max(L2_EPS);
+        for v in x.row_mut(i) {
+            *v /= n;
+        }
+    }
 }
 
 /// Backward of row-wise L2 normalization:
@@ -281,6 +316,31 @@ mod tests {
             let num = numeric_grad(&mut f, x.get(i, j));
             assert!((num - dx.get(i, j) as f64).abs() < 1e-2);
         }
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused_bitwise() {
+        let mut rng = Rng64::new(17);
+        let l = Linear::new(6, 5, &mut rng);
+        let x = rand_mat(7, 6, 18);
+        let unfused = relu(&l.forward(&x));
+        let mut pack = Vec::new();
+        let mut out = Matrix::zeros(7, 5);
+        l.forward_into(&x, Activation::Relu, &mut out, &mut pack);
+        assert_eq!(out, unfused);
+        l.forward_into(&x, Activation::Identity, &mut out, &mut pack);
+        assert_eq!(out, l.forward(&x));
+    }
+
+    #[test]
+    fn inplace_variants_match() {
+        let x = rand_mat(5, 4, 19);
+        let mut r = x.clone();
+        relu_inplace(&mut r);
+        assert_eq!(r, relu(&x));
+        let mut n = x.clone();
+        l2_normalize_rows_inplace(&mut n);
+        assert_eq!(n, l2_normalize_rows(&x).0);
     }
 
     #[test]

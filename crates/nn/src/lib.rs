@@ -4,7 +4,9 @@
 //! replaces PyTorch for the NNLP predictor (the Rust ecosystem offers no
 //! GNN training stack, so it is built here from scratch):
 //!
-//! * dense f32 [`Matrix`] math with rayon-parallel multiplication,
+//! * dense f32 [`Matrix`] math with rayon-parallel, packed-panel
+//!   multiplication, plus fused GEMM+bias+activation entry points and a
+//!   [`Scratch`] arena for the allocation-free inference path,
 //! * purely-functional layers with hand-derived backward passes
 //!   ([`Linear`], [`relu`], [`Dropout`], [`l2_normalize_rows`]) so batches
 //!   can be differentiated in parallel and gradients summed,
@@ -30,9 +32,10 @@ pub use adam::Adam;
 pub use csr::Csr;
 pub use forest::{RandomForest, RandomForestConfig};
 pub use layers::{
-    l2_normalize_rows, l2_normalize_rows_backward, relu, relu_backward, Dropout, Linear, LinearGrad,
+    l2_normalize_rows, l2_normalize_rows_backward, l2_normalize_rows_inplace, relu, relu_backward,
+    relu_inplace, Dropout, Linear, LinearGrad,
 };
 pub use linreg::LinearRegression;
 pub use sage::{SageGrad, SageLayer};
-pub use tensor::Matrix;
+pub use tensor::{Activation, Matrix, Scratch};
 pub use tree::{RegressionTree, TreeConfig};

@@ -5,8 +5,11 @@
 //! ```
 
 use crate::csr::Csr;
-use crate::layers::{l2_normalize_rows, l2_normalize_rows_backward, Linear, LinearGrad};
-use crate::tensor::Matrix;
+use crate::layers::{
+    l2_normalize_rows, l2_normalize_rows_backward, l2_normalize_rows_inplace, relu_inplace, Linear,
+    LinearGrad,
+};
+use crate::tensor::{Activation, Matrix, Scratch};
 use nnlqp_ir::Rng64;
 use serde::{Deserialize, Serialize};
 
@@ -119,6 +122,31 @@ impl SageLayer {
         )
     }
 
+    /// Inference-only forward: the same arithmetic as
+    /// [`SageLayer::forward`] — bit for bit — without building the
+    /// backward cache, running on the fused GEMM+bias kernels and scratch
+    /// buffers. The two linear paths are computed into separate scratch
+    /// matrices and then summed, preserving the `(x W1 + b1) + (agg W2 +
+    /// b2)` association of the training path.
+    pub fn forward_eval(&self, x: &Matrix, adj: &Csr, scratch: &mut Scratch) -> Matrix {
+        let mut agg = scratch.take(x.rows, x.cols);
+        adj.mean_agg_into(x, &mut agg);
+        let mut out = scratch.take(x.rows, self.w1.w.cols);
+        self.w1
+            .forward_into(x, Activation::Identity, &mut out, scratch.pack_buf());
+        let mut y2 = scratch.take(x.rows, self.w2.w.cols);
+        self.w2
+            .forward_into(&agg, Activation::Identity, &mut y2, scratch.pack_buf());
+        out.add_assign(&y2);
+        scratch.put(agg);
+        scratch.put(y2);
+        if self.relu {
+            relu_inplace(&mut out);
+        }
+        l2_normalize_rows_inplace(&mut out);
+        out
+    }
+
     /// Backward; returns `(dx, grads)`.
     pub fn backward(&self, cache: &SageCache, dy: &Matrix, adj: &Csr) -> (Matrix, SageGrad) {
         // Through the normalization.
@@ -173,6 +201,24 @@ mod tests {
             assert!((n - 1.0).abs() < 1e-4 || n < 1e-4, "row {i} norm {n}");
             assert!(y.row(i).iter().all(|&v| v >= 0.0));
         }
+    }
+
+    #[test]
+    fn forward_eval_matches_forward_bitwise() {
+        let (layer, x, adj) = setup();
+        let (want, _) = layer.forward(&x, &adj);
+        let mut scratch = Scratch::new();
+        let got = layer.forward_eval(&x, &adj, &mut scratch);
+        assert_eq!(got, want);
+        // Second pass through the (now warm) scratch arena is identical.
+        scratch.put(got);
+        let again = layer.forward_eval(&x, &adj, &mut scratch);
+        assert_eq!(again, want);
+        // And without the ReLU.
+        let mut no_relu = layer;
+        no_relu.relu = false;
+        let (want2, _) = no_relu.forward(&x, &adj);
+        assert_eq!(no_relu.forward_eval(&x, &adj, &mut scratch), want2);
     }
 
     #[test]

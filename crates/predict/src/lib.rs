@@ -36,4 +36,5 @@ pub use features::{
 };
 pub use metrics::{acc_at, kendall_tau, mape};
 pub use model::{Head, NnlpConfig, NnlpModel};
+pub use nnlqp_nn::Scratch;
 pub use train::{train, Dataset, Sample, TrainConfig, TrainReport};

@@ -12,9 +12,10 @@
 use crate::features::{GraphFeatures, Normalizer, NODE_FEAT_DIM, STATIC_DIM};
 use nnlqp_ir::Rng64;
 use nnlqp_nn::{
-    layers::mse_loss, relu, relu_backward, Adam, Csr, Dropout, Linear, LinearGrad, Matrix,
-    SageGrad, SageLayer,
+    layers::mse_loss, relu, relu_backward, Activation, Adam, Csr, Dropout, Linear, LinearGrad,
+    Matrix, SageGrad, SageLayer, Scratch,
 };
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Conditioning factor applied to the sum-pooled graph embedding; see the
@@ -207,6 +208,26 @@ impl Head {
                 a2,
             },
         )
+    }
+
+    /// Inference-only forward on the fused GEMM+bias+activation kernels:
+    /// arithmetic identical — bit for bit — to [`Head::forward`] with
+    /// dropout disabled, with every intermediate drawn from `scratch`.
+    fn eval(&self, x: &Matrix, scratch: &mut Scratch) -> f32 {
+        let mut a1 = scratch.take(x.rows, self.l1.w.cols);
+        self.l1
+            .forward_into(x, Activation::Relu, &mut a1, scratch.pack_buf());
+        let mut a2 = scratch.take(a1.rows, self.l2.w.cols);
+        self.l2
+            .forward_into(&a1, Activation::Relu, &mut a2, scratch.pack_buf());
+        let mut out = scratch.take(a2.rows, 1);
+        self.l3
+            .forward_into(&a2, Activation::Identity, &mut out, scratch.pack_buf());
+        let pred = out.get(0, 0);
+        scratch.put(a1);
+        scratch.put(a2);
+        scratch.put(out);
+        pred
     }
 
     fn backward(&self, cache: &HeadCache, d_pred: f32, dropout: f64) -> (Matrix, HeadGrad) {
@@ -437,7 +458,7 @@ impl NnlpModel {
                     h = out;
                 }
             }
-            let mut pooled = h.sum_rows();
+            let mut pooled = h.col_sums();
             // Sum pooling (Eq. 5) keeps graph-size information, but its
             // magnitude grows with node count, which mis-conditions the
             // Kaiming-initialized head; a fixed scale restores unit-order
@@ -501,52 +522,98 @@ impl NnlpModel {
         }
     }
 
+    /// The expensive half of a prediction: normalize the raw features, run
+    /// the GNN backbone and pool into the shared graph embedding
+    /// (`f(;alpha)` in the paper, static features appended), drawing every
+    /// intermediate from `scratch`. The cheap half is
+    /// [`NnlpModel::head_eval_with`]; composed they reproduce the training
+    /// path's forward bit for bit.
+    pub fn embed_with(&self, feats: &GraphFeatures, scratch: &mut Scratch) -> Vec<f32> {
+        let stat = self.norm.normalize_stat(&feats.stat);
+        let mut emb: Vec<f32> = if !self.cfg.use_node_feats {
+            Vec::new()
+        } else {
+            let mut h = self.norm.normalize_nodes(&feats.nodes);
+            if self.cfg.use_gnn {
+                for layer in &self.sage {
+                    let next = layer.forward_eval(&h, &feats.adj, scratch);
+                    scratch.put(h);
+                    h = next;
+                }
+            }
+            let mut pooled = h.col_sums();
+            let inv = if self.cfg.mean_pool {
+                1.0 / h.rows.max(1) as f32
+            } else {
+                SUM_POOL_SCALE
+            };
+            scratch.put(h);
+            for v in &mut pooled {
+                *v *= inv;
+            }
+            pooled
+        };
+        if self.cfg.use_static {
+            emb.extend_from_slice(&stat);
+        }
+        emb
+    }
+
+    /// [`NnlpModel::embed_with`] over a private scratch arena.
+    pub fn embed(&self, feats: &GraphFeatures) -> Vec<f32> {
+        self.embed_with(feats, &mut Scratch::new())
+    }
+
+    /// The cheap half of a prediction: run one platform head (`g(;beta_P)`)
+    /// over a shared embedding and map back to milliseconds. `emb` must
+    /// come from [`NnlpModel::embed_with`] (or an embedding cache) for
+    /// this exact model.
+    pub fn head_eval_with(&self, emb: &[f32], head_idx: usize, scratch: &mut Scratch) -> f64 {
+        let mut x = scratch.take(1, emb.len());
+        x.data.copy_from_slice(emb);
+        let pred = self.heads[head_idx].eval(&x, scratch);
+        scratch.put(x);
+        (pred as f64).exp_m1().max(1e-6)
+    }
+
+    /// [`NnlpModel::head_eval_with`] over a private scratch arena.
+    pub fn head_eval(&self, emb: &[f32], head_idx: usize) -> f64 {
+        self.head_eval_with(emb, head_idx, &mut Scratch::new())
+    }
+
     /// Predict latency in milliseconds for raw (un-normalized) features.
     pub fn predict_ms(&self, feats: &GraphFeatures, head_idx: usize) -> f64 {
-        let nodes = self.norm.normalize_nodes(&feats.nodes);
-        let stat = self.norm.normalize_stat(&feats.stat);
-        let (pred_log, _) = self.forward(&nodes, &feats.adj, &stat, head_idx, None);
-        (pred_log as f64).exp_m1().max(1e-6)
+        let mut scratch = Scratch::new();
+        let emb = self.embed_with(feats, &mut scratch);
+        self.head_eval_with(&emb, head_idx, &mut scratch)
     }
 
     /// Predict latency on *every* platform head from a single backbone
     /// pass — the §8.5 efficiency of the multi-head design (the shared
     /// embedding is computed once; heads are cheap).
     pub fn predict_all_heads_ms(&self, feats: &GraphFeatures) -> Vec<f64> {
-        let nodes = self.norm.normalize_nodes(&feats.nodes);
-        let stat = self.norm.normalize_stat(&feats.stat);
-        // One backbone pass.
-        let pooled: Vec<f32> = if !self.cfg.use_node_feats {
-            Vec::new()
-        } else {
-            let mut h = nodes;
-            if self.cfg.use_gnn {
-                for layer in &self.sage {
-                    let (out, _) = layer.forward(&h, &feats.adj);
-                    h = out;
-                }
-            }
-            let mut pooled = h.sum_rows();
-            let inv = if self.cfg.mean_pool {
-                1.0 / h.rows.max(1) as f32
-            } else {
-                SUM_POOL_SCALE
-            };
-            for v in &mut pooled {
-                *v *= inv;
-            }
-            pooled
-        };
-        let mut emb = pooled;
-        if self.cfg.use_static {
-            emb.extend_from_slice(&stat);
-        }
-        let x = Matrix::from_rows(1, emb.len(), emb);
-        self.heads
-            .iter()
-            .map(|head| {
-                let (p, _) = head.forward(x.clone(), 0.0, None);
-                (p as f64).exp_m1().max(1e-6)
+        let mut scratch = Scratch::new();
+        let emb = self.embed_with(feats, &mut scratch);
+        (0..self.heads.len())
+            .map(|h| self.head_eval_with(&emb, h, &mut scratch))
+            .collect()
+    }
+
+    /// Batched prediction: embeddings run rayon-parallel (one backbone
+    /// pass per graph, each worker on its own scratch arena), then each
+    /// embedding fans out across `head_idxs`. Returns latencies in
+    /// milliseconds indexed `[graph][requested head]`, bit-identical to
+    /// calling [`NnlpModel::predict_ms`] per (graph, head) pair.
+    pub fn predict_batch(&self, feats: &[GraphFeatures], head_idxs: &[usize]) -> Vec<Vec<f64>> {
+        feats
+            .par_iter()
+            .map(|f| {
+                let mut scratch = Scratch::new();
+                let emb = self.embed_with(f, &mut scratch);
+                head_idxs
+                    .iter()
+                    .map(|&h| self.head_eval_with(&emb, h, &mut scratch))
+                    .collect()
             })
             .collect()
     }
@@ -627,6 +694,48 @@ mod tests {
         let (m, feats) = make_model(NnlpConfig::default());
         let p = m.predict_ms(&feats, 0);
         assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn embed_and_head_eval_match_forward_bitwise() {
+        for cfg in [
+            NnlpConfig::default(),
+            NnlpConfig::without_node_features(),
+            NnlpConfig::without_gnn(),
+            NnlpConfig::without_static(),
+            NnlpConfig::brp_nas(),
+        ] {
+            let (m, feats) = make_model(cfg);
+            // Slow path: the training-kernel forward.
+            let nodes = m.norm.normalize_nodes(&feats.nodes);
+            let stat = m.norm.normalize_stat(&feats.stat);
+            let (pred_log, _) = m.forward(&nodes, &feats.adj, &stat, 0, None);
+            let want = (pred_log as f64).exp_m1().max(1e-6);
+            // Fast path: split embed + head_eval on fused kernels.
+            let emb = m.embed(&feats);
+            assert_eq!(emb.len(), m.cfg.embedding_dim());
+            assert_eq!(m.head_eval(&emb, 0), want);
+            assert_eq!(m.predict_ms(&feats, 0), want);
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_sample_bitwise() {
+        let (mut m, feats) = make_model(NnlpConfig::default());
+        m.add_head(&mut Rng64::new(85));
+        let feats2 = {
+            let mut b = GraphBuilder::new("t2", Shape::nchw(1, 3, 8, 8));
+            let c = b.conv(None, 4, 3, 1, 1, 1).unwrap();
+            b.relu(c).unwrap();
+            extract_features(&b.finish().unwrap())
+        };
+        let batch = m.predict_batch(&[feats.clone(), feats2.clone()], &[0, 1]);
+        assert_eq!(batch.len(), 2);
+        for (f, row) in [&feats, &feats2].into_iter().zip(&batch) {
+            assert_eq!(row[0], m.predict_ms(f, 0));
+            assert_eq!(row[1], m.predict_ms(f, 1));
+        }
+        assert_eq!(batch[0], m.predict_all_heads_ms(&feats));
     }
 
     #[test]

@@ -43,23 +43,27 @@ impl Dataset {
     /// fitted on exactly these graphs — fit on *training* data only, then
     /// use [`Dataset::extend_with`] for evaluation sets.
     pub fn build(entries: &[(&Graph, f64, usize)]) -> Dataset {
+        // Feature extraction is the serial front half of every retrain
+        // (including serve's background retrain loop) — run it, and the
+        // per-sample normalization, graph-parallel with rayon.
         let feats: Vec<GraphFeatures> = entries
-            .iter()
+            .par_iter()
             .map(|(g, _, _)| extract_features(g))
             .collect();
         let norm = Normalizer::fit(&feats.iter().collect::<Vec<_>>());
         let samples = feats
-            .iter()
+            .par_iter()
             .zip(entries)
             .map(|(f, (_, ms, head))| make_sample(f, *ms, *head, &norm))
             .collect();
         Dataset { samples, norm }
     }
 
-    /// Featurize additional graphs with this dataset's normalizer.
+    /// Featurize additional graphs with this dataset's normalizer
+    /// (graph-parallel, like [`Dataset::build`]).
     pub fn extend_with(&self, entries: &[(&Graph, f64, usize)]) -> Vec<Sample> {
         entries
-            .iter()
+            .par_iter()
             .map(|(g, ms, head)| {
                 let f = extract_features(g);
                 make_sample(&f, *ms, *head, &self.norm)

@@ -714,6 +714,55 @@ mod tests {
     }
 
     #[test]
+    fn degrade_repeat_keys_hit_embed_cache() {
+        let system = quick_system();
+        let models: Vec<Graph> = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 8, 3)
+            .into_iter()
+            .map(|m| m.graph)
+            .collect();
+        system
+            .warm_cache(&models, &Platform::by_name(PLATFORM).unwrap(), 1)
+            .unwrap();
+        system
+            .train_predictor(
+                &[PLATFORM],
+                TrainPredictorConfig {
+                    epochs: 4,
+                    hidden: 16,
+                    gnn_layers: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let cfg = ServeConfig {
+            degrade_backlog: 0,
+            ..small_cfg()
+        };
+        let svc = LatencyService::start(Arc::clone(&system), cfg);
+        let fresh = Arc::new(
+            nnlqp_models::generate_family(ModelFamily::SqueezeNet, 30, 99)
+                .pop()
+                .unwrap()
+                .graph,
+        );
+        // Degraded answers are not stored in the hot cache or the db, so
+        // every repeat re-enters the predictor — where the embed cache
+        // turns all but the first into head-only evaluations.
+        let first = svc.query(&fresh, PLATFORM, 1).unwrap();
+        let second = svc.query(&fresh, PLATFORM, 1).unwrap();
+        let third = svc.query(&fresh, PLATFORM, 1).unwrap();
+        assert_eq!(first.source, Source::Predicted);
+        assert_eq!(second.latency_ms, first.latency_ms);
+        assert_eq!(third.latency_ms, first.latency_ms);
+        let snap = system.registry().snapshot();
+        assert_eq!(snap.counter("predict.embed_cache_misses"), 1);
+        assert!(
+            snap.counter("predict.embed_cache_hits") >= 2,
+            "repeat degraded keys must be embed-cache hits"
+        );
+    }
+
+    #[test]
     fn retrain_loop_hot_swaps_predictor() {
         let system = quick_system();
         assert!(!system.has_predictor_for(PLATFORM));
