@@ -9,13 +9,16 @@
 //! nnlqp export-model --family ResNet --output model.json
 //! nnlqp lint    --model model.json [--platform NAME] [--json]
 //! nnlqp lint    --all-families
+//! nnlqp metrics [--platform NAME] [--family FAMILY] [--count N]
 //! ```
 //!
 //! Model files are the JSON graph format of `nnlqp_ir::serialize`.
 //! `lint` exits 1 when the analyzer reports any error-severity finding.
 //! `trace` emits a Chrome-trace JSON timeline of one traced query (load
 //! it in Perfetto / `chrome://tracing`), or a text timeline with
-//! `--flame`.
+//! `--flame`. `metrics` runs a small measure-then-hit workload and prints
+//! the whole metrics registry in Prometheus text exposition format,
+//! self-checked through the bundled parser.
 
 use nnlqp::{Nnlqp, Platform, QueryParams, TrainPredictorConfig};
 use nnlqp_ir::serialize;
@@ -35,6 +38,8 @@ fn usage() -> ! {
     eprintln!("  nnlqp export-model --family FAMILY --output FILE [--seed S]");
     eprintln!("  nnlqp lint    (--model FILE | --family FAMILY | --all-families)");
     eprintln!("                [--platform NAME] [--json]");
+    eprintln!("  nnlqp metrics [--platform NAME] [--family FAMILY] [--count N]");
+    eprintln!("                [--batch N] [--reps R] [--seed S] [--output FILE]");
     std::process::exit(2);
 }
 
@@ -256,6 +261,71 @@ fn main() {
                     eprintln!("wrote {path}");
                 }
                 None => println!("{rendered}"),
+            }
+        }
+        "metrics" => {
+            let system = build_system(&flags);
+            let name = flags
+                .get("platform")
+                .cloned()
+                .unwrap_or_else(|| "gpu-T4-trt7.1-fp32".to_string());
+            let platform = Platform::parse(system.farm(), &name).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            let family = flags
+                .get("family")
+                .map(|f| {
+                    ModelFamily::parse(f).unwrap_or_else(|| {
+                        eprintln!("error: --family must name a model family");
+                        usage();
+                    })
+                })
+                .unwrap_or(ModelFamily::SqueezeNet);
+            let count: usize = flags
+                .get("count")
+                .map(|s| s.parse().expect("--count must be a number"))
+                .unwrap_or(4);
+            // A small deterministic workload so every family has data:
+            // measure `count` variants, then re-query them (cache hits).
+            let variants: Vec<_> = nnlqp_models::generate_family(family, count, 1)
+                .into_iter()
+                .map(|m| m.graph)
+                .collect();
+            system
+                .warm_cache(&variants, &platform, batch)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            for g in &variants {
+                system
+                    .query(&QueryParams::new(g.clone(), batch, platform.clone()))
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    });
+            }
+            let text = nnlqp::to_prometheus(&system.registry().snapshot());
+            // Self-check: the exposition must round-trip through the
+            // bundled parser before anyone scrapes it.
+            let samples = nnlqp_obs::parse_prometheus(&text).unwrap_or_else(|e| {
+                eprintln!("error: exposition failed self-check: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "{} samples across the registry (self-check passed)",
+                samples.len()
+            );
+            match flags.get("output") {
+                Some(path) => {
+                    std::fs::write(path, &text).unwrap_or_else(|e| {
+                        eprintln!("error: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{text}"),
             }
         }
         "predict" => {

@@ -4,7 +4,8 @@ use nnlqp_db::{Database, PlatformId};
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::{cost, Graph, Rng64};
 use nnlqp_obs::{
-    Counter, Histogram, MetricsRegistry, Recorder, SimClock, Span, Track, STAGE_SECONDS_BOUNDS,
+    Counter, Gauge, Histogram, MetricsRegistry, Recorder, SimClock, Span, Track,
+    STAGE_SECONDS_BOUNDS,
 };
 use nnlqp_sim::{DeviceFarm, FarmError, Platform, PlatformSpec, QueryJob};
 use parking_lot::Mutex;
@@ -139,6 +140,8 @@ pub mod metric_names {
     /// Counter: predictions that paid the full feature-extraction + GNN
     /// backbone cost.
     pub const EMBED_MISSES: &str = "predict.embed_cache_misses";
+    /// Gauge: graph embeddings currently cached.
+    pub const EMBED_LEN: &str = "predict.embed_cache_len";
 }
 
 /// The NNLQP system object. Construct with [`Nnlqp::builder`].
@@ -168,6 +171,7 @@ pub struct Nnlqp {
     pub(crate) embed_cache: crate::embed_cache::EmbedCache,
     pub(crate) m_embed_hits: Arc<Counter>,
     pub(crate) m_embed_misses: Arc<Counter>,
+    pub(crate) g_embed_len: Arc<Gauge>,
 }
 
 /// Default base seed (`b"NNLQP!"` as a integer tag).
@@ -273,6 +277,7 @@ impl NnlqpBuilder {
         let h_measure_s = registry.histogram(metric_names::STAGE_MEASURE_S, &STAGE_SECONDS_BOUNDS);
         let m_embed_hits = registry.counter(metric_names::EMBED_HITS);
         let m_embed_misses = registry.counter(metric_names::EMBED_MISSES);
+        let g_embed_len = registry.gauge(metric_names::EMBED_LEN);
         let embed_capacity = self
             .embed_cache_capacity
             .unwrap_or(DEFAULT_EMBED_CACHE_CAPACITY);
@@ -294,6 +299,7 @@ impl NnlqpBuilder {
             embed_cache: crate::embed_cache::EmbedCache::new(embed_capacity, EMBED_CACHE_SHARDS),
             m_embed_hits,
             m_embed_misses,
+            g_embed_len,
         }
     }
 }
@@ -367,6 +373,12 @@ impl Nnlqp {
     /// [`CountersSnapshot::measurements`].
     pub fn farm_measurements(&self) -> u64 {
         self.farm.measurements_performed()
+    }
+
+    /// Graph embeddings currently cached (also published as the
+    /// `predict.embed_cache_len` gauge).
+    pub fn embed_cache_len(&self) -> usize {
+        self.embed_cache.len()
     }
 
     /// Resolve the effective graph at the requested batch size.

@@ -34,6 +34,9 @@ pub use embed_cache::{EmbedCache, EmbedKey, SharedEmbedding};
 pub use interface::{
     metric_names, CountersSnapshot, Nnlqp, NnlqpBuilder, QueryError, QueryParams, QueryResult,
 };
+pub use nnlqp_obs::{
+    to_prometheus, DriftAlert, EventLog, MonitorConfig, QualityMonitor, QualityReport,
+};
 pub use nnlqp_sim::Platform;
 pub use predictor::{
     BatchPredictResult, PredictResult, PredictorHandle, TrainPredictorConfig,

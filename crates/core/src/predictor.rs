@@ -245,6 +245,7 @@ impl Nnlqp {
         let emb = Arc::new(handle.model.embed(&feats));
         let latency_ms = handle.model.head_eval(&emb, head);
         self.embed_cache.insert(key, emb);
+        self.g_embed_len.set(self.embed_cache.len() as f64);
         Ok(PredictResult {
             latency_ms,
             cost_s: PREDICT_COST_S,
@@ -302,6 +303,7 @@ impl Nnlqp {
             self.embed_cache.insert(keys[i].clone(), Arc::clone(emb));
             embeddings[i] = Some(Arc::clone(emb));
         }
+        self.g_embed_len.set(self.embed_cache.len() as f64);
 
         // Head fan-out: every embedding against every requested platform.
         let latencies_ms: Vec<Vec<f64>> = embeddings

@@ -1,0 +1,286 @@
+//! Prometheus text-format exposition of a [`RegistrySnapshot`].
+//!
+//! Registry keys are plain strings; a key may carry a label set in curly
+//! braces (`monitor.windowed_mape{platform="gpu-T4-trt7.1-fp32"}`). The
+//! exposition splits the label set out, sanitises the base name into a
+//! legal Prometheus metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`, dots become
+//! underscores) and prefixes everything with `nnlqp_`.
+//!
+//! Histograms render in the standard cumulative form: one
+//! `_bucket{le="..."}` series per bound plus `le="+Inf"`, then `_sum` and
+//! `_count`. [`parse_prometheus`] is the matching round-trip checker used
+//! by the golden test and CI: every exposition this module emits must
+//! parse back into the same sample values.
+
+use crate::metrics::{HistogramSnapshot, RegistrySnapshot};
+use std::fmt::Write as _;
+
+/// Split a registry key into `(base_name, label_set)` where the label set
+/// (without braces) is empty for unlabelled keys.
+fn split_labels(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) if key.ends_with('}') => (&key[..i], &key[i + 1..key.len() - 1]),
+        _ => (key, ""),
+    }
+}
+
+/// Sanitise a registry base name into a legal Prometheus metric name.
+fn metric_name(base: &str) -> String {
+    let mut out = String::with_capacity(base.len() + 6);
+    out.push_str("nnlqp_");
+    for c in base.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render a float the Prometheus way: `+Inf` / `-Inf` for infinities,
+/// shortest round-trip decimal otherwise.
+fn prom_num(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_type_line(out: &mut String, last_family: &mut String, name: &str, kind: &str) {
+    if last_family != name {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        last_family.clear();
+        last_family.push_str(name);
+    }
+}
+
+fn labels_with(extra: &str, labels: &str) -> String {
+    match (labels.is_empty(), extra.is_empty()) {
+        (true, true) => String::new(),
+        (true, false) => format!("{{{extra}}}"),
+        (false, true) => format!("{{{labels}}}"),
+        (false, false) => format!("{{{labels},{extra}}}"),
+    }
+}
+
+/// Render the whole snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Deterministic: `BTreeMap` ordering, stable float
+/// formatting — goldenable byte-for-byte under a fixed seed.
+pub fn to_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut family = String::new();
+    for (key, value) in &snap.counters {
+        let (base, labels) = split_labels(key);
+        let name = metric_name(base);
+        write_type_line(&mut out, &mut family, &name, "counter");
+        let _ = writeln!(out, "{name}{} {value}", labels_with("", labels));
+    }
+    for (key, value) in &snap.gauges {
+        let (base, labels) = split_labels(key);
+        let name = metric_name(base);
+        write_type_line(&mut out, &mut family, &name, "gauge");
+        let _ = writeln!(
+            out,
+            "{name}{} {}",
+            labels_with("", labels),
+            prom_num(*value)
+        );
+    }
+    for (key, h) in &snap.histograms {
+        let (base, labels) = split_labels(key);
+        let name = metric_name(base);
+        write_type_line(&mut out, &mut family, &name, "histogram");
+        write_histogram(&mut out, &name, labels, h);
+    }
+    out
+}
+
+fn write_histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+    // Prometheus buckets are cumulative; the registry's are disjoint.
+    let mut cum = 0u64;
+    for (i, count) in h.buckets.iter().enumerate() {
+        cum += count;
+        let le = h.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+        let le = format!("le=\"{}\"", prom_num(le));
+        let _ = writeln!(out, "{name}_bucket{} {cum}", labels_with(&le, labels));
+    }
+    let plain = labels_with("", labels);
+    let _ = writeln!(out, "{name}_sum{plain} {}", prom_num(h.sum));
+    let _ = writeln!(out, "{name}_count{plain} {}", h.count);
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name (for histograms: the `_bucket` / `_sum` / `_count`
+    /// series name).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// Value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a Prometheus text exposition back into its samples — the
+/// round-trip checker for [`to_prometheus`]. Returns an error describing
+/// the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sample =
+            parse_sample(line).map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?;
+        out.push(sample);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    let (name_part, value_part) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or("unterminated label set")?;
+            (&line[..open], &line[close + 1..])
+        }
+        None => {
+            let sp = line.find(' ').ok_or("missing value")?;
+            (&line[..sp], &line[sp..])
+        }
+    };
+    if name_part.is_empty()
+        || !name_part.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+    {
+        return Err(format!("illegal metric name {name_part:?}"));
+    }
+    let labels = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or("unterminated label set")?;
+            parse_labels(&line[open + 1..close])?
+        }
+        None => Vec::new(),
+    };
+    let value_str = value_part.trim();
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        s => s.parse::<f64>().map_err(|_| format!("bad value {s:?}"))?,
+    };
+    Ok(PromSample {
+        name: name_part.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"").ok_or("label missing =\"")?;
+        let key = &rest[..eq];
+        if key.is_empty() {
+            return Err("empty label name".to_string());
+        }
+        let after = &rest[eq + 2..];
+        let endq = after.find('"').ok_or("unterminated label value")?;
+        labels.push((key.to_string(), after[..endq].to_string()));
+        rest = &after[endq + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn name_sanitisation_and_labels() {
+        assert_eq!(metric_name("serve.latency_ms"), "nnlqp_serve_latency_ms");
+        let (base, labels) = split_labels("monitor.windowed_mape{platform=\"gpu-T4-trt7.1-fp32\"}");
+        assert_eq!(base, "monitor.windowed_mape");
+        assert_eq!(labels, "platform=\"gpu-T4-trt7.1-fp32\"");
+    }
+
+    #[test]
+    fn exposition_has_cumulative_buckets_and_types() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.requests").add(7);
+        reg.gauge("serve.queue_depth").set(3.0);
+        let h = reg.histogram("serve.latency_ms", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(100.0);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE nnlqp_serve_requests counter"));
+        assert!(text.contains("nnlqp_serve_requests 7"));
+        assert!(text.contains("# TYPE nnlqp_serve_queue_depth gauge"));
+        assert!(text.contains("nnlqp_serve_latency_ms_bucket{le=\"1\"} 1"));
+        assert!(text.contains("nnlqp_serve_latency_ms_bucket{le=\"2\"} 2"));
+        assert!(text.contains("nnlqp_serve_latency_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("nnlqp_serve_latency_ms_count 3"));
+    }
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").add(5);
+        reg.counter("monitor.drift_alerts").inc();
+        reg.gauge("monitor.windowed_mape{platform=\"gpu-T4-trt7.1-fp32\"}")
+            .set(12.5);
+        reg.histogram("q.stage_s{platform=\"cpu\"}", &[0.5, 1.0])
+            .observe(0.75);
+        let snap = reg.snapshot();
+        let text = to_prometheus(&snap);
+        let samples = parse_prometheus(&text).expect("own exposition parses");
+        let find = |name: &str, platform: Option<&str>| -> f64 {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.label("platform") == platform)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .value
+        };
+        assert_eq!(find("nnlqp_a_b", None), 5.0);
+        assert_eq!(
+            find("nnlqp_monitor_windowed_mape", Some("gpu-T4-trt7.1-fp32")),
+            12.5
+        );
+        assert_eq!(find("nnlqp_q_stage_s_count", Some("cpu")), 1.0);
+        // The histogram's +Inf bucket carries both labels.
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "nnlqp_q_stage_s_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(inf.label("platform"), Some("cpu"));
+        assert_eq!(inf.value, 1.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("ok_metric 1\n").is_ok());
+        assert!(parse_prometheus("1bad_name 1\n").is_err());
+        assert!(parse_prometheus("no_value\n").is_err());
+        assert!(parse_prometheus("bad_label{x=1} 2\n").is_err());
+        assert!(parse_prometheus("unterminated{x=\"y\" 2\n").is_err());
+    }
+}

@@ -15,18 +15,39 @@
 //! * **Exporters** — [`to_chrome_json`] renders a [`Timeline`] as
 //!   Chrome-trace JSON (loadable in `chrome://tracing` and Perfetto);
 //!   [`render_flamegraph`] draws a compact per-track text timeline.
-//! * **Metrics** ([`MetricsRegistry`]) — named counters and histograms
-//!   shared across the facade, farm and serving layer, snapshotted by
-//!   `serve-bench` and the CLI.
+//! * **Metrics** ([`MetricsRegistry`]) — named counters, gauges and
+//!   histograms shared across the facade, farm and serving layer,
+//!   snapshotted by `serve-bench` and the CLI, and rendered in the
+//!   Prometheus text format by [`to_prometheus`].
+//! * **Quality monitoring** ([`QualityMonitor`]) — per-platform rolling
+//!   windows over `(predicted, measured)` latency pairs maintaining the
+//!   paper's MAPE / Acc(δ) **online**, with threshold-based drift
+//!   detection that drives the serving layer's retrain loop. [`mape`] and
+//!   [`acc_at`] are the single shared implementation of the error
+//!   formulas (`nnlqp-predict` re-exports them), so online and offline
+//!   numbers agree bitwise on the same pairs.
+//! * **Events** ([`EventLog`]) — a bounded structured JSONL log of query
+//!   lifecycle, shadow-eval, drift and retrain events with a
+//!   deterministic total order.
 
 pub mod chrome;
+pub mod events;
+pub mod expose;
 pub mod flame;
 pub mod metrics;
+pub mod monitor;
 pub mod span;
 
 pub use chrome::to_chrome_json;
+pub use events::{Event, EventLog, FieldValue};
+pub use expose::{parse_prometheus, to_prometheus, PromSample};
 pub use flame::{render as render_flamegraph, top_spans};
 pub use metrics::{
-    Counter, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot, STAGE_SECONDS_BOUNDS,
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+    STAGE_SECONDS_BOUNDS,
+};
+pub use monitor::{
+    acc_at, labelled, mape, monitor_metric_names, DriftAlert, ErrorWindow, MonitorConfig,
+    PlatformQuality, QualityMonitor, QualityReport, REL_ERR_PCT_BOUNDS,
 };
 pub use span::{Recorder, SimClock, Span, Timeline, Track};

@@ -16,6 +16,39 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
 
+/// A gauge: a value that can move both ways (queue depth, cache
+/// occupancy, a windowed error rate). Stored as `f64` bits in an atomic,
+/// so sets and reads are lock-free from any thread.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Set the current value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + delta).to_bits())
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 impl Counter {
     /// Increment by one.
     pub fn inc(&self) {
@@ -139,6 +172,7 @@ pub const STAGE_SECONDS_BOUNDS: [f64; 12] = [
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -152,6 +186,17 @@ impl MetricsRegistry {
     /// keep it around instead of re-resolving per event.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         self.counters
+            .lock()
+            .expect("registry lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the gauge `name`. Like counters, the handle is
+    /// lock-free to set.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauges
             .lock()
             .expect("registry lock")
             .entry(name.to_string())
@@ -180,6 +225,13 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
             histograms: self
                 .histograms
                 .lock()
@@ -196,6 +248,8 @@ impl MetricsRegistry {
 pub struct RegistrySnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -205,6 +259,11 @@ impl RegistrySnapshot {
     /// published yet is not an error).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value (0 when absent, same convention as counters).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
     }
 
     /// Render as a JSON object: counters verbatim, histograms as
@@ -218,6 +277,13 @@ impl RegistrySnapshot {
             }
             first = false;
             let _ = write!(out, "\"{k}\": {v}");
+        }
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "\"{k}\": {}", json_num(*v));
         }
         for (k, h) in &self.histograms {
             if !first {
@@ -275,6 +341,20 @@ mod tests {
         assert_eq!(reg.counter("x").get(), 3);
         assert_eq!(reg.snapshot().counter("x"), 3);
         assert_eq!(reg.snapshot().counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_are_shared() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.set(5.0);
+        g.add(-2.0);
+        reg.gauge("depth").add(0.5);
+        assert_eq!(g.get(), 3.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("depth"), 3.5);
+        assert_eq!(snap.gauge("absent"), 0.0);
+        assert!(snap.to_json_string().contains("\"depth\": 3.5"));
     }
 
     #[test]

@@ -1,29 +1,13 @@
 //! Evaluation metrics (Appendix C) plus Kendall's tau for the NAS study.
+//!
+//! The MAPE / Acc(δ) formulas themselves live in `nnlqp-obs` and are
+//! re-exported here: the serving layer's online shadow evaluator
+//! (`nnlqp_obs::ErrorWindow`) and this crate's offline training/eval code
+//! must be the *same* functions so that online and offline quality
+//! numbers agree bitwise on the same pairs (pinned by
+//! `tests/quality_monitor.rs` and the parity test below).
 
-/// Mean Absolute Percentage Error (Eq. 6), in percent. Lower is better.
-pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(pred.len(), truth.len());
-    assert!(!pred.is_empty(), "empty metric input");
-    let s: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| ((p - t) / t).abs())
-        .sum();
-    s / pred.len() as f64 * 100.0
-}
-
-/// Error-bound accuracy Acc(δ) (Eq. 7), in percent: the share of samples
-/// whose relative error is within `delta` (e.g. 0.10). Higher is better.
-pub fn acc_at(pred: &[f64], truth: &[f64], delta: f64) -> f64 {
-    assert_eq!(pred.len(), truth.len());
-    assert!(!pred.is_empty(), "empty metric input");
-    let hit = pred
-        .iter()
-        .zip(truth)
-        .filter(|(p, t)| ((*p - *t) / *t).abs() <= delta)
-        .count();
-    hit as f64 / pred.len() as f64 * 100.0
-}
+pub use nnlqp_obs::{acc_at, mape};
 
 /// Kendall's tau-a rank correlation between two paired samples.
 pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
@@ -51,6 +35,20 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_formula_parity_with_obs() {
+        // `mape`/`acc_at` here must be the exact `nnlqp-obs` functions —
+        // re-exported, not reimplemented — so the online shadow evaluator
+        // and offline evaluation can never drift apart.
+        let p = [110.0, 95.5, 130.25];
+        let t = [100.0, 100.0, 120.0];
+        assert_eq!(mape(&p, &t).to_bits(), nnlqp_obs::mape(&p, &t).to_bits());
+        assert_eq!(
+            acc_at(&p, &t, 0.10).to_bits(),
+            nnlqp_obs::acc_at(&p, &t, 0.10).to_bits()
+        );
+    }
 
     #[test]
     fn mape_known_values() {

@@ -5,6 +5,8 @@
 //!             [--workers N] [--queue N] [--degrade-backlog N]
 //!             [--platform NAME] [--family FAMILY] [--reps R] [--seed S]
 //!             [--retrain-after N] [--snapshot FILE]
+//!             [--monitor-sample N] [--events FILE]
+//!             [--metrics FILE] [--metrics-every-ms N]
 //! ```
 //!
 //! Two phases drive the two headline behaviours:
@@ -18,15 +20,22 @@
 //!    worker pool saturates and requests over the backlog threshold are
 //!    served approximate predictions instead of waiting.
 //!
-//! The final metrics snapshot is printed as JSON; the exit code is
+//! The final metrics snapshot is printed as JSON on stdout — including a
+//! per-platform `quality` section when shadow evaluation is on
+//! (`--monitor-sample N` samples every Nth measurement-backed answer).
+//! `--metrics FILE` writes the whole registry in Prometheus text format
+//! every `--metrics-every-ms` (and once more at shutdown), so progress is
+//! observable *during* the run, not only at the end; `--events FILE`
+//! writes the structured JSONL event log at shutdown. The exit code is
 //! nonzero unless the counters balance and both behaviours are visible.
 
-use nnlqp::{Nnlqp, TrainPredictorConfig};
+use nnlqp::{MonitorConfig, Nnlqp, TrainPredictorConfig};
 use nnlqp_models::ModelFamily;
 use nnlqp_serve::{LatencyService, ServeConfig, Served};
 use nnlqp_sim::{DeviceFarm, PlatformSpec};
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!("usage:");
@@ -34,6 +43,8 @@ fn usage() -> ! {
     eprintln!("              [--workers N] [--queue N] [--degrade-backlog N]");
     eprintln!("              [--platform NAME] [--family FAMILY] [--reps R] [--seed S]");
     eprintln!("              [--retrain-after N] [--snapshot FILE]");
+    eprintln!("              [--monitor-sample N] [--events FILE]");
+    eprintln!("              [--metrics FILE] [--metrics-every-ms N]");
     std::process::exit(2);
 }
 
@@ -80,6 +91,8 @@ fn main() {
     let reps = num(&flags, "reps", 3).max(1);
     let seed = num(&flags, "seed", 42) as u64;
     let retrain_after = num(&flags, "retrain-after", 0);
+    let monitor_sample = num(&flags, "monitor-sample", 0);
+    let metrics_every_ms = num(&flags, "metrics-every-ms", 1000).max(10);
     let platform = flags
         .get("platform")
         .cloned()
@@ -109,7 +122,9 @@ fn main() {
         cache_shards: 8,
         degrade_backlog,
         retrain_after,
-        retrain_platforms: if retrain_after > 0 {
+        // Drift-triggered retrains need covered platforms too, so any
+        // trigger (cadence or monitor) enables them.
+        retrain_platforms: if retrain_after > 0 || monitor_sample > 0 {
             vec![platform.clone()]
         } else {
             Vec::new()
@@ -121,6 +136,13 @@ fn main() {
             ..Default::default()
         },
         snapshot_path: flags.get("snapshot").map(Into::into),
+        monitor: (monitor_sample > 0).then(|| MonitorConfig {
+            sample_every: monitor_sample as u64,
+            ..Default::default()
+        }),
+        events_path: flags.get("events").map(Into::into),
+        metrics_path: flags.get("metrics").map(Into::into),
+        metrics_every: Duration::from_millis(metrics_every_ms as u64),
         ..Default::default()
     };
     let service = Arc::new(LatencyService::start(Arc::clone(&system), cfg));
@@ -178,13 +200,31 @@ fn main() {
     }
 
     let snapshot = service.metrics();
-    println!("{}", snapshot.to_json());
+    // One JSON document on stdout: the metrics snapshot, extended with a
+    // per-platform shadow-evaluation quality section when monitoring ran.
+    let serde_json::Value::Object(mut doc) = snapshot.to_json() else {
+        unreachable!("metrics snapshot renders an object");
+    };
+    if let Some(quality) = service.quality() {
+        let q: serde_json::Value = quality
+            .to_json_string()
+            .parse()
+            .expect("quality report renders valid JSON");
+        doc.insert("quality".to_string(), q);
+    }
+    println!("{}", serde_json::Value::Object(doc));
     // The full registry (facade query stages + serve tiers) on stderr,
     // keeping stdout a single JSON document.
     eprintln!(
         "registry: {}",
         system.registry().snapshot().to_json_string()
     );
+    if let Some(path) = flags.get("metrics") {
+        eprintln!("wrote Prometheus metrics to {path}");
+    }
+    if let Some(path) = flags.get("events") {
+        eprintln!("wrote JSONL event log to {path}");
+    }
 
     // Pass/fail: the counters must partition the request stream, phase 1
     // must show coalescing (measurements < requests on duplicated keys),

@@ -14,10 +14,17 @@
 //!   measurement;
 //! - degrade-to-predict — under measurement backlog, requests are served
 //!   an NNLP prediction tagged approximate rather than waiting;
-//! - an evolving-database loop that retrains predictor heads once enough
-//!   fresh measurements accumulate, hot-swapping them atomically;
+//! - an evolving-database loop that retrains predictor heads — on a
+//!   fresh-sample cadence, or on *drift alerts* from the shadow
+//!   evaluator (see below), hot-swapping them atomically;
 //! - [`ServeMetrics`] — terminal-class counters (they partition the
-//!   request stream) plus a served-latency histogram.
+//!   request stream) plus a served-latency histogram and live gauges for
+//!   queue depth and hot-cache occupancy;
+//! - quality monitoring ([`ServeConfig::monitor`]) — a shadow evaluator
+//!   re-predicts a sample of measurement-backed answers, maintains
+//!   per-platform rolling MAPE / Acc(10%) / Acc(5%) windows, and raises
+//!   retrain-on-drift signals; plus a bounded JSONL event log and a
+//!   periodic Prometheus text-format metrics writer.
 //!
 //! The `serve-bench` binary drives the service with a configurable load
 //! generator and prints the metrics snapshot as JSON.

@@ -12,7 +12,7 @@
 //! `system.registry()`), so one snapshot shows the serving tiers next to
 //! the query-stage histograms.
 
-use nnlqp_obs::{Counter, Histogram, MetricsRegistry};
+use nnlqp_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::Arc;
 
 /// Upper bucket bounds for served latencies, in milliseconds. Values above
@@ -45,8 +45,15 @@ pub mod metric_names {
     pub const RETRAINS: &str = "serve.retrains";
     /// Counter: training samples consumed across retrains.
     pub const RETRAIN_SAMPLES: &str = "serve.retrain_samples";
+    /// Counter: retrains triggered by a drift alert (subset of
+    /// `serve.retrains`; the rest fired on the sample-count cadence).
+    pub const DRIFT_RETRAINS: &str = "serve.drift_retrains";
     /// Histogram: served latencies in milliseconds.
     pub const LATENCY_MS: &str = "serve.latency_ms";
+    /// Gauge: jobs waiting on the measurement queue.
+    pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Gauge: hot-cache entries.
+    pub const HOT_CACHE_LEN: &str = "serve.hot_cache_len";
 }
 
 /// Live handles to the service's counters; cheap to bump from any thread.
@@ -62,7 +69,10 @@ pub struct ServeMetrics {
     errors: Arc<Counter>,
     retrains: Arc<Counter>,
     retrain_samples: Arc<Counter>,
+    drift_retrains: Arc<Counter>,
     latency: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    hot_cache_len: Arc<Gauge>,
 }
 
 macro_rules! bump {
@@ -97,15 +107,37 @@ impl ServeMetrics {
             errors: registry.counter(metric_names::ERRORS),
             retrains: registry.counter(metric_names::RETRAINS),
             retrain_samples: registry.counter(metric_names::RETRAIN_SAMPLES),
+            drift_retrains: registry.counter(metric_names::DRIFT_RETRAINS),
             latency: registry.histogram(metric_names::LATENCY_MS, &HISTOGRAM_BOUNDS_MS),
+            queue_depth: registry.gauge(metric_names::QUEUE_DEPTH),
+            hot_cache_len: registry.gauge(metric_names::HOT_CACHE_LEN),
         }
     }
 
-    bump!(requests, hot_hits, db_hits, misses, coalesced, measured, degraded, rejected, errors);
+    bump!(
+        requests,
+        hot_hits,
+        db_hits,
+        misses,
+        coalesced,
+        measured,
+        degraded,
+        rejected,
+        errors,
+        drift_retrains,
+    );
 
     pub(crate) fn retrained(&self, samples: u64) {
         self.retrains.inc();
         self.retrain_samples.add(samples);
+    }
+
+    pub(crate) fn set_queue_depth(&self, depth: f64) {
+        self.queue_depth.set(depth);
+    }
+
+    pub(crate) fn set_hot_cache_len(&self, len: f64) {
+        self.hot_cache_len.set(len);
     }
 
     pub(crate) fn observe_latency(&self, ms: f64) {

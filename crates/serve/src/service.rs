@@ -15,10 +15,26 @@
 //!
 //! Workers drain the queue, measure through `Nnlqp::query_measured`
 //! (key-seeded, so results are order-independent), fill db + cache, then
-//! publish to the flight. A background loop retrains the predictor once
-//! enough fresh ground truth accumulates, hot-swapping the heads through
-//! the facade's `RwLock`. Shutdown stops intake, drains the queue, joins
-//! every thread and snapshots the database atomically.
+//! publish to the flight. A background loop retrains the predictor, hot-
+//! swapping the heads through the facade's `RwLock`. Shutdown stops
+//! intake, drains the queue, joins every thread and snapshots the
+//! database atomically.
+//!
+//! # Quality monitoring
+//!
+//! With [`ServeConfig::monitor`] set, measurement-backed answers (db hits
+//! and fresh measurements) are shadow-evaluated: every `sample_every`-th
+//! answer per platform is also run through the NNLP predictor and the
+//! `(predicted, measured)` pair feeds the platform's rolling
+//! [`QualityMonitor`] window. When windowed MAPE crosses the configured
+//! threshold (with enough samples behind it) a drift alert fires and the
+//! retrain loop runs *on evidence* instead of the blind
+//! `retrain_after` cadence; after training it re-predicts the replay
+//! buffer under the new model and resets the window, so recovery is
+//! visible immediately. Query lifecycle, shadow evals, drift alerts and
+//! retrains are recorded in a bounded JSONL [`EventLog`], and the whole
+//! registry can be written periodically in Prometheus text format via
+//! [`ServeConfig::metrics_path`].
 
 use crate::cache::{CacheKey, ShardedLru};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
@@ -28,11 +44,15 @@ use nnlqp::{Nnlqp, QueryError, TrainPredictorConfig};
 use nnlqp_db::PlatformId;
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::Graph;
+use nnlqp_obs::{
+    to_prometheus, EventLog, FieldValue, MetricsRegistry, MonitorConfig, QualityMonitor,
+    QualityReport,
+};
 use nnlqp_sim::{FarmError, Platform};
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -55,7 +75,8 @@ pub struct ServeConfig {
     /// Bound on device acquisition inside a worker; `None` blocks.
     pub farm_wait: Option<Duration>,
     /// Retrain the predictor after this many fresh measurements
-    /// (0 disables the evolving-database loop).
+    /// (0 disables the cadence; with a monitor configured the retrain
+    /// loop still runs, fired by drift alerts alone).
     pub retrain_after: usize,
     /// Platforms the retrained predictor covers.
     pub retrain_platforms: Vec<String>,
@@ -63,6 +84,20 @@ pub struct ServeConfig {
     pub train: TrainPredictorConfig,
     /// Where shutdown snapshots the database (atomic temp-file + rename).
     pub snapshot_path: Option<PathBuf>,
+    /// Shadow-evaluation and drift-detection tuning; `None` disables
+    /// quality monitoring entirely.
+    pub monitor: Option<MonitorConfig>,
+    /// Structured event-log ring capacity (0 disables the log).
+    pub event_log_capacity: usize,
+    /// Where shutdown writes the event log, one JSON object per line.
+    pub events_path: Option<PathBuf>,
+    /// Where the registry is written in Prometheus text format — updated
+    /// every [`ServeConfig::metrics_every`] by a background thread
+    /// (atomic temp-file + rename) and once more at shutdown, after all
+    /// workers drained.
+    pub metrics_path: Option<PathBuf>,
+    /// Interval between Prometheus snapshots of the registry.
+    pub metrics_every: Duration,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +113,11 @@ impl Default for ServeConfig {
             retrain_platforms: Vec::new(),
             train: TrainPredictorConfig::default(),
             snapshot_path: None,
+            monitor: None,
+            event_log_capacity: 4096,
+            events_path: None,
+            metrics_path: None,
+            metrics_every: Duration::from_secs(1),
         }
     }
 }
@@ -150,6 +190,25 @@ pub enum Source {
     Predicted,
 }
 
+fn source_str(s: Source) -> &'static str {
+    match s {
+        Source::HotCache => "hot_cache",
+        Source::Database => "database",
+        Source::Measured => "measured",
+        Source::Predicted => "predicted",
+    }
+}
+
+fn error_str(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::UnknownPlatform(_) => "unknown_platform",
+        ServeError::BadBatch(_) => "bad_batch",
+        ServeError::Overloaded => "overloaded",
+        ServeError::ShuttingDown => "shutting_down",
+        ServeError::Measurement(_) => "measurement",
+    }
+}
+
 /// A served latency.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Served {
@@ -179,11 +238,118 @@ struct Job {
 #[derive(Default)]
 struct RetrainState {
     fresh: usize,
+    /// A drift alert fired since the last retrain.
+    drift: bool,
     stop: bool,
 }
 
 struct RetrainShared {
     state: Mutex<RetrainState>,
+    wake: Condvar,
+}
+
+/// Bounded per-platform replay buffer of `(graph, measured_ms)` pairs.
+type ReplayBuffer = HashMap<String, VecDeque<(Arc<Graph>, f64)>>;
+
+/// The shadow evaluator: the quality monitor plus a replay buffer, so the
+/// retrain loop can re-score the same workload under a freshly trained
+/// model.
+struct Shadow {
+    monitor: QualityMonitor,
+    replay: Mutex<ReplayBuffer>,
+}
+
+impl Shadow {
+    fn new(cfg: MonitorConfig, registry: Arc<MetricsRegistry>) -> Self {
+        Shadow {
+            monitor: QualityMonitor::new(cfg, registry),
+            replay: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Feed one measurement-backed answer through the shadow evaluator:
+    /// remember it for replay, and — on the sampling cadence — predict it,
+    /// record the pair, and raise the retrain-on-drift signal.
+    fn observe(
+        &self,
+        system: &Nnlqp,
+        events: Option<&EventLog>,
+        retrain: &RetrainShared,
+        platform: &str,
+        graph: &Arc<Graph>,
+        measured_ms: f64,
+    ) {
+        {
+            let mut replay = self.replay.lock();
+            let buf = replay.entry(platform.to_string()).or_default();
+            if buf.len() == self.monitor.config().window {
+                buf.pop_front();
+            }
+            buf.push_back((Arc::clone(graph), measured_ms));
+        }
+        if !self.monitor.sample(platform) {
+            return;
+        }
+        // No predictor head yet (cold start) — nothing to shadow.
+        let Ok(pred) = system.predict_effective(graph, platform) else {
+            return;
+        };
+        let alert = self.monitor.record(platform, pred.latency_ms, measured_ms);
+        if let Some(ev) = events {
+            let mut fields: Vec<(&str, FieldValue)> = vec![
+                ("platform", platform.into()),
+                ("predicted_ms", pred.latency_ms.into()),
+                ("measured_ms", measured_ms.into()),
+            ];
+            if let Some(m) = self.monitor.windowed_mape(platform) {
+                fields.push(("windowed_mape_pct", m.into()));
+            }
+            ev.emit("shadow_eval", fields);
+        }
+        if let Some(alert) = alert {
+            if let Some(ev) = events {
+                ev.emit(
+                    "drift_alert",
+                    vec![
+                        ("platform", alert.platform.as_str().into()),
+                        ("windowed_mape_pct", alert.windowed_mape_pct.into()),
+                        ("threshold_pct", alert.threshold_pct.into()),
+                        ("samples", alert.samples.into()),
+                    ],
+                );
+            }
+            {
+                let mut st = retrain.state.lock();
+                st.drift = true;
+            }
+            retrain.wake.notify_one();
+        }
+    }
+
+    /// Snapshot the replay buffer for `platform`.
+    fn replay_pairs(&self, platform: &str) -> Vec<(Arc<Graph>, f64)> {
+        self.replay
+            .lock()
+            .get(platform)
+            .map(|buf| buf.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Shared state the worker pool needs.
+struct WorkerCtx {
+    system: Arc<Nnlqp>,
+    cache: Arc<ShardedLru>,
+    flights: Arc<SingleFlight<CacheKey, Result<f64, ServeError>>>,
+    metrics: Arc<ServeMetrics>,
+    retrain: Arc<RetrainShared>,
+    shadow: Option<Arc<Shadow>>,
+    events: Option<Arc<EventLog>>,
+    farm_wait: Option<Duration>,
+}
+
+struct WriterShared {
+    stop: Mutex<bool>,
     wake: Condvar,
 }
 
@@ -199,13 +365,16 @@ pub struct LatencyService {
     platforms: RwLock<HashMap<String, PlatformBinding>>,
     tx: Mutex<Option<Sender<Job>>>,
     retrain: Arc<RetrainShared>,
+    shadow: Option<Arc<Shadow>>,
+    events: Option<Arc<EventLog>>,
+    writer: Option<Arc<WriterShared>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     stopped: AtomicBool,
 }
 
 impl LatencyService {
-    /// Spawn workers (and the retrain loop, when enabled) and start
-    /// accepting queries.
+    /// Spawn workers (and the retrain loop and metrics writer, when
+    /// enabled) and start accepting queries.
     pub fn start(system: Arc<Nnlqp>, cfg: ServeConfig) -> Self {
         let cache = Arc::new(ShardedLru::new(cfg.cache_capacity, cfg.cache_shards));
         let flights = Arc::new(SingleFlight::new());
@@ -216,40 +385,69 @@ impl LatencyService {
             state: Mutex::new(RetrainState::default()),
             wake: Condvar::new(),
         });
+        let shadow = cfg
+            .monitor
+            .map(|m| Arc::new(Shadow::new(m, Arc::clone(system.registry()))));
+        let events =
+            (cfg.event_log_capacity > 0).then(|| Arc::new(EventLog::new(cfg.event_log_capacity)));
         let (tx, rx) = bounded::<Job>(cfg.queue_depth.max(1));
+        let ctx = Arc::new(WorkerCtx {
+            system: Arc::clone(&system),
+            cache: Arc::clone(&cache),
+            flights: Arc::clone(&flights),
+            metrics: Arc::clone(&metrics),
+            retrain: Arc::clone(&retrain),
+            shadow: shadow.clone(),
+            events: events.clone(),
+            farm_wait: cfg.farm_wait,
+        });
         let mut threads = Vec::new();
         for i in 0..cfg.workers.max(1) {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("nnlqp-serve-worker-{i}"))
-                    .spawn(worker_loop(
-                        rx.clone(),
-                        Arc::clone(&system),
-                        Arc::clone(&cache),
-                        Arc::clone(&flights),
-                        Arc::clone(&metrics),
-                        Arc::clone(&retrain),
-                        cfg.farm_wait,
-                    ))
+                    .spawn(worker_loop(rx.clone(), Arc::clone(&ctx)))
                     .expect("spawn worker"),
             );
         }
         drop(rx);
-        if cfg.retrain_after > 0 && !cfg.retrain_platforms.is_empty() {
+        // The retrain loop runs when there is any trigger for it: the
+        // sample-count cadence, or drift alerts from the monitor.
+        if (cfg.retrain_after > 0 || shadow.is_some()) && !cfg.retrain_platforms.is_empty() {
             threads.push(
                 std::thread::Builder::new()
                     .name("nnlqp-serve-retrain".to_string())
-                    .spawn(retrain_loop(
-                        Arc::clone(&system),
-                        Arc::clone(&retrain),
-                        Arc::clone(&metrics),
-                        cfg.retrain_after,
-                        cfg.retrain_platforms.clone(),
-                        cfg.train,
-                    ))
+                    .spawn(retrain_loop(RetrainCtx {
+                        system: Arc::clone(&system),
+                        shared: Arc::clone(&retrain),
+                        metrics: Arc::clone(&metrics),
+                        shadow: shadow.clone(),
+                        events: events.clone(),
+                        threshold: cfg.retrain_after,
+                        platforms: cfg.retrain_platforms.clone(),
+                        train: cfg.train,
+                    }))
                     .expect("spawn retrain loop"),
             );
         }
+        let writer = cfg.metrics_path.as_ref().map(|path| {
+            let shared = Arc::new(WriterShared {
+                stop: Mutex::new(false),
+                wake: Condvar::new(),
+            });
+            threads.push(
+                std::thread::Builder::new()
+                    .name("nnlqp-serve-metrics".to_string())
+                    .spawn(metrics_writer_loop(
+                        Arc::clone(system.registry()),
+                        Arc::clone(&shared),
+                        path.clone(),
+                        cfg.metrics_every.max(Duration::from_millis(10)),
+                    ))
+                    .expect("spawn metrics writer"),
+            );
+            shared
+        });
         LatencyService {
             system,
             cfg,
@@ -259,6 +457,9 @@ impl LatencyService {
             platforms: RwLock::new(HashMap::new()),
             tx: Mutex::new(Some(tx)),
             retrain,
+            shadow,
+            events,
+            writer,
             threads: Mutex::new(threads),
             stopped: AtomicBool::new(false),
         }
@@ -267,6 +468,40 @@ impl LatencyService {
     /// Serve one latency query. `model` is shared, never deep-copied
     /// (unless the batch size requires rebatching).
     pub fn query(
+        &self,
+        model: &Arc<Graph>,
+        platform: &str,
+        batch: u32,
+    ) -> Result<Served, ServeError> {
+        let res = self.query_impl(model, platform, batch);
+        if let Some(ev) = &self.events {
+            match &res {
+                Ok(s) => ev.emit(
+                    "query",
+                    vec![
+                        ("platform", platform.into()),
+                        ("batch", u64::from(batch).into()),
+                        ("source", source_str(s.source).into()),
+                        ("latency_ms", s.latency_ms.into()),
+                        ("approximate", s.approximate.into()),
+                        ("coalesced", s.coalesced.into()),
+                    ],
+                ),
+                Err(e) => ev.emit(
+                    "query",
+                    vec![
+                        ("platform", platform.into()),
+                        ("batch", u64::from(batch).into()),
+                        ("source", "error".into()),
+                        ("error", error_str(e).into()),
+                    ],
+                ),
+            };
+        }
+        res
+    }
+
+    fn query_impl(
         &self,
         model: &Arc<Graph>,
         platform: &str,
@@ -312,8 +547,21 @@ impl LatencyService {
             .lookup_latency(key.graph_hash, binding.id, batch)
         {
             self.cache.insert(key, rec.cost_ms);
+            self.metrics.set_hot_cache_len(self.cache.len() as f64);
             self.metrics.db_hits();
             self.metrics.observe_latency(rec.cost_ms);
+            // Database answers are measurement-backed: shadow-evaluate
+            // them on the sampling cadence.
+            if let Some(shadow) = &self.shadow {
+                shadow.observe(
+                    &self.system,
+                    self.events.as_deref(),
+                    &self.retrain,
+                    &binding.canonical,
+                    &graph,
+                    rec.cost_ms,
+                );
+            }
             return Ok(Served {
                 latency_ms: rec.cost_ms,
                 source: Source::Database,
@@ -449,6 +697,17 @@ impl LatencyService {
         self.cache.len()
     }
 
+    /// Per-platform shadow-evaluation quality (`None` when monitoring is
+    /// disabled).
+    pub fn quality(&self) -> Option<QualityReport> {
+        self.shadow.as_ref().map(|s| s.monitor.report())
+    }
+
+    /// The structured event log (`None` when disabled).
+    pub fn events(&self) -> Option<&Arc<EventLog>> {
+        self.events.as_ref()
+    }
+
     /// The wrapped facade (database, counters, predictor).
     pub fn system(&self) -> &Arc<Nnlqp> {
         &self.system
@@ -468,9 +727,22 @@ impl LatencyService {
             st.stop = true;
         }
         self.retrain.wake.notify_all();
+        if let Some(w) = &self.writer {
+            *w.stop.lock() = true;
+            w.wake.notify_all();
+        }
         let threads: Vec<JoinHandle<()>> = self.threads.lock().drain(..).collect();
         for t in threads {
             let _ = t.join();
+        }
+        // Final observability snapshots, after every thread has drained —
+        // these see the complete run.
+        if let Some(path) = &self.cfg.metrics_path {
+            let text = to_prometheus(&self.system.registry().snapshot());
+            write_atomic(path, text.as_bytes())?;
+        }
+        if let (Some(path), Some(events)) = (&self.cfg.events_path, &self.events) {
+            write_atomic(path, events.to_jsonl().as_bytes())?;
         }
         if let Some(path) = &self.cfg.snapshot_path {
             nnlqp_db::persist::save(&self.system.db, path)?;
@@ -483,6 +755,14 @@ impl Drop for LatencyService {
     fn drop(&mut self) {
         let _ = self.shutdown();
     }
+}
+
+/// Write `bytes` to `path` through a temp file + rename, so readers never
+/// observe a torn snapshot.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
 }
 
 fn effective_graph(model: &Arc<Graph>, batch: u32) -> Result<Arc<Graph>, ServeError> {
@@ -499,69 +779,168 @@ fn effective_graph(model: &Arc<Graph>, batch: u32) -> Result<Arc<Graph>, ServeEr
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    rx: Receiver<Job>,
-    system: Arc<Nnlqp>,
-    cache: Arc<ShardedLru>,
-    flights: Arc<SingleFlight<CacheKey, Result<f64, ServeError>>>,
-    metrics: Arc<ServeMetrics>,
-    retrain: Arc<RetrainShared>,
-    farm_wait: Option<Duration>,
-) -> impl FnOnce() {
+fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerCtx>) -> impl FnOnce() {
     move || {
         while let Ok(job) = rx.recv() {
-            let outcome =
-                match system.query_measured(&job.graph, &job.platform, job.key.batch, farm_wait) {
-                    Ok(qr) => {
-                        cache.insert(job.key.clone(), qr.latency_ms);
-                        metrics.measured();
-                        {
-                            let mut st = retrain.state.lock();
-                            st.fresh += 1;
-                        }
-                        retrain.wake.notify_one();
-                        Ok(qr.latency_ms)
+            ctx.metrics.set_queue_depth(rx.len() as f64);
+            let outcome = match ctx.system.query_measured(
+                &job.graph,
+                &job.platform,
+                job.key.batch,
+                ctx.farm_wait,
+            ) {
+                Ok(qr) => {
+                    ctx.cache.insert(job.key.clone(), qr.latency_ms);
+                    ctx.metrics.set_hot_cache_len(ctx.cache.len() as f64);
+                    ctx.metrics.measured();
+                    {
+                        let mut st = ctx.retrain.state.lock();
+                        st.fresh += 1;
                     }
-                    Err(e) => Err(e.into()),
-                };
+                    ctx.retrain.wake.notify_one();
+                    // Fresh ground truth: shadow-evaluate it on the
+                    // sampling cadence.
+                    if let Some(shadow) = &ctx.shadow {
+                        shadow.observe(
+                            &ctx.system,
+                            ctx.events.as_deref(),
+                            &ctx.retrain,
+                            &job.key.platform,
+                            &job.graph,
+                            qr.latency_ms,
+                        );
+                    }
+                    Ok(qr.latency_ms)
+                }
+                Err(e) => Err(e.into()),
+            };
             // Database and cache are filled before the flight publishes:
             // anyone arriving after this resolves as a hit, so each key is
             // measured at most once per flight.
-            flights.complete(&job.key, outcome);
+            ctx.flights.complete(&job.key, outcome);
         }
     }
 }
 
-fn retrain_loop(
+struct RetrainCtx {
     system: Arc<Nnlqp>,
     shared: Arc<RetrainShared>,
     metrics: Arc<ServeMetrics>,
+    shadow: Option<Arc<Shadow>>,
+    events: Option<Arc<EventLog>>,
+    /// Fresh-sample cadence; 0 means drift alerts are the only trigger.
     threshold: usize,
     platforms: Vec<String>,
     train: TrainPredictorConfig,
-) -> impl FnOnce() {
+}
+
+fn retrain_loop(ctx: RetrainCtx) -> impl FnOnce() {
     move || {
-        let names: Vec<&str> = platforms.iter().map(String::as_str).collect();
-        let mut st = shared.state.lock();
+        let names: Vec<&str> = ctx.platforms.iter().map(String::as_str).collect();
+        // Monitor state is keyed by canonical platform names; resolve the
+        // configured (possibly aliased) names once.
+        let canonical: Vec<String> = ctx
+            .platforms
+            .iter()
+            .map(|p| Platform::by_name(p).map_or_else(|| p.clone(), |h| h.name().to_string()))
+            .collect();
+        let mut st = ctx.shared.state.lock();
         loop {
-            if st.fresh >= threshold {
+            let drift = st.drift;
+            let cadence = ctx.threshold > 0 && st.fresh >= ctx.threshold;
+            if drift || cadence {
+                let pending = st.fresh;
+                st.drift = false;
                 st.fresh = 0;
                 drop(st);
+                let trigger = if drift { "drift" } else { "cadence" };
+                if let Some(ev) = &ctx.events {
+                    ev.emit(
+                        "retrain_start",
+                        vec![
+                            ("trigger", trigger.into()),
+                            ("pending_fresh", pending.into()),
+                        ],
+                    );
+                }
                 // Training runs outside the lock; the trained heads are
                 // hot-swapped atomically inside the facade.
-                if let Ok(n) = system.train_predictor(&names, train) {
-                    if n > 0 {
-                        metrics.retrained(n as u64);
+                let trained = match ctx.system.train_predictor(&names, ctx.train) {
+                    Ok(n) => {
+                        if n > 0 {
+                            ctx.metrics.retrained(n as u64);
+                            if drift {
+                                ctx.metrics.drift_retrains();
+                            }
+                        }
+                        n
                     }
+                    Err(_) => 0,
+                };
+                // Re-score the replay buffers under the new model so the
+                // windows (and gauges) reflect the predictor now serving,
+                // and record before/after quality per platform.
+                if let Some(shadow) = &ctx.shadow {
+                    for platform in &canonical {
+                        let before = shadow.monitor.windowed_mape(platform);
+                        let pairs: Vec<(f64, f64)> = shadow
+                            .replay_pairs(platform)
+                            .iter()
+                            .filter_map(|(g, measured)| {
+                                ctx.system
+                                    .predict_effective(g, platform)
+                                    .ok()
+                                    .map(|p| (p.latency_ms, *measured))
+                            })
+                            .collect();
+                        let after = shadow.monitor.reset_window(platform, &pairs);
+                        if let Some(ev) = &ctx.events {
+                            let mut fields: Vec<(&str, FieldValue)> = vec![
+                                ("platform", platform.as_str().into()),
+                                ("trigger", trigger.into()),
+                                ("samples", (trained as u64).into()),
+                            ];
+                            if let Some(m) = before {
+                                fields.push(("windowed_mape_before_pct", m.into()));
+                            }
+                            if let Some(m) = after {
+                                fields.push(("windowed_mape_after_pct", m.into()));
+                            }
+                            ev.emit("retrain_finish", fields);
+                        }
+                    }
+                } else if let Some(ev) = &ctx.events {
+                    ev.emit(
+                        "retrain_finish",
+                        vec![
+                            ("trigger", trigger.into()),
+                            ("samples", (trained as u64).into()),
+                        ],
+                    );
                 }
-                st = shared.state.lock();
+                st = ctx.shared.state.lock();
                 continue;
             }
             if st.stop {
                 break;
             }
-            shared.wake.wait_for(&mut st, Duration::from_millis(20));
+            ctx.shared.wake.wait_for(&mut st, Duration::from_millis(20));
+        }
+    }
+}
+
+fn metrics_writer_loop(
+    registry: Arc<MetricsRegistry>,
+    shared: Arc<WriterShared>,
+    path: PathBuf,
+    every: Duration,
+) -> impl FnOnce() {
+    move || {
+        let mut stop = shared.stop.lock();
+        while !*stop {
+            shared.wake.wait_for(&mut stop, every);
+            let text = to_prometheus(&registry.snapshot());
+            let _ = write_atomic(&path, text.as_bytes());
         }
     }
 }
@@ -592,6 +971,30 @@ mod tests {
             degrade_backlog: usize::MAX,
             ..Default::default()
         }
+    }
+
+    /// Seed the db with a family and train a small real predictor.
+    fn trained_system() -> Arc<Nnlqp> {
+        let system = quick_system();
+        let models: Vec<Graph> = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 8, 3)
+            .into_iter()
+            .map(|m| m.graph)
+            .collect();
+        system
+            .warm_cache(&models, &Platform::by_name(PLATFORM).unwrap(), 1)
+            .unwrap();
+        system
+            .train_predictor(
+                &[PLATFORM],
+                TrainPredictorConfig {
+                    epochs: 4,
+                    hidden: 16,
+                    gnn_layers: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        system
     }
 
     #[test]
@@ -673,32 +1076,12 @@ mod tests {
 
     #[test]
     fn degrade_serves_predictions_under_backlog() {
-        let system = quick_system();
-        // Train a tiny predictor so the degrade path has a head.
-        let models: Vec<Graph> = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 8, 3)
-            .into_iter()
-            .map(|m| m.graph)
-            .collect();
-        system
-            .warm_cache(&models, &Platform::by_name(PLATFORM).unwrap(), 1)
-            .unwrap();
-        system
-            .train_predictor(
-                &[PLATFORM],
-                TrainPredictorConfig {
-                    epochs: 4,
-                    hidden: 16,
-                    gnn_layers: 2,
-                    ..Default::default()
-                },
-            )
-            .unwrap();
         // degrade_backlog = 0: every cache/db miss degrades immediately.
         let cfg = ServeConfig {
             degrade_backlog: 0,
             ..small_cfg()
         };
-        let svc = LatencyService::start(system, cfg);
+        let svc = LatencyService::start(trained_system(), cfg);
         let fresh = Arc::new(
             nnlqp_models::generate_family(ModelFamily::SqueezeNet, 30, 99)
                 .pop()
@@ -715,25 +1098,7 @@ mod tests {
 
     #[test]
     fn degrade_repeat_keys_hit_embed_cache() {
-        let system = quick_system();
-        let models: Vec<Graph> = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 8, 3)
-            .into_iter()
-            .map(|m| m.graph)
-            .collect();
-        system
-            .warm_cache(&models, &Platform::by_name(PLATFORM).unwrap(), 1)
-            .unwrap();
-        system
-            .train_predictor(
-                &[PLATFORM],
-                TrainPredictorConfig {
-                    epochs: 4,
-                    hidden: 16,
-                    gnn_layers: 2,
-                    ..Default::default()
-                },
-            )
-            .unwrap();
+        let system = trained_system();
         let cfg = ServeConfig {
             degrade_backlog: 0,
             ..small_cfg()
@@ -791,5 +1156,184 @@ mod tests {
         assert!(m.retrain_samples >= 4);
         assert!(system.has_predictor_for(PLATFORM));
         assert!(m.balanced());
+    }
+
+    #[test]
+    fn shadow_eval_feeds_quality_report_and_events() {
+        let cfg = ServeConfig {
+            monitor: Some(MonitorConfig {
+                sample_every: 1, // 100% sampling
+                ..Default::default()
+            }),
+            ..small_cfg()
+        };
+        let svc = LatencyService::start(trained_system(), cfg);
+        for m in nnlqp_models::generate_family(ModelFamily::SqueezeNet, 6, 11) {
+            svc.query(&Arc::new(m.graph), PLATFORM, 1).unwrap();
+        }
+        let report = svc.quality().expect("monitor enabled");
+        let q = report.platforms.get(PLATFORM).expect("platform shadowed");
+        assert!(q.samples >= 1, "no shadow pairs recorded: {report:?}");
+        assert!(q.windowed_mape_pct.is_finite());
+        let events = svc.events().expect("event log enabled").snapshot();
+        assert!(events.iter().any(|e| e.kind == "query"));
+        assert!(events.iter().any(|e| e.kind == "shadow_eval"));
+        // Registry carries the labelled quality gauges.
+        let snap = svc.system().registry().snapshot();
+        let mape_key =
+            nnlqp_obs::labelled(nnlqp_obs::monitor_metric_names::WINDOWED_MAPE, PLATFORM);
+        assert!(
+            snap.gauges.contains_key(&mape_key),
+            "gauges: {:?}",
+            snap.gauges.keys()
+        );
+    }
+
+    #[test]
+    fn query_lifecycle_events_cover_errors() {
+        let svc = LatencyService::start(quick_system(), small_cfg());
+        let g = Arc::new(ModelFamily::SqueezeNet.canonical().unwrap());
+        let _ = svc.query(&g, "quantum-coprocessor", 1);
+        svc.query(&g, PLATFORM, 1).unwrap();
+        let events = svc.events().unwrap().snapshot();
+        let sources: Vec<String> = events
+            .iter()
+            .filter(|e| e.kind == "query")
+            .filter_map(|e| match e.field("source") {
+                Some(FieldValue::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sources, ["error", "measured"]);
+    }
+
+    #[test]
+    fn gauges_track_queue_and_cache() {
+        let svc = LatencyService::start(quick_system(), small_cfg());
+        let g = Arc::new(ModelFamily::SqueezeNet.canonical().unwrap());
+        svc.query(&g, PLATFORM, 1).unwrap();
+        let snap = svc.system().registry().snapshot();
+        assert_eq!(snap.gauge(crate::metrics::metric_names::HOT_CACHE_LEN), 1.0);
+        // Queue fully drained by the time the flight settled.
+        assert_eq!(snap.gauge(crate::metrics::metric_names::QUEUE_DEPTH), 0.0);
+    }
+
+    #[test]
+    fn shutdown_writes_metrics_and_events_files() {
+        let dir = std::env::temp_dir().join(format!("nnlqp-serve-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics_path = dir.join("metrics.prom");
+        let events_path = dir.join("events.jsonl");
+        let cfg = ServeConfig {
+            monitor: Some(MonitorConfig::default()),
+            metrics_path: Some(metrics_path.clone()),
+            events_path: Some(events_path.clone()),
+            metrics_every: Duration::from_millis(20),
+            ..small_cfg()
+        };
+        let svc = LatencyService::start(quick_system(), cfg);
+        let g = Arc::new(ModelFamily::SqueezeNet.canonical().unwrap());
+        svc.query(&g, PLATFORM, 1).unwrap();
+        svc.shutdown().unwrap();
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        let samples = nnlqp_obs::parse_prometheus(&prom).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "nnlqp_serve_requests" && s.value == 1.0));
+        let jsonl = std::fs::read_to_string(&events_path).unwrap();
+        assert!(!jsonl.trim().is_empty());
+        for line in jsonl.lines() {
+            line.parse::<serde_json::Value>()
+                .expect("event line parses as JSON");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drift_alert_fires_and_retrain_recovers() {
+        // Degraded predictor: zero epochs leaves randomly initialised
+        // heads, so shadow evals see garbage and drift must fire; the
+        // drift-triggered retrain then trains properly and the windowed
+        // MAPE measured over the replayed pairs must fall back under the
+        // threshold.
+        let system = quick_system();
+        let models: Vec<Graph> = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 10, 3)
+            .into_iter()
+            .map(|m| m.graph)
+            .collect();
+        system
+            .warm_cache(&models, &Platform::by_name(PLATFORM).unwrap(), 1)
+            .unwrap();
+        system
+            .train_predictor(
+                &[PLATFORM],
+                TrainPredictorConfig {
+                    epochs: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let monitor = MonitorConfig {
+            sample_every: 1,
+            min_samples: 4,
+            mape_threshold_pct: 50.0,
+            ..Default::default()
+        };
+        let cfg = ServeConfig {
+            monitor: Some(monitor),
+            retrain_after: 0, // drift is the ONLY trigger
+            retrain_platforms: vec![PLATFORM.to_string()],
+            train: TrainPredictorConfig {
+                epochs: 40,
+                hidden: 32,
+                gnn_layers: 2,
+                ..Default::default()
+            },
+            ..small_cfg()
+        };
+        let svc = LatencyService::start(Arc::clone(&system), cfg);
+        // Serve the warmed models: db hits, each shadow-evaluated.
+        for g in &models {
+            svc.query(&Arc::new(g.clone()), PLATFORM, 1).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        let events = loop {
+            let events = svc.events().unwrap().snapshot();
+            if events.iter().any(|e| e.kind == "retrain_finish") {
+                break events;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "drift never triggered a retrain: {:?}",
+                svc.metrics()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(svc.metrics().retrains >= 1);
+        assert!(events.iter().any(|e| e.kind == "drift_alert"));
+        let finish = events
+            .iter()
+            .rev()
+            .find(|e| e.kind == "retrain_finish")
+            .expect("retrain_finish event");
+        match finish.field("trigger") {
+            Some(FieldValue::Str(s)) => assert_eq!(s, "drift"),
+            other => panic!("missing trigger field: {other:?}"),
+        }
+        // Recovery: replayed windowed MAPE under the new model is below
+        // the drift threshold again.
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let report = svc.quality().unwrap();
+            let q = report.platforms.get(PLATFORM);
+            if q.is_some_and(|q| !q.drifting && q.windowed_mape_pct <= monitor.mape_threshold_pct) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "windowed MAPE never recovered: {report:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 }

@@ -1,0 +1,125 @@
+//! Integration: golden Prometheus text exposition of the metrics
+//! registry.
+//!
+//! The simulator, the trainer and the predictor are all deterministic
+//! under a fixed seed, so the registry a fixed workload produces — and
+//! its Prometheus rendering — is goldenable byte-for-byte. The workload
+//! covers every metric kind: counters (query stages), gauges (embed
+//! cache, labelled monitor quality), and histograms (stage costs, the
+//! labelled relative-error histogram with cumulative buckets).
+//!
+//! Regenerate the golden after an intentional exposition-format change
+//! with `NNLQP_BLESS=1 cargo test --test prometheus_export`.
+
+use nnlqp::{Nnlqp, Platform, QueryParams, TrainPredictorConfig};
+use nnlqp_models::ModelFamily;
+use nnlqp_obs::{parse_prometheus, to_prometheus, MonitorConfig, QualityMonitor};
+use nnlqp_sim::{DeviceFarm, PlatformSpec};
+use std::path::Path;
+use std::sync::Arc;
+
+const SEED: u64 = 0x600D_7ACE;
+const PLATFORM: &str = "gpu-T4-trt7.1-fp32";
+const GOLDEN: &str = "tests/golden/metrics.prom";
+
+/// A fixed workload touching counters, gauges, labelled gauges and
+/// histograms, rendered to Prometheus text format.
+fn seeded_exposition() -> String {
+    let system = Nnlqp::builder()
+        .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+        .reps(3)
+        .seed(SEED)
+        .build();
+    let t4 = Platform::by_name(PLATFORM).unwrap();
+    let models: Vec<_> = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 3, SEED)
+        .into_iter()
+        .map(|m| m.graph)
+        .collect();
+    // Sequential measurements, then cache hits, then one prediction (the
+    // embed-cache gauge moves to 1).
+    for g in &models {
+        system
+            .query(&QueryParams::new(g.clone(), 1, t4.clone()))
+            .unwrap();
+    }
+    for g in &models {
+        system
+            .query(&QueryParams::new(g.clone(), 1, t4.clone()))
+            .unwrap();
+    }
+    system
+        .train_predictor(
+            &[PLATFORM],
+            TrainPredictorConfig {
+                epochs: 2,
+                hidden: 16,
+                gnn_layers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    system.predict_effective(&models[0], PLATFORM).unwrap();
+    // Labelled quality series share the registry, like the serve-side
+    // shadow evaluator publishes them.
+    let monitor = QualityMonitor::new(MonitorConfig::default(), Arc::clone(system.registry()));
+    for (p, t) in [(10.5, 10.0), (21.0, 20.0), (37.5, 30.0)] {
+        monitor.record(PLATFORM, p, t);
+    }
+    to_prometheus(&system.registry().snapshot())
+}
+
+#[test]
+fn exposition_matches_golden_and_round_trips() {
+    let text = seeded_exposition();
+
+    // Determinism: the same seed reproduces the exposition bytewise.
+    assert_eq!(text, seeded_exposition());
+
+    // Round-trip: the bundled parser accepts every line and recovers the
+    // workload's headline numbers.
+    let samples = parse_prometheus(&text).expect("exposition parses");
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .unwrap_or_else(|| panic!("sample {name} missing"))
+            .value
+    };
+    assert_eq!(get("nnlqp_query_queries"), 6.0);
+    assert_eq!(get("nnlqp_query_cache_hits"), 3.0);
+    assert_eq!(get("nnlqp_query_measurements"), 3.0);
+    assert_eq!(get("nnlqp_predict_embed_cache_len"), 1.0);
+    assert_eq!(get("nnlqp_monitor_shadow_evals"), 3.0);
+    let labelled = samples
+        .iter()
+        .find(|s| s.name == "nnlqp_monitor_window_samples")
+        .expect("labelled gauge present");
+    assert_eq!(labelled.label("platform"), Some(PLATFORM));
+    assert_eq!(labelled.value, 3.0);
+    // Histogram buckets are cumulative and end at +Inf.
+    let buckets: Vec<&nnlqp_obs::PromSample> = samples
+        .iter()
+        .filter(|s| s.name == "nnlqp_monitor_rel_err_pct_bucket")
+        .collect();
+    assert!(buckets.len() >= 2);
+    let mut last = -1.0;
+    for b in &buckets {
+        assert!(b.value >= last, "buckets must be cumulative");
+        last = b.value;
+    }
+    assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+
+    // Golden comparison (set NNLQP_BLESS=1 to re-bless after intentional
+    // exposition-format changes).
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN);
+    if std::env::var_os("NNLQP_BLESS").is_some() {
+        std::fs::write(&path, &text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read golden {}: {e}", path.display()));
+    assert_eq!(
+        text, golden,
+        "Prometheus exposition drifted from {GOLDEN}; re-bless with NNLQP_BLESS=1 if intentional"
+    );
+}
