@@ -43,7 +43,8 @@ impl fmt::Display for Severity {
 /// Stable diagnostic codes.
 ///
 /// Numbering scheme: `NNL0xx` are IR dataflow lints, `NNL1xx` are
-/// fusion-legality violations, `NNL2xx` are schedule hazards.
+/// fusion-legality violations, `NNL2xx` are schedule hazards, `NNL3xx`
+/// are fixed-point dataflow findings (memory feasibility, cost sanity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// NNL001 — a node references an input id that is not a node.
@@ -88,10 +89,25 @@ pub enum Code {
     NonDeterministic,
     /// NNL205 — a kernel ran on a stream the platform does not have.
     StreamOutOfRange,
+    /// NNL301 — the graph's static peak memory footprint (live
+    /// activations + weights, from the liveness fixpoint) exceeds the
+    /// platform's memory capacity; it can never run there.
+    MemoryInfeasible,
+    /// NNL302 — the footprint fits but leaves less headroom than the
+    /// high watermark allows; the runtime's own allocations may tip it.
+    MemoryHighWater,
+    /// NNL303 — a scheduled kernel interval beats the static roofline
+    /// floor (`max(flops/peak, output_bytes/bw)`): physically impossible
+    /// throughput, so the latency is untrustworthy as ground truth.
+    CostUnderRoofline,
+    /// NNL304 — a scheduled kernel interval exceeds the worst-case
+    /// ceiling even at minimum utilization: a stalled or mis-accounted
+    /// schedule.
+    CostOverRoofline,
 }
 
 /// All codes, in numbering order (for documentation and exhaustive tests).
-pub const ALL_CODES: [Code; 17] = [
+pub const ALL_CODES: [Code; 21] = [
     Code::OrphanInput,
     Code::NonCanonicalOrder,
     Code::ArityMismatch,
@@ -109,6 +125,10 @@ pub const ALL_CODES: [Code; 17] = [
     Code::LatencyMismatch,
     Code::NonDeterministic,
     Code::StreamOutOfRange,
+    Code::MemoryInfeasible,
+    Code::MemoryHighWater,
+    Code::CostUnderRoofline,
+    Code::CostOverRoofline,
 ];
 
 impl Code {
@@ -132,6 +152,10 @@ impl Code {
             Code::LatencyMismatch => "NNL203",
             Code::NonDeterministic => "NNL204",
             Code::StreamOutOfRange => "NNL205",
+            Code::MemoryInfeasible => "NNL301",
+            Code::MemoryHighWater => "NNL302",
+            Code::CostUnderRoofline => "NNL303",
+            Code::CostOverRoofline => "NNL304",
         }
     }
 
@@ -149,11 +173,15 @@ impl Code {
             | Code::HazardHappensBefore
             | Code::HazardStreamOverlap
             | Code::LatencyMismatch
-            | Code::NonDeterministic => Severity::Error,
+            | Code::NonDeterministic
+            | Code::MemoryInfeasible
+            | Code::CostUnderRoofline => Severity::Error,
             Code::DegenerateShape
             | Code::DeadNode
             | Code::SuspiciousAttrs
-            | Code::StreamOutOfRange => Severity::Warn,
+            | Code::StreamOutOfRange
+            | Code::MemoryHighWater
+            | Code::CostOverRoofline => Severity::Warn,
             Code::DuplicateSubgraph => Severity::Lint,
         }
     }
@@ -178,6 +206,10 @@ impl Code {
             Code::LatencyMismatch => "reported latency is not the max finish time",
             Code::NonDeterministic => "re-execution produced a different schedule",
             Code::StreamOutOfRange => "kernel ran on a nonexistent stream",
+            Code::MemoryInfeasible => "peak memory footprint exceeds platform capacity",
+            Code::MemoryHighWater => "peak memory footprint near platform capacity",
+            Code::CostUnderRoofline => "kernel interval beats the static roofline floor",
+            Code::CostOverRoofline => "kernel interval exceeds the worst-case ceiling",
         }
     }
 }
@@ -279,6 +311,12 @@ pub(crate) fn json_escape(s: &str) -> String {
     out
 }
 
+/// Version of the JSON report layout emitted by [`Report::render_json`].
+/// Bumped on any field addition, removal or reordering so downstream
+/// tooling can gate on it. History: 1 = initial layout (implicit, not
+/// emitted); 2 = added `schema_version` itself and the `NNL3xx` codes.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
+
 /// The result of running an [`crate::Analyzer`] over one graph.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Report {
@@ -353,6 +391,7 @@ impl Report {
     /// dependency, stable field order).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
+        out.push_str(&format!("\"schema_version\":{REPORT_SCHEMA_VERSION},"));
         out.push_str(&format!("\"graph\":\"{}\",", json_escape(&self.graph_name)));
         out.push_str(&format!(
             "\"errors\":{},\"warnings\":{},\"lints\":{},",
@@ -389,6 +428,56 @@ mod tests {
             assert!(seen.insert(c.as_str()), "duplicate code {c}");
             assert!(c.as_str().starts_with("NNL"));
             assert_eq!(c.as_str().len(), 6);
+        }
+    }
+
+    /// Position of every `Code` variant in `ALL_CODES`. The match is
+    /// exhaustive, so adding a variant without registering it here — and
+    /// therefore in the registry itself — fails to compile.
+    fn registry_index(c: Code) -> usize {
+        match c {
+            Code::OrphanInput => 0,
+            Code::NonCanonicalOrder => 1,
+            Code::ArityMismatch => 2,
+            Code::ShapeMismatch => 3,
+            Code::DegenerateShape => 4,
+            Code::DeadNode => 5,
+            Code::DuplicateSubgraph => 6,
+            Code::SuspiciousAttrs => 7,
+            Code::HashNotCanonical => 8,
+            Code::KernelCoverage => 9,
+            Code::KernelCycle => 10,
+            Code::KernelNotConvex => 11,
+            Code::HazardHappensBefore => 12,
+            Code::HazardStreamOverlap => 13,
+            Code::LatencyMismatch => 14,
+            Code::NonDeterministic => 15,
+            Code::StreamOutOfRange => 16,
+            Code::MemoryInfeasible => 17,
+            Code::MemoryHighWater => 18,
+            Code::CostUnderRoofline => 19,
+            Code::CostOverRoofline => 20,
+        }
+    }
+
+    #[test]
+    fn registry_is_exhaustive_sorted_and_described() {
+        // Every variant appears exactly once, at its expected position.
+        for (i, c) in ALL_CODES.iter().enumerate() {
+            assert_eq!(registry_index(*c), i, "{c} registered out of place");
+        }
+        // Codes are sorted ascending (numbering order == lexical order).
+        for w in ALL_CODES.windows(2) {
+            assert!(
+                w[0].as_str() < w[1].as_str(),
+                "{} must precede {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Every code carries a non-empty description.
+        for c in ALL_CODES {
+            assert!(!c.title().is_empty(), "{c} has no description");
         }
     }
 

@@ -4,13 +4,17 @@
 //! [`nnlqp_ir::validate::validate`] enforces fatally — and go further:
 //! validation stops at the first violation, while the linter reports every
 //! finding with a stable code, then layers on dataflow facts validation
-//! does not track (liveness, value numbering, serialization round trips).
+//! does not track (reachability, value numbering, serialization round
+//! trips). The whole-graph facts come from the fixed-point engine in
+//! [`crate::dataflow`]: dead-region detection is a backward reachability
+//! analysis, duplicate-subgraph detection a forward value-numbering one.
 
+use crate::dataflow::{self, DataflowAnalysis, Direction, ReachabilityAnalysis};
 use crate::diagnostic::{Anchor, Code, Diagnostic};
 use crate::{AnalysisContext, Pass};
 use nnlqp_hash::{graph_hash, HashAlgo, StreamHasher};
 use nnlqp_ir::infer::infer_shape;
-use nnlqp_ir::{serialize, Graph, OpType, Shape};
+use nnlqp_ir::{serialize, Graph, NodeId, OpType, Shape};
 use std::collections::HashMap;
 
 /// The `ir-lints` pass: runs every check in this module.
@@ -159,65 +163,116 @@ pub fn check_degenerate_shapes(g: &Graph) -> Vec<Diagnostic> {
 
 /// `NNL006`: nodes whose value never reaches the model output (the last
 /// sink, which is what [`Graph::output_shape`] reports and what the
-/// simulator's makespan is measured against).
+/// simulator's makespan is measured against). Liveness comes from the
+/// backward [`ReachabilityAnalysis`] fixpoint; dead nodes are then
+/// grouped into weakly connected dead *regions*, so a whole orphaned
+/// branch reads as one region rather than a scatter of unrelated nodes.
 pub fn check_dead_nodes(g: &Graph) -> Vec<Diagnostic> {
-    let Some(&output) = g.sinks().last() else {
+    let Some(analysis) = ReachabilityAnalysis::new(g) else {
         return Vec::new();
     };
-    // Mark ancestors of the output by walking the node vector backwards —
-    // it is a topological order (check_structure ran first).
-    let mut live = vec![false; g.len()];
-    live[output.index()] = true;
-    for i in (0..g.len()).rev() {
+    let output = *g.sinks().last().expect("non-empty graph has a sink");
+    let live = dataflow::solve(g, &analysis).facts;
+    // Union-find over edges whose endpoints are both dead: connected
+    // components of the dead subgraph are the dead regions.
+    let mut parent: Vec<usize> = (0..g.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for (i, n) in g.nodes.iter().enumerate() {
         if live[i] {
-            for inp in &g.nodes[i].inputs {
-                live[inp.index()] = true;
+            continue;
+        }
+        for inp in &n.inputs {
+            if !live[inp.index()] {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, inp.index()));
+                parent[a.max(b)] = a.min(b);
             }
         }
     }
-    live.iter()
-        .enumerate()
-        .filter(|(_, &l)| !l)
-        .map(|(i, _)| {
+    let mut region_size: HashMap<usize, usize> = HashMap::new();
+    for i in (0..g.len()).filter(|&i| !live[i]) {
+        *region_size.entry(find(&mut parent, i)).or_insert(0) += 1;
+    }
+    (0..g.len())
+        .filter(|&i| !live[i])
+        .map(|i| {
+            let root = find(&mut parent, i);
             Diagnostic::new(
                 Code::DeadNode,
                 Anchor::Node(i as u32),
                 format!(
-                    "{} output never reaches the model output n{}",
+                    "{} output never reaches the model output n{} \
+                     (dead region of {} node(s) rooted at n{})",
                     g.nodes[i].op.name(),
-                    output.0
+                    output.0,
+                    region_size[&root],
+                    root
                 ),
             )
         })
         .collect()
 }
 
-/// Forward value number of every node: op code, attributes and the value
-/// numbers of its inputs (sorted for commutative ops, so `add(a, b)` and
-/// `add(b, a)` match). Two nodes with equal value numbers compute the same
-/// value from the same sources.
-fn value_numbers(g: &Graph) -> Vec<u64> {
-    // Sentinel value number for "reads the graph input".
-    const GRAPH_INPUT: u64 = 0x6e6e_6c71_7069_6e00;
-    let mut vn = vec![0u64; g.len()];
-    for (i, n) in g.nodes.iter().enumerate() {
+/// Sentinel value number for "reads the graph input".
+const GRAPH_INPUT: u64 = 0x6e6e_6c71_7069_6e00;
+
+/// Forward value numbering on the dataflow engine. The fact is a hash of
+/// op code, attributes and the input facts in argument order (sorted for
+/// commutative ops, so `add(a, b)` and `add(b, a)` match) — a positional
+/// analysis, so `transfer` consumes the dep slice directly instead of
+/// folding it through the join.
+struct ValueNumbering;
+
+impl DataflowAnalysis for ValueNumbering {
+    type Fact = u64;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _g: &Graph, _id: NodeId) -> u64 {
+        0
+    }
+
+    fn boundary(&self, _g: &Graph, _id: NodeId) -> u64 {
+        GRAPH_INPUT
+    }
+
+    /// Order-insensitive combine; only `joined` uses it, the transfer
+    /// below hashes dep facts positionally.
+    fn join(&self, acc: u64, dep: &u64) -> u64 {
+        acc ^ *dep
+    }
+
+    fn transfer(&self, g: &Graph, id: NodeId, deps: &[u64]) -> u64 {
+        let n = g.node(id);
         let mut h = StreamHasher::new(HashAlgo::Fnv1a);
         h.write_u64(n.op.code() as u64);
         for a in n.attrs.to_vec() {
             h.write_f32(a);
         }
-        let mut ins: Vec<u64> = if n.inputs.is_empty() {
-            vec![GRAPH_INPUT]
+        let mut ins: Vec<u64> = if deps.is_empty() {
+            vec![self.boundary(g, id)]
         } else {
-            n.inputs.iter().map(|x| vn[x.index()]).collect()
+            deps.to_vec()
         };
         if matches!(n.op, OpType::Add | OpType::Mul) {
             ins.sort_unstable();
         }
         h.write_all(&ins);
-        vn[i] = h.finish();
+        h.finish()
     }
-    vn
+}
+
+/// Value number of every node, from the forward fixpoint. Two nodes with
+/// equal value numbers compute the same value from the same sources.
+fn value_numbers(g: &Graph) -> Vec<u64> {
+    dataflow::solve(g, &ValueNumbering).facts
 }
 
 /// `NNL007`: duplicate subgraphs. A node whose value number collides with

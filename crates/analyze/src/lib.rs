@@ -10,17 +10,30 @@
 //! framework producing [`Diagnostic`]s with stable `NNLxxx` codes, rendered
 //! as text or JSON.
 //!
-//! Three pass families:
+//! Whole-graph facts (reachability, liveness, value numbers) come from a
+//! shared fixed-point engine ([`dataflow`]): analyses declare a lattice
+//! and a transfer function, the engine sweeps the topological node order
+//! to convergence. Five pass families sit on top:
 //!
 //! * **IR dataflow lints** ([`ir_lints`], `NNL0xx`) over [`nnlqp_ir::Graph`]:
 //!   orphan inputs, non-canonical node order (a graph-hash cache-miss
-//!   source), arity/shape violations, degenerate shapes, dead nodes,
-//!   duplicate subgraphs (CSE candidates, via value hashing from
-//!   `nnlqp-hash`), suspicious attributes, and database cache-key
-//!   canonicalization (serialize round trip preserves the graph hash).
+//!   source), arity/shape violations, degenerate shapes, dead regions
+//!   (backward reachability), duplicate subgraphs (CSE candidates, via
+//!   forward value numbering), suspicious attributes, and database
+//!   cache-key canonicalization (serialize round trip preserves the graph
+//!   hash).
+//! * **Memory feasibility** ([`memory`], `NNL3xx` low range): backward
+//!   tensor liveness over the execution order gives the peak activation
+//!   footprint; adding weights, the graph either fits the platform's
+//!   memory capacity (`NNL301` error when it cannot, `NNL302` warning
+//!   near the high watermark) or is rejected before any measurement.
 //! * **Fusion legality** ([`fusion_checks`], `NNL1xx`): the kernels from
 //!   [`nnlqp_sim::fusion::fuse`] must partition the node set, their
 //!   dependency graph must be acyclic, and every kernel must be convex.
+//! * **Cost sanity** ([`cost_sanity`], `NNL3xx` high range): every
+//!   scheduled kernel interval must land inside the static roofline
+//!   window derived from [`nnlqp_ir::cost`] (`NNL303` impossibly fast,
+//!   `NNL304` implausibly slow).
 //! * **Schedule hazards** ([`schedule_checks`], `NNL2xx`) over
 //!   [`nnlqp_sim::exec::ExecutionTrace`]: happens-before, no same-stream
 //!   overlap, reported latency equals the makespan, deterministic
@@ -37,12 +50,17 @@
 //! assert!(!report.has_errors());
 //! ```
 
+pub mod cost_sanity;
+pub mod dataflow;
 pub mod diagnostic;
 pub mod fusion_checks;
 pub mod ir_lints;
+pub mod memory;
 pub mod schedule_checks;
 
-pub use diagnostic::{Anchor, Code, Diagnostic, Report, Severity, ALL_CODES};
+pub use diagnostic::{
+    Anchor, Code, Diagnostic, Report, Severity, ALL_CODES, REPORT_SCHEMA_VERSION,
+};
 
 use nnlqp_ir::Graph;
 use nnlqp_sim::platform::PlatformSpec;
@@ -89,12 +107,15 @@ pub struct Analyzer {
 }
 
 impl Analyzer {
-    /// The full pipeline: IR lints, fusion legality, schedule hazards.
+    /// The full pipeline: IR lints, memory feasibility, fusion legality,
+    /// cost sanity, schedule hazards.
     pub fn full() -> Self {
         Analyzer {
             passes: vec![
                 Box::new(ir_lints::IrLintPass),
+                Box::new(memory::MemoryFeasibilityPass),
                 Box::new(fusion_checks::FusionLegalityPass),
+                Box::new(cost_sanity::CostSanityPass),
                 Box::new(schedule_checks::ScheduleHazardPass),
             ],
         }
@@ -147,8 +168,8 @@ impl Default for Analyzer {
     }
 }
 
-/// Convenience: run the full pipeline (IR + fusion; schedule too when a
-/// platform is given).
+/// Convenience: run the full pipeline (IR + fusion; memory, cost and
+/// schedule checks too when a platform is given).
 pub fn analyze(g: &Graph, platform: Option<&PlatformSpec>) -> Report {
     Analyzer::full().analyze(g, platform)
 }
@@ -170,16 +191,19 @@ mod tests {
         let p = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
         let r = Analyzer::full().analyze(&small(), Some(&p));
         assert!(r.is_clean(), "{}", r.render_text());
-        assert_eq!(r.passes_run.len(), 3);
+        assert_eq!(r.passes_run.len(), 5);
         assert!(r.passes_skipped.is_empty());
     }
 
     #[test]
-    fn no_platform_skips_schedule_pass() {
+    fn no_platform_skips_platform_passes() {
         let r = Analyzer::full().analyze(&small(), None);
         assert!(r.is_clean());
         assert_eq!(r.passes_run.len(), 2);
-        assert_eq!(r.passes_skipped, vec!["schedule-hazards"]);
+        assert_eq!(
+            r.passes_skipped,
+            vec!["memory-feasibility", "cost-sanity", "schedule-hazards"]
+        );
     }
 
     #[test]
@@ -192,7 +216,12 @@ mod tests {
         assert_eq!(r.passes_run, vec!["ir-lints"]);
         assert_eq!(
             r.passes_skipped,
-            vec!["fusion-legality", "schedule-hazards"]
+            vec![
+                "memory-feasibility",
+                "fusion-legality",
+                "cost-sanity",
+                "schedule-hazards"
+            ]
         );
     }
 }

@@ -27,7 +27,7 @@ fn every_builtin_family_lints_clean() {
         let g = f.canonical().unwrap();
         let report = analyzer.analyze(&g, Some(&p));
         assert!(!report.has_errors(), "{f}:\n{}", report.render_text());
-        assert_eq!(report.passes_run.len(), 3, "{f} skipped a pass");
+        assert_eq!(report.passes_run.len(), 5, "{f} skipped a pass");
     }
 }
 

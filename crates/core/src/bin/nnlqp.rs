@@ -7,13 +7,28 @@
 //! nnlqp trace   --model model.json --platform gpu-T4-trt7.1-fp32 [--flame]
 //! nnlqp platforms
 //! nnlqp export-model --family ResNet --output model.json
-//! nnlqp lint    --model model.json [--platform NAME] [--json]
-//! nnlqp lint    --all-families
+//! nnlqp lint    --model model.json [--platform NAME] [--json] [--deny-warnings]
+//! nnlqp lint    --all-families [--nas-sample N] [--seed S]
 //! nnlqp metrics [--platform NAME] [--family FAMILY] [--count N]
 //! ```
 //!
 //! Model files are the JSON graph format of `nnlqp_ir::serialize`.
-//! `lint` exits 1 when the analyzer reports any error-severity finding.
+//!
+//! `lint` exit codes are stable and scriptable:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | no rejection-severity findings |
+//! | 1    | error-severity findings (or any warning with `--deny-warnings`) |
+//! | 2    | usage error (bad flags, unknown platform or family) |
+//! | 3    | I/O or parse failure reading a model file |
+//!
+//! JSON lint reports carry a `schema_version` field
+//! (`nnlqp_analyze::REPORT_SCHEMA_VERSION`) so downstream consumers can
+//! detect format changes. `--nas-sample N` extends the lint corpus with
+//! `N` seeded NAS-Bench-201 cells (the CI gate lints the canonical
+//! corpus plus such a sample).
+//!
 //! `trace` emits a Chrome-trace JSON timeline of one traced query (load
 //! it in Perfetto / `chrome://tracing`), or a text timeline with
 //! `--flame`. `metrics` runs a small measure-then-hit workload and prints
@@ -37,14 +52,16 @@ fn usage() -> ! {
     eprintln!("  nnlqp platforms");
     eprintln!("  nnlqp export-model --family FAMILY --output FILE [--seed S]");
     eprintln!("  nnlqp lint    (--model FILE | --family FAMILY | --all-families)");
-    eprintln!("                [--platform NAME] [--json]");
+    eprintln!("                [--platform NAME] [--json] [--deny-warnings]");
+    eprintln!("                [--nas-sample N] [--seed S]");
+    eprintln!("                exit: 0 clean, 1 findings, 2 usage, 3 unreadable model");
     eprintln!("  nnlqp metrics [--platform NAME] [--family FAMILY] [--count N]");
     eprintln!("                [--batch N] [--reps R] [--seed S] [--output FILE]");
     std::process::exit(2);
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 3] = ["json", "all-families", "flame"];
+const BOOL_FLAGS: [&str; 4] = ["json", "all-families", "flame", "deny-warnings"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -162,7 +179,7 @@ fn main() {
                 .unwrap_or("gpu-T4-trt7.1-fp32");
             let Some(spec) = PlatformSpec::by_name(platform) else {
                 eprintln!("error: unknown platform: {platform}");
-                std::process::exit(1);
+                std::process::exit(2);
             };
             // Assemble the lint targets.
             let mut graphs: Vec<nnlqp_ir::Graph> = Vec::new();
@@ -179,26 +196,43 @@ fn main() {
             } else if let Some(path) = flags.get("model") {
                 let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                     eprintln!("error: cannot read {path}: {e}");
-                    std::process::exit(1);
+                    std::process::exit(3);
                 });
                 // Unchecked load: the linter diagnoses malformed graphs
                 // instead of refusing to open them.
                 let g = serialize::from_json_unchecked(&text).unwrap_or_else(|e| {
                     eprintln!("error: {path} is not a model file: {e}");
-                    std::process::exit(1);
+                    std::process::exit(3);
                 });
                 graphs.push(g);
             } else {
                 eprintln!("error: one of --model, --family, --all-families is required");
                 usage();
             }
+            // Widen the corpus with seeded NAS-Bench cells: the same
+            // sampled graphs the search/CI tooling sees.
+            if let Some(n) = flags.get("nas-sample") {
+                let n: usize = n.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --nas-sample must be a number");
+                    usage();
+                });
+                let seed: u64 = flags
+                    .get("seed")
+                    .map(|s| s.parse().expect("--seed must be a number"))
+                    .unwrap_or(1);
+                for m in nnlqp_models::generate_family(ModelFamily::NasBench201, n, seed) {
+                    graphs.push(m.graph);
+                }
+            }
 
             let analyzer = nnlqp_analyze::Analyzer::full();
             let mut any_errors = false;
+            let mut any_warnings = false;
             let mut json_reports = Vec::new();
             for g in &graphs {
                 let report = analyzer.analyze(g, Some(&spec));
                 any_errors |= report.has_errors();
+                any_warnings |= report.count(nnlqp_analyze::Severity::Warn) > 0;
                 if flags.contains_key("json") {
                     json_reports.push(report.render_json());
                 } else {
@@ -208,7 +242,8 @@ fn main() {
             if flags.contains_key("json") {
                 println!("[{}]", json_reports.join(","));
             }
-            std::process::exit(i32::from(any_errors));
+            let reject = any_errors || (flags.contains_key("deny-warnings") && any_warnings);
+            std::process::exit(i32::from(reject));
         }
         "query" => {
             let model = load_model(&flags);

@@ -1,5 +1,6 @@
 //! `NNLQP.query` — the cached latency-query path (§5.2).
 
+use nnlqp_analyze::Report;
 use nnlqp_db::{Database, PlatformId};
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::{cost, Graph, Rng64};
@@ -9,6 +10,7 @@ use nnlqp_obs::{
 };
 use nnlqp_sim::{DeviceFarm, FarmError, Platform, PlatformSpec, QueryJob};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -130,6 +132,12 @@ pub mod metric_names {
     pub const CACHE_HITS: &str = "query.cache_hits";
     /// Counter: farm measurements performed.
     pub const MEASUREMENTS: &str = "query.measurements";
+    /// Counter: strict-mode admission analyses actually executed (lint
+    /// cache misses).
+    pub const LINT_RUNS: &str = "query.lint_runs";
+    /// Counter: strict-mode admission reports served from the lint cache
+    /// (repeat queries of an already-analyzed graph pay nothing).
+    pub const LINT_CACHE_HITS: &str = "query.lint_cache_hits";
     /// Histogram: simulated seconds spent hashing + looking up.
     pub const STAGE_LOOKUP_S: &str = "query.stage.lookup_s";
     /// Histogram: simulated seconds spent in the deployment pipeline.
@@ -161,8 +169,14 @@ pub struct Nnlqp {
     m_queries: Arc<Counter>,
     m_cache_hits: Arc<Counter>,
     m_measurements: Arc<Counter>,
+    m_lint_runs: Arc<Counter>,
+    m_lint_cache_hits: Arc<Counter>,
     h_lookup_s: Arc<Histogram>,
     h_measure_s: Arc<Histogram>,
+    /// Memoized admission reports keyed by (graph hash, platform name):
+    /// strict mode analyzes each distinct graph once per platform, so a
+    /// repeated (rejected or clean) query pays nothing.
+    lint_cache: Mutex<HashMap<(u64, String), Arc<Report>>>,
     pub(crate) predictor: parking_lot::RwLock<Option<crate::predictor::PredictorHandle>>,
     /// Generation counter for the installed predictor; bumped under the
     /// `predictor` write lock on every hot-swap so embed-cache keys from
@@ -273,6 +287,8 @@ impl NnlqpBuilder {
         let m_queries = registry.counter(metric_names::QUERIES);
         let m_cache_hits = registry.counter(metric_names::CACHE_HITS);
         let m_measurements = registry.counter(metric_names::MEASUREMENTS);
+        let m_lint_runs = registry.counter(metric_names::LINT_RUNS);
+        let m_lint_cache_hits = registry.counter(metric_names::LINT_CACHE_HITS);
         let h_lookup_s = registry.histogram(metric_names::STAGE_LOOKUP_S, &STAGE_SECONDS_BOUNDS);
         let h_measure_s = registry.histogram(metric_names::STAGE_MEASURE_S, &STAGE_SECONDS_BOUNDS);
         let m_embed_hits = registry.counter(metric_names::EMBED_HITS);
@@ -292,8 +308,11 @@ impl NnlqpBuilder {
             m_queries,
             m_cache_hits,
             m_measurements,
+            m_lint_runs,
+            m_lint_cache_hits,
             h_lookup_s,
             h_measure_s,
+            lint_cache: Mutex::new(HashMap::new()),
             predictor: parking_lot::RwLock::new(None),
             predictor_version: std::sync::atomic::AtomicU64::new(0),
             embed_cache: crate::embed_cache::EmbedCache::new(embed_capacity, EMBED_CACHE_SHARDS),
@@ -381,6 +400,44 @@ impl Nnlqp {
         self.embed_cache.len()
     }
 
+    /// Run the admission analysis pipeline over `graph` (assumed to hash
+    /// to `hash`), memoized per (graph hash, platform name).
+    ///
+    /// This is what strict mode consults before any farm measurement or
+    /// database write; serving layers can call it directly to pre-screen
+    /// a graph or to surface the full report behind a rejection. Repeat
+    /// calls for an already-analyzed key return the cached report and
+    /// bump `query.lint_cache_hits` instead of `query.lint_runs`.
+    pub fn analyze_admission(&self, graph: &Graph, hash: u64, spec: &PlatformSpec) -> Arc<Report> {
+        const LINT_CACHE_CAP: usize = 1024;
+        let key = (hash, spec.name.clone());
+        if let Some(cached) = self.lint_cache.lock().get(&key) {
+            self.m_lint_cache_hits.inc();
+            return Arc::clone(cached);
+        }
+        let report = Arc::new(nnlqp_analyze::analyze(graph, Some(spec)));
+        self.m_lint_runs.inc();
+        let mut cache = self.lint_cache.lock();
+        if cache.len() >= LINT_CACHE_CAP {
+            cache.clear(); // simple bound; reports are cheap to recompute
+        }
+        cache.insert(key, Arc::clone(&report));
+        report
+    }
+
+    /// Strict-mode gate: reject `graph` when the admission report carries
+    /// errors, before the farm or database are touched.
+    fn admit(&self, graph: &Graph, hash: u64, spec: &PlatformSpec) -> Result<(), QueryError> {
+        if !self.strict {
+            return Ok(());
+        }
+        let report = self.analyze_admission(graph, hash, spec);
+        if report.has_errors() {
+            return Err(QueryError::Lint(report.render_text()));
+        }
+        Ok(())
+    }
+
     /// Resolve the effective graph at the requested batch size.
     fn effective_graph(&self, params: &QueryParams) -> Result<Graph, QueryError> {
         if params.model.input_shape.batch() == params.batch_size as usize {
@@ -417,13 +474,8 @@ impl Nnlqp {
         self.m_queries.inc();
         let spec = params.platform.spec();
         let graph = self.effective_graph(params)?;
-        if self.strict {
-            let report = nnlqp_analyze::analyze(&graph, Some(spec));
-            if report.has_errors() {
-                return Err(QueryError::Lint(report.render_text()));
-            }
-        }
         let hash = graph_hash(&graph);
+        self.admit(&graph, hash, spec)?;
         let platform_id =
             self.db
                 .get_or_create_platform(&spec.hardware, &spec.software, spec.dtype.name());
@@ -475,13 +527,8 @@ impl Nnlqp {
         farm_wait: Option<Duration>,
     ) -> Result<QueryResult, QueryError> {
         let spec = platform.spec();
-        if self.strict {
-            let report = nnlqp_analyze::analyze(graph, Some(spec));
-            if report.has_errors() {
-                return Err(QueryError::Lint(report.render_text()));
-            }
-        }
         let hash = graph_hash(graph);
+        self.admit(graph, hash, spec)?;
         let platform_id =
             self.db
                 .get_or_create_platform(&spec.hardware, &spec.software, spec.dtype.name());
@@ -803,6 +850,30 @@ mod tests {
             QueryError::Lint(report) => assert!(report.contains("NNL004"), "{report}"),
             other => panic!("expected Lint error, got {other:?}"),
         }
+        assert_eq!(s.stats().models, 0);
+        assert_eq!(s.stats().latencies, 0);
+    }
+
+    #[test]
+    fn admission_reports_are_cached_by_graph_and_platform() {
+        let s = Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .strict(true)
+            .build();
+        let mut p = params("gpu-T4-trt7.1-fp32");
+        p.model.nodes[1].out_shape = nnlqp_ir::Shape::nchw(1, 999, 1, 1);
+        assert!(matches!(s.query(&p), Err(QueryError::Lint(_))));
+        // The repeat rejection is served from the lint cache.
+        assert!(matches!(s.query(&p), Err(QueryError::Lint(_))));
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter(metric_names::LINT_RUNS), 1);
+        assert_eq!(snap.counter(metric_names::LINT_CACHE_HITS), 1);
+        // A different platform is a distinct admission key.
+        let p2 = QueryParams::by_name(p.model.clone(), 1, "cpu-openppl-fp32").unwrap();
+        assert!(matches!(s.query(&p2), Err(QueryError::Lint(_))));
+        assert_eq!(s.registry().snapshot().counter(metric_names::LINT_RUNS), 2);
+        // Nothing was measured or recorded for any of the rejections.
+        assert_eq!(s.farm_measurements(), 0);
         assert_eq!(s.stats().models, 0);
         assert_eq!(s.stats().latencies, 0);
     }

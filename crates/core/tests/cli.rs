@@ -98,6 +98,88 @@ fn lint_all_families_json_zero_errors() {
 }
 
 #[test]
+fn lint_nas_sample_extends_corpus() {
+    let out = bin()
+        .args([
+            "lint",
+            "--all-families",
+            "--json",
+            "--nas-sample",
+            "3",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // 10 canonical families + 3 sampled NAS cells, all error-free, each
+    // report stamped with the stable schema version.
+    assert_eq!(
+        stdout.matches("\"errors\":0").count(),
+        13,
+        "stdout: {stdout}"
+    );
+    assert_eq!(stdout.matches("\"schema_version\":2").count(), 13);
+}
+
+#[test]
+fn lint_deny_warnings_is_scriptable() {
+    // The clean corpus passes even under --deny-warnings...
+    let out = bin()
+        .args(["lint", "--family", "ResNet", "--deny-warnings"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // ...and a warning-carrying graph flips exit 0 -> 1 under the flag.
+    let dir = std::env::temp_dir().join("nnlqp-cli-denywarn");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("warn.json");
+    // A dead branch is NNL006, warn-severity: conv feeds both a consumed
+    // relu chain and an unconsumed sigmoid.
+    let mut b = nnlqp_ir::GraphBuilder::new("warny", nnlqp_ir::Shape::nchw(1, 3, 8, 8));
+    let c = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+    b.sigmoid(c).unwrap(); // dead
+    let r = b.relu(c).unwrap();
+    b.relu(r).unwrap();
+    let g = b.finish().unwrap();
+    std::fs::write(&model, nnlqp_ir::serialize::to_json(&g)).unwrap();
+    let out = bin()
+        .args(["lint", "--model", model.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "warnings alone pass by default");
+    let out = bin()
+        .args([
+            "lint",
+            "--model",
+            model.to_str().unwrap(),
+            "--deny-warnings",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "--deny-warnings rejects NNL006");
+    std::fs::remove_file(&model).ok();
+}
+
+#[test]
+fn lint_unreadable_model_exits_three() {
+    let out = bin()
+        .args(["lint", "--model", "/nonexistent-model.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
 fn lint_unknown_platform_fails() {
     let out = bin()
         .args(["lint", "--family", "ResNet", "--platform", "abacus"])

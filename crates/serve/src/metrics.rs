@@ -39,6 +39,9 @@ pub mod metric_names {
     pub const DEGRADED: &str = "serve.degraded";
     /// Counter: turned away (queue full or shutting down).
     pub const REJECTED: &str = "serve.rejected";
+    /// Counter: rejected by the strict-mode admission analyzer before any
+    /// measurement or database write.
+    pub const LINT_REJECTED: &str = "serve.lint_rejected";
     /// Counter: invalid requests.
     pub const ERRORS: &str = "serve.errors";
     /// Counter: predictor retrains completed.
@@ -66,6 +69,7 @@ pub struct ServeMetrics {
     measured: Arc<Counter>,
     degraded: Arc<Counter>,
     rejected: Arc<Counter>,
+    lint_rejected: Arc<Counter>,
     errors: Arc<Counter>,
     retrains: Arc<Counter>,
     retrain_samples: Arc<Counter>,
@@ -104,6 +108,7 @@ impl ServeMetrics {
             measured: registry.counter(metric_names::MEASURED),
             degraded: registry.counter(metric_names::DEGRADED),
             rejected: registry.counter(metric_names::REJECTED),
+            lint_rejected: registry.counter(metric_names::LINT_REJECTED),
             errors: registry.counter(metric_names::ERRORS),
             retrains: registry.counter(metric_names::RETRAINS),
             retrain_samples: registry.counter(metric_names::RETRAIN_SAMPLES),
@@ -123,6 +128,7 @@ impl ServeMetrics {
         measured,
         degraded,
         rejected,
+        lint_rejected,
         errors,
         drift_retrains,
     );
@@ -165,6 +171,7 @@ impl ServeMetrics {
             measured: self.measured.get(),
             degraded: self.degraded.get(),
             rejected: self.rejected.get(),
+            lint_rejected: self.lint_rejected.get(),
             errors: self.errors.get(),
             retrains: self.retrains.get(),
             retrain_samples: self.retrain_samples.get(),
@@ -194,6 +201,9 @@ pub struct MetricsSnapshot {
     pub degraded: u64,
     /// Turned away: queue full or service shutting down.
     pub rejected: u64,
+    /// Rejected by the strict-mode admission analyzer (error-severity
+    /// findings), before any farm measurement or database write.
+    pub lint_rejected: u64,
     /// Invalid requests (unknown platform, bad batch).
     pub errors: u64,
     /// Predictor retrains completed by the evolving-database loop.
@@ -208,7 +218,13 @@ impl MetricsSnapshot {
     /// Terminal classes partition the request stream: at any quiescent
     /// point the outcome counters must sum to `requests`.
     pub fn balanced(&self) -> bool {
-        self.hot_hits + self.db_hits + self.misses + self.degraded + self.rejected + self.errors
+        self.hot_hits
+            + self.db_hits
+            + self.misses
+            + self.degraded
+            + self.rejected
+            + self.lint_rejected
+            + self.errors
             == self.requests
     }
 
@@ -234,6 +250,7 @@ impl MetricsSnapshot {
             "measured": self.measured,
             "degraded": self.degraded,
             "rejected": self.rejected,
+            "lint_rejected": self.lint_rejected,
             "errors": self.errors,
             "retrains": self.retrains,
             "retrain_samples": self.retrain_samples,
@@ -257,7 +274,7 @@ mod tests {
         m.db_hits();
         m.misses();
         m.degraded();
-        m.rejected();
+        m.lint_rejected();
         let s = m.snapshot();
         assert!(s.balanced());
         m.requests();

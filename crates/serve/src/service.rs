@@ -7,9 +7,12 @@
 //! 1. resolve the platform once (cached binding: canonical name + db id);
 //! 2. sharded-LRU hot cache — O(1), no db lock;
 //! 3. evolving database — hit fills the LRU;
-//! 4. degrade check — backlog over threshold and a predictor head exists:
+//! 4. strict-mode admission — the analyzer (memoized per graph hash +
+//!    platform in the facade) rejects error-severity graphs *here*,
+//!    before any farm measurement or database write;
+//! 5. degrade check — backlog over threshold and a predictor head exists:
 //!    serve an NNLP prediction tagged `approximate`;
-//! 5. singleflight — join the key's flight, or lead it by enqueueing one
+//! 6. singleflight — join the key's flight, or lead it by enqueueing one
 //!    measurement on the bounded worker queue (`try_send`: a full queue
 //!    rejects instead of blocking the caller — backpressure, not pileup).
 //!
@@ -135,8 +138,11 @@ pub enum ServeError {
     Overloaded,
     /// The service no longer accepts work.
     ShuttingDown,
-    /// The measurement itself failed (farm busy past the deadline, strict
-    /// lint rejection, ...).
+    /// Strict mode: the admission analyzer found error-severity findings,
+    /// so the graph was rejected before any farm measurement or database
+    /// write (the payload is the rendered report).
+    LintRejected(String),
+    /// The measurement itself failed (farm busy past the deadline, ...).
     Measurement(String),
 }
 
@@ -147,6 +153,7 @@ impl fmt::Display for ServeError {
             ServeError::BadBatch(d) => write!(f, "bad batch: {d}"),
             ServeError::Overloaded => write!(f, "measurement queue full"),
             ServeError::ShuttingDown => write!(f, "service shutting down"),
+            ServeError::LintRejected(r) => write!(f, "rejected by static analysis:\n{r}"),
             ServeError::Measurement(e) => write!(f, "measurement failed: {e}"),
         }
     }
@@ -171,6 +178,7 @@ impl From<QueryError> for ServeError {
         match e {
             QueryError::UnknownPlatform(p) => ServeError::UnknownPlatform(p),
             QueryError::BadBatch(d) => ServeError::BadBatch(d),
+            QueryError::Lint(r) => ServeError::LintRejected(r),
             QueryError::Farm(f) => f.into(),
             other => ServeError::Measurement(other.to_string()),
         }
@@ -205,6 +213,7 @@ fn error_str(e: &ServeError) -> &'static str {
         ServeError::BadBatch(_) => "bad_batch",
         ServeError::Overloaded => "overloaded",
         ServeError::ShuttingDown => "shutting_down",
+        ServeError::LintRejected(_) => "lint_rejected",
         ServeError::Measurement(_) => "measurement",
     }
 }
@@ -570,6 +579,24 @@ impl LatencyService {
             });
         }
 
+        // Strict-mode admission gate: neither tier 1 nor tier 2 answered,
+        // so serving this request means touching the farm (or the
+        // predictor). Run the analyzer first — through the facade's
+        // memoized per-(graph hash, platform) report cache, so repeat
+        // queries of a rejected graph pay nothing — and turn error-severity
+        // findings away before any measurement or database write. Cached
+        // entries can never cover a rejected graph: strict is fixed at
+        // build time, so everything measured was admitted.
+        if self.system.strict() {
+            let report =
+                self.system
+                    .analyze_admission(&graph, key.graph_hash, binding.platform.spec());
+            if report.has_errors() {
+                self.metrics.lint_rejected();
+                return Err(ServeError::LintRejected(report.render_text()));
+            }
+        }
+
         // Tier 3: graceful degradation under measurement backlog.
         if self.backlog() >= self.cfg.degrade_backlog
             && self.system.has_predictor_for(&binding.canonical)
@@ -653,7 +680,15 @@ impl LatencyService {
                 })
             }
             Err(e) => {
-                self.metrics.rejected();
+                // Belt-and-braces: the pre-admission gate keeps lint
+                // rejections out of the measurement path, but a flight
+                // could still publish one (e.g. strict toggled mid-build
+                // in a future refactor) — count it in its own class.
+                if matches!(e, ServeError::LintRejected(_)) {
+                    self.metrics.lint_rejected();
+                } else {
+                    self.metrics.rejected();
+                }
                 Err(e)
             }
         }

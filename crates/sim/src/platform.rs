@@ -97,6 +97,12 @@ pub struct PlatformSpec {
     /// Fraction of the launch overhead hidden by pipelining when the
     /// stream is busy (back-to-back enqueue).
     pub launch_pipelining: f64,
+    /// Device memory available to a single inference session, in bytes
+    /// (Table 1's memory column, order-of-magnitude). The analyzer's
+    /// memory-feasibility pass rejects graphs whose static footprint
+    /// (weights + peak live activations) cannot fit. `0` means unknown
+    /// and disables the check.
+    pub mem_capacity_bytes: u64,
     /// Deployment-stage costs for the query pipeline.
     pub deploy: DeployCosts,
     /// Operators this platform's toolchain cannot compile (§9: "which
@@ -159,6 +165,22 @@ impl PlatformSpec {
                 HardwareClass::Gpu => 0.85,
                 HardwareClass::Cpu => 0.45,
                 HardwareClass::Asic => 0.65,
+            },
+            mem_capacity_bytes: {
+                const GIB: u64 = 1 << 30;
+                const MIB: u64 = 1 << 20;
+                match hardware {
+                    "cpu" => 64 * GIB,
+                    "T4" => 16 * GIB,
+                    "P4" => 8 * GIB,
+                    "gtx1660" => 6 * GIB,
+                    "atlas300" => 32 * GIB,
+                    "mlu270" => 16 * GIB,
+                    "hi3559A" => 2 * GIB,
+                    "hi3519A" => GIB,
+                    "rv1109" => 128 * MIB,
+                    _ => 4 * GIB,
+                }
             },
             deploy: DeployCosts {
                 transform_s: 0.08 * deploy_fixed,
@@ -431,6 +453,18 @@ mod tests {
         let p = PlatformSpec::by_name("cpu-openppl-fp32").unwrap();
         let t = p.deploy.fixed_total_s();
         assert!((140.0..160.0).contains(&t), "cpu fixed deploy {t}");
+    }
+
+    #[test]
+    fn memory_capacities_track_device_scale() {
+        let t4 = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+        let rv = PlatformSpec::by_name("rv1109-rknn-int8").unwrap();
+        assert_eq!(t4.mem_capacity_bytes, 16 << 30);
+        assert_eq!(rv.mem_capacity_bytes, 128 << 20);
+        assert!(rv.mem_capacity_bytes < t4.mem_capacity_bytes);
+        for p in PlatformSpec::registry() {
+            assert!(p.mem_capacity_bytes > 0, "{} has no capacity", p.name);
+        }
     }
 
     #[test]

@@ -83,8 +83,9 @@ proptest! {
     }
 
     /// Every generated corpus model survives the full static-analysis
-    /// pipeline — IR lints, fusion legality, and schedule hazards — with
-    /// zero errors on a multi-stream platform.
+    /// pipeline — IR lints, memory feasibility, fusion legality, cost
+    /// sanity, and schedule hazards — with zero errors on a multi-stream
+    /// platform.
     #[test]
     fn corpus_models_analyze_without_errors(g in arbitrary_corpus_model()) {
         let spec = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
@@ -94,8 +95,41 @@ proptest! {
             "analyzer found errors:\n{}",
             report.render_text()
         );
-        // All three pass families must actually have run.
-        prop_assert_eq!(report.passes_run.len(), 3);
+        // All five pass families must actually have run.
+        prop_assert_eq!(report.passes_run.len(), 5);
+    }
+
+    /// The analyzer is deterministic: the same graph produces a
+    /// byte-identical JSON report on every run, including when the
+    /// analyses execute concurrently from many threads. The admission
+    /// cache and the golden-file tests both depend on this.
+    #[test]
+    fn analysis_reports_are_byte_identical_across_runs_and_threads(
+        g in arbitrary_corpus_model(),
+        threads in 2usize..6,
+    ) {
+        let spec = PlatformSpec::by_name("rv1109-rknn-int8").unwrap();
+        let reference = nnlqp_analyze::analyze(&g, Some(&spec)).render_json();
+        // Repeated sequential runs.
+        for _ in 0..3 {
+            prop_assert_eq!(
+                nnlqp_analyze::analyze(&g, Some(&spec)).render_json(),
+                reference.clone()
+            );
+        }
+        // Concurrent runs over shared references.
+        let renders = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| s.spawn(|| nnlqp_analyze::analyze(&g, Some(&spec)).render_json()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("analysis thread panicked"))
+                .collect::<Vec<String>>()
+        });
+        for r in renders {
+            prop_assert_eq!(r, reference.clone());
+        }
     }
 
     /// The database cache key (hash, platform, batch) is sound: inserting

@@ -1,0 +1,91 @@
+//! Integration: golden JSON lint report.
+//!
+//! The analyzer is a pure function of (graph, platform): the dataflow
+//! fixpoints, pass order, diagnostic ordering and the hand-rolled JSON
+//! renderer are all deterministic, so a fixed workload's machine-readable
+//! report is goldenable byte-for-byte. The workload exercises a clean
+//! canonical model, a graph carrying both dataflow-derived warnings
+//! (dead region, redundant computation) and a platform-conditioned
+//! memory-infeasibility error on the smallest device in the registry.
+//!
+//! Regenerate the golden after an intentional schema change with
+//! `NNLQP_BLESS=1 cargo test --test lint_golden` — and bump
+//! `REPORT_SCHEMA_VERSION` if the shape (not just the content) changed.
+
+use nnlqp_ir::{Graph, GraphBuilder, Shape};
+use nnlqp_models::ModelFamily;
+use nnlqp_sim::PlatformSpec;
+use std::path::Path;
+
+const GOLDEN: &str = "tests/golden/lint_report.json";
+
+/// A graph with one dead branch (NNL006) and one duplicated subgraph
+/// (NNL007), both found by the dataflow analyses.
+fn warny() -> Graph {
+    let mut b = GraphBuilder::new("warny", Shape::nchw(1, 3, 8, 8));
+    let c = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+    b.sigmoid(c).unwrap(); // never reaches the output: dead region
+    let r1 = b.relu(c).unwrap();
+    let r2 = b.relu(c).unwrap(); // same op, same input: redundant
+    b.add(r1, r2).unwrap();
+    b.finish().unwrap()
+}
+
+/// A graph whose peak activation memory exceeds the 128 MiB rv1109:
+/// the conv output alone is 512*512*512 bytes at int8.
+fn oversized() -> Graph {
+    let mut b = GraphBuilder::new("vram-hog", Shape::nchw(1, 3, 512, 512));
+    let c = b.conv(None, 512, 1, 1, 0, 1).unwrap();
+    b.relu(c).unwrap();
+    b.finish().unwrap()
+}
+
+/// The fixed workload: three reports as one JSON array, exactly how the
+/// CLI's `lint --json` composes multi-model output.
+fn rendered_reports() -> String {
+    let t4 = PlatformSpec::by_name("gpu-T4-trt7.1-fp32").unwrap();
+    let edge = PlatformSpec::by_name("rv1109-rknn-int8").unwrap();
+    let reports = [
+        nnlqp_analyze::analyze(&ModelFamily::SqueezeNet.canonical().unwrap(), Some(&t4)),
+        nnlqp_analyze::analyze(&warny(), Some(&t4)),
+        nnlqp_analyze::analyze(&oversized(), Some(&edge)),
+    ];
+    let body: Vec<String> = reports
+        .iter()
+        .map(nnlqp_analyze::Report::render_json)
+        .collect();
+    format!("[{}]\n", body.join(","))
+}
+
+#[test]
+fn lint_json_matches_golden() {
+    let text = rendered_reports();
+
+    // Determinism: a second evaluation reproduces the bytes.
+    assert_eq!(text, rendered_reports());
+
+    // Shape guarantees consumers rely on, independent of the golden.
+    assert_eq!(
+        text.matches("\"schema_version\":2").count(),
+        3,
+        "every report leads with the stable schema version"
+    );
+    assert!(text.contains("\"NNL006\""), "dead region surfaced");
+    assert!(
+        text.contains("\"NNL007\""),
+        "redundant computation surfaced"
+    );
+    assert!(text.contains("\"NNL301\""), "memory infeasibility surfaced");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN);
+    if std::env::var_os("NNLQP_BLESS").is_some() {
+        std::fs::write(&path, &text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read golden {}: {e}", path.display()));
+    assert_eq!(
+        text, golden,
+        "lint JSON drifted from {GOLDEN}; re-bless with NNLQP_BLESS=1 if intentional"
+    );
+}
