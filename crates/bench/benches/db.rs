@@ -1,9 +1,8 @@
-//! Database microbenchmarks + the hash-index vs linear-scan ablation
-//! (DESIGN.md ablation 4): why the 8-byte graph-hash key matters as the
-//! store grows.
+//! Database microbenchmarks: indexed lookup scaling, insert/snapshot
+//! cost, and the WAL overhead of the durable storage engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nnlqp_db::Database;
+use nnlqp_db::{Database, DurableOptions, FsyncPolicy};
 use nnlqp_hash::graph_hash;
 use nnlqp_models::ModelFamily;
 use std::hint::black_box;
@@ -31,15 +30,38 @@ fn bench_lookup_scaling(c: &mut Criterion) {
                 black_box(db.model_by_hash(hashes[i]))
             });
         });
-        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
-            let mut i = 0;
+    }
+    group.finish();
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    // In-memory insert vs the same insert through the WAL (no fsync, so
+    // this isolates the encode + kernel-write overhead per record).
+    let dir = std::env::temp_dir().join(format!("nnlqp-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mem = Database::new();
+    let durable = Database::open_durable(
+        DurableOptions::new(&dir)
+            .shards(4)
+            .fsync(FsyncPolicy::Never),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("db_latency_insert");
+    for (name, db) in [("in_memory", &mem), ("wal_no_fsync", &durable)] {
+        let (mid, _) =
+            db.insert_model(&nnlqp_models::generate_family(ModelFamily::SqueezeNet, 1, 3)[0].graph);
+        let pid = db.get_or_create_platform("T4", "trt7.1", "fp32");
+        group.bench_with_input(BenchmarkId::new(name, 1), &1u32, |b, _| {
+            let mut batch = 0u32;
             b.iter(|| {
-                i = (i + 1) % hashes.len();
-                black_box(db.model_by_hash_scan(hashes[i]))
+                batch = batch.wrapping_add(1);
+                black_box(db.insert_latency(mid, pid, batch, 1.0, 0.0, 0, 0).unwrap())
             });
         });
     }
     group.finish();
+    drop(durable);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 fn bench_insert_and_snapshot(c: &mut Criterion) {
@@ -61,5 +83,10 @@ fn bench_insert_and_snapshot(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_lookup_scaling, bench_insert_and_snapshot);
+criterion_group!(
+    benches,
+    bench_lookup_scaling,
+    bench_wal_append,
+    bench_insert_and_snapshot
+);
 criterion_main!(benches);

@@ -10,6 +10,9 @@
 //! nnlqp lint    --model model.json [--platform NAME] [--json] [--deny-warnings]
 //! nnlqp lint    --all-families [--nas-sample N] [--seed S]
 //! nnlqp metrics [--platform NAME] [--family FAMILY] [--count N]
+//! nnlqp db stats   --path DIR
+//! nnlqp db verify  --path DIR
+//! nnlqp db compact --path DIR
 //! ```
 //!
 //! Model files are the JSON graph format of `nnlqp_ir::serialize`.
@@ -34,6 +37,12 @@
 //! `--flame`. `metrics` runs a small measure-then-hit workload and prints
 //! the whole metrics registry in Prometheus text exposition format,
 //! self-checked through the bundled parser.
+//!
+//! `db` administers a durable store directory (the sharded WAL engine):
+//! `stats` prints row counts and recovery health as JSON, `verify` walks
+//! manifest, segments and WAL tails and exits 0 only for a clean store
+//! (1 = damage or corruption, detailed on stderr), `compact` folds the
+//! WAL tail into fresh snapshot segments and prints what it folded.
 
 use nnlqp::{Nnlqp, Platform, QueryParams, TrainPredictorConfig};
 use nnlqp_ir::serialize;
@@ -57,6 +66,8 @@ fn usage() -> ! {
     eprintln!("                exit: 0 clean, 1 findings, 2 usage, 3 unreadable model");
     eprintln!("  nnlqp metrics [--platform NAME] [--family FAMILY] [--count N]");
     eprintln!("                [--batch N] [--reps R] [--seed S] [--output FILE]");
+    eprintln!("  nnlqp db (stats | verify | compact) --path DIR");
+    eprintln!("                exit (verify): 0 clean, 1 damaged or corrupt");
     std::process::exit(2);
 }
 
@@ -129,9 +140,103 @@ fn resolve_platform(system: &Nnlqp, flags: &HashMap<String, String>) -> Platform
     })
 }
 
+/// `nnlqp db <action> --path DIR` — administer a durable store.
+fn db_command(action: &str, flags: &HashMap<String, String>) -> ! {
+    let Some(path) = flags.get("path") else {
+        eprintln!("error: --path is required");
+        usage();
+    };
+    let root = std::path::Path::new(path);
+    match action {
+        "stats" => {
+            let (db, rec) = nnlqp_db::open_read_only(root).unwrap_or_else(|e| {
+                eprintln!("error: cannot open store at {path}: {e}");
+                std::process::exit(1);
+            });
+            let s = db.stats();
+            println!(
+                "{{\"models\": {}, \"platforms\": {}, \"latencies\": {}, \
+                 \"total_bytes\": {}, \"seg_frames\": {}, \"wal_frames_replayed\": {}, \
+                 \"wal_truncated_bytes\": {}, \"wal_frames_discarded\": {}, \"clean\": {}}}",
+                s.models,
+                s.platforms,
+                s.latencies,
+                s.total_bytes,
+                rec.seg_frames,
+                rec.wal_frames_replayed,
+                rec.wal_truncated_bytes,
+                rec.wal_frames_discarded,
+                rec.clean()
+            );
+            std::process::exit(0);
+        }
+        "verify" => {
+            let report = nnlqp_db::verify_store(root).unwrap_or_else(|e| {
+                eprintln!("error: cannot verify store at {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "{} shards, {} segment frames, {} WAL frames, \
+                 {} rows ({} models, {} platforms, {} latencies)",
+                report.n_shards,
+                report.seg_frames,
+                report.wal_frames,
+                report.models + report.platforms + report.latencies,
+                report.models,
+                report.platforms,
+                report.latencies
+            );
+            if report.wal_truncated_bytes > 0 {
+                eprintln!(
+                    "damage: {} torn WAL tail bytes would be truncated on open",
+                    report.wal_truncated_bytes
+                );
+            }
+            if report.wal_frames_discarded > 0 {
+                eprintln!(
+                    "damage: {} intact frames dropped by the global-sequence gap rule",
+                    report.wal_frames_discarded
+                );
+            }
+            for e in &report.errors {
+                eprintln!("corrupt: {e}");
+            }
+            if report.clean() {
+                eprintln!("store is clean");
+                std::process::exit(0);
+            }
+            std::process::exit(1);
+        }
+        "compact" => {
+            let db = nnlqp_db::Database::open_durable(nnlqp_db::DurableOptions::new(root))
+                .unwrap_or_else(|e| {
+                    eprintln!("error: cannot open store at {path}: {e}");
+                    std::process::exit(1);
+                });
+            let stats = db.compact().unwrap_or_else(|e| {
+                eprintln!("error: compaction failed: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "{{\"frames\": {}, \"wal_bytes_folded\": {}, \"files_removed\": {}}}",
+                stats.frames, stats.wal_bytes_folded, stats.files_removed
+            );
+            std::process::exit(0);
+        }
+        _ => {
+            eprintln!("error: unknown db action {action}");
+            usage();
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
+    if cmd == "db" {
+        let Some(action) = args.get(1) else { usage() };
+        db_command(action, &parse_flags(&args[2..]));
+    }
     let flags = parse_flags(&args[1..]);
     let batch: u32 = flags
         .get("batch")

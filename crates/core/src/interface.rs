@@ -1,7 +1,7 @@
 //! `NNLQP.query` — the cached latency-query path (§5.2).
 
 use nnlqp_analyze::Report;
-use nnlqp_db::{Database, PlatformId};
+use nnlqp_db::{CompactorHandle, Database, DbMetrics, DurableOptions, PlatformId};
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::{cost, Graph, Rng64};
 use nnlqp_obs::{
@@ -150,12 +150,30 @@ pub mod metric_names {
     pub const EMBED_MISSES: &str = "predict.embed_cache_misses";
     /// Gauge: graph embeddings currently cached.
     pub const EMBED_LEN: &str = "predict.embed_cache_len";
+    /// Counter: WAL frames appended by the storage engine.
+    pub const DB_WAL_APPENDS: &str = nnlqp_db::db_metric_names::WAL_APPENDS;
+    /// Counter: WAL bytes appended by the storage engine.
+    pub const DB_WAL_BYTES: &str = nnlqp_db::db_metric_names::WAL_BYTES;
+    /// Counter: storage-engine compaction passes.
+    pub const DB_COMPACTIONS: &str = nnlqp_db::db_metric_names::COMPACTIONS;
+    /// Counter: WAL frames replayed during crash recovery.
+    pub const DB_RECOVERY_REPLAYED_FRAMES: &str =
+        nnlqp_db::db_metric_names::RECOVERY_REPLAYED_FRAMES;
+    /// Counter: torn WAL tail bytes refused during crash recovery.
+    pub const DB_RECOVERY_TRUNCATED_BYTES: &str =
+        nnlqp_db::db_metric_names::RECOVERY_TRUNCATED_BYTES;
 }
 
 /// The NNLQP system object. Construct with [`Nnlqp::builder`].
 pub struct Nnlqp {
-    /// The evolving database.
-    pub db: Database,
+    /// The evolving database. Shared (`Arc`) so the background compactor
+    /// of a durable store can own a handle; deref keeps `system.db.…`
+    /// call sites unchanged.
+    pub db: Arc<Database>,
+    /// Background compactor of a durable store (`None` when in-memory).
+    /// Held so its thread is stopped and joined when the system drops;
+    /// serving layers stop it earlier via [`Nnlqp::stop_compactor`].
+    compactor: Mutex<Option<CompactorHandle>>,
     farm: DeviceFarm,
     reps: usize,
     strict: bool,
@@ -218,7 +236,13 @@ pub struct NnlqpBuilder {
     seed: Option<u64>,
     registry: Option<Arc<MetricsRegistry>>,
     embed_cache_capacity: Option<usize>,
+    durable: Option<DurableOptions>,
 }
+
+/// Background compaction triggers when this many WAL bytes are pending.
+const DB_COMPACT_THRESHOLD_BYTES: u64 = 8 * 1024 * 1024;
+/// How often the background compactor checks the pending-bytes mark.
+const DB_COMPACT_INTERVAL: Duration = Duration::from_millis(500);
 
 /// Default number of cached graph embeddings.
 const DEFAULT_EMBED_CACHE_CAPACITY: usize = 2048;
@@ -277,8 +301,28 @@ impl NnlqpBuilder {
         self
     }
 
+    /// Mount the evolving database on the sharded durable storage engine
+    /// at `opts.dir` (WAL + snapshot segments) instead of keeping it
+    /// purely in memory. Opening replays and, if needed, repairs the
+    /// store; a background compactor folds the WALs once they grow past
+    /// an internal threshold.
+    #[must_use]
+    pub fn durable(mut self, opts: DurableOptions) -> Self {
+        self.durable = Some(opts);
+        self
+    }
+
     /// Build the system.
+    ///
+    /// # Panics
+    /// When a durable store was requested ([`NnlqpBuilder::durable`]) and
+    /// opening it fails — use [`NnlqpBuilder::try_build`] to handle that.
     pub fn build(self) -> Nnlqp {
+        self.try_build().expect("failed to open durable store")
+    }
+
+    /// Build the system, surfacing durable-store open errors.
+    pub fn try_build(self) -> std::io::Result<Nnlqp> {
         let farm = self.farm.unwrap_or_else(DeviceFarm::full_registry);
         let seed = self.seed.unwrap_or(DEFAULT_SEED);
         let registry = self
@@ -297,8 +341,26 @@ impl NnlqpBuilder {
         let embed_capacity = self
             .embed_cache_capacity
             .unwrap_or(DEFAULT_EMBED_CACHE_CAPACITY);
-        Nnlqp {
-            db: Database::new(),
+        // Registered unconditionally so the exported metric set is stable
+        // across in-memory and durable deployments (zeros when in-memory).
+        let db_metrics = DbMetrics::registered(&registry);
+        let db = match &self.durable {
+            Some(opts) => Arc::new(Database::open_durable_with_metrics(
+                opts.clone(),
+                db_metrics,
+            )?),
+            None => Arc::new(Database::new()),
+        };
+        let compactor = db.is_durable().then(|| {
+            CompactorHandle::spawn(
+                Arc::clone(&db),
+                DB_COMPACT_THRESHOLD_BYTES,
+                DB_COMPACT_INTERVAL,
+            )
+        });
+        Ok(Nnlqp {
+            db,
+            compactor: Mutex::new(compactor),
             farm,
             reps: self.reps.unwrap_or(nnlqp_sim::DEFAULT_REPS),
             strict: self.strict,
@@ -319,7 +381,7 @@ impl NnlqpBuilder {
             m_embed_hits,
             m_embed_misses,
             g_embed_len,
-        }
+        })
     }
 }
 
@@ -377,6 +439,14 @@ impl Nnlqp {
     /// layer built via [`NnlqpBuilder::metrics`].
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// Stop and join the background compactor of a durable store (no-op
+    /// when in-memory or already stopped). Serving layers call this at
+    /// shutdown before the final seal + compact, so the closing fold
+    /// cannot race a background pass.
+    pub fn stop_compactor(&self) {
+        drop(self.compactor.lock().take());
     }
 
     /// Traffic counters (queries, cache hits, farm measurements).
@@ -951,6 +1021,52 @@ mod tests {
         let rec = Recorder::disabled();
         s.query_traced(&params("gpu-T4-trt7.1-fp32"), &rec).unwrap();
         assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn durable_system_round_trips_through_restart() {
+        let dir = std::env::temp_dir().join(format!("nnlqp-core-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DurableOptions::new(&dir).shards(2);
+        let first = {
+            let s = Nnlqp::builder()
+                .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+                .durable(opts.clone())
+                .build();
+            assert!(s.db.is_durable());
+            let r = s.query(&params("gpu-T4-trt7.1-fp32")).unwrap();
+            assert!(!r.cache_hit);
+            // Registered counters observed the appends.
+            assert!(
+                s.registry()
+                    .snapshot()
+                    .counter(metric_names::DB_WAL_APPENDS)
+                    >= 3
+            );
+            r.latency_ms
+        };
+        // A restarted system recovers the store and serves the same
+        // ground truth from cache without touching the farm.
+        let s = Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 1))
+            .durable(opts)
+            .build();
+        assert_eq!(s.stats().models, 1);
+        let r = s.query(&params("gpu-T4-trt7.1-fp32")).unwrap();
+        assert!(r.cache_hit);
+        assert_eq!(r.latency_ms, first);
+        assert_eq!(s.farm_measurements(), 0);
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_build_registers_zeroed_db_counters() {
+        let s = system();
+        assert!(!s.db.is_durable());
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter(metric_names::DB_WAL_APPENDS), 0);
+        assert_eq!(snap.counter(metric_names::DB_COMPACTIONS), 0);
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! The concurrent, hash-indexed store.
 
+use crate::compact::CompactionStats;
+use crate::engine::{DbMetrics, DurabilityStats, DurableOptions, StorageEngine};
 use crate::records::*;
+use crate::recover;
+use crate::wal::WalOp;
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::{serialize, Graph};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::io;
+use std::path::Path;
 
 /// Database errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,15 +63,97 @@ pub(crate) struct Inner {
 
 /// The evolving database. Cloneable handles are not provided; share via
 /// `&Database` or `Arc<Database>`.
+///
+/// By default purely in-memory; [`Database::open_durable`] attaches the
+/// sharded WAL storage engine so every mutation hits the disk before it
+/// becomes visible, while reads keep being served from memory.
 #[derive(Default)]
 pub struct Database {
     inner: RwLock<Inner>,
+    engine: Option<StorageEngine>,
 }
 
 impl Database {
     /// Empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Open (or create) a durable store: replay the manifest's snapshot
+    /// segments and the WAL tails into memory, then attach the engine so
+    /// subsequent writes are logged. A lossy replay (torn tail, global
+    /// sequence gap) is repaired on the spot by folding the recovered
+    /// prefix into fresh segments, so the damage cannot compound.
+    pub fn open_durable(opts: DurableOptions) -> io::Result<Database> {
+        Self::open_durable_with_metrics(opts, DbMetrics::standalone())
+    }
+
+    /// [`Database::open_durable`] with engine counters shared through a
+    /// metrics registry (see [`DbMetrics::registered`]).
+    pub fn open_durable_with_metrics(
+        opts: DurableOptions,
+        metrics: DbMetrics,
+    ) -> io::Result<Database> {
+        let (engine, recovered) = StorageEngine::open_with_metrics(&opts, metrics)?;
+        let mut db = match &recovered {
+            Some(rec) => recover::build_database(rec)?,
+            None => Database::new(),
+        };
+        db.engine = Some(engine);
+        if let Some(rec) = &recovered {
+            if !rec.stats.clean() {
+                db.compact()?;
+            }
+        }
+        Ok(db)
+    }
+
+    /// Whether a storage engine is attached.
+    pub fn is_durable(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// The durable store directory, when one is attached.
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.engine.as_ref().map(StorageEngine::root)
+    }
+
+    /// WAL bytes appended since the last compaction (0 when in-memory).
+    pub fn wal_bytes_pending(&self) -> u64 {
+        self.engine.as_ref().map_or(0, StorageEngine::pending_bytes)
+    }
+
+    /// Storage-engine statistics, `None` when in-memory.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.engine.as_ref().map(|e| DurabilityStats {
+            dir: e.root().to_path_buf(),
+            shards: e.n_shards(),
+            wal_bytes_pending: e.pending_bytes(),
+            wal_appends: e.metrics().wal_appends.get(),
+            compactions: e.metrics().compactions.get(),
+        })
+    }
+
+    /// Fold the store into fresh snapshot segments and reset the WALs.
+    /// A no-op returning zeroed stats for an in-memory database. Blocks
+    /// writers for the duration (reads of the already-published state
+    /// proceed until the lock is taken).
+    pub fn compact(&self) -> io::Result<CompactionStats> {
+        match &self.engine {
+            Some(e) => {
+                let inner = self.inner.write();
+                e.compact_from(&inner)
+            }
+            None => Ok(CompactionStats::default()),
+        }
+    }
+
+    /// Log one op to the engine, if attached. Must run under the write
+    /// lock, before the matching in-memory insert is published.
+    fn log(&self, inner: &Inner, op: WalOp) {
+        if let Some(e) = &self.engine {
+            e.append(e.route(&op, inner), op);
+        }
     }
 
     /// Insert a model (deduplicated by graph hash). Returns the id and
@@ -79,13 +167,15 @@ impl Database {
         let id = ModelId(inner.models.len() as u32);
         let seq = inner.seq;
         inner.seq += 1;
-        inner.models.push(ModelRecord {
+        let rec = ModelRecord {
             id,
             graph_hash: hash,
             name: g.name.clone(),
             graph_bytes: serialize::encode(g).to_vec(),
             created_seq: seq,
-        });
+        };
+        self.log(&inner, WalOp::Model(rec.clone()));
+        inner.models.push(rec);
         inner.by_hash.insert(hash, id);
         (id, true)
     }
@@ -127,12 +217,14 @@ impl Database {
             return id;
         }
         let id = PlatformId(inner.platforms.len() as u32);
-        inner.platforms.push(PlatformRecord {
+        let rec = PlatformRecord {
             id,
             hardware: key.0.clone(),
             software: key.1.clone(),
             data_type: key.2.clone(),
-        });
+        };
+        self.log(&inner, WalOp::Platform(rec.clone()));
+        inner.platforms.push(rec);
         inner.by_platform_key.insert(key, id);
         id
     }
@@ -159,7 +251,7 @@ impl Database {
         let id = LatencyId(inner.latencies.len() as u32);
         let seq = inner.seq;
         inner.seq += 1;
-        inner.latencies.push(LatencyRecord {
+        let rec = LatencyRecord {
             id,
             model_id,
             platform_id,
@@ -169,7 +261,9 @@ impl Database {
             host_mem,
             device_mem,
             created_seq: seq,
-        });
+        };
+        self.log(&inner, WalOp::Latency(rec));
+        inner.latencies.push(rec);
         inner
             .by_query
             .insert((model_id, platform_id, batch_size), id);
@@ -217,6 +311,7 @@ impl Database {
             device_mem,
             created_seq: seq,
         };
+        self.log(&inner, WalOp::Latency(rec));
         inner.latencies.push(rec);
         inner
             .by_query
@@ -252,13 +347,6 @@ impl Database {
     /// All platform rows.
     pub fn platforms(&self) -> Vec<PlatformRecord> {
         self.inner.read().platforms.clone()
-    }
-
-    /// Linear-scan model lookup by hash — the no-index ablation baseline
-    /// (`bench/db` compares this against the hash index).
-    pub fn model_by_hash_scan(&self, hash: u64) -> Option<ModelRecord> {
-        let inner = self.inner.read();
-        inner.models.iter().find(|m| m.graph_hash == hash).cloned()
     }
 
     /// Aggregate statistics.
@@ -399,20 +487,6 @@ mod tests {
     }
 
     #[test]
-    fn scan_agrees_with_index() {
-        let db = Database::new();
-        for c in [8u32, 16, 24, 32] {
-            db.insert_model(&graph(c));
-        }
-        let hash = graph_hash(&graph(24));
-        assert_eq!(
-            db.model_by_hash(hash).unwrap().id,
-            db.model_by_hash_scan(hash).unwrap().id
-        );
-        assert!(db.model_by_hash_scan(12345).is_none());
-    }
-
-    #[test]
     fn concurrent_inserts_and_lookups() {
         use std::sync::Arc;
         let db = Arc::new(Database::new());
@@ -433,6 +507,95 @@ mod tests {
         // 64 distinct graphs; all inserts deduplicated.
         assert_eq!(db.stats().models, 64);
         assert_eq!(db.stats().latencies, 400);
+    }
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("nnlqp-db-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn populate(db: &Database) {
+        let pid = db.get_or_create_platform("T4", "trt7.1", "fp32");
+        let pid2 = db.get_or_create_platform("cpu", "openppl", "fp32");
+        for c in [8u32, 16, 24, 32, 40] {
+            let (mid, _) = db.insert_model(&graph(c));
+            db.insert_latency(mid, pid, 1, f64::from(c) * 0.1, 1e5, 2, 3)
+                .unwrap();
+            db.insert_latency(mid, pid2, 8, f64::from(c) * 0.4, 2e5, 4, 5)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn durable_store_round_trips_identically() {
+        let dir = temp_store("roundtrip");
+        let opts = crate::DurableOptions::new(&dir).shards(3);
+        let baseline = Database::new();
+        populate(&baseline);
+        {
+            let db = Database::open_durable(opts.clone()).unwrap();
+            assert!(db.is_durable());
+            assert_eq!(db.durable_dir(), Some(dir.as_path()));
+            populate(&db);
+            assert!(db.wal_bytes_pending() > 0);
+        }
+        // Reopen from the WAL alone (no compaction ran).
+        let db = Database::open_durable(opts.clone()).unwrap();
+        assert_eq!(
+            crate::persist::export_json(&db),
+            crate::persist::export_json(&baseline)
+        );
+        // Compact, reopen from segments, still byte-identical.
+        let stats = db.compact().unwrap();
+        assert!(stats.frames > 0);
+        assert_eq!(db.wal_bytes_pending(), 0);
+        drop(db);
+        let db = Database::open_durable(opts).unwrap();
+        assert_eq!(
+            crate::persist::export_json(&db),
+            crate::persist::export_json(&baseline)
+        );
+        // The store stays writable after a segment-based recovery.
+        let (mid, fresh) = db.insert_model(&graph(48));
+        assert!(fresh);
+        let pid = db.get_or_create_platform("T4", "trt7.1", "fp32");
+        db.insert_latency(mid, pid, 1, 9.0, 0.0, 0, 0).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_repairs_on_open() {
+        let dir = temp_store("torn");
+        let opts = crate::DurableOptions::new(&dir).shards(2);
+        {
+            let db = Database::open_durable(opts.clone()).unwrap();
+            populate(&db);
+        }
+        // Tear a few bytes off one shard's WAL.
+        let mut torn = None;
+        for i in 0..2 {
+            let p = crate::shard::wal_path(&dir, i, 1);
+            let raw = std::fs::read(&p).unwrap();
+            if raw.len() > 8 {
+                std::fs::write(&p, &raw[..raw.len() - 5]).unwrap();
+                torn = Some(i);
+                break;
+            }
+        }
+        assert!(torn.is_some());
+        let metrics = crate::DbMetrics::standalone();
+        let db = Database::open_durable_with_metrics(opts.clone(), metrics.clone()).unwrap();
+        assert!(metrics.recovery_truncated_bytes.get() > 0);
+        // Repair compaction ran on open, so a reopen is clean.
+        assert!(metrics.compactions.get() >= 1);
+        let report = crate::verify_store(&dir).unwrap();
+        assert!(report.clean(), "{report:?}");
+        drop(db);
+        let m2 = crate::DbMetrics::standalone();
+        let _db = Database::open_durable_with_metrics(opts, m2.clone()).unwrap();
+        assert_eq!(m2.recovery_truncated_bytes.get(), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

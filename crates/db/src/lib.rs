@@ -12,14 +12,35 @@
 //!   keys plus batch size, cost and memory columns.
 //!
 //! The store is safe for concurrent readers and writers
-//! (`parking_lot::RwLock`), persists to a binary snapshot and keeps
-//! per-record storage footprints in the same regime the paper reports
-//! (8-byte hash key, 152-byte platform records, 52-byte latency records,
-//! hundreds of bytes per model).
+//! (`parking_lot::RwLock`) and keeps per-record storage footprints in the
+//! same regime the paper reports (8-byte hash key, 152-byte platform
+//! records, 52-byte latency records, hundreds of bytes per model).
+//!
+//! ## Durability
+//!
+//! Beyond the whole-file binary snapshot ([`persist`]), the crate ships a
+//! sharded log-structured storage engine: records hash-partition into N
+//! shards by graph hash, every mutation is appended to the owning shard's
+//! checksummed write-ahead log before it becomes visible ([`wal`]), and a
+//! compactor folds the logs into immutable indexed snapshot segments
+//! under an atomically-swapped manifest ([`shard`], [`compact`]).
+//! Recovery replays segments then the WAL tails, truncating at the first
+//! torn frame and discarding past the first global-sequence gap, so a
+//! crash always yields exactly the committed prefix ([`recover`]). Open a
+//! durable store with [`Database::open_durable`].
 
+pub mod compact;
 pub mod database;
+pub mod engine;
 pub mod persist;
 pub mod records;
+pub mod recover;
+pub mod shard;
+pub mod wal;
 
+pub use compact::{CompactionStats, CompactorHandle, Manifest};
 pub use database::{Database, DbError, DbStats};
+pub use engine::{db_metric_names, DbMetrics, DurabilityStats, DurableOptions, CRASH_AT_BYTE_ENV};
 pub use records::{LatencyId, LatencyRecord, ModelId, ModelRecord, PlatformId, PlatformRecord};
+pub use recover::{open_read_only, verify_store, RecoveryStats, VerifyReport};
+pub use wal::FsyncPolicy;

@@ -1,0 +1,467 @@
+//! Write-ahead log: length-prefixed, checksummed record frames.
+//!
+//! Every mutation of a durable [`crate::Database`] is encoded as one
+//! [`WalOp`] and appended to the owning shard's log before the in-memory
+//! state changes are visible to readers. A frame on disk is
+//!
+//! ```text
+//! [u32 payload len][u64 FNV-1a checksum][payload bytes]
+//! ```
+//!
+//! where the payload starts with the op's global `wal_seq` (dense across
+//! all shards — recovery uses it to reconstruct a consistent prefix) and
+//! the checksum is the FNV-1a core from `nnlqp-hash` run over the payload.
+//! A crash can only ever tear the *tail* of a log: [`read_wal`] replays
+//! frames until the first torn or corrupt one and reports how many bytes
+//! it refused, instead of failing the whole store.
+
+use crate::records::{LatencyId, LatencyRecord, ModelId, ModelRecord, PlatformId, PlatformRecord};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nnlqp_hash::{HashAlgo, StreamHasher};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// FNV-1a checksum of a byte slice: the length is folded in first so a
+/// truncated payload can never collide with its own prefix.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = StreamHasher::new(HashAlgo::Fnv1a);
+    h.write_u64(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h.write_u64(u64::from_le_bytes(w));
+    }
+    h.finish()
+}
+
+/// One logical database mutation, as logged. Ids are assigned by the
+/// writer before logging, so replay reconstructs identical tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// A new model row.
+    Model(ModelRecord),
+    /// A new platform row.
+    Platform(PlatformRecord),
+    /// A new latency row.
+    Latency(LatencyRecord),
+}
+
+impl WalOp {
+    /// The table-local id carried by the op.
+    pub fn row_id(&self) -> u32 {
+        match self {
+            WalOp::Model(m) => m.id.0,
+            WalOp::Platform(p) => p.id.0,
+            WalOp::Latency(l) => l.id.0,
+        }
+    }
+}
+
+/// A decoded frame: the op plus its global sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Dense global sequence number (across all shards).
+    pub wal_seq: u64,
+    /// The logged mutation.
+    pub op: WalOp,
+}
+
+const TAG_MODEL: u8 = 1;
+const TAG_PLATFORM: u8 = 2;
+const TAG_LATENCY: u8 = 3;
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> io::Result<String> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("string length"));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(corrupt("string body"));
+    }
+    String::from_utf8(buf.copy_to_bytes(n).to_vec()).map_err(|_| corrupt("string utf8"))
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt frame: {what}"))
+}
+
+/// Encode one frame (length prefix + checksum + payload).
+pub fn encode_frame(frame: &Frame) -> Bytes {
+    let mut payload: Vec<u8> = Vec::with_capacity(64);
+    payload.put_u64_le(frame.wal_seq);
+    match &frame.op {
+        WalOp::Model(m) => {
+            payload.put_u8(TAG_MODEL);
+            payload.put_u32_le(m.id.0);
+            payload.put_u64_le(m.graph_hash);
+            put_str(&mut payload, &m.name);
+            payload.put_u32_le(m.graph_bytes.len() as u32);
+            payload.put_slice(&m.graph_bytes);
+            payload.put_u64_le(m.created_seq);
+        }
+        WalOp::Platform(p) => {
+            payload.put_u8(TAG_PLATFORM);
+            payload.put_u32_le(p.id.0);
+            put_str(&mut payload, &p.hardware);
+            put_str(&mut payload, &p.software);
+            put_str(&mut payload, &p.data_type);
+        }
+        WalOp::Latency(l) => {
+            payload.put_u8(TAG_LATENCY);
+            payload.put_u32_le(l.id.0);
+            payload.put_u32_le(l.model_id.0);
+            payload.put_u32_le(l.platform_id.0);
+            payload.put_u32_le(l.batch_size);
+            payload.put_f64_le(l.cost_ms);
+            payload.put_f64_le(l.mem_access);
+            payload.put_u64_le(l.host_mem);
+            payload.put_u64_le(l.device_mem);
+            payload.put_u64_le(l.created_seq);
+        }
+    }
+    let mut out = BytesMut::with_capacity(12 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.put_u64_le(checksum(&payload));
+    out.put_slice(&payload);
+    out.freeze()
+}
+
+/// Decode one payload (the bytes after the length + checksum header).
+pub fn decode_payload(mut buf: Bytes) -> io::Result<Frame> {
+    if buf.remaining() < 9 {
+        return Err(corrupt("payload header"));
+    }
+    let wal_seq = buf.get_u64_le();
+    let tag = buf.get_u8();
+    let op = match tag {
+        TAG_MODEL => {
+            if buf.remaining() < 12 {
+                return Err(corrupt("model header"));
+            }
+            let id = ModelId(buf.get_u32_le());
+            let graph_hash = buf.get_u64_le();
+            let name = get_str(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(corrupt("graph length"));
+            }
+            let blen = buf.get_u32_le() as usize;
+            if buf.remaining() < blen + 8 {
+                return Err(corrupt("graph bytes"));
+            }
+            let graph_bytes = buf.copy_to_bytes(blen).to_vec();
+            let created_seq = buf.get_u64_le();
+            WalOp::Model(ModelRecord {
+                id,
+                graph_hash,
+                name,
+                graph_bytes,
+                created_seq,
+            })
+        }
+        TAG_PLATFORM => {
+            if buf.remaining() < 4 {
+                return Err(corrupt("platform header"));
+            }
+            let id = PlatformId(buf.get_u32_le());
+            let hardware = get_str(&mut buf)?;
+            let software = get_str(&mut buf)?;
+            let data_type = get_str(&mut buf)?;
+            WalOp::Platform(PlatformRecord {
+                id,
+                hardware,
+                software,
+                data_type,
+            })
+        }
+        TAG_LATENCY => {
+            if buf.remaining() < 4 * 4 + 8 * 5 {
+                return Err(corrupt("latency body"));
+            }
+            WalOp::Latency(LatencyRecord {
+                id: LatencyId(buf.get_u32_le()),
+                model_id: ModelId(buf.get_u32_le()),
+                platform_id: PlatformId(buf.get_u32_le()),
+                batch_size: buf.get_u32_le(),
+                cost_ms: buf.get_f64_le(),
+                mem_access: buf.get_f64_le(),
+                host_mem: buf.get_u64_le(),
+                device_mem: buf.get_u64_le(),
+                created_seq: buf.get_u64_le(),
+            })
+        }
+        _ => return Err(corrupt("unknown op tag")),
+    };
+    if buf.remaining() > 0 {
+        return Err(corrupt("trailing payload bytes"));
+    }
+    Ok(Frame { wal_seq, op })
+}
+
+/// Result of scanning one log file.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Frames that decoded cleanly, in file order.
+    pub frames: Vec<Frame>,
+    /// Bytes refused at the tail (a torn or corrupt trailing frame and
+    /// everything after it). `0` for a cleanly closed log.
+    pub truncated_bytes: u64,
+    /// Byte offset at which the valid prefix ends.
+    pub valid_bytes: u64,
+}
+
+/// Read a log, replaying frames until the first torn or corrupt one.
+///
+/// Corruption never fails the scan: the contract of crash recovery is
+/// "yield exactly the committed prefix", so a bad frame ends the replay
+/// and the remainder is reported as `truncated_bytes`.
+pub fn read_wal(path: &Path) -> io::Result<WalScan> {
+    let mut raw = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut raw)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(WalScan::default()),
+        Err(e) => return Err(e),
+    }
+    Ok(scan_frames(&raw))
+}
+
+/// Scan a raw byte buffer of concatenated frames (shared by WAL files and
+/// snapshot-segment bodies).
+pub fn scan_frames(raw: &[u8]) -> WalScan {
+    let total = raw.len() as u64;
+    let mut out = WalScan::default();
+    let mut at = 0usize;
+    // A missing slice at any step means a torn tail (or clean EOF): stop
+    // and report everything beyond `at` as truncated.
+    while let Some(header) = raw.get(at..at + 12) {
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let want = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        let Some(payload) = raw.get(at + 12..at + 12 + len) else {
+            break; // torn payload
+        };
+        if checksum(payload) != want {
+            break; // corrupt frame: flipped bits or a mid-frame tear
+        }
+        let Ok(frame) = decode_payload(Bytes::from(payload.to_vec())) else {
+            break; // checksum ok but undecodable: treat as corruption
+        };
+        out.frames.push(frame);
+        at += 12 + len;
+    }
+    out.valid_bytes = at as u64;
+    out.truncated_bytes = total - at as u64;
+    out
+}
+
+/// How appends reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: a frame is durable (even across power
+    /// loss) before the write returns. The default.
+    #[default]
+    Always,
+    /// No explicit sync: frames survive a process kill (the kernel holds
+    /// the bytes) but a power cut may lose the unsynced tail. Recovery
+    /// still yields a consistent prefix.
+    Never,
+}
+
+/// Appender for one shard's current log file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    /// Bytes appended to this file so far.
+    pub bytes: u64,
+    fsync: FsyncPolicy,
+}
+
+impl WalWriter {
+    /// Open (creating or appending) the log at `path`.
+    pub fn open(path: PathBuf, fsync: FsyncPolicy) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let bytes = file.metadata()?.len();
+        Ok(WalWriter {
+            file,
+            path,
+            bytes,
+            fsync,
+        })
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one encoded frame. `crash_after` is the fault-injection
+    /// hook used by the kill-mid-commit tests: when the cumulative engine
+    /// byte count would cross it, only the bytes up to the boundary are
+    /// written (a genuinely torn frame) and the process aborts before the
+    /// fsync — exactly the window a real crash hits.
+    pub fn append(&mut self, encoded: &[u8], crash_after: Option<u64>) -> io::Result<u64> {
+        if let Some(budget) = crash_after {
+            if budget < encoded.len() as u64 {
+                self.file.write_all(&encoded[..budget as usize])?;
+                self.file.flush()?;
+                std::process::abort();
+            }
+        }
+        self.file.write_all(encoded)?;
+        self.bytes += encoded.len() as u64;
+        if self.fsync == FsyncPolicy::Always {
+            self.file.sync_data()?;
+        }
+        Ok(encoded.len() as u64)
+    }
+
+    /// Flush and (always) sync — the seal barrier before compaction.
+    pub fn seal(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_op(i: u32) -> WalOp {
+        WalOp::Model(ModelRecord {
+            id: ModelId(i),
+            graph_hash: 0x1000 + u64::from(i),
+            name: format!("m{i}"),
+            graph_bytes: vec![i as u8; 16 + i as usize],
+            created_seq: u64::from(i),
+        })
+    }
+
+    fn latency_op(i: u32) -> WalOp {
+        WalOp::Latency(LatencyRecord {
+            id: LatencyId(i),
+            model_id: ModelId(i),
+            platform_id: PlatformId(0),
+            batch_size: 1 + i,
+            cost_ms: 1.5 * f64::from(i),
+            mem_access: 1e5,
+            host_mem: 7,
+            device_mem: 9,
+            created_seq: u64::from(i) + 100,
+        })
+    }
+
+    fn platform_op() -> WalOp {
+        WalOp::Platform(PlatformRecord {
+            id: PlatformId(0),
+            hardware: "T4".into(),
+            software: "trt7.1".into(),
+            data_type: "fp32".into(),
+        })
+    }
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame {
+                wal_seq: 0,
+                op: platform_op(),
+            },
+            Frame {
+                wal_seq: 1,
+                op: model_op(0),
+            },
+            Frame {
+                wal_seq: 2,
+                op: latency_op(0),
+            },
+            Frame {
+                wal_seq: 3,
+                op: model_op(1),
+            },
+        ]
+    }
+
+    fn encoded() -> Vec<u8> {
+        frames()
+            .iter()
+            .flat_map(|f| encode_frame(f).to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn frame_roundtrip_every_op_kind() {
+        for f in frames() {
+            let enc = encode_frame(&f);
+            let scan = scan_frames(&enc);
+            assert_eq!(scan.frames, vec![f]);
+            assert_eq!(scan.truncated_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_committed_prefix() {
+        let raw = encoded();
+        // Cut at every possible byte offset: the scan must never panic
+        // and must always return a frame-aligned prefix.
+        for cut in 0..raw.len() {
+            let scan = scan_frames(&raw[..cut]);
+            assert!(scan.frames.len() <= 4, "cut {cut}");
+            let rebuilt: Vec<u8> = scan
+                .frames
+                .iter()
+                .flat_map(|f| encode_frame(f).to_vec())
+                .collect();
+            assert_eq!(rebuilt, raw[..scan.valid_bytes as usize], "cut {cut}");
+            assert_eq!(
+                scan.truncated_bytes,
+                cut as u64 - scan.valid_bytes,
+                "cut {cut}"
+            );
+        }
+        // The untouched log replays fully.
+        assert_eq!(scan_frames(&raw).frames, frames());
+    }
+
+    #[test]
+    fn flipped_bit_ends_replay_at_bad_frame() {
+        let mut raw = encoded();
+        // Flip one payload byte of the third frame.
+        let f01: usize = frames()[..2].iter().map(|f| encode_frame(f).len()).sum();
+        raw[f01 + 14] ^= 0x40;
+        let scan = scan_frames(&raw);
+        assert_eq!(scan.frames, frames()[..2].to_vec());
+        assert!(scan.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn checksum_is_length_aware() {
+        // A payload and its zero-extended version must not collide.
+        assert_ne!(checksum(b"abc"), checksum(b"abc\0"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+
+    #[test]
+    fn writer_appends_and_scans_back() {
+        let dir = std::env::temp_dir().join(format!("nnlqp-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal-1.log");
+        let mut w = WalWriter::open(path.clone(), FsyncPolicy::Always).unwrap();
+        for f in frames() {
+            w.append(&encode_frame(&f), None).unwrap();
+        }
+        w.seal().unwrap();
+        assert_eq!(w.bytes, encoded().len() as u64);
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.frames, frames());
+        assert_eq!(scan.truncated_bytes, 0);
+        // Missing file reads as an empty log.
+        assert!(read_wal(&dir.join("absent.log")).unwrap().frames.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,214 @@
+//! Kill-mid-commit crash tests for the durable storage engine.
+//!
+//! A child process (this same test binary, re-executed with
+//! `--exact crash_child_writer`) appends a deterministic op sequence
+//! through the WAL with byte-budget fault injection
+//! ([`nnlqp_db::CRASH_AT_BYTE_ENV`]): when cumulative appended bytes
+//! reach the budget, the engine writes a *partial* frame, flushes it to
+//! disk, and aborts the process — a torn write frozen exactly as a
+//! power-cut mid-`write(2)` would leave it.
+//!
+//! The parent then recovers the store and asserts the contract:
+//!
+//! 1. what survives is **exactly a committed prefix** of the child's op
+//!    sequence (byte-identical JSON export against an in-memory replay
+//!    of the same prefix) — never a partial op, never a reordering;
+//! 2. repair-on-open leaves a store that verifies clean and accepts new
+//!    writes that survive another reopen.
+//!
+//! Kill offsets are randomized each run (the seed is printed on
+//! failure) plus two pinned edges: byte 0 (first frame torn) and the
+//! final byte (last frame torn).
+
+use nnlqp_db::{
+    open_read_only, persist, verify_store, Database, DurableOptions, CRASH_AT_BYTE_ENV,
+};
+use nnlqp_ir::Graph;
+use nnlqp_models::ModelFamily;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// Store directory handed to the child; unset means "not a child run".
+const DIR_ENV: &str = "NNLQP_CRASH_TEST_DIR";
+
+const N_MODELS: usize = 24;
+/// 1 platform op + (model, latency) per variant.
+const TOTAL_OPS: usize = 1 + 2 * N_MODELS;
+
+fn workload() -> Vec<Graph> {
+    nnlqp_models::generate_family(ModelFamily::SqueezeNet, N_MODELS, 11)
+        .into_iter()
+        .map(|m| m.graph)
+        .collect()
+}
+
+/// Apply the first `ops` operations of the canonical child sequence.
+fn apply(db: &Database, graphs: &[Graph], ops: usize) {
+    if ops == 0 {
+        return;
+    }
+    let pid = db.get_or_create_platform("T4", "trt7.1", "fp32");
+    let mut done = 1;
+    for (i, g) in graphs.iter().enumerate() {
+        if done >= ops {
+            return;
+        }
+        let (mid, _) = db.insert_model(g);
+        done += 1;
+        if done >= ops {
+            return;
+        }
+        db.insert_latency(mid, pid, (i as u32 % 8) + 1, 1.5 + i as f64, 0.25, 64, 128)
+            .unwrap();
+        done += 1;
+    }
+}
+
+/// Child mode: replay the whole workload against a durable store. With a
+/// crash budget in the environment the engine aborts mid-append; without
+/// one the child exits with the sentinel code 42.
+#[test]
+fn crash_child_writer() {
+    let Ok(dir) = std::env::var(DIR_ENV) else {
+        return; // normal test run, not a re-execution
+    };
+    let db = Database::open_durable(DurableOptions::new(&dir).shards(4)).unwrap();
+    apply(&db, &workload(), TOTAL_OPS);
+    std::process::exit(42);
+}
+
+fn run_child(exe: &Path, dir: &Path, crash_at: Option<u64>) -> std::process::ExitStatus {
+    let mut cmd = Command::new(exe);
+    cmd.args(["crash_child_writer", "--exact", "--nocapture"])
+        .env(DIR_ENV, dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    match crash_at {
+        Some(b) => {
+            cmd.env(CRASH_AT_BYTE_ENV, b.to_string());
+        }
+        None => {
+            cmd.env_remove(CRASH_AT_BYTE_ENV);
+        }
+    }
+    cmd.status().expect("spawn child writer")
+}
+
+/// Total bytes across every shard's WAL files.
+fn wal_bytes(root: &Path) -> u64 {
+    let mut total = 0;
+    for shard in std::fs::read_dir(root).unwrap().filter_map(Result::ok) {
+        if !shard.path().is_dir() {
+            continue;
+        }
+        for f in std::fs::read_dir(shard.path())
+            .unwrap()
+            .filter_map(Result::ok)
+        {
+            if f.file_name().to_string_lossy().starts_with("wal-") {
+                total += f.metadata().unwrap().len();
+            }
+        }
+    }
+    total
+}
+
+fn fresh_dir(base: &Path, name: &str) -> PathBuf {
+    let dir = base.join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn kill_mid_commit_preserves_exactly_the_committed_prefix() {
+    let exe = std::env::current_exe().unwrap();
+    let base = std::env::temp_dir().join(format!("nnlqp-crash-test-{}", std::process::id()));
+    let graphs = workload();
+
+    // Baseline: a clean child run, to learn the workload's total WAL
+    // footprint and pin the full-store export.
+    let full = fresh_dir(&base, "full");
+    let status = run_child(&exe, &full, None);
+    assert_eq!(status.code(), Some(42), "baseline child failed: {status}");
+    let total = wal_bytes(&full);
+    assert!(total > 0, "baseline child wrote no WAL");
+    let (full_db, rec) = open_read_only(&full).unwrap();
+    assert!(rec.clean());
+    let expected_full = {
+        let mem = Database::new();
+        apply(&mem, &graphs, TOTAL_OPS);
+        persist::export_json(&mem)
+    };
+    assert_eq!(
+        persist::export_json(&full_db).to_string(),
+        expected_full.to_string(),
+        "clean durable run must match the in-memory replay"
+    );
+
+    // Randomized kill offsets (seed printed for replay) plus the edges:
+    // tearing the very first frame and the very last byte.
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos() as u64;
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    let mut offsets = vec![0, total - 1];
+    for _ in 0..4 {
+        offsets.push(next() % total);
+    }
+
+    for (k, &off) in offsets.iter().enumerate() {
+        let dir = fresh_dir(&base, &format!("crash-{k}"));
+        let status = run_child(&exe, &dir, Some(off));
+        assert!(
+            !status.success() && status.code() != Some(42),
+            "seed {seed}: child survived a crash budget of {off}/{total} bytes"
+        );
+
+        // The store must hold exactly a committed prefix of the op
+        // sequence — compare against an in-memory replay of that prefix.
+        let (db, _) = open_read_only(&dir).unwrap();
+        let s = db.stats();
+        let committed = s.models + s.platforms + s.latencies;
+        assert!(
+            committed < TOTAL_OPS,
+            "seed {seed}: crash at byte {off} lost nothing ({committed} ops)"
+        );
+        let mem = Database::new();
+        apply(&mem, &graphs, committed);
+        assert_eq!(
+            persist::export_json(&db).to_string(),
+            persist::export_json(&mem).to_string(),
+            "seed {seed}: offset {off} did not recover a clean prefix"
+        );
+        drop(db);
+
+        // Repair-on-open: the reopened store verifies clean and keeps
+        // accepting writes that survive another restart.
+        let db = Database::open_durable(DurableOptions::new(&dir)).unwrap();
+        let (mid, _) =
+            db.insert_model(&nnlqp_models::generate_family(ModelFamily::ResNet, 1, 77)[0].graph);
+        let pid = db.get_or_create_platform("post-crash", "sw", "int8");
+        db.insert_latency(mid, pid, 1, 9.0, 0.0, 0, 0).unwrap();
+        let after_repair = persist::export_json(&db).to_string();
+        drop(db);
+        let report = verify_store(&dir).unwrap();
+        assert!(
+            report.clean(),
+            "seed {seed}: repaired store not clean: {report:?}"
+        );
+        let (db, rec) = open_read_only(&dir).unwrap();
+        assert!(
+            rec.clean(),
+            "seed {seed}: second reopen found damage: {rec:?}"
+        );
+        assert_eq!(persist::export_json(&db).to_string(), after_repair);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -4,7 +4,7 @@
 //! serve-bench [--clients N] [--dup-requests N] [--fresh-requests N]
 //!             [--workers N] [--queue N] [--degrade-backlog N]
 //!             [--platform NAME] [--family FAMILY] [--reps R] [--seed S]
-//!             [--retrain-after N] [--snapshot FILE]
+//!             [--retrain-after N] [--snapshot FILE] [--durable DIR]
 //!             [--monitor-sample N] [--events FILE]
 //!             [--metrics FILE] [--metrics-every-ms N]
 //! ```
@@ -28,6 +28,11 @@
 //! observable *during* the run, not only at the end; `--events FILE`
 //! writes the structured JSONL event log at shutdown. The exit code is
 //! nonzero unless the counters balance and both behaviours are visible.
+//!
+//! `--durable DIR` backs the database with the sharded WAL storage
+//! engine at DIR: every measurement is logged before it is acknowledged,
+//! shutdown seals and compacts the store, and a later run (or `nnlqp db
+//! verify`) can reopen it — the knob behind the CI crash-recovery smoke.
 
 use nnlqp::{MonitorConfig, Nnlqp, TrainPredictorConfig};
 use nnlqp_models::ModelFamily;
@@ -42,7 +47,7 @@ fn usage() -> ! {
     eprintln!("  serve-bench [--clients N] [--dup-requests N] [--fresh-requests N]");
     eprintln!("              [--workers N] [--queue N] [--degrade-backlog N]");
     eprintln!("              [--platform NAME] [--family FAMILY] [--reps R] [--seed S]");
-    eprintln!("              [--retrain-after N] [--snapshot FILE]");
+    eprintln!("              [--retrain-after N] [--snapshot FILE] [--durable DIR]");
     eprintln!("              [--monitor-sample N] [--events FILE]");
     eprintln!("              [--metrics FILE] [--metrics-every-ms N]");
     std::process::exit(2);
@@ -107,13 +112,17 @@ fn main() {
         })
         .unwrap_or(ModelFamily::SqueezeNet);
 
-    let system = Arc::new(
-        Nnlqp::builder()
-            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 4))
-            .reps(reps)
-            .seed(seed)
-            .build(),
-    );
+    let mut builder = Nnlqp::builder()
+        .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 4))
+        .reps(reps)
+        .seed(seed);
+    if let Some(dir) = flags.get("durable") {
+        builder = builder.durable(nnlqp_db::DurableOptions::new(dir));
+    }
+    let system = Arc::new(builder.try_build().unwrap_or_else(|e| {
+        eprintln!("error: failed to open durable store: {e}");
+        std::process::exit(1);
+    }));
 
     let cfg = ServeConfig {
         workers,

@@ -749,7 +749,8 @@ impl LatencyService {
     }
 
     /// Stop intake, drain the queue, join every background thread and
-    /// snapshot the database when configured. Idempotent.
+    /// snapshot the database when configured. Durable stores also get a
+    /// final WAL seal + compaction. Idempotent.
     pub fn shutdown(&self) -> std::io::Result<()> {
         if self.stopped.swap(true, Ordering::SeqCst) {
             return Ok(());
@@ -781,6 +782,14 @@ impl LatencyService {
         }
         if let Some(path) = &self.cfg.snapshot_path {
             nnlqp_db::persist::save(&self.system.db, path)?;
+        }
+        // Durable stores get a closing fold: stop the background
+        // compactor first so the final pass cannot race it, then seal the
+        // WAL tail into segments. Reopening afterwards replays segments
+        // only — no WAL tail to scan.
+        if self.system.db.is_durable() {
+            self.system.stop_compactor();
+            self.system.db.compact()?;
         }
         Ok(())
     }
