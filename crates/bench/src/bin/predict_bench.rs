@@ -13,15 +13,21 @@
 //! * `batched_cached` — `predict_batch` over an already-populated cache:
 //!   only graph hashing and the MLP heads run.
 //!
+//! All three phases run once per predictor architecture (GraphSAGE and
+//! the transformer encoder) behind the `Predictor` trait — same facade,
+//! same cache, different backbone.
+//!
 //! Results are written as JSON (default `BENCH_predict.json`):
 //! per-phase predictions / total seconds / throughput / p50 / p99, the
-//! derived speedups over the per-call path, and the embed-cache counters.
+//! derived speedups over the per-call path, and the embed-cache counters
+//! — at the top level for GraphSAGE (schema back-compat) and under
+//! `architectures.{sage,transformer}` for both.
 //!
 //! ```text
 //! predict-bench [--quick] [--seed S] [--out PATH]
 //! ```
 
-use nnlqp::{metric_names, Nnlqp, PredictorHandle, TrainPredictorConfig};
+use nnlqp::{metric_names, Nnlqp, PredictorHandle, PredictorKind, TrainPredictorConfig};
 use nnlqp_ir::{Graph, Rng64};
 use nnlqp_nas::{SubnetConfig, Supernet};
 use nnlqp_sim::{DeviceFarm, Platform, PlatformSpec};
@@ -182,6 +188,114 @@ fn run_batched(
     }
 }
 
+/// The three phases plus cache counters for one predictor architecture.
+struct ArchReport {
+    single: Phase,
+    cold: Phase,
+    cached: Phase,
+    embed_hits: u64,
+    embed_misses: u64,
+}
+
+impl ArchReport {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "phases": {
+                "single_uncached": self.single.to_json(),
+                "batched_cold": self.cold.to_json(),
+                "batched_cached": self.cached.to_json(),
+            },
+            "speedup": {
+                "batched_vs_single": self.cold.throughput() / self.single.throughput(),
+                "cached_vs_single": self.cached.throughput() / self.single.throughput(),
+            },
+            "embed_cache": {
+                "hits": self.embed_hits,
+                "misses": self.embed_misses,
+            },
+        })
+    }
+}
+
+/// Train `arch` on the corpus already measured into `trainer`, then time
+/// all three phases on fresh cache-off / cache-on systems sharing the
+/// trained handle.
+fn run_arch(
+    arch: PredictorKind,
+    trainer: &Nnlqp,
+    specs: &[nnlqp_sim::PlatformSpec],
+    eval: &[Graph],
+    platform_names: &[&str],
+    scale: &Scale,
+    seed: u64,
+) -> ArchReport {
+    trainer
+        .train_predictor(
+            platform_names,
+            TrainPredictorConfig {
+                epochs: scale.epochs,
+                hidden: 32,
+                gnn_layers: 2,
+                seed,
+                arch: Some(arch),
+                ..Default::default()
+            },
+        )
+        .expect("train");
+    let handle = trainer.predictor_handle().expect("trained handle");
+
+    // Two inference systems sharing the weights: cache off vs cache on.
+    let baseline = Nnlqp::builder()
+        .farm(DeviceFarm::new(specs, 1))
+        .embed_cache(0)
+        .build();
+    baseline.set_predictor(handle.clone());
+    let fast = Nnlqp::builder()
+        .farm(DeviceFarm::new(specs, 1))
+        .embed_cache(4096)
+        .build();
+    fast.set_predictor(handle.clone());
+    let handle = fast.predictor_handle().expect("installed handle");
+
+    let single = run_single(&baseline, eval, platform_names, scale.reps);
+    let cold = run_batched(
+        &fast,
+        &handle,
+        eval,
+        platform_names,
+        scale.reps,
+        scale.chunk,
+        true,
+    );
+    // Warm the cache once untimed, then measure the all-hit steady state.
+    fast.predict_batch(eval, platform_names).expect("warmup");
+    let cached = run_batched(
+        &fast,
+        &handle,
+        eval,
+        platform_names,
+        scale.reps,
+        scale.chunk,
+        false,
+    );
+    let snap = fast.registry().snapshot();
+    eprintln!(
+        "[predict-bench] {arch}: single {:.0}/s  batched {:.0}/s ({:.2}x)  cached {:.0}/s ({:.2}x)",
+        single.throughput(),
+        cold.throughput(),
+        cold.throughput() / single.throughput(),
+        cached.throughput(),
+        cached.throughput() / single.throughput(),
+    );
+    ArchReport {
+        single,
+        cold,
+        cached,
+        embed_hits: snap.counter(metric_names::EMBED_HITS),
+        embed_misses: snap.counter(metric_names::EMBED_MISSES),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -230,63 +344,36 @@ fn main() {
             .warm_cache(&train_corpus, &Platform::by_name(name).unwrap(), 1)
             .expect("warm cache");
     }
-    trainer
-        .train_predictor(
-            &platform_names,
-            TrainPredictorConfig {
-                epochs: scale.epochs,
-                hidden: 32,
-                gnn_layers: 2,
-                seed,
-                ..Default::default()
-            },
-        )
-        .expect("train");
-    let handle = trainer.predictor_handle().expect("trained handle");
-
-    // Two inference systems sharing the weights: cache off vs cache on.
-    let baseline = Nnlqp::builder()
-        .farm(DeviceFarm::new(&specs, 1))
-        .embed_cache(0)
-        .build();
-    baseline.set_predictor(handle.clone());
-    let fast = Nnlqp::builder()
-        .farm(DeviceFarm::new(&specs, 1))
-        .embed_cache(4096)
-        .build();
-    fast.set_predictor(handle.clone());
-
     let eval = sample_subnets(scale.eval_graphs, &mut rng);
     eprintln!(
-        "[predict-bench] timing {} graphs x {} platforms, {} reps per phase",
+        "[predict-bench] timing {} graphs x {} platforms, {} reps per phase per architecture",
         eval.len(),
         platform_names.len(),
         scale.reps
     );
 
-    let single = run_single(&baseline, &eval, &platform_names, scale.reps);
-    let cold = run_batched(
-        &fast,
-        &handle,
+    // Every phase runs once per architecture through the same trait-based
+    // facade path; the GraphSAGE numbers stay at the top level so older
+    // consumers of the report keep parsing.
+    let sage = run_arch(
+        PredictorKind::Sage,
+        &trainer,
+        &specs,
         &eval,
         &platform_names,
-        scale.reps,
-        scale.chunk,
-        true,
+        &scale,
+        seed,
     );
-    // Warm the cache once untimed, then measure the all-hit steady state.
-    fast.predict_batch(&eval, &platform_names).expect("warmup");
-    let cached = run_batched(
-        &fast,
-        &handle,
+    let transformer = run_arch(
+        PredictorKind::Transformer,
+        &trainer,
+        &specs,
         &eval,
         &platform_names,
-        scale.reps,
-        scale.chunk,
-        false,
+        &scale,
+        seed,
     );
 
-    let snap = fast.registry().snapshot();
     let report = serde_json::json!({
         "bench": "predict",
         "quick": quick,
@@ -300,28 +387,24 @@ fn main() {
             "batch_chunk": scale.chunk,
         },
         "phases": {
-            "single_uncached": single.to_json(),
-            "batched_cold": cold.to_json(),
-            "batched_cached": cached.to_json(),
+            "single_uncached": sage.single.to_json(),
+            "batched_cold": sage.cold.to_json(),
+            "batched_cached": sage.cached.to_json(),
         },
         "speedup": {
-            "batched_vs_single": cold.throughput() / single.throughput(),
-            "cached_vs_single": cached.throughput() / single.throughput(),
+            "batched_vs_single": sage.cold.throughput() / sage.single.throughput(),
+            "cached_vs_single": sage.cached.throughput() / sage.single.throughput(),
         },
         "embed_cache": {
-            "hits": snap.counter(metric_names::EMBED_HITS),
-            "misses": snap.counter(metric_names::EMBED_MISSES),
+            "hits": sage.embed_hits,
+            "misses": sage.embed_misses,
+        },
+        "architectures": {
+            "sage": sage.to_json(),
+            "transformer": transformer.to_json(),
         },
     });
     let text = serde_json::to_string_pretty(&report).expect("serialize");
     std::fs::write(&out, format!("{text}\n")).expect("write report");
-    eprintln!(
-        "[predict-bench] single {:.0}/s  batched {:.0}/s ({:.2}x)  cached {:.0}/s ({:.2}x) -> {}",
-        single.throughput(),
-        cold.throughput(),
-        cold.throughput() / single.throughput(),
-        cached.throughput(),
-        cached.throughput() / single.throughput(),
-        out.display()
-    );
+    eprintln!("[predict-bench] wrote {}", out.display());
 }

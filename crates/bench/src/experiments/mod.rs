@@ -1,6 +1,7 @@
 //! One module per paper table/figure.
 
 pub mod decisions;
+pub mod encoders;
 pub mod fig2;
 pub mod fig6;
 pub mod fig7;
@@ -18,7 +19,7 @@ pub mod table8;
 use crate::opts::Opts;
 
 /// All experiment names, in paper order.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "table1",
     "fig2",
     "table2",
@@ -32,6 +33,7 @@ pub const ALL: [&str; 14] = [
     "fig7",
     "fig8",
     "fig9",
+    "encoders",
     "decisions",
 ];
 
@@ -51,6 +53,7 @@ pub fn run(name: &str, opts: &Opts) -> Result<(), String> {
         "fig7" => fig7::run(opts),
         "fig8" => fig8::run(opts),
         "fig9" => fig9::run(opts),
+        "encoders" => encoders::run(opts),
         "decisions" => decisions::run(opts),
         other => return Err(format!("unknown experiment: {other}")),
     }

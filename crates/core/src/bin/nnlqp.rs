@@ -3,7 +3,7 @@
 //! ```text
 //! nnlqp query   --model model.json --platform gpu-T4-trt7.1-fp32 [--batch 1]
 //! nnlqp predict --model model.json --platform gpu-T4-trt7.1-fp32 [--batch 1] \
-//!               [--train-family ResNet --train-count 40]
+//!               [--arch sage|transformer] [--train-family ResNet --train-count 40]
 //! nnlqp trace   --model model.json --platform gpu-T4-trt7.1-fp32 [--flame]
 //! nnlqp platforms
 //! nnlqp export-model --family ResNet --output model.json
@@ -55,6 +55,7 @@ fn usage() -> ! {
     eprintln!("usage:");
     eprintln!("  nnlqp query   --model FILE --platform NAME [--batch N] [--reps R]");
     eprintln!("  nnlqp predict --model FILE --platform NAME [--batch N]");
+    eprintln!("                [--arch sage|transformer]");
     eprintln!("                [--train-family FAMILY] [--train-count N] [--epochs E]");
     eprintln!("  nnlqp trace   --model FILE --platform NAME [--batch N] [--reps R]");
     eprintln!("                [--seed S] [--output FILE] [--flame] [--width W]");
@@ -484,7 +485,16 @@ fn main() {
                 .get("epochs")
                 .map(|s| s.parse().expect("--epochs must be a number"))
                 .unwrap_or(30);
-            let system = Nnlqp::builder().reps(10).build();
+            let arch: nnlqp::PredictorKind = flags
+                .get("arch")
+                .map(|s| {
+                    s.parse().unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        usage();
+                    })
+                })
+                .unwrap_or_default();
+            let system = Nnlqp::builder().reps(10).predictor(arch).build();
             let platform = resolve_platform(&system, &flags);
             eprintln!("bootstrapping the database with {count} {family} variants...");
             let variants: Vec<_> = nnlqp_models::generate_family(family, count, 1)
@@ -497,7 +507,7 @@ fn main() {
                     eprintln!("error: {e}");
                     std::process::exit(1);
                 });
-            eprintln!("training the predictor...");
+            eprintln!("training the {arch} predictor...");
             system
                 .train_predictor(
                     &[platform.name()],
@@ -514,7 +524,7 @@ fn main() {
                     std::process::exit(1);
                 });
             println!(
-                "{{\"latency_ms\": {:.6}, \"cost_s\": {:.3}}}",
+                "{{\"latency_ms\": {:.6}, \"cost_s\": {:.3}, \"arch\": \"{arch}\"}}",
                 result.latency_ms, result.cost_s
             );
         }

@@ -5,12 +5,16 @@
 //! platform head. Serve's degrade mode, NAS-style sweeps and multi-
 //! platform queries all re-predict the same graph, so the pooled
 //! embedding is cached here keyed by `(graph_hash, batch, predictor
-//! version)` and repeat predictions pay only the cheap MLP head.
+//! stamp, architecture)` and repeat predictions pay only the cheap MLP
+//! head.
 //!
-//! The predictor version is part of the key: `train_predictor` /
-//! `set_predictor` hot-swaps bump it, so an embedding computed by a
-//! previous model can never be served — stale entries simply stop being
-//! addressable and age out of the LRU.
+//! The predictor stamp is part of the key: `train_predictor` /
+//! `set_predictor` hot-swaps draw a fresh one, so an embedding computed
+//! by a previous model can never be served — stale entries simply stop
+//! being addressable and age out of the LRU. The architecture identity
+//! (`Predictor::identity`) is part of the key too: an A/B swap between
+//! architectures (GraphSAGE ↔ transformer) can never resolve a stale
+//! cross-architecture embedding, even if stamps were ever to collide.
 //!
 //! Structure mirrors serve's hot cache: an intrusive LRU list over a slab
 //! per shard, O(1) promote/evict, per-shard mutexes to keep contention
@@ -30,8 +34,12 @@ pub struct EmbedKey {
     /// Batch size the graph was rebatched to (part of the hash already,
     /// but kept explicit so keys are self-describing in debug output).
     pub batch: u32,
-    /// Predictor generation that produced the embedding.
+    /// Predictor generation stamp that produced the embedding.
     pub version: u64,
+    /// Architecture identity (`Predictor::identity`) of the producing
+    /// predictor — embeddings are never interchangeable across
+    /// architectures.
+    pub arch: u64,
 }
 
 /// A cached embedding: the pooled graph vector (static features appended),
@@ -204,6 +212,7 @@ mod tests {
             graph_hash: hash,
             batch: 1,
             version,
+            arch: 1,
         }
     }
 
@@ -230,6 +239,32 @@ mod tests {
         cache.insert(key(7, 0), emb(1.0));
         assert!(cache.get(&key(7, 1)).is_none(), "new version must miss");
         assert!(cache.get(&key(7, 0)).is_some());
+    }
+
+    #[test]
+    fn architecture_is_part_of_the_key() {
+        // Regression: an A/B hot-swap between architectures must never
+        // serve a stale cross-architecture embedding, even when the
+        // graph, batch and stamp all coincide.
+        let cache = EmbedCache::new(8, 2);
+        let sage = EmbedKey {
+            graph_hash: 7,
+            batch: 1,
+            version: 3,
+            arch: 1,
+        };
+        let transformer = EmbedKey {
+            arch: 2,
+            ..sage.clone()
+        };
+        cache.insert(sage.clone(), emb(1.0));
+        assert!(
+            cache.get(&transformer).is_none(),
+            "other architecture must miss"
+        );
+        cache.insert(transformer.clone(), emb(2.0));
+        assert_eq!(cache.get(&sage).unwrap()[0], 1.0);
+        assert_eq!(cache.get(&transformer).unwrap()[0], 2.0);
     }
 
     #[test]

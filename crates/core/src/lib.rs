@@ -37,6 +37,7 @@ pub use interface::{
 pub use nnlqp_obs::{
     to_prometheus, DriftAlert, EventLog, MonitorConfig, QualityMonitor, QualityReport,
 };
+pub use nnlqp_predict::{predictor_from_json, Predictor, PredictorKind};
 pub use nnlqp_sim::Platform;
 pub use predictor::{
     BatchPredictResult, PredictResult, PredictorHandle, TrainPredictorConfig,

@@ -1,12 +1,23 @@
 //! `NNLQP.predict` — the prediction path, trained from the evolving
 //! database.
+//!
+//! The facade holds the model as `Arc<dyn Predictor>`: any architecture
+//! implementing `nnlqp_predict::Predictor` (GraphSAGE, the transformer
+//! encoder, future variants) can be trained, installed and hot-swapped
+//! behind the same `predict` / `predict_effective` / `predict_batch`
+//! entry points. Embed-cache keys carry both the install stamp and the
+//! architecture identity, so a swap — same architecture or cross —
+//! can never serve a stale embedding.
 
 use crate::embed_cache::EmbedKey;
 use crate::interface::{Nnlqp, QueryError, QueryParams};
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::Rng64;
-use nnlqp_predict::train::{train, Dataset, TrainConfig};
-use nnlqp_predict::{extract_features, NnlpConfig, NnlpModel};
+use nnlqp_predict::train::{Dataset, TrainConfig};
+use nnlqp_predict::{
+    extract_features, NnlpConfig, NnlpModel, Predictor, PredictorKind, TransformerConfig,
+    TransformerModel,
+};
 use nnlqp_sim::PlatformSpec;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -24,13 +35,51 @@ pub const CACHED_PREDICT_COST_S: f64 = 0.002;
 /// Simulated wall-clock cost of one FLOPs+MAC prediction (§8.2: ~0.094 s).
 pub const FLOPS_MAC_COST_S: f64 = 0.094;
 
+/// Attention heads used when the facade trains a transformer predictor.
+const TRANSFORMER_ATTN_HEADS: usize = 4;
+
 /// A trained multi-platform predictor bound to its platform→head map.
 #[derive(Clone)]
 pub struct PredictorHandle {
-    /// The model.
-    pub model: NnlpModel,
+    /// The model, behind the architecture-agnostic trait.
+    pub model: Arc<dyn Predictor>,
     /// Platform name → head index.
     pub head_of: HashMap<String, usize>,
+    /// Unique generation stamp (embed-cache key component). Assigned from
+    /// the system's generation counter at train/install time; re-stamped
+    /// on every install so hot-swapping the same handle still invalidates.
+    pub(crate) stamp: u64,
+}
+
+impl PredictorHandle {
+    /// Handle over any [`Predictor`]. The stamp is assigned when the
+    /// handle is trained by or installed into a system.
+    pub fn new(model: Arc<dyn Predictor>, head_of: HashMap<String, usize>) -> Self {
+        PredictorHandle {
+            model,
+            head_of,
+            stamp: 0,
+        }
+    }
+
+    /// Legacy constructor for callers holding a concrete [`NnlpModel`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PredictorHandle::new(Arc::new(model), head_of)` — the facade is architecture-agnostic now"
+    )]
+    pub fn from_nnlp(model: NnlpModel, head_of: HashMap<String, usize>) -> Self {
+        PredictorHandle::new(Arc::new(model), head_of)
+    }
+
+    /// Architecture of the wrapped model.
+    pub fn kind(&self) -> PredictorKind {
+        self.model.kind()
+    }
+
+    /// Generation stamp (0 until trained-by or installed-into a system).
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
 }
 
 /// Training options for [`Nnlqp::train_predictor`].
@@ -44,10 +93,14 @@ pub struct TrainPredictorConfig {
     pub lr: f64,
     /// Seed.
     pub seed: u64,
-    /// GNN hidden width.
+    /// Backbone hidden width (GNN hidden / transformer `d_model`, the
+    /// latter rounded up to a multiple of the attention head count).
     pub hidden: usize,
-    /// GNN depth.
+    /// Backbone depth (SAGE layers / attention blocks).
     pub gnn_layers: usize,
+    /// Architecture to train; `None` uses the system default
+    /// ([`crate::NnlqpBuilder::predictor`], GraphSAGE out of the box).
+    pub arch: Option<PredictorKind>,
 }
 
 impl Default for TrainPredictorConfig {
@@ -59,6 +112,7 @@ impl Default for TrainPredictorConfig {
             seed: 7,
             hidden: 48,
             gnn_layers: 3,
+            arch: None,
         }
     }
 }
@@ -90,13 +144,29 @@ pub struct BatchPredictResult {
 impl Nnlqp {
     /// Train the multi-platform predictor from everything currently in
     /// the database for the given platforms (the evolving-database loop:
-    /// re-run this as queries accumulate). Returns the number of training
-    /// samples used.
+    /// re-run this as queries accumulate) and install it. Returns the
+    /// number of training samples used.
     pub fn train_predictor(
         &self,
         platform_names: &[&str],
         cfg: TrainPredictorConfig,
     ) -> Result<usize, QueryError> {
+        let Some((handle, samples)) = self.train_predictor_handle(platform_names, cfg)? else {
+            return Ok(0);
+        };
+        self.install_predictor(handle);
+        Ok(samples)
+    }
+
+    /// Train a predictor from the database *without* installing it — the
+    /// entry point A/B serving uses to prepare a challenger that is only
+    /// promoted once it beats the champion on live traffic. Returns
+    /// `None` when the database holds no samples for the platforms.
+    pub fn train_predictor_handle(
+        &self,
+        platform_names: &[&str],
+        cfg: TrainPredictorConfig,
+    ) -> Result<Option<(PredictorHandle, usize)>, QueryError> {
         let mut entries: Vec<(nnlqp_ir::Graph, f64, usize)> = Vec::new();
         let mut head_of = HashMap::new();
         for (head, name) in platform_names.iter().enumerate() {
@@ -121,26 +191,15 @@ impl Nnlqp {
             }
         }
         if entries.is_empty() {
-            return Ok(0);
+            return Ok(None);
         }
         let refs: Vec<(&nnlqp_ir::Graph, f64, usize)> =
             entries.iter().map(|(g, l, h)| (g, *l, *h)).collect();
         let ds = Dataset::build(&refs);
+        let arch = cfg.arch.unwrap_or(self.default_arch);
         let mut rng = Rng64::new(cfg.seed);
-        let mut model = NnlpModel::new(
-            NnlpConfig {
-                hidden: cfg.hidden,
-                head_hidden: cfg.hidden,
-                gnn_layers: cfg.gnn_layers,
-                n_heads: platform_names.len(),
-                dropout: 0.05,
-                ..Default::default()
-            },
-            ds.norm.clone(),
-            &mut rng,
-        );
-        train(
-            &mut model,
+        let mut model = fresh_model(arch, &cfg, platform_names.len(), ds.norm.clone(), &mut rng);
+        model.train_in_place(
             &ds.samples,
             TrainConfig {
                 epochs: cfg.epochs,
@@ -149,8 +208,12 @@ impl Nnlqp {
                 seed: cfg.seed,
             },
         );
-        self.install_predictor(PredictorHandle { model, head_of });
-        Ok(entries.len())
+        let handle = PredictorHandle {
+            model: Arc::from(model),
+            head_of,
+            stamp: self.next_stamp(),
+        };
+        Ok(Some((handle, entries.len())))
     }
 
     /// Install an externally trained predictor.
@@ -158,19 +221,26 @@ impl Nnlqp {
         self.install_predictor(handle);
     }
 
-    /// Swap in a predictor and bump the generation counter while still
-    /// holding the write lock, so any reader that observes the new model
-    /// also observes (at least) the new version — embeddings computed by
-    /// an older model can never be served against the new heads.
-    fn install_predictor(&self, handle: PredictorHandle) {
+    /// Swap in a predictor and re-stamp it from the generation counter
+    /// while still holding the write lock, so any reader that observes
+    /// the new model also observes its fresh stamp — embeddings computed
+    /// by an older install (even of the very same handle) can never be
+    /// served against the new heads.
+    fn install_predictor(&self, mut handle: PredictorHandle) {
         let mut guard = self.predictor.write();
-        self.predictor_version.fetch_add(1, Ordering::Release);
+        handle.stamp = self.next_stamp();
         *guard = Some(handle);
     }
 
-    /// Generation of the installed predictor (0 = never installed);
-    /// incremented by every [`Nnlqp::train_predictor`] /
-    /// [`Nnlqp::set_predictor`] hot-swap.
+    /// Draw a fresh generation stamp.
+    fn next_stamp(&self) -> u64 {
+        self.predictor_version.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Current value of the generation counter (0 = no predictor ever
+    /// trained); advanced by every [`Nnlqp::train_predictor`] /
+    /// [`Nnlqp::set_predictor`] hot-swap and every
+    /// [`Nnlqp::train_predictor_handle`] stamp.
     pub fn predictor_version(&self) -> u64 {
         self.predictor_version.load(Ordering::Acquire)
     }
@@ -212,27 +282,40 @@ impl Nnlqp {
     /// — the zero-copy entry point for serving layers that resolved the
     /// graph once up front.
     ///
-    /// The expensive half of a prediction (feature extraction + GNN
-    /// backbone) is cached by `(graph_hash, batch, predictor version)`;
-    /// a repeat prediction of the same graph — on any platform — only
-    /// runs the per-platform MLP head and reports the much smaller
+    /// The expensive half of a prediction (feature extraction + backbone)
+    /// is cached by `(graph_hash, batch, stamp, architecture)`; a repeat
+    /// prediction of the same graph — on any platform — only runs the
+    /// per-platform MLP head and reports the much smaller
     /// [`CACHED_PREDICT_COST_S`].
     pub fn predict_effective(
         &self,
         graph: &nnlqp_ir::Graph,
         platform_name: &str,
     ) -> Result<PredictResult, QueryError> {
-        let spec = PlatformSpec::by_name(platform_name)
-            .ok_or_else(|| QueryError::UnknownPlatform(platform_name.to_string()))?;
         let guard = self.predictor.read();
         let handle = guard
             .as_ref()
             .ok_or_else(|| QueryError::UnknownPlatform("no predictor trained".into()))?;
+        self.predict_effective_with(handle, graph, platform_name)
+    }
+
+    /// [`Nnlqp::predict_effective`] through an explicit handle instead of
+    /// the installed predictor — the A/B layer scores champion and
+    /// challenger through here, each with its own cache-key identity, so
+    /// both share the embed cache without ever sharing embeddings.
+    pub fn predict_effective_with(
+        &self,
+        handle: &PredictorHandle,
+        graph: &nnlqp_ir::Graph,
+        platform_name: &str,
+    ) -> Result<PredictResult, QueryError> {
+        let spec = PlatformSpec::by_name(platform_name)
+            .ok_or_else(|| QueryError::UnknownPlatform(platform_name.to_string()))?;
         let head = *handle
             .head_of
             .get(&spec.name)
             .ok_or_else(|| QueryError::UnknownPlatform(format!("no head for {}", spec.name)))?;
-        let key = self.embed_key(graph);
+        let key = embed_key(graph, handle);
         if let Some(emb) = self.embed_cache.get(&key) {
             self.m_embed_hits.inc();
             return Ok(PredictResult {
@@ -280,7 +363,7 @@ impl Nnlqp {
         }
 
         // Serial probe pass: hash each graph and consult the cache.
-        let keys: Vec<EmbedKey> = graphs.iter().map(|g| self.embed_key(g)).collect();
+        let keys: Vec<EmbedKey> = graphs.iter().map(|g| embed_key(g, handle)).collect();
         let mut embeddings: Vec<Option<crate::embed_cache::SharedEmbedding>> =
             keys.iter().map(|k| self.embed_cache.get(k)).collect();
         let hits = embeddings.iter().flatten().count() as u64;
@@ -328,14 +411,61 @@ impl Nnlqp {
             embed_misses: misses,
         })
     }
+}
 
-    /// Cache key of a graph under the currently installed predictor.
-    fn embed_key(&self, graph: &nnlqp_ir::Graph) -> EmbedKey {
-        EmbedKey {
-            graph_hash: graph_hash(graph),
-            batch: graph.input_shape.batch() as u32,
-            version: self.predictor_version.load(Ordering::Acquire),
+/// Cache key of a graph under a specific predictor handle: graph + batch
+/// + generation stamp + architecture identity.
+fn embed_key(graph: &nnlqp_ir::Graph, handle: &PredictorHandle) -> EmbedKey {
+    EmbedKey {
+        graph_hash: graph_hash(graph),
+        batch: graph.input_shape.batch() as u32,
+        version: handle.stamp,
+        arch: handle.model.identity(),
+    }
+}
+
+/// Fresh, untrained model of the requested architecture, sized from the
+/// facade-level training config.
+fn fresh_model(
+    arch: PredictorKind,
+    cfg: &TrainPredictorConfig,
+    n_heads: usize,
+    norm: nnlqp_predict::Normalizer,
+    rng: &mut Rng64,
+) -> Box<dyn Predictor> {
+    match arch {
+        PredictorKind::Sage => Box::new(NnlpModel::new(
+            NnlpConfig {
+                hidden: cfg.hidden,
+                head_hidden: cfg.hidden,
+                gnn_layers: cfg.gnn_layers,
+                n_heads,
+                dropout: 0.05,
+                ..Default::default()
+            },
+            norm,
+            rng,
+        )),
+        PredictorKind::Transformer => {
+            let d_model =
+                cfg.hidden.div_ceil(TRANSFORMER_ATTN_HEADS).max(1) * TRANSFORMER_ATTN_HEADS;
+            Box::new(TransformerModel::new(
+                TransformerConfig {
+                    d_model,
+                    layers: cfg.gnn_layers,
+                    attn_heads: TRANSFORMER_ATTN_HEADS,
+                    head_hidden: cfg.hidden,
+                    n_heads,
+                    dropout: 0.05,
+                    ..Default::default()
+                },
+                norm,
+                rng,
+            ))
         }
+        // `PredictorKind` is #[non_exhaustive]; new variants must be
+        // wired up here explicitly.
+        other => unimplemented!("no facade constructor for architecture {other}"),
     }
 }
 
@@ -411,6 +541,10 @@ mod tests {
             .train_predictor(&["gpu-T4-trt7.1-fp32"], Default::default())
             .unwrap();
         assert_eq!(n, 0);
+        assert!(s
+            .train_predictor_handle(&["gpu-T4-trt7.1-fp32"], Default::default())
+            .unwrap()
+            .is_none());
     }
 
     /// A tiny trained system plus a disjoint probe graph.
@@ -473,7 +607,7 @@ mod tests {
         let p = QueryParams::by_name(probe, 1, "gpu-T4-trt7.1-fp32").unwrap();
         let v0 = s.predictor_version();
         s.predict(&p).unwrap(); // populate the cache
-                                // Hot-swap the same handle back in: the version bump alone must
+                                // Hot-swap the same handle back in: the re-stamp alone must
                                 // force the next prediction down the full-backbone path.
         let handle = s.predictor.read().clone().unwrap();
         s.set_predictor(handle);
@@ -485,6 +619,103 @@ mod tests {
         );
         let snap = s.registry().snapshot();
         assert_eq!(snap.counter(crate::metric_names::EMBED_MISSES), 2);
+    }
+
+    #[test]
+    fn trains_transformer_architecture_on_request() {
+        let (s, probe) = trained_system();
+        assert_eq!(
+            s.predictor_handle().unwrap().kind(),
+            PredictorKind::Sage,
+            "default architecture is GraphSAGE"
+        );
+        let n = s
+            .train_predictor(
+                &["gpu-T4-trt7.1-fp32"],
+                TrainPredictorConfig {
+                    epochs: 2,
+                    hidden: 16,
+                    gnn_layers: 2,
+                    arch: Some(PredictorKind::Transformer),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(n, 8);
+        let handle = s.predictor_handle().unwrap();
+        assert_eq!(handle.kind(), PredictorKind::Transformer);
+        let p = QueryParams::by_name(probe, 1, "gpu-T4-trt7.1-fp32").unwrap();
+        let pred = s.predict(&p).unwrap();
+        assert!(pred.latency_ms.is_finite() && pred.latency_ms > 0.0);
+        // Checkpoint round-trips through the kind-tagged JSON form.
+        let json = handle.model.to_json();
+        let back = nnlqp_predict::predictor_from_json(&json).unwrap();
+        assert_eq!(back.kind(), PredictorKind::Transformer);
+    }
+
+    #[test]
+    fn cross_architecture_handles_never_share_embeddings() {
+        let (s, probe) = trained_system();
+        let sage = s.predictor_handle().unwrap();
+        let (transformer, _) = s
+            .train_predictor_handle(
+                &["gpu-T4-trt7.1-fp32", "cpu-openppl-fp32"],
+                TrainPredictorConfig {
+                    epochs: 2,
+                    hidden: 16,
+                    gnn_layers: 2,
+                    arch: Some(PredictorKind::Transformer),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .unwrap();
+        assert_ne!(sage.model.identity(), transformer.model.identity());
+        // Warm the cache through the sage handle, then predict through
+        // the transformer handle: it must pay the full backbone cost and
+        // produce its own (different) answer, never the cached sage
+        // embedding.
+        let a = s
+            .predict_effective_with(&sage, &probe, "gpu-T4-trt7.1-fp32")
+            .unwrap();
+        assert_eq!(a.cost_s, PREDICT_COST_S);
+        let b = s
+            .predict_effective_with(&transformer, &probe, "gpu-T4-trt7.1-fp32")
+            .unwrap();
+        assert_eq!(b.cost_s, PREDICT_COST_S, "cross-arch must be a miss");
+        assert!(a.latency_ms > 0.0 && b.latency_ms > 0.0);
+        // Each handle's repeat prediction is a hit on its own entry.
+        assert_eq!(
+            s.predict_effective_with(&sage, &probe, "gpu-T4-trt7.1-fp32")
+                .unwrap()
+                .cost_s,
+            CACHED_PREDICT_COST_S
+        );
+        assert_eq!(
+            s.predict_effective_with(&transformer, &probe, "gpu-T4-trt7.1-fp32")
+                .unwrap()
+                .cost_s,
+            CACHED_PREDICT_COST_S
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_nnlp_handle_shim_still_works() {
+        let (s, probe) = trained_system();
+        // Rewrap the installed model as a concrete NnlpModel checkpoint
+        // and re-install through the legacy shim.
+        let installed = s.predictor_handle().unwrap();
+        let model = NnlpModel::from_json(&installed.model.to_json()).unwrap();
+        let shim = PredictorHandle::from_nnlp(model, installed.head_of.clone());
+        assert_eq!(shim.kind(), PredictorKind::Sage);
+        s.set_predictor(shim);
+        let p = QueryParams::by_name(probe, 1, "gpu-T4-trt7.1-fp32").unwrap();
+        let via_shim = s.predict(&p).unwrap();
+        let direct = s
+            .predict_effective_with(&installed, &p.model, "gpu-T4-trt7.1-fp32")
+            .unwrap();
+        assert_eq!(via_shim.latency_ms, direct.latency_ms);
     }
 
     #[test]

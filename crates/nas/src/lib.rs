@@ -12,13 +12,20 @@
 //! capacity-law surrogate (saturating in FLOPs, with depth/width/kernel
 //! bonuses and seeded architecture noise). The latency side — the paper's
 //! actual subject — is exercised unchanged.
+//!
+//! The crate also hosts the §7.3 "new task" study ([`accpredict`]): the
+//! latency predictor's embed/head machinery, reached through the
+//! `Predictor` trait, retargeted at NAS-Bench-201 cell-accuracy
+//! regression with both encoder architectures.
 
+pub mod accpredict;
 pub mod accuracy;
 pub mod cost;
 pub mod lookup;
 pub mod pareto;
 pub mod supernet;
 
+pub use accpredict::{accuracy_benchmark, cell_accuracy_surrogate, AccuracyEval};
 pub use accuracy::accuracy_surrogate;
 pub use cost::{table7_rows, CostRow};
 pub use lookup::LookupTable;

@@ -11,6 +11,9 @@
 //!   ([`Linear`], [`relu`], [`Dropout`], [`l2_normalize_rows`]) so batches
 //!   can be differentiated in parallel and gradients summed,
 //! * the GraphSAGE convolution of Eq. 4 over [`Csr`] adjacency,
+//! * multi-head self-attention with an adjacency-derived bias
+//!   ([`AttnLayer`]), the transformer-encoder counterpart of the SAGE
+//!   layer,
 //! * the [`Adam`] optimizer (Kingma & Ba, 2014) keyed per tensor,
 //! * classic estimators for the paper's baselines: closed-form ridge
 //!   [`LinearRegression`] (FLOPs / FLOPs+MAC) and a CART-based
@@ -20,6 +23,7 @@
 //! tests.
 
 pub mod adam;
+pub mod attention;
 pub mod csr;
 pub mod forest;
 pub mod layers;
@@ -29,6 +33,7 @@ pub mod tensor;
 pub mod tree;
 
 pub use adam::Adam;
+pub use attention::{attention_bias, AttnGrad, AttnLayer, ATTN_NONEDGE_BIAS};
 pub use csr::Csr;
 pub use forest::{RandomForest, RandomForestConfig};
 pub use layers::{

@@ -28,8 +28,10 @@ pub mod features;
 pub mod kernels;
 pub mod metrics;
 pub mod model;
+pub mod predictor;
 pub mod train;
 pub mod transfer;
+pub mod transformer;
 
 pub use features::{
     extract_features, extract_kernel_features, GraphFeatures, Normalizer, NODE_FEAT_DIM, STATIC_DIM,
@@ -37,4 +39,6 @@ pub use features::{
 pub use metrics::{acc_at, kendall_tau, mape};
 pub use model::{Head, NnlpConfig, NnlpModel};
 pub use nnlqp_nn::Scratch;
+pub use predictor::{predictor_from_json, Predictor, PredictorKind};
 pub use train::{train, Dataset, Sample, TrainConfig, TrainReport};
+pub use transformer::{train_transformer, TransformerConfig, TransformerModel};

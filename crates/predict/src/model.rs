@@ -19,8 +19,9 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Conditioning factor applied to the sum-pooled graph embedding; see the
-/// comment at the pooling site.
-const SUM_POOL_SCALE: f32 = 1.0 / 32.0;
+/// comment at the pooling site. Shared with the transformer encoder so
+/// both architectures pool into comparably conditioned embeddings.
+pub(crate) const SUM_POOL_SCALE: f32 = 1.0 / 32.0;
 
 /// Model hyper-parameters and ablation switches.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -174,7 +175,7 @@ impl HeadGrad {
 }
 
 impl Head {
-    fn new(in_dim: usize, hidden: usize, rng: &mut Rng64) -> Head {
+    pub(crate) fn new(in_dim: usize, hidden: usize, rng: &mut Rng64) -> Head {
         Head {
             l1: Linear::new(in_dim, hidden, rng),
             l2: Linear::new(hidden, hidden, rng),
@@ -182,7 +183,12 @@ impl Head {
         }
     }
 
-    fn forward(&self, x: Matrix, dropout: f64, rng: Option<&mut Rng64>) -> (f32, HeadCache) {
+    pub(crate) fn forward(
+        &self,
+        x: Matrix,
+        dropout: f64,
+        rng: Option<&mut Rng64>,
+    ) -> (f32, HeadCache) {
         let z1 = self.l1.forward(&x);
         let a1 = relu(&z1);
         let (a1_drop, mask) = match rng {
@@ -213,7 +219,7 @@ impl Head {
     /// Inference-only forward on the fused GEMM+bias+activation kernels:
     /// arithmetic identical — bit for bit — to [`Head::forward`] with
     /// dropout disabled, with every intermediate drawn from `scratch`.
-    fn eval(&self, x: &Matrix, scratch: &mut Scratch) -> f32 {
+    pub(crate) fn eval(&self, x: &Matrix, scratch: &mut Scratch) -> f32 {
         let mut a1 = scratch.take(x.rows, self.l1.w.cols);
         self.l1
             .forward_into(x, Activation::Relu, &mut a1, scratch.pack_buf());
@@ -230,7 +236,12 @@ impl Head {
         pred
     }
 
-    fn backward(&self, cache: &HeadCache, d_pred: f32, dropout: f64) -> (Matrix, HeadGrad) {
+    pub(crate) fn backward(
+        &self,
+        cache: &HeadCache,
+        d_pred: f32,
+        dropout: f64,
+    ) -> (Matrix, HeadGrad) {
         let dy = Matrix::from_rows(1, 1, vec![d_pred]);
         let (d_a2, d3) = self.l3.backward(&cache.a2, &dy);
         let d_z2 = relu_backward(&cache.z2, &d_a2);
@@ -302,7 +313,7 @@ impl NnlpConfig {
 }
 
 impl Head {
-    fn to_value(&self) -> serde_json::Value {
+    pub(crate) fn to_value(&self) -> serde_json::Value {
         serde_json::json!({
             "l1": self.l1.to_value(),
             "l2": self.l2.to_value(),
@@ -310,7 +321,7 @@ impl Head {
         })
     }
 
-    fn from_value(v: &serde_json::Value) -> Result<Self, String> {
+    pub(crate) fn from_value(v: &serde_json::Value) -> Result<Self, String> {
         Ok(Head {
             l1: Linear::from_value(&v["l1"])?,
             l2: Linear::from_value(&v["l2"])?,

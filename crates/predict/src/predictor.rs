@@ -1,0 +1,275 @@
+//! The [`Predictor`] trait: the embed/head split that has always lived
+//! inside [`NnlpModel`], formalized so every future model — transformer
+//! encoders, quantized variants, platform-transfer pools — is a drop-in
+//! behind one object-safe API.
+//!
+//! The split is the contract the whole serving stack is built on:
+//!
+//! * [`Predictor::embed_with`] is the expensive half (backbone + pooling)
+//!   whose output the facade's `EmbedCache` stores;
+//! * [`Predictor::head_eval_with`] is the cheap per-platform half run on
+//!   cache hits;
+//! * [`Predictor::identity`] names the architecture for cache keying, so
+//!   an A/B hot-swap between architectures can never resolve a stale
+//!   cross-architecture embedding;
+//! * [`Predictor::train_in_place`] / [`Predictor::to_json`] are the
+//!   serializable train/eval entry points the retrain loop and model
+//!   checkpointing use.
+
+use crate::features::GraphFeatures;
+use crate::model::NnlpModel;
+use crate::train::{train, Sample, TrainConfig, TrainReport};
+use crate::transformer::TransformerModel;
+use nnlqp_nn::Scratch;
+use rayon::prelude::*;
+use std::fmt;
+use std::str::FromStr;
+
+/// The predictor architectures this workspace ships. `#[non_exhaustive]`:
+/// future PRs add variants (quantized, platform-transfer, ...) without a
+/// breaking change, so downstream `match`es need a wildcard arm.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PredictorKind {
+    /// GraphSAGE backbone + per-platform MLP heads (the paper's NNLP).
+    #[default]
+    Sage,
+    /// Multi-head self-attention encoder with an adjacency-derived
+    /// attention bias (NAR-Former-V2 direction).
+    Transformer,
+}
+
+impl PredictorKind {
+    /// Stable architecture discriminant for embed-cache keying. These
+    /// values are part of the cache-key contract: never reuse or renumber.
+    pub fn id(self) -> u64 {
+        match self {
+            PredictorKind::Sage => 1,
+            PredictorKind::Transformer => 2,
+        }
+    }
+
+    /// Canonical lowercase name (the `--arch` flag vocabulary).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PredictorKind::Sage => "sage",
+            PredictorKind::Transformer => "transformer",
+        }
+    }
+
+    /// Every kind, for "run all architectures" loops (benches, CI).
+    pub fn all() -> &'static [PredictorKind] {
+        &[PredictorKind::Sage, PredictorKind::Transformer]
+    }
+}
+
+impl fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for PredictorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sage" | "graphsage" | "gnn" => Ok(PredictorKind::Sage),
+            "transformer" | "attn" | "attention" => Ok(PredictorKind::Transformer),
+            other => Err(format!(
+                "unknown predictor architecture '{other}' (expected sage|transformer)"
+            )),
+        }
+    }
+}
+
+/// A latency/accuracy predictor split into an expensive graph-embedding
+/// half and cheap per-platform heads. Object-safe: the facade stores
+/// `Arc<dyn Predictor>` and hot-swaps implementations at runtime.
+pub trait Predictor: Send + Sync {
+    /// Which architecture this is.
+    fn kind(&self) -> PredictorKind;
+
+    /// Stable identity for embed-cache keying. Embeddings from predictors
+    /// with different identities are never interchangeable; the default is
+    /// the architecture discriminant.
+    fn identity(&self) -> u64 {
+        self.kind().id()
+    }
+
+    /// Width of the pooled graph embedding entering a head.
+    fn embedding_dim(&self) -> usize;
+
+    /// Number of per-platform heads.
+    fn n_heads(&self) -> usize;
+
+    /// The expensive half: normalize raw features, run the backbone and
+    /// pool into the shared graph embedding, drawing every intermediate
+    /// from `scratch`.
+    fn embed_with(&self, feats: &GraphFeatures, scratch: &mut Scratch) -> Vec<f32>;
+
+    /// [`Predictor::embed_with`] over a private scratch arena.
+    fn embed(&self, feats: &GraphFeatures) -> Vec<f32> {
+        self.embed_with(feats, &mut Scratch::new())
+    }
+
+    /// The cheap half: one platform head over a shared embedding, mapped
+    /// back to output units (ms for latency, percent for accuracy). `emb`
+    /// must come from this exact predictor's [`Predictor::embed_with`].
+    fn head_eval_with(&self, emb: &[f32], head_idx: usize, scratch: &mut Scratch) -> f64;
+
+    /// [`Predictor::head_eval_with`] over a private scratch arena.
+    fn head_eval(&self, emb: &[f32], head_idx: usize) -> f64 {
+        self.head_eval_with(emb, head_idx, &mut Scratch::new())
+    }
+
+    /// Embed + head in one call.
+    fn predict_ms(&self, feats: &GraphFeatures, head_idx: usize) -> f64 {
+        let mut scratch = Scratch::new();
+        let emb = self.embed_with(feats, &mut scratch);
+        self.head_eval_with(&emb, head_idx, &mut scratch)
+    }
+
+    /// Batched prediction: one backbone pass per graph (rayon-parallel,
+    /// each worker on its own scratch arena), fanned out across
+    /// `head_idxs`. Bit-identical to per-(graph, head)
+    /// [`Predictor::predict_ms`] calls.
+    fn predict_batch(&self, feats: &[GraphFeatures], head_idxs: &[usize]) -> Vec<Vec<f64>> {
+        feats
+            .par_iter()
+            .map(|f| {
+                let mut scratch = Scratch::new();
+                let emb = self.embed_with(f, &mut scratch);
+                head_idxs
+                    .iter()
+                    .map(|&h| self.head_eval_with(&emb, h, &mut scratch))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Train on pre-normalized samples (mini-batch Adam; Algorithm 1).
+    fn train_in_place(&mut self, samples: &[Sample], cfg: TrainConfig) -> TrainReport;
+
+    /// Serialize to JSON (checkpointing / transfer). The inverse is
+    /// [`predictor_from_json`], which dispatches on the architecture tag.
+    fn to_json(&self) -> String;
+}
+
+impl Predictor for NnlpModel {
+    fn kind(&self) -> PredictorKind {
+        PredictorKind::Sage
+    }
+
+    fn embedding_dim(&self) -> usize {
+        self.cfg.embedding_dim()
+    }
+
+    fn n_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    fn embed_with(&self, feats: &GraphFeatures, scratch: &mut Scratch) -> Vec<f32> {
+        NnlpModel::embed_with(self, feats, scratch)
+    }
+
+    fn head_eval_with(&self, emb: &[f32], head_idx: usize, scratch: &mut Scratch) -> f64 {
+        NnlpModel::head_eval_with(self, emb, head_idx, scratch)
+    }
+
+    fn predict_batch(&self, feats: &[GraphFeatures], head_idxs: &[usize]) -> Vec<Vec<f64>> {
+        NnlpModel::predict_batch(self, feats, head_idxs)
+    }
+
+    fn train_in_place(&mut self, samples: &[Sample], cfg: TrainConfig) -> TrainReport {
+        train(self, samples, cfg)
+    }
+
+    fn to_json(&self) -> String {
+        NnlpModel::to_json(self)
+    }
+}
+
+/// Deserialize any [`Predictor`] from its [`Predictor::to_json`] form.
+/// Transformer checkpoints carry a `"kind"` tag; untagged documents are
+/// the legacy GraphSAGE format, kept readable for existing checkpoints.
+pub fn predictor_from_json(s: &str) -> Result<Box<dyn Predictor>, String> {
+    let v: serde_json::Value = serde_json::from_str(s).map_err(|e| e.to_string())?;
+    match v["kind"].as_str() {
+        Some("transformer") => Ok(Box::new(TransformerModel::from_json(s)?)),
+        Some(other) => Err(format!("unknown predictor kind '{other}'")),
+        None => NnlpModel::from_json(s)
+            .map(|m| Box::new(m) as Box<dyn Predictor>)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{extract_features, Normalizer};
+    use crate::model::NnlpConfig;
+    use nnlqp_ir::{GraphBuilder, Rng64, Shape};
+
+    fn tiny_feats() -> GraphFeatures {
+        let mut b = GraphBuilder::new("t", Shape::nchw(1, 3, 16, 16));
+        let c = b.conv(None, 8, 3, 1, 1, 1).unwrap();
+        let r = b.relu(c).unwrap();
+        let g = b.global_avgpool(r).unwrap();
+        let f = b.flatten(g).unwrap();
+        b.gemm(f, 10).unwrap();
+        extract_features(&b.finish().unwrap())
+    }
+
+    #[test]
+    fn kind_roundtrips_through_strings() {
+        for &k in PredictorKind::all() {
+            assert_eq!(k.to_string().parse::<PredictorKind>().unwrap(), k);
+        }
+        assert_eq!(
+            "SAGE".parse::<PredictorKind>().unwrap(),
+            PredictorKind::Sage
+        );
+        assert!("resnet".parse::<PredictorKind>().is_err());
+    }
+
+    #[test]
+    fn kind_ids_are_distinct_and_stable() {
+        assert_eq!(PredictorKind::Sage.id(), 1);
+        assert_eq!(PredictorKind::Transformer.id(), 2);
+    }
+
+    #[test]
+    fn sage_trait_path_is_bitwise_identical_to_direct_calls() {
+        let feats = tiny_feats();
+        let norm = Normalizer::fit(&[&feats]);
+        let mut rng = Rng64::new(70);
+        let m = NnlpModel::new(NnlpConfig::default(), norm, &mut rng);
+        let dynref: &dyn Predictor = &m;
+        assert_eq!(dynref.kind(), PredictorKind::Sage);
+        assert_eq!(dynref.identity(), PredictorKind::Sage.id());
+        assert_eq!(dynref.embedding_dim(), m.cfg.embedding_dim());
+        // Single prediction, embed/head split and batch all agree with the
+        // legacy direct path — bit for bit.
+        assert_eq!(dynref.predict_ms(&feats, 0), m.predict_ms(&feats, 0));
+        let emb = dynref.embed(&feats);
+        assert_eq!(emb, m.embed(&feats));
+        assert_eq!(dynref.head_eval(&emb, 0), m.head_eval(&emb, 0));
+        assert_eq!(
+            dynref.predict_batch(std::slice::from_ref(&feats), &[0]),
+            NnlpModel::predict_batch(&m, std::slice::from_ref(&feats), &[0])
+        );
+    }
+
+    #[test]
+    fn json_dispatch_restores_the_right_architecture() {
+        let feats = tiny_feats();
+        let norm = Normalizer::fit(&[&feats]);
+        let mut rng = Rng64::new(71);
+        let sage = NnlpModel::new(NnlpConfig::default(), norm, &mut rng);
+        let back = predictor_from_json(&Predictor::to_json(&sage)).unwrap();
+        assert_eq!(back.kind(), PredictorKind::Sage);
+        assert_eq!(back.predict_ms(&feats, 0), sage.predict_ms(&feats, 0));
+        assert!(predictor_from_json("{\"kind\": \"marsprobe\"}").is_err());
+    }
+}

@@ -6,7 +6,7 @@
 //!             [--platform NAME] [--family FAMILY] [--reps R] [--seed S]
 //!             [--retrain-after N] [--snapshot FILE] [--durable DIR]
 //!             [--monitor-sample N] [--events FILE]
-//!             [--metrics FILE] [--metrics-every-ms N]
+//!             [--metrics FILE] [--metrics-every-ms N] [--ab]
 //! ```
 //!
 //! Two phases drive the two headline behaviours:
@@ -33,10 +33,17 @@
 //! engine at DIR: every measurement is logged before it is acknowledged,
 //! shutdown seals and compacts the store, and a later run (or `nnlqp db
 //! verify`) can reopen it — the knob behind the CI crash-recovery smoke.
+//!
+//! `--ab` turns on online A/B champion selection: alongside the GraphSAGE
+//! degrade predictor, a transformer challenger is trained on the same
+//! phase-1 ground truth and installed; the shadow evaluator scores both
+//! and promotes the challenger per platform when the champion drifts. The
+//! stdout JSON gains an `ab` section with the champion table and the
+//! promotion count.
 
-use nnlqp::{MonitorConfig, Nnlqp, TrainPredictorConfig};
+use nnlqp::{MonitorConfig, Nnlqp, PredictorKind, TrainPredictorConfig};
 use nnlqp_models::ModelFamily;
-use nnlqp_serve::{LatencyService, ServeConfig, Served};
+use nnlqp_serve::{AbConfig, LatencyService, ServeConfig, Served};
 use nnlqp_sim::{DeviceFarm, PlatformSpec};
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
@@ -49,9 +56,12 @@ fn usage() -> ! {
     eprintln!("              [--platform NAME] [--family FAMILY] [--reps R] [--seed S]");
     eprintln!("              [--retrain-after N] [--snapshot FILE] [--durable DIR]");
     eprintln!("              [--monitor-sample N] [--events FILE]");
-    eprintln!("              [--metrics FILE] [--metrics-every-ms N]");
+    eprintln!("              [--metrics FILE] [--metrics-every-ms N] [--ab]");
     std::process::exit(2);
 }
+
+/// Flags that take no value.
+const BOOL_FLAGS: [&str; 1] = ["ab"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -61,6 +71,10 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             eprintln!("error: unexpected argument {a}");
             usage();
         };
+        if BOOL_FLAGS.contains(&key) {
+            out.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         match it.next() {
             Some(v) => {
                 out.insert(key.to_string(), v.clone());
@@ -97,6 +111,7 @@ fn main() {
     let seed = num(&flags, "seed", 42) as u64;
     let retrain_after = num(&flags, "retrain-after", 0);
     let monitor_sample = num(&flags, "monitor-sample", 0);
+    let ab = flags.contains_key("ab");
     let metrics_every_ms = num(&flags, "metrics-every-ms", 1000).max(10);
     let platform = flags
         .get("platform")
@@ -145,9 +160,18 @@ fn main() {
             ..Default::default()
         },
         snapshot_path: flags.get("snapshot").map(Into::into),
-        monitor: (monitor_sample > 0).then(|| MonitorConfig {
-            sample_every: monitor_sample as u64,
+        monitor: (monitor_sample > 0 || ab).then(|| MonitorConfig {
+            sample_every: monitor_sample.max(1) as u64,
             ..Default::default()
+        }),
+        ab: ab.then(|| AbConfig {
+            challenger: PredictorKind::Transformer,
+            train: TrainPredictorConfig {
+                epochs: 6,
+                hidden: 24,
+                gnn_layers: 2,
+                ..Default::default()
+            },
         }),
         events_path: flags.get("events").map(Into::into),
         metrics_path: flags.get("metrics").map(Into::into),
@@ -189,6 +213,31 @@ fn main() {
         });
     eprintln!("trained the degrade predictor on {samples} samples");
 
+    // A/B: a transformer challenger trained on the same ground truth
+    // rides shotgun on the shadow evaluator.
+    if ab {
+        match system.train_predictor_handle(
+            &[platform.as_str()],
+            TrainPredictorConfig {
+                epochs: 6,
+                hidden: 24,
+                gnn_layers: 2,
+                arch: Some(PredictorKind::Transformer),
+                ..Default::default()
+            },
+        ) {
+            Ok(Some((handle, n))) => {
+                service.install_challenger(handle);
+                eprintln!("installed a transformer challenger trained on {n} samples");
+            }
+            Ok(None) => eprintln!("no samples to train a challenger on"),
+            Err(e) => {
+                eprintln!("error: challenger training failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     // Phase 2 — every client floods DISJOINT fresh models: the worker
     // pool saturates and over-backlog requests degrade to predictions.
     let degrade_outcomes = run_clients(&service, &platform, clients, |c| {
@@ -220,6 +269,19 @@ fn main() {
             .parse()
             .expect("quality report renders valid JSON");
         doc.insert("quality".to_string(), q);
+    }
+    if let Some(champions) = service.champions() {
+        let table: std::collections::BTreeMap<String, serde_json::Value> = champions
+            .into_iter()
+            .map(|(p, arch)| (p, serde_json::Value::String(arch)))
+            .collect();
+        doc.insert(
+            "ab".to_string(),
+            serde_json::json!({
+                "champions": serde_json::Value::Object(table),
+                "promotions": snapshot.predictor_promotions,
+            }),
+        );
     }
     println!("{}", serde_json::Value::Object(doc));
     // The full registry (facade query stages + serve tiers) on stderr,

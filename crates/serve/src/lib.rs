@@ -24,7 +24,13 @@
 //!   re-predicts a sample of measurement-backed answers, maintains
 //!   per-platform rolling MAPE / Acc(10%) / Acc(5%) windows, and raises
 //!   retrain-on-drift signals; plus a bounded JSONL event log and a
-//!   periodic Prometheus text-format metrics writer.
+//!   periodic Prometheus text-format metrics writer;
+//! - A/B champion selection ([`ServeConfig::ab`]) — the shadow evaluator
+//!   also scores a challenger predictor (typically the other
+//!   architecture); when the champion drifts and the challenger is
+//!   measurably better, the challenger is promoted to per-platform
+//!   champion (`predictor_promoted` event, `serve.predictor_promotions`
+//!   counter) and serves that platform's degrade path from then on.
 //!
 //! The `serve-bench` binary drives the service with a configurable load
 //! generator and prints the metrics snapshot as JSON.
@@ -36,5 +42,5 @@ pub mod singleflight;
 
 pub use cache::{CacheKey, ShardedLru};
 pub use metrics::{metric_names, MetricsSnapshot, ServeMetrics, HISTOGRAM_BOUNDS_MS};
-pub use service::{LatencyService, ServeConfig, ServeError, Served, Source};
+pub use service::{AbConfig, LatencyService, ServeConfig, ServeError, Served, Source};
 pub use singleflight::{Flight, Role, SingleFlight};

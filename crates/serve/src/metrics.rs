@@ -51,6 +51,14 @@ pub mod metric_names {
     /// Counter: retrains triggered by a drift alert (subset of
     /// `serve.retrains`; the rest fired on the sample-count cadence).
     pub const DRIFT_RETRAINS: &str = "serve.drift_retrains";
+    /// Counter: A/B challenger promotions to per-platform champion.
+    pub const PREDICTOR_PROMOTIONS: &str = "serve.predictor_promotions";
+    /// Gauge (per platform/arch label set): windowed MAPE of the A/B
+    /// challenger, percent (the champion's lives in the quality monitor).
+    pub const AB_CHALLENGER_MAPE: &str = "serve.ab_challenger_mape";
+    /// Gauge (per platform/arch label set): pairs in the challenger's
+    /// rolling window.
+    pub const AB_CHALLENGER_SAMPLES: &str = "serve.ab_challenger_samples";
     /// Histogram: served latencies in milliseconds.
     pub const LATENCY_MS: &str = "serve.latency_ms";
     /// Gauge: jobs waiting on the measurement queue.
@@ -74,6 +82,7 @@ pub struct ServeMetrics {
     retrains: Arc<Counter>,
     retrain_samples: Arc<Counter>,
     drift_retrains: Arc<Counter>,
+    predictor_promotions: Arc<Counter>,
     latency: Arc<Histogram>,
     queue_depth: Arc<Gauge>,
     hot_cache_len: Arc<Gauge>,
@@ -113,6 +122,7 @@ impl ServeMetrics {
             retrains: registry.counter(metric_names::RETRAINS),
             retrain_samples: registry.counter(metric_names::RETRAIN_SAMPLES),
             drift_retrains: registry.counter(metric_names::DRIFT_RETRAINS),
+            predictor_promotions: registry.counter(metric_names::PREDICTOR_PROMOTIONS),
             latency: registry.histogram(metric_names::LATENCY_MS, &HISTOGRAM_BOUNDS_MS),
             queue_depth: registry.gauge(metric_names::QUEUE_DEPTH),
             hot_cache_len: registry.gauge(metric_names::HOT_CACHE_LEN),
@@ -131,6 +141,7 @@ impl ServeMetrics {
         lint_rejected,
         errors,
         drift_retrains,
+        predictor_promotions,
     );
 
     pub(crate) fn retrained(&self, samples: u64) {
@@ -175,6 +186,7 @@ impl ServeMetrics {
             errors: self.errors.get(),
             retrains: self.retrains.get(),
             retrain_samples: self.retrain_samples.get(),
+            predictor_promotions: self.predictor_promotions.get(),
             latency_histogram,
         }
     }
@@ -210,6 +222,9 @@ pub struct MetricsSnapshot {
     pub retrains: u64,
     /// Total training samples consumed across retrains.
     pub retrain_samples: u64,
+    /// A/B challenger promotions to per-platform champion (informational
+    /// overlay, like `retrains` — not a terminal request class).
+    pub predictor_promotions: u64,
     /// `(upper_bound_ms, count)` pairs; the last bound is `+inf`.
     pub latency_histogram: Vec<(f64, u64)>,
 }
@@ -254,6 +269,7 @@ impl MetricsSnapshot {
             "errors": self.errors,
             "retrains": self.retrains,
             "retrain_samples": self.retrain_samples,
+            "predictor_promotions": self.predictor_promotions,
             "balanced": self.balanced(),
             "latency_ms_histogram": histogram,
         })

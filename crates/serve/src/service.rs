@@ -38,22 +38,41 @@
 //! retrains are recorded in a bounded JSONL [`EventLog`], and the whole
 //! registry can be written periodically in Prometheus text format via
 //! [`ServeConfig::metrics_path`].
+//!
+//! # A/B champion selection
+//!
+//! With [`ServeConfig::ab`] set, a *challenger* predictor (typically the
+//! other architecture — see `nnlqp::PredictorKind`) rides shotgun on the
+//! shadow evaluator: every sampled measurement-backed answer is scored by
+//! the champion *and* the challenger, each keeping its own rolling error
+//! window. When the champion degrades past the drift threshold while the
+//! challenger is measurably better, the challenger is **promoted** to
+//! per-platform champion: the degrade path and all shadow scoring for
+//! that platform hot-swap to the promoted handle (other platforms keep
+//! the installed predictor), a `predictor_promoted` event is emitted, the
+//! platform's quality window is re-scored under the new champion, and the
+//! `serve.predictor_promotions` counter ticks. Challengers are installed
+//! with [`LatencyService::install_challenger`] (and refreshed by the
+//! retrain loop when it runs); the per-platform outcome is reported by
+//! [`LatencyService::champions`].
 
 use crate::cache::{CacheKey, ShardedLru};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::singleflight::{Role, SingleFlight};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use nnlqp::{Nnlqp, QueryError, TrainPredictorConfig};
+use nnlqp::{
+    Nnlqp, PredictResult, PredictorHandle, PredictorKind, QueryError, TrainPredictorConfig,
+};
 use nnlqp_db::PlatformId;
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::Graph;
 use nnlqp_obs::{
-    to_prometheus, EventLog, FieldValue, MetricsRegistry, MonitorConfig, QualityMonitor,
-    QualityReport,
+    to_prometheus, ErrorWindow, EventLog, FieldValue, MetricsRegistry, MonitorConfig,
+    QualityMonitor, QualityReport,
 };
 use nnlqp_sim::{FarmError, Platform};
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -88,8 +107,12 @@ pub struct ServeConfig {
     /// Where shutdown snapshots the database (atomic temp-file + rename).
     pub snapshot_path: Option<PathBuf>,
     /// Shadow-evaluation and drift-detection tuning; `None` disables
-    /// quality monitoring entirely.
+    /// quality monitoring entirely (unless [`ServeConfig::ab`] is set, in
+    /// which case a default monitor is created — A/B scoring needs one).
     pub monitor: Option<MonitorConfig>,
+    /// Online A/B champion selection between predictor architectures;
+    /// `None` disables it.
+    pub ab: Option<AbConfig>,
     /// Structured event-log ring capacity (0 disables the log).
     pub event_log_capacity: usize,
     /// Where shutdown writes the event log, one JSON object per line.
@@ -117,6 +140,7 @@ impl Default for ServeConfig {
             train: TrainPredictorConfig::default(),
             snapshot_path: None,
             monitor: None,
+            ab: None,
             event_log_capacity: 4096,
             events_path: None,
             metrics_path: None,
@@ -257,6 +281,77 @@ struct RetrainShared {
     wake: Condvar,
 }
 
+/// Tuning of online A/B champion selection.
+#[derive(Debug, Clone)]
+pub struct AbConfig {
+    /// Architecture of the challenger the retrain loop trains (a manually
+    /// installed challenger — [`LatencyService::install_challenger`] —
+    /// may be of any architecture).
+    pub challenger: PredictorKind,
+    /// Training hyperparameters for retrain-loop challenger refreshes
+    /// (`arch` is overridden with [`AbConfig::challenger`]).
+    pub train: TrainPredictorConfig,
+}
+
+impl Default for AbConfig {
+    fn default() -> Self {
+        AbConfig {
+            challenger: PredictorKind::Transformer,
+            train: TrainPredictorConfig::default(),
+        }
+    }
+}
+
+/// Shared A/B state: the challenger slot, its per-platform error windows,
+/// and the promotion outcome (per-platform routed champions).
+struct AbState {
+    cfg: AbConfig,
+    /// The challenger under evaluation (one at a time, shared across
+    /// platforms — each platform keeps its own score window).
+    challenger: RwLock<Option<PredictorHandle>>,
+    /// Platform → promoted champion. Absent platforms use the facade's
+    /// installed predictor.
+    routes: RwLock<HashMap<String, PredictorHandle>>,
+    /// Platform → architecture name of the promoted champion (the
+    /// report [`LatencyService::champions`] serves).
+    champions: Mutex<BTreeMap<String, String>>,
+    /// Platform → rolling error window of the challenger.
+    windows: Mutex<HashMap<String, ErrorWindow>>,
+}
+
+impl AbState {
+    fn new(cfg: AbConfig) -> Self {
+        AbState {
+            cfg,
+            challenger: RwLock::new(None),
+            routes: RwLock::new(HashMap::new()),
+            champions: Mutex::new(BTreeMap::new()),
+            windows: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The promoted champion for `platform`, if any.
+    fn route(&self, platform: &str) -> Option<PredictorHandle> {
+        self.routes.read().get(platform).cloned()
+    }
+}
+
+/// Predict through the platform's promoted champion when one exists,
+/// falling back to the facade's installed predictor — the single routing
+/// point the degrade tier, the shadow evaluator and the retrain loop's
+/// replay re-scoring all share.
+fn predict_routed(
+    system: &Nnlqp,
+    ab: Option<&AbState>,
+    graph: &Graph,
+    platform: &str,
+) -> Result<PredictResult, QueryError> {
+    if let Some(handle) = ab.and_then(|ab| ab.route(platform)) {
+        return system.predict_effective_with(&handle, graph, platform);
+    }
+    system.predict_effective(graph, platform)
+}
+
 /// Bounded per-platform replay buffer of `(graph, measured_ms)` pairs.
 type ReplayBuffer = HashMap<String, VecDeque<(Arc<Graph>, f64)>>;
 
@@ -266,24 +361,31 @@ type ReplayBuffer = HashMap<String, VecDeque<(Arc<Graph>, f64)>>;
 struct Shadow {
     monitor: QualityMonitor,
     replay: Mutex<ReplayBuffer>,
+    registry: Arc<MetricsRegistry>,
+    ab: Option<Arc<AbState>>,
 }
 
 impl Shadow {
-    fn new(cfg: MonitorConfig, registry: Arc<MetricsRegistry>) -> Self {
+    fn new(cfg: MonitorConfig, registry: Arc<MetricsRegistry>, ab: Option<Arc<AbState>>) -> Self {
         Shadow {
-            monitor: QualityMonitor::new(cfg, registry),
+            monitor: QualityMonitor::new(cfg, Arc::clone(&registry)),
             replay: Mutex::new(HashMap::new()),
+            registry,
+            ab,
         }
     }
 
     /// Feed one measurement-backed answer through the shadow evaluator:
-    /// remember it for replay, and — on the sampling cadence — predict it,
-    /// record the pair, and raise the retrain-on-drift signal.
+    /// remember it for replay, and — on the sampling cadence — predict it
+    /// (champion and, when A/B is on, challenger), record the pairs,
+    /// raise the retrain-on-drift signal and run the promotion check.
+    #[allow(clippy::too_many_arguments)] // one call site per answer source
     fn observe(
         &self,
         system: &Nnlqp,
         events: Option<&EventLog>,
         retrain: &RetrainShared,
+        metrics: &ServeMetrics,
         platform: &str,
         graph: &Arc<Graph>,
         measured_ms: f64,
@@ -300,7 +402,7 @@ impl Shadow {
             return;
         }
         // No predictor head yet (cold start) — nothing to shadow.
-        let Ok(pred) = system.predict_effective(graph, platform) else {
+        let Ok(pred) = predict_routed(system, self.ab.as_deref(), graph, platform) else {
             return;
         };
         let alert = self.monitor.record(platform, pred.latency_ms, measured_ms);
@@ -332,6 +434,115 @@ impl Shadow {
                 st.drift = true;
             }
             retrain.wake.notify_one();
+        }
+        self.score_challenger(system, events, metrics, platform, graph, measured_ms);
+    }
+
+    /// Score the A/B challenger on the same measurement-backed answer the
+    /// champion was just scored on, then check the promotion criterion:
+    /// the champion is past the drift threshold with a full window, the
+    /// challenger has a full window of its own, and the challenger's
+    /// windowed MAPE is strictly better.
+    fn score_challenger(
+        &self,
+        system: &Nnlqp,
+        events: Option<&EventLog>,
+        metrics: &ServeMetrics,
+        platform: &str,
+        graph: &Arc<Graph>,
+        measured_ms: f64,
+    ) {
+        let Some(ab) = &self.ab else { return };
+        let Some(challenger) = ab.challenger.read().clone() else {
+            return;
+        };
+        // An already promoted challenger IS the routed champion: scoring
+        // it again would double-count the same model.
+        if ab
+            .route(platform)
+            .is_some_and(|h| h.stamp() == challenger.stamp())
+        {
+            return;
+        }
+        let Ok(pred) = system.predict_effective_with(&challenger, graph, platform) else {
+            return;
+        };
+        let mcfg = self.monitor.config();
+        let (chal_mape, chal_samples) = {
+            let mut windows = ab.windows.lock();
+            let w = windows
+                .entry(platform.to_string())
+                .or_insert_with(|| ErrorWindow::new(mcfg.window));
+            w.push(pred.latency_ms, measured_ms);
+            (w.mape().expect("window non-empty"), w.len())
+        };
+        let arch = challenger.kind().as_str();
+        let ab_gauge = |name: &str| format!("{name}{{platform=\"{platform}\",arch=\"{arch}\"}}");
+        self.registry
+            .gauge(&ab_gauge(crate::metrics::metric_names::AB_CHALLENGER_MAPE))
+            .set(chal_mape);
+        self.registry
+            .gauge(&ab_gauge(
+                crate::metrics::metric_names::AB_CHALLENGER_SAMPLES,
+            ))
+            .set(chal_samples as f64);
+        // Promotion check.
+        let champ_mape = self.monitor.windowed_mape(platform);
+        let champ_samples = self
+            .monitor
+            .report()
+            .platforms
+            .get(platform)
+            .map_or(0, |q| q.samples);
+        let champion_degraded = champ_samples >= mcfg.min_samples
+            && champ_mape.is_some_and(|m| m > mcfg.mape_threshold_pct);
+        let challenger_better =
+            chal_samples >= mcfg.min_samples && champ_mape.is_some_and(|m| chal_mape < m);
+        if !(champion_degraded && challenger_better) {
+            return;
+        }
+        // Promote: route the platform to the challenger, re-score the
+        // replay buffer under it so the quality window (and drift latch)
+        // reflect the new champion immediately.
+        let from = ab
+            .route(platform)
+            .map(|h| h.kind())
+            .or_else(|| system.predictor_handle().map(|h| h.kind()))
+            .map_or("none", |k| k.as_str());
+        ab.routes
+            .write()
+            .insert(platform.to_string(), challenger.clone());
+        ab.champions
+            .lock()
+            .insert(platform.to_string(), arch.to_string());
+        ab.windows.lock().remove(platform);
+        let pairs: Vec<(f64, f64)> = self
+            .replay_pairs(platform)
+            .iter()
+            .filter_map(|(g, measured)| {
+                system
+                    .predict_effective_with(&challenger, g, platform)
+                    .ok()
+                    .map(|p| (p.latency_ms, *measured))
+            })
+            .collect();
+        let after = self.monitor.reset_window(platform, &pairs);
+        metrics.predictor_promotions();
+        if let Some(ev) = events {
+            let mut fields: Vec<(&str, FieldValue)> = vec![
+                ("platform", platform.into()),
+                ("from", from.into()),
+                ("to", arch.into()),
+                ("challenger_mape_pct", chal_mape.into()),
+                ("samples", chal_samples.into()),
+            ];
+            if let Some(m) = champ_mape {
+                fields.push(("champion_mape_pct", m.into()));
+            }
+            if let Some(m) = after {
+                fields.push(("windowed_mape_after_pct", m.into()));
+            }
+            ev.emit("predictor_promoted", fields);
         }
     }
 
@@ -375,6 +586,7 @@ pub struct LatencyService {
     tx: Mutex<Option<Sender<Job>>>,
     retrain: Arc<RetrainShared>,
     shadow: Option<Arc<Shadow>>,
+    ab: Option<Arc<AbState>>,
     events: Option<Arc<EventLog>>,
     writer: Option<Arc<WriterShared>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
@@ -394,9 +606,14 @@ impl LatencyService {
             state: Mutex::new(RetrainState::default()),
             wake: Condvar::new(),
         });
-        let shadow = cfg
+        let ab = cfg.ab.as_ref().map(|a| Arc::new(AbState::new(a.clone())));
+        // A/B selection is scored by the shadow evaluator, so it implies
+        // a monitor (defaulted when not tuned explicitly).
+        let monitor_cfg = cfg
             .monitor
-            .map(|m| Arc::new(Shadow::new(m, Arc::clone(system.registry()))));
+            .or_else(|| ab.as_ref().map(|_| MonitorConfig::default()));
+        let shadow = monitor_cfg
+            .map(|m| Arc::new(Shadow::new(m, Arc::clone(system.registry()), ab.clone())));
         let events =
             (cfg.event_log_capacity > 0).then(|| Arc::new(EventLog::new(cfg.event_log_capacity)));
         let (tx, rx) = bounded::<Job>(cfg.queue_depth.max(1));
@@ -431,6 +648,7 @@ impl LatencyService {
                         shared: Arc::clone(&retrain),
                         metrics: Arc::clone(&metrics),
                         shadow: shadow.clone(),
+                        ab: ab.clone(),
                         events: events.clone(),
                         threshold: cfg.retrain_after,
                         platforms: cfg.retrain_platforms.clone(),
@@ -467,6 +685,7 @@ impl LatencyService {
             tx: Mutex::new(Some(tx)),
             retrain,
             shadow,
+            ab,
             events,
             writer,
             threads: Mutex::new(threads),
@@ -566,6 +785,7 @@ impl LatencyService {
                     &self.system,
                     self.events.as_deref(),
                     &self.retrain,
+                    &self.metrics,
                     &binding.canonical,
                     &graph,
                     rec.cost_ms,
@@ -597,11 +817,18 @@ impl LatencyService {
             }
         }
 
-        // Tier 3: graceful degradation under measurement backlog.
+        // Tier 3: graceful degradation under measurement backlog. Served
+        // through the platform's promoted A/B champion when one exists.
+        let routed = self
+            .ab
+            .as_ref()
+            .is_some_and(|ab| ab.route(&binding.canonical).is_some());
         if self.backlog() >= self.cfg.degrade_backlog
-            && self.system.has_predictor_for(&binding.canonical)
+            && (routed || self.system.has_predictor_for(&binding.canonical))
         {
-            if let Ok(p) = self.system.predict_effective(&graph, &binding.canonical) {
+            if let Ok(p) =
+                predict_routed(&self.system, self.ab.as_deref(), &graph, &binding.canonical)
+            {
                 self.metrics.degraded();
                 self.metrics.observe_latency(p.latency_ms);
                 return Ok(Served {
@@ -738,6 +965,27 @@ impl LatencyService {
         self.shadow.as_ref().map(|s| s.monitor.report())
     }
 
+    /// Install (or replace) the A/B challenger the shadow evaluator
+    /// scores against the champion. Returns false when A/B selection is
+    /// disabled ([`ServeConfig::ab`] unset) — the handle is dropped.
+    pub fn install_challenger(&self, handle: PredictorHandle) -> bool {
+        match &self.ab {
+            Some(ab) => {
+                *ab.challenger.write() = Some(handle);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Per-platform promotion outcome: platform → architecture name of
+    /// the promoted champion. Platforms never promoted are absent (they
+    /// serve the facade's installed predictor). `None` when A/B selection
+    /// is disabled.
+    pub fn champions(&self) -> Option<BTreeMap<String, String>> {
+        self.ab.as_ref().map(|ab| ab.champions.lock().clone())
+    }
+
     /// The structured event log (`None` when disabled).
     pub fn events(&self) -> Option<&Arc<EventLog>> {
         self.events.as_ref()
@@ -849,6 +1097,7 @@ fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerCtx>) -> impl FnOnce() {
                             &ctx.system,
                             ctx.events.as_deref(),
                             &ctx.retrain,
+                            &ctx.metrics,
                             &job.key.platform,
                             &job.graph,
                             qr.latency_ms,
@@ -871,6 +1120,7 @@ struct RetrainCtx {
     shared: Arc<RetrainShared>,
     metrics: Arc<ServeMetrics>,
     shadow: Option<Arc<Shadow>>,
+    ab: Option<Arc<AbState>>,
     events: Option<Arc<EventLog>>,
     /// Fresh-sample cadence; 0 means drift alerts are the only trigger.
     threshold: usize,
@@ -921,6 +1171,18 @@ fn retrain_loop(ctx: RetrainCtx) -> impl FnOnce() {
                     }
                     Err(_) => 0,
                 };
+                // A/B: refresh the challenger from the same (grown)
+                // database so the race restarts against the new champion
+                // with a model of the challenger architecture.
+                if let Some(ab) = &ctx.ab {
+                    let cfg = TrainPredictorConfig {
+                        arch: Some(ab.cfg.challenger),
+                        ..ab.cfg.train
+                    };
+                    if let Ok(Some((handle, _))) = ctx.system.train_predictor_handle(&names, cfg) {
+                        *ab.challenger.write() = Some(handle);
+                    }
+                }
                 // Re-score the replay buffers under the new model so the
                 // windows (and gauges) reflect the predictor now serving,
                 // and record before/after quality per platform.
@@ -931,8 +1193,7 @@ fn retrain_loop(ctx: RetrainCtx) -> impl FnOnce() {
                             .replay_pairs(platform)
                             .iter()
                             .filter_map(|(g, measured)| {
-                                ctx.system
-                                    .predict_effective(g, platform)
+                                predict_routed(&ctx.system, ctx.ab.as_deref(), g, platform)
                                     .ok()
                                     .map(|p| (p.latency_ms, *measured))
                             })
@@ -1379,5 +1640,110 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(10));
         }
+    }
+
+    #[test]
+    fn degraded_champion_promotes_challenger() {
+        // A degenerate (zero-epoch) GraphSAGE champion serves garbage; a
+        // properly trained transformer challenger is installed. Shadow
+        // evals on db hits run synchronously in the query path, so by the
+        // time the query loop finishes, the challenger must have been
+        // promoted to per-platform champion.
+        let system = quick_system();
+        let models: Vec<Graph> = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 10, 3)
+            .into_iter()
+            .map(|m| m.graph)
+            .collect();
+        system
+            .warm_cache(&models, &Platform::by_name(PLATFORM).unwrap(), 1)
+            .unwrap();
+        system
+            .train_predictor(
+                &[PLATFORM],
+                TrainPredictorConfig {
+                    epochs: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let monitor = MonitorConfig {
+            sample_every: 1,
+            min_samples: 4,
+            mape_threshold_pct: 50.0,
+            ..Default::default()
+        };
+        let cfg = ServeConfig {
+            monitor: Some(monitor),
+            ab: Some(AbConfig::default()),
+            // No retrain thread: promotion is the only recovery path.
+            retrain_platforms: Vec::new(),
+            ..small_cfg()
+        };
+        let svc = LatencyService::start(Arc::clone(&system), cfg);
+        let (challenger, _) = system
+            .train_predictor_handle(
+                &[PLATFORM],
+                TrainPredictorConfig {
+                    epochs: 40,
+                    hidden: 32,
+                    gnn_layers: 2,
+                    arch: Some(PredictorKind::Transformer),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(challenger.kind(), PredictorKind::Transformer);
+        assert!(svc.install_challenger(challenger));
+        for g in &models {
+            svc.query(&Arc::new(g.clone()), PLATFORM, 1).unwrap();
+        }
+        let champions = svc.champions().expect("A/B enabled");
+        assert_eq!(
+            champions.get(PLATFORM).map(String::as_str),
+            Some("transformer"),
+            "challenger never promoted: {:?} {:?}",
+            svc.quality(),
+            svc.metrics()
+        );
+        assert!(svc.metrics().predictor_promotions >= 1);
+        let events = svc.events().unwrap().snapshot();
+        let promo = events
+            .iter()
+            .find(|e| e.kind == "predictor_promoted")
+            .expect("predictor_promoted event");
+        match promo.field("to") {
+            Some(FieldValue::Str(s)) => assert_eq!(s, "transformer"),
+            other => panic!("missing `to` field: {other:?}"),
+        }
+        match promo.field("from") {
+            Some(FieldValue::Str(s)) => assert_eq!(s, "sage"),
+            other => panic!("missing `from` field: {other:?}"),
+        }
+        // The quality window was re-scored under the promoted champion:
+        // drift cleared, MAPE back under the threshold.
+        let q = svc.quality().unwrap();
+        let q = q.platforms.get(PLATFORM).expect("platform monitored");
+        assert!(
+            !q.drifting && q.windowed_mape_pct <= 50.0,
+            "window not recovered after promotion: {q:?}"
+        );
+        // Per-architecture challenger gauges were published while the
+        // race ran.
+        let snap = svc.system().registry().snapshot();
+        let key = format!(
+            "{}{{platform=\"{PLATFORM}\",arch=\"transformer\"}}",
+            crate::metrics::metric_names::AB_CHALLENGER_MAPE
+        );
+        assert!(
+            snap.gauges.contains_key(&key),
+            "gauges: {:?}",
+            snap.gauges.keys()
+        );
+        // Degraded answers for the promoted platform now come from the
+        // routed transformer champion, bit-identical to predicting
+        // through the handle directly.
+        let m = svc.metrics();
+        assert!(m.balanced());
     }
 }

@@ -121,7 +121,9 @@ fn retrain_hot_swap_invalidates_the_embed_cache() {
         },
     )
     .unwrap();
-    assert_eq!(s.predictor_version(), v_before + 1);
+    // Train draws one generation stamp and the install re-stamp another;
+    // what matters for cache safety is that the generation advanced.
+    assert!(s.predictor_version() > v_before);
 
     // The first post-swap prediction must pay the full backbone cost
     // (no stale embedding served) …
