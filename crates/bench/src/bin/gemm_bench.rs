@@ -1,0 +1,191 @@
+//! `gemm-bench` — micro-benchmark of the matrix kernels the inference
+//! engine actually runs: portable scalar f32, AVX2+FMA f32, and the int8
+//! quantized path, timed at the exact shapes the encoder backbones hit
+//! (node-feature projections, SAGE layers, attention projections, head
+//! MLPs).
+//!
+//! Unlike `predict-bench` (end-to-end: features + backbone + heads), this
+//! isolates the GEMMs so kernel-level speedups are visible even when the
+//! pipeline is dominated by feature extraction.
+//!
+//! ```text
+//! gemm-bench [--quick] [--out PATH]
+//! ```
+//!
+//! Output JSON: one entry per (shape, backend) with GFLOP/s and the
+//! speedup of each backend over scalar at that shape.
+
+use nnlqp_ir::Rng64;
+use nnlqp_nn::{simd_available, Activation, Kernel, Matrix, QuantLinear, QuantRow};
+use std::time::Instant;
+
+/// A GEMM shape `[m x k] * [k x n]` with a label tying it back to the
+/// layer that runs it.
+struct GemmShape {
+    label: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+/// The shapes the deployed predictors actually execute: `m` is the node
+/// count of a mid-sized corpus graph (or 1 for the pooled head), `k`/`n`
+/// the layer widths of the benched configurations.
+const SHAPES: [GemmShape; 5] = [
+    GemmShape {
+        label: "sage-layer (64 nodes, 32->32)",
+        m: 64,
+        k: 32,
+        n: 32,
+    },
+    GemmShape {
+        label: "encoder-in (64 nodes, feat 29 -> 64)",
+        m: 64,
+        k: 29,
+        n: 64,
+    },
+    GemmShape {
+        label: "attn-proj (64 nodes, 64->64)",
+        m: 64,
+        k: 64,
+        n: 64,
+    },
+    GemmShape {
+        label: "wide-layer (128 nodes, 64->64)",
+        m: 128,
+        k: 64,
+        n: 64,
+    },
+    GemmShape {
+        label: "head-mlp (1 row, 64->64)",
+        m: 1,
+        k: 64,
+        n: 64,
+    },
+];
+
+fn usage() -> ! {
+    eprintln!("usage: gemm-bench [--quick] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn rand_matrix(rows: usize, cols: usize, rng: &mut Rng64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| (rng.uniform() as f32) * 2.0 - 1.0)
+}
+
+/// Median of per-iteration wall times, in seconds.
+fn median_s(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Time `iters` runs of `f`, returning the median per-iteration seconds.
+fn time_it(iters: usize, mut f: impl FnMut()) -> f64 {
+    // One untimed warmup to fault in buffers and settle the clock.
+    f();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    median_s(samples)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.into()),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    // Inner repeats amortize timer overhead on the microsecond shapes.
+    let (iters, inner) = if quick { (30, 20) } else { (200, 50) };
+
+    let mut rng = Rng64::new(0x6765_6d6d);
+    let mut rows = Vec::new();
+    eprintln!(
+        "[gemm-bench] simd_available={} ({} timed iters x {} inner repeats)",
+        simd_available(),
+        iters,
+        inner
+    );
+    for shape in &SHAPES {
+        let (m, k, n) = (shape.m, shape.k, shape.n);
+        let a = rand_matrix(m, k, &mut rng);
+        let b = rand_matrix(k, n, &mut rng);
+        let bias: Vec<f32> = (0..n).map(|_| (rng.uniform() as f32) - 0.5).collect();
+        let ql = QuantLinear::quantize(&b, &bias);
+        let flops = 2.0 * (m * k * n) as f64 * inner as f64;
+
+        let mut out_m = Matrix::zeros(m, n);
+        let mut pack = Vec::new();
+        let mut qrow = QuantRow::new();
+
+        let scalar_s = time_it(iters, || {
+            for _ in 0..inner {
+                a.matmul_into_with(Kernel::Scalar, &b, &mut out_m, &mut pack);
+                out_m.bias_act_with(Kernel::Scalar, &bias, Activation::Relu);
+            }
+        });
+        let simd_s = if simd_available() {
+            time_it(iters, || {
+                for _ in 0..inner {
+                    a.matmul_into_with(Kernel::Avx2Fma, &b, &mut out_m, &mut pack);
+                    out_m.bias_act_with(Kernel::Avx2Fma, &bias, Activation::Relu);
+                }
+            })
+        } else {
+            scalar_s
+        };
+        // The int8 path runs on the dispatched backend, like deployment.
+        let int8_s = time_it(iters, || {
+            for _ in 0..inner {
+                ql.forward_quant(&a, &mut out_m, Activation::Relu, &mut qrow);
+            }
+        });
+
+        let gflops = |s: f64| flops / s.max(1e-12) / 1e9;
+        eprintln!(
+            "[gemm-bench] {:<38} scalar {:6.2} GF/s  avx2 {:6.2} GF/s ({:4.2}x)  int8 {:6.2} GF/s ({:4.2}x)",
+            shape.label,
+            gflops(scalar_s),
+            gflops(simd_s),
+            scalar_s / simd_s,
+            gflops(int8_s),
+            scalar_s / int8_s,
+        );
+        rows.push(serde_json::json!({
+            "label": shape.label,
+            "m": m, "k": k, "n": n,
+            "scalar_gflops": gflops(scalar_s),
+            "avx2_gflops": gflops(simd_s),
+            "int8_gflops": gflops(int8_s),
+            "avx2_speedup": scalar_s / simd_s,
+            "int8_speedup": scalar_s / int8_s,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "gemm",
+        "quick": quick,
+        "simd_available": simd_available(),
+        "shapes": rows,
+    });
+    let text = serde_json::to_string_pretty(&report).expect("serialize");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, format!("{text}\n")).expect("write report");
+            eprintln!("[gemm-bench] wrote {}", path.display());
+        }
+        None => println!("{text}"),
+    }
+}

@@ -24,8 +24,13 @@
 //! `architectures.{sage,transformer}` for both.
 //!
 //! ```text
-//! predict-bench [--quick] [--seed S] [--out PATH]
+//! predict-bench [--quick] [--seed S] [--out PATH] [--no-simd] [--quant]
 //! ```
+//!
+//! `--no-simd` pins the portable scalar GEMM kernels (the report's
+//! `kernel.backend` field records which backend actually ran);
+//! `--quant` times the int8 quantized predictor instead of the f32
+//! champion (every phase runs through `PredictorHandle::quantized`).
 
 use nnlqp::{metric_names, Nnlqp, PredictorHandle, PredictorKind, TrainPredictorConfig};
 use nnlqp_ir::{Graph, Rng64};
@@ -74,7 +79,7 @@ impl Scale {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: predict-bench [--quick] [--seed S] [--out PATH]");
+    eprintln!("usage: predict-bench [--quick] [--seed S] [--out PATH] [--no-simd] [--quant]");
     std::process::exit(2);
 }
 
@@ -220,6 +225,7 @@ impl ArchReport {
 /// Train `arch` on the corpus already measured into `trainer`, then time
 /// all three phases on fresh cache-off / cache-on systems sharing the
 /// trained handle.
+#[allow(clippy::too_many_arguments)]
 fn run_arch(
     arch: PredictorKind,
     trainer: &Nnlqp,
@@ -228,6 +234,7 @@ fn run_arch(
     platform_names: &[&str],
     scale: &Scale,
     seed: u64,
+    quant: bool,
 ) -> ArchReport {
     trainer
         .train_predictor(
@@ -242,7 +249,10 @@ fn run_arch(
             },
         )
         .expect("train");
-    let handle = trainer.predictor_handle().expect("trained handle");
+    let mut handle = trainer.predictor_handle().expect("trained handle");
+    if quant {
+        handle = handle.quantized().expect("quantize trained handle");
+    }
 
     // Two inference systems sharing the weights: cache off vs cache on.
     let baseline = Nnlqp::builder()
@@ -301,10 +311,14 @@ fn main() {
     let mut quick = false;
     let mut seed = 0x4e4e_4c51_u64;
     let mut out = std::path::PathBuf::from("BENCH_predict.json");
+    let mut no_simd = false;
+    let mut quant = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--no-simd" => no_simd = true,
+            "--quant" => quant = true,
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => seed = v,
                 None => usage(),
@@ -317,6 +331,16 @@ fn main() {
         }
     }
     let scale = if quick { Scale::quick() } else { Scale::full() };
+    // Only override the dispatch when the flag is given, so the
+    // `NNLQP_SIMD` environment toggle keeps working without it.
+    if no_simd {
+        nnlqp_nn::set_simd_enabled(false);
+    }
+    eprintln!(
+        "[predict-bench] kernel backend: {} ({})",
+        nnlqp_nn::kernel().as_str(),
+        if quant { "int8 quantized" } else { "f32" },
+    );
 
     let specs = PlatformSpec::table2_platforms();
     let platform_names: Vec<&str> = specs
@@ -363,6 +387,7 @@ fn main() {
         &platform_names,
         &scale,
         seed,
+        quant,
     );
     let transformer = run_arch(
         PredictorKind::Transformer,
@@ -372,12 +397,18 @@ fn main() {
         &platform_names,
         &scale,
         seed,
+        quant,
     );
 
     let report = serde_json::json!({
         "bench": "predict",
         "quick": quick,
         "seed": seed,
+        "kernel": {
+            "backend": nnlqp_nn::kernel().as_str(),
+            "simd_available": nnlqp_nn::simd_available(),
+            "quantized": quant,
+        },
         "config": {
             "train_graphs": scale.train_graphs,
             "eval_graphs": eval.len(),

@@ -241,6 +241,7 @@ pub struct NnlqpBuilder {
     embed_cache_capacity: Option<usize>,
     durable: Option<DurableOptions>,
     predictor_kind: Option<nnlqp_predict::PredictorKind>,
+    simd: Option<bool>,
 }
 
 /// Background compaction triggers when this many WAL bytes are pending.
@@ -315,6 +316,18 @@ impl NnlqpBuilder {
         self
     }
 
+    /// Select the math-kernel backend process-wide: `true` uses the SIMD
+    /// (AVX2+FMA) kernels when the CPU supports them, `false` pins the
+    /// scalar reference kernels. Unset leaves the default resolution
+    /// (SIMD when available, overridable via the `NNLQP_SIMD` environment
+    /// variable). The kernel choice is global — it configures the
+    /// process, not just this system instance.
+    #[must_use]
+    pub fn simd(mut self, enabled: bool) -> Self {
+        self.simd = Some(enabled);
+        self
+    }
+
     /// Mount the evolving database on the sharded durable storage engine
     /// at `opts.dir` (WAL + snapshot segments) instead of keeping it
     /// purely in memory. Opening replays and, if needed, repairs the
@@ -337,6 +350,9 @@ impl NnlqpBuilder {
 
     /// Build the system, surfacing durable-store open errors.
     pub fn try_build(self) -> std::io::Result<Nnlqp> {
+        if let Some(on) = self.simd {
+            nnlqp_nn::set_simd_enabled(on);
+        }
         let farm = self.farm.unwrap_or_else(DeviceFarm::full_registry);
         let seed = self.seed.unwrap_or(DEFAULT_SEED);
         let registry = self

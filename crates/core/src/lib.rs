@@ -37,7 +37,10 @@ pub use interface::{
 pub use nnlqp_obs::{
     to_prometheus, DriftAlert, EventLog, MonitorConfig, QualityMonitor, QualityReport,
 };
-pub use nnlqp_predict::{predictor_from_json, Predictor, PredictorKind};
+pub use nnlqp_predict::{
+    predictor_from_json, quantize_predictor, Predictor, PredictorKind, QuantizedPredictor,
+    QUANT_IDENTITY_OFFSET,
+};
 pub use nnlqp_sim::Platform;
 pub use predictor::{
     BatchPredictResult, PredictResult, PredictorHandle, TrainPredictorConfig,

@@ -11,7 +11,7 @@
 
 use crate::embed_cache::EmbedKey;
 use crate::interface::{Nnlqp, QueryError, QueryParams};
-use nnlqp_hash::graph_hash;
+use nnlqp_hash::graph_fingerprint;
 use nnlqp_ir::Rng64;
 use nnlqp_predict::train::{Dataset, TrainConfig};
 use nnlqp_predict::{
@@ -74,6 +74,20 @@ impl PredictorHandle {
     /// Architecture of the wrapped model.
     pub fn kind(&self) -> PredictorKind {
         self.model.kind()
+    }
+
+    /// Freeze the wrapped model into its int8 inference form (see
+    /// `nnlqp_predict::quantize_predictor`): same platform→head map, new
+    /// unstamped handle — installing it via [`Nnlqp::set_predictor`]
+    /// assigns a fresh stamp, and the quantized identity keys the embed
+    /// cache separately from the f32 original.
+    pub fn quantized(&self) -> Result<PredictorHandle, String> {
+        let q = nnlqp_predict::quantize_predictor(self.model.as_ref())?;
+        Ok(PredictorHandle {
+            model: Arc::new(q),
+            head_of: self.head_of.clone(),
+            stamp: 0,
+        })
     }
 
     /// Generation stamp (0 until trained-by or installed-into a system).
@@ -415,9 +429,18 @@ impl Nnlqp {
 
 /// Cache key of a graph under a specific predictor handle: graph + batch
 /// + generation stamp + architecture identity.
+///
+/// Keyed with the four-lane [`nnlqp_hash::graph_fingerprint`] rather than
+/// the Merkle graph hash: the embed cache is in-process only (never
+/// persisted, so the database's hash contract doesn't apply) and the key
+/// is recomputed on every single prediction, where the fingerprint's
+/// packed multi-lane absorb is several times cheaper at the same 64-bit
+/// collision budget. The fingerprint is order-dependent, so isomorphic
+/// graphs built in different branch order may miss the cache — a spurious
+/// recompute, never a wrong hit.
 fn embed_key(graph: &nnlqp_ir::Graph, handle: &PredictorHandle) -> EmbedKey {
     EmbedKey {
-        graph_hash: graph_hash(graph),
+        graph_hash: graph_fingerprint(graph),
         batch: graph.input_shape.batch() as u32,
         version: handle.stamp,
         arch: handle.model.identity(),

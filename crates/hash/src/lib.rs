@@ -24,8 +24,10 @@
 //! * Two `f_hash` choices are provided for the ablation bench: FNV-1a
 //!   (default) and a multiply-xor mixer.
 
+pub mod fingerprint;
 pub mod fnv;
 pub mod graph_hash;
 
+pub use fingerprint::graph_fingerprint;
 pub use fnv::{HashAlgo, StreamHasher};
 pub use graph_hash::{graph_hash, graph_hash_with, node_hashes};

@@ -127,6 +127,17 @@ fn col_block(m: &Matrix, start: usize, width: usize) -> Matrix {
     Matrix::from_fn(m.rows, width, |i, j| m.get(i, start + j))
 }
 
+/// [`col_block`] into a caller-provided (scratch) matrix — the inference
+/// path extracts every head through reused buffers instead of allocating
+/// a fresh matrix per head per layer per graph.
+fn col_block_into(m: &Matrix, start: usize, dst: &mut Matrix) {
+    debug_assert_eq!(dst.rows, m.rows);
+    for i in 0..m.rows {
+        let src = &m.row(i)[start..start + dst.cols];
+        dst.row_mut(i).copy_from_slice(src);
+    }
+}
+
 /// Write `src` into `dst` at column offset `start`.
 fn set_col_block(dst: &mut Matrix, start: usize, src: &Matrix) {
     for i in 0..src.rows {
@@ -137,25 +148,19 @@ fn set_col_block(dst: &mut Matrix, start: usize, src: &Matrix) {
 }
 
 /// Numerically stable row softmax, in place. One implementation shared by
-/// the training and inference paths keeps them bit-identical.
+/// the training and inference paths keeps them bit-identical to each
+/// other. Max reduction, the `exp` + sum, and the final `1/sum` multiply
+/// all dispatch on the SIMD backend; the scalar arm of every step
+/// reproduces the pre-SIMD results bit for bit, while the AVX2 `exp`
+/// (polynomial, ~1e-8 relative) tracks scalar within the same ≤1e-5
+/// cross-backend tolerance the FMA GEMMs set.
 fn softmax_rows_inplace(s: &mut Matrix) {
+    let kern = crate::simd::kernel();
     for i in 0..s.rows {
         let row = s.row_mut(i);
-        let mut max = f32::NEG_INFINITY;
-        for &v in row.iter() {
-            if v > max {
-                max = v;
-            }
-        }
-        let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
+        let max = crate::simd::max_slice(kern, row);
+        let sum = crate::simd::exp_sum_slice(kern, row, max);
+        crate::simd::scale_slice(kern, row, 1.0 / sum);
     }
 }
 
@@ -194,14 +199,57 @@ fn attend(
         let kh = col_block(k, h * dh, dh);
         let vh = col_block(v, h * dh, dh);
         let mut s = qh.matmul_t(&kh);
-        s.scale(scale);
-        s.add_assign(bias);
+        s.scale_add_assign(scale, bias);
         softmax_rows_inplace(&mut s);
         let oh = s.matmul(&vh);
         set_col_block(&mut o, h * dh, &oh);
         attn.push(s);
     }
     (o, attn)
+}
+
+/// [`attend`] for the inference path: the same arithmetic — score scaling,
+/// bias, softmax, value mixing, identical op order, so results are bitwise
+/// equal — but every per-head intermediate (the head column blocks, the
+/// `[n, n]` score matrix, the mixed output) is drawn from the shared
+/// [`Scratch`] arena instead of freshly allocated, and the attention
+/// matrices are returned to the arena rather than kept for a backward
+/// pass. Public so the quantized predictor can reuse the f32 attention
+/// core around its int8 projections.
+pub fn attend_eval(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    bias: &Matrix,
+    n_heads: usize,
+    scratch: &mut Scratch,
+) -> Matrix {
+    let d = q.cols;
+    let n = q.rows;
+    let dh = d / n_heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut o = scratch.take(n, d);
+    let mut qh = scratch.take(n, dh);
+    let mut kh = scratch.take(n, dh);
+    let mut vh = scratch.take(n, dh);
+    let mut s = scratch.take(n, n);
+    let mut oh = scratch.take(n, dh);
+    for h in 0..n_heads {
+        col_block_into(q, h * dh, &mut qh);
+        col_block_into(k, h * dh, &mut kh);
+        col_block_into(v, h * dh, &mut vh);
+        qh.matmul_t_into(&kh, &mut s);
+        s.scale_add_assign(scale, bias);
+        softmax_rows_inplace(&mut s);
+        s.matmul_into(&vh, &mut oh, scratch.pack_buf());
+        set_col_block(&mut o, h * dh, &oh);
+    }
+    scratch.put(qh);
+    scratch.put(kh);
+    scratch.put(vh);
+    scratch.put(s);
+    scratch.put(oh);
+    o
 }
 
 impl AttnLayer {
@@ -288,8 +336,10 @@ impl AttnLayer {
     /// Inference-only forward: the same arithmetic as
     /// [`AttnLayer::forward`] — bit for bit — without the backward cache.
     /// The projections run on the fused GEMM+bias kernels into scratch
-    /// buffers; the attention core is the very same [`attend`] the
-    /// training path uses, so parity is structural, not coincidental.
+    /// buffers; the attention core is [`attend_eval`], op-for-op the same
+    /// sweep as the training path's [`attend`] but with every per-head
+    /// intermediate drawn from the arena, so parity is structural, not
+    /// coincidental.
     pub fn forward_eval(&self, x: &Matrix, bias: &Matrix, scratch: &mut Scratch) -> Matrix {
         let mut q = scratch.take(x.rows, self.wq.w.cols);
         self.wq
@@ -300,7 +350,7 @@ impl AttnLayer {
         let mut v = scratch.take(x.rows, self.wv.w.cols);
         self.wv
             .forward_into(x, Activation::Identity, &mut v, scratch.pack_buf());
-        let (o, _) = attend(&q, &k, &v, bias, self.n_heads);
+        let o = attend_eval(&q, &k, &v, bias, self.n_heads, scratch);
         scratch.put(q);
         scratch.put(k);
         scratch.put(v);
@@ -310,6 +360,7 @@ impl AttnLayer {
         let mut mixed = scratch.take(o.rows, self.wo.w.cols);
         self.wo
             .forward_into(&o, Activation::Identity, &mut mixed, scratch.pack_buf());
+        scratch.put(o);
         out.add_assign(&mixed);
         scratch.put(mixed);
         if self.relu {
@@ -428,6 +479,22 @@ mod tests {
             let n: f32 = y.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
             assert!((n - 1.0).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn attend_eval_matches_attend_bitwise() {
+        let (layer, x, bias) = setup();
+        let q = layer.wq.forward(&x);
+        let k = layer.wk.forward(&x);
+        let v = layer.wv.forward(&x);
+        let (want, _) = attend(&q, &k, &v, &bias, layer.n_heads);
+        let mut scratch = Scratch::new();
+        let got = attend_eval(&q, &k, &v, &bias, layer.n_heads, &mut scratch);
+        assert_eq!(got, want);
+        // Warm arena second pass: same buffers, same bits.
+        scratch.put(got);
+        let again = attend_eval(&q, &k, &v, &bias, layer.n_heads, &mut scratch);
+        assert_eq!(again, want);
     }
 
     #[test]

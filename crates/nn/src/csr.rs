@@ -29,23 +29,52 @@ impl Csr {
 
     /// Build the undirected adjacency of a model graph.
     pub fn from_graph(g: &Graph) -> Csr {
+        // Two-pass CSR build (count, prefix-sum, scatter) over three flat
+        // buffers instead of one `Vec` per node: this runs on every query's
+        // feature extraction, so per-node allocations add up.
         let n = g.len();
-        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut row_ptr = vec![0u32; n + 1];
         for (id, node) in g.iter() {
+            row_ptr[id.index() + 1] += node.inputs.len() as u32;
             for &inp in &node.inputs {
-                lists[id.index()].push(inp.0);
-                lists[inp.index()].push(id.0);
+                row_ptr[inp.index() + 1] += 1;
             }
         }
-        let mut row_ptr = Vec::with_capacity(n + 1);
-        let mut col_idx = Vec::new();
-        row_ptr.push(0u32);
-        for mut l in lists {
-            l.sort_unstable();
-            l.dedup();
-            col_idx.extend_from_slice(&l);
-            row_ptr.push(col_idx.len() as u32);
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
         }
+        let mut col_idx = vec![0u32; row_ptr[n] as usize];
+        let mut cursor: Vec<u32> = row_ptr[..n].to_vec();
+        for (id, node) in g.iter() {
+            for &inp in &node.inputs {
+                let ci = &mut cursor[id.index()];
+                col_idx[*ci as usize] = inp.0;
+                *ci += 1;
+                let cj = &mut cursor[inp.index()];
+                col_idx[*cj as usize] = id.0;
+                *cj += 1;
+            }
+        }
+        // Sort each row and compact out duplicate edges in place. The write
+        // cursor trails the row being processed, so no data is clobbered.
+        let mut write = 0usize;
+        let mut start = 0usize;
+        for i in 0..n {
+            let end = row_ptr[i + 1] as usize;
+            col_idx[start..end].sort_unstable();
+            let mut prev = None;
+            for j in start..end {
+                let v = col_idx[j];
+                if Some(v) != prev {
+                    col_idx[write] = v;
+                    write += 1;
+                    prev = Some(v);
+                }
+            }
+            start = end;
+            row_ptr[i + 1] = write as u32;
+        }
+        col_idx.truncate(write);
         Csr { row_ptr, col_idx }
     }
 
@@ -85,6 +114,7 @@ impl Csr {
             "mean_agg out shape mismatch"
         );
         out.data.fill(0.0);
+        let kern = crate::simd::kernel();
         for i in 0..self.n() {
             let nb = self.neighbors(i);
             if nb.is_empty() {
@@ -93,13 +123,9 @@ impl Csr {
             let inv = 1.0 / nb.len() as f32;
             let orow = out.row_mut(i);
             for &j in nb {
-                for (o, &v) in orow.iter_mut().zip(x.row(j as usize)) {
-                    *o += v;
-                }
+                crate::simd::add_slice(kern, orow, x.row(j as usize));
             }
-            for o in orow {
-                *o *= inv;
-            }
+            crate::simd::scale_slice(kern, orow, inv);
         }
     }
 

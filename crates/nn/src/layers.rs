@@ -112,21 +112,15 @@ impl Linear {
 /// ReLU forward.
 pub fn relu(x: &Matrix) -> Matrix {
     let mut y = x.clone();
-    for v in &mut y.data {
-        if *v < 0.0 {
-            *v = 0.0;
-        }
-    }
+    relu_inplace(&mut y);
     y
 }
 
-/// ReLU in place (inference path — no extra matrix).
+/// ReLU in place (inference path — no extra matrix). The SIMD backend
+/// masks with a `v < 0.0` compare, so `-0.0` survives exactly as in the
+/// scalar loop.
 pub fn relu_inplace(x: &mut Matrix) {
-    for v in &mut x.data {
-        if *v < 0.0 {
-            *v = 0.0;
-        }
-    }
+    crate::simd::relu_slice(crate::simd::kernel(), &mut x.data);
 }
 
 /// ReLU backward: gradient masked by the forward *input* sign.

@@ -1,0 +1,254 @@
+//! Int8 quantized inference kernels: symmetric per-channel weights,
+//! per-row dynamically quantized activations, i8×i8→i32 GEMM with an f32
+//! dequantize epilogue.
+//!
+//! This is the deploy-time trade-off the latency targets themselves live
+//! under (the NNLQP platform set includes int8 NNIE/TensorRT deployments),
+//! reproduced inside the predictor: training stays f32; a trained model's
+//! [`crate::layers::Linear`] layers are frozen into [`QuantLinear`] at
+//! publish time. The scheme is the standard "dynamic quantization":
+//!
+//! * weights: per-output-channel symmetric, `s_j = max_i |w[i][j]| / 127`,
+//!   stored transposed (`[out][in]`) so the inner loop is a contiguous
+//!   i8 dot product;
+//! * activations: per-row symmetric, quantized on the fly each call;
+//! * accumulation: exact i32 (products cap at 127², far from overflow),
+//!   then one f32 fused epilogue `acc * (s_x * s_j) + bias[j]` with the
+//!   optional ReLU.
+//!
+//! The integer inner product dispatches through [`crate::simd`]
+//! (`_mm256_madd_epi16` on AVX2), and — being integer math — is
+//! bit-identical across kernel backends, so quantized predictions never
+//! depend on which CPU served them.
+
+use crate::layers::Linear;
+use crate::simd::{self, Kernel};
+use crate::tensor::{Activation, Matrix};
+
+/// One linear layer frozen to symmetric int8: transposed quantized
+/// weights plus per-output-channel scales and the original f32 bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantLinear {
+    /// Quantized weights, transposed to `[out_dim, in_dim]` row-major.
+    wt: Vec<i8>,
+    in_dim: usize,
+    out_dim: usize,
+    /// Per-output-channel dequantize scale (`w[:,j] ≈ wt[j,:] * w_scale[j]`).
+    w_scale: Vec<f32>,
+    /// Bias stays f32 — it is added after dequantization.
+    bias: Vec<f32>,
+}
+
+impl QuantLinear {
+    /// Quantize a trained f32 layer (weights `[in, out]`).
+    pub fn from_linear(l: &Linear) -> Self {
+        Self::quantize(&l.w, &l.b)
+    }
+
+    /// Quantize an explicit weight matrix + bias.
+    pub fn quantize(w: &Matrix, bias: &[f32]) -> Self {
+        assert_eq!(bias.len(), w.cols, "quantize bias/width mismatch");
+        let (in_dim, out_dim) = (w.rows, w.cols);
+        let mut w_scale = vec![0.0f32; out_dim];
+        for (j, scale) in w_scale.iter_mut().enumerate() {
+            let mut max = 0.0f32;
+            for i in 0..in_dim {
+                max = max.max(w.get(i, j).abs());
+            }
+            // An all-zero channel keeps scale 0: its quantized row is all
+            // zeros and dequantizes to exactly bias[j].
+            *scale = max / 127.0;
+        }
+        let mut wt = vec![0i8; out_dim * in_dim];
+        for j in 0..out_dim {
+            if w_scale[j] == 0.0 {
+                continue;
+            }
+            let inv = 1.0 / w_scale[j];
+            let row = &mut wt[j * in_dim..(j + 1) * in_dim];
+            for (i, q) in row.iter_mut().enumerate() {
+                *q = (w.get(i, j) * inv).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        QuantLinear {
+            wt,
+            in_dim,
+            out_dim,
+            w_scale,
+            bias: bias.to_vec(),
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// `out = act(x @ W + b)` through the quantized path: each row of `x`
+    /// is quantized into `qrow` (reused across calls), the i8 GEMM
+    /// accumulates in i32 and the epilogue dequantizes, adds bias and
+    /// applies the activation in one sweep.
+    pub fn forward_quant(
+        &self,
+        x: &Matrix,
+        out: &mut Matrix,
+        act: Activation,
+        qrow: &mut QuantRow,
+    ) {
+        self.forward_quant_with(simd::kernel(), x, out, act, qrow);
+    }
+
+    /// [`QuantLinear::forward_quant`] on an explicit kernel backend.
+    pub fn forward_quant_with(
+        &self,
+        kern: Kernel,
+        x: &Matrix,
+        out: &mut Matrix,
+        act: Activation,
+        qrow: &mut QuantRow,
+    ) {
+        assert_eq!(x.cols, self.in_dim, "quant forward shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (x.rows, self.out_dim),
+            "quant forward out shape mismatch"
+        );
+        let relu = act == Activation::Relu;
+        for i in 0..x.rows {
+            qrow.quantize(x.row(i));
+            let orow = out.row_mut(i);
+            for (j, o) in orow.iter_mut().enumerate() {
+                let wrow = &self.wt[j * self.in_dim..(j + 1) * self.in_dim];
+                let acc = simd::dot_i8(kern, &qrow.q, wrow);
+                let v = acc as f32 * (qrow.scale * self.w_scale[j]) + self.bias[j];
+                *o = if relu && v < 0.0 { 0.0 } else { v };
+            }
+        }
+    }
+}
+
+/// Reusable per-row activation quantization buffer (symmetric, dynamic:
+/// the scale is recomputed from each row's max-abs).
+#[derive(Debug, Default, Clone)]
+pub struct QuantRow {
+    /// Quantized row.
+    q: Vec<i8>,
+    /// Dequantize scale (`row ≈ q * scale`).
+    scale: f32,
+}
+
+impl QuantRow {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quantize `row` in place over the reused buffer.
+    pub fn quantize(&mut self, row: &[f32]) {
+        let mut max = 0.0f32;
+        for &v in row {
+            max = max.max(v.abs());
+        }
+        self.scale = max / 127.0;
+        self.q.clear();
+        if max == 0.0 {
+            self.q.resize(row.len(), 0);
+            return;
+        }
+        let inv = 127.0 / max;
+        self.q.extend(
+            row.iter()
+                .map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlqp_ir::Rng64;
+
+    fn rand_linear(inp: usize, out: usize, seed: u64) -> Linear {
+        let mut rng = Rng64::new(seed);
+        let mut l = Linear::new(inp, out, &mut rng);
+        for b in &mut l.b {
+            *b = rng.range_f64(-0.5, 0.5) as f32;
+        }
+        l
+    }
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut r = Rng64::new(seed);
+        Matrix::from_fn(rows, cols, |_, _| r.range_f64(-1.0, 1.0) as f32)
+    }
+
+    #[test]
+    fn weight_quantization_roundtrip_error_is_bounded() {
+        let l = rand_linear(24, 16, 50);
+        let q = QuantLinear::quantize(&l.w, &l.b);
+        // Per channel: |w - wt * scale| <= scale / 2 (symmetric rounding).
+        for j in 0..16 {
+            for i in 0..24 {
+                let deq = q.wt[j * 24 + i] as f32 * q.w_scale[j];
+                assert!(
+                    (deq - l.w.get(i, j)).abs() <= q.w_scale[j] * 0.5 + 1e-7,
+                    "w[{i},{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quant_forward_tracks_f32_forward() {
+        let l = rand_linear(48, 32, 51);
+        let x = rand_mat(9, 48, 52);
+        let want = l.forward(&x);
+        let q = QuantLinear::from_linear(&l);
+        let mut out = Matrix::zeros(9, 32);
+        let mut qrow = QuantRow::new();
+        q.forward_quant(&x, &mut out, Activation::Identity, &mut qrow);
+        // int8 dynamic quantization error at these widths stays small
+        // relative to the activation magnitude.
+        for (got, want) in out.data.iter().zip(&want.data) {
+            assert!((got - want).abs() < 0.05, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn quant_forward_is_bitwise_identical_across_backends() {
+        let l = rand_linear(33, 17, 53); // ragged: not multiples of 16
+        let x = rand_mat(5, 33, 54);
+        let q = QuantLinear::from_linear(&l);
+        let mut qrow = QuantRow::new();
+        let mut a = Matrix::zeros(5, 17);
+        q.forward_quant_with(Kernel::Scalar, &x, &mut a, Activation::Relu, &mut qrow);
+        if simd::simd_available() {
+            let mut b = Matrix::zeros(5, 17);
+            q.forward_quant_with(Kernel::Avx2Fma, &x, &mut b, Activation::Relu, &mut qrow);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_channel_and_zero_row_degrade_to_bias() {
+        let mut l = rand_linear(8, 4, 55);
+        for i in 0..8 {
+            l.w.set(i, 2, 0.0); // dead output channel
+        }
+        let q = QuantLinear::from_linear(&l);
+        let x = Matrix::zeros(3, 8); // all-zero activations
+        let mut out = Matrix::zeros(3, 4);
+        let mut qrow = QuantRow::new();
+        q.forward_quant(&x, &mut out, Activation::Identity, &mut qrow);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(out.get(i, j), l.b[j], "[{i},{j}]");
+            }
+        }
+    }
+}

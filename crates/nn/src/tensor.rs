@@ -6,6 +6,7 @@
 //! row) over BLAS-grade tiling. Rayon parallelizes over rows when the
 //! matrix is large enough to amortize the fork.
 
+use crate::simd::{self, Kernel};
 use nnlqp_ir::Rng64;
 use rayon::prelude::*;
 
@@ -199,13 +200,25 @@ impl Matrix {
     }
 
     /// `self @ b` written into `out` (zeroed first), the allocation-free
-    /// core of [`Matrix::matmul`]. The inner loops are branch-free axpy
-    /// sweeps — per output element the k-terms accumulate in ascending
-    /// order, so results are bit-identical whichever path runs. Wide
-    /// outputs go through a packed-B panel kernel (`pack` holds the
-    /// panels, reused across calls); narrow or single-row products read B
-    /// in place.
+    /// core of [`Matrix::matmul`]. The inner loops are axpy sweeps on the
+    /// process-wide kernel backend — per output element the k-terms
+    /// accumulate in ascending order, so results are bit-identical
+    /// whichever path runs *within* a backend. Wide outputs go through a
+    /// packed-B panel kernel (`pack` holds the panels, reused across
+    /// calls); narrow or single-row products read B in place.
     pub fn matmul_into(&self, b: &Matrix, out: &mut Matrix, pack: &mut Vec<f32>) {
+        self.matmul_into_with(simd::kernel(), b, out, pack);
+    }
+
+    /// [`Matrix::matmul_into`] on an explicit kernel backend (parity
+    /// tests and benches compare backends without touching the global).
+    pub fn matmul_into_with(
+        &self,
+        kern: Kernel,
+        b: &Matrix,
+        out: &mut Matrix,
+        pack: &mut Vec<f32>,
+    ) {
         assert_eq!(self.cols, b.rows, "matmul shape mismatch");
         assert_eq!(
             (out.rows, out.cols),
@@ -214,20 +227,26 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, b.cols);
         out.data.fill(0.0);
+        if n == 0 {
+            return;
+        }
         if n <= PANEL || m < PACK_MIN_ROWS {
-            let body = |(i, out_row): (usize, &mut [f32])| {
-                let a_row = self.row(i);
-                for (kk, &a) in a_row.iter().enumerate() {
-                    let b_row = &b.data[kk * n..(kk + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += a * bv;
-                    }
+            // Row pairs share each B sweep (`gemm_two_rows`); an odd
+            // trailing row runs the single-row kernel. Identical
+            // arithmetic either way — pairing only changes load traffic.
+            let body = |(c, rows_chunk): (usize, &mut [f32])| {
+                let i = 2 * c;
+                if rows_chunk.len() == 2 * n {
+                    let (r0, r1) = rows_chunk.split_at_mut(n);
+                    simd::gemm_two_rows(kern, self.row(i), self.row(i + 1), &b.data, r0, r1);
+                } else {
+                    simd::gemm_row(kern, self.row(i), &b.data, rows_chunk);
                 }
             };
             if m >= PAR_THRESHOLD {
-                out.data.par_chunks_mut(n).enumerate().for_each(body);
+                out.data.par_chunks_mut(2 * n).enumerate().for_each(body);
             } else {
-                out.data.chunks_mut(n).enumerate().for_each(body);
+                out.data.chunks_mut(2 * n).enumerate().for_each(body);
             }
             return;
         }
@@ -250,13 +269,7 @@ impl Matrix {
             for j0 in (0..n).step_by(PANEL) {
                 let jw = PANEL.min(n - j0);
                 let panel = &pack[j0 * k..j0 * k + k * jw];
-                let out_seg = &mut out_row[j0..j0 + jw];
-                for (kk, &a) in a_row.iter().enumerate() {
-                    let p_row = &panel[kk * jw..(kk + 1) * jw];
-                    for (o, &bv) in out_seg.iter_mut().zip(p_row) {
-                        *o += a * bv;
-                    }
-                }
+                simd::gemm_row(kern, a_row, panel, &mut out_row[j0..j0 + jw]);
             }
         };
         if m >= PAR_THRESHOLD {
@@ -269,6 +282,11 @@ impl Matrix {
     /// `self^T @ b` — `[k,m]^T x [k,n] -> [m,n]` without materializing the
     /// transpose (gradient of weights).
     pub fn t_matmul(&self, b: &Matrix) -> Matrix {
+        self.t_matmul_with(simd::kernel(), b)
+    }
+
+    /// [`Matrix::t_matmul`] on an explicit kernel backend.
+    pub fn t_matmul_with(&self, kern: Kernel, b: &Matrix) -> Matrix {
         assert_eq!(self.rows, b.rows, "t_matmul shape mismatch");
         let (k, m, n) = (self.rows, self.cols, b.cols);
         let mut out = Matrix::zeros(m, n);
@@ -279,10 +297,7 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = out.row_mut(i);
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += a * bv;
-                }
+                simd::axpy(kern, out.row_mut(i), a, b_row);
             }
         }
         out
@@ -290,50 +305,63 @@ impl Matrix {
 
     /// `self @ b^T` — `[m,k] x [n,k]^T -> [m,n]` (gradient of inputs).
     pub fn matmul_t(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, b.rows);
+        self.matmul_t_into_with(simd::kernel(), b, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_t`] written into `out` (the attention score path
+    /// runs this over scratch buffers instead of allocating per head).
+    pub fn matmul_t_into(&self, b: &Matrix, out: &mut Matrix) {
+        self.matmul_t_into_with(simd::kernel(), b, out);
+    }
+
+    /// [`Matrix::matmul_t_into`] on an explicit kernel backend.
+    pub fn matmul_t_into_with(&self, kern: Kernel, b: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, b.cols, "matmul_t shape mismatch");
-        let (m, k, n) = (self.rows, self.cols, b.rows);
-        let mut out = vec![0.0f32; m * n];
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, b.rows),
+            "matmul_t out shape mismatch"
+        );
+        let (m, n) = (self.rows, b.rows);
         let body = |(i, out_row): (usize, &mut [f32])| {
-            let a_row = self.row(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = b.row(j);
-                let mut acc = 0.0f32;
-                for kk in 0..k {
-                    acc += a_row[kk] * b_row[kk];
-                }
-                *o = acc;
-            }
+            simd::matmul_t_row(kern, self.row(i), &b.data, out_row);
         };
         if m >= PAR_THRESHOLD {
-            out.par_chunks_mut(n).enumerate().for_each(body);
+            out.data.par_chunks_mut(n).enumerate().for_each(body);
         } else {
-            out.chunks_mut(n).enumerate().for_each(body);
+            out.data.chunks_mut(n).enumerate().for_each(body);
         }
-        Matrix::from_rows(m, n, out)
     }
 
     /// Element-wise in-place addition.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        simd::add_slice(simd::kernel(), &mut self.data, &other.data);
     }
 
     /// In-place scale.
     pub fn scale(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        simd::scale_slice(simd::kernel(), &mut self.data, s);
+    }
+
+    /// Fused `self = self * s + other`, element-wise — one sweep instead
+    /// of [`Matrix::scale`] then [`Matrix::add_assign`], with bit-identical
+    /// results (the kernel performs a separate multiply then add, never an
+    /// FMA). The attention score epilogue (`scores/sqrt(d) + bias`) is the
+    /// customer.
+    pub fn scale_add_assign(&mut self, s: f32, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        simd::scale_add_slice(simd::kernel(), &mut self.data, s, &other.data);
     }
 
     /// Add a row vector to every row (bias).
     pub fn add_row_vector(&mut self, v: &[f32]) {
         assert_eq!(v.len(), self.cols);
+        let kern = simd::kernel();
         for i in 0..self.rows {
-            for (a, b) in self.row_mut(i).iter_mut().zip(v) {
-                *a += b;
-            }
+            simd::bias_act_row(kern, self.row_mut(i), v, false);
         }
     }
 
@@ -341,31 +369,24 @@ impl Matrix {
     /// `self[i][j] = act(self[i][j] + bias[j])` in one sweep — the tail of
     /// the fused GEMM entry points in `layers`.
     pub fn bias_act(&mut self, bias: &[f32], act: Activation) {
+        self.bias_act_with(simd::kernel(), bias, act);
+    }
+
+    /// [`Matrix::bias_act`] on an explicit kernel backend.
+    pub fn bias_act_with(&mut self, kern: Kernel, bias: &[f32], act: Activation) {
         assert_eq!(bias.len(), self.cols);
+        let relu = act == Activation::Relu;
         for i in 0..self.rows {
-            for (a, &b) in self.row_mut(i).iter_mut().zip(bias) {
-                let v = *a + b;
-                *a = match act {
-                    Activation::Identity => v,
-                    Activation::Relu => {
-                        if v < 0.0 {
-                            0.0
-                        } else {
-                            v
-                        }
-                    }
-                };
-            }
+            simd::bias_act_row(kern, self.row_mut(i), bias, relu);
         }
     }
 
     /// Column-wise sums (bias gradient; also the sum-over-nodes pooling).
     pub fn col_sums(&self) -> Vec<f32> {
+        let kern = simd::kernel();
         let mut out = vec![0.0f32; self.cols];
         for i in 0..self.rows {
-            for (o, &x) in out.iter_mut().zip(self.row(i)) {
-                *o += x;
-            }
+            simd::add_slice(kern, &mut out, self.row(i));
         }
         out
     }

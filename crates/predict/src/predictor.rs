@@ -191,12 +191,17 @@ impl Predictor for NnlpModel {
 }
 
 /// Deserialize any [`Predictor`] from its [`Predictor::to_json`] form.
-/// Transformer checkpoints carry a `"kind"` tag; untagged documents are
-/// the legacy GraphSAGE format, kept readable for existing checkpoints.
+/// Transformer checkpoints carry a `"kind"` tag; `"quantized"` documents
+/// wrap an inner f32 checkpoint and re-derive their int8 tables
+/// deterministically; untagged documents are the legacy GraphSAGE format,
+/// kept readable for existing checkpoints.
 pub fn predictor_from_json(s: &str) -> Result<Box<dyn Predictor>, String> {
     let v: serde_json::Value = serde_json::from_str(s).map_err(|e| e.to_string())?;
     match v["kind"].as_str() {
         Some("transformer") => Ok(Box::new(TransformerModel::from_json(s)?)),
+        Some("quantized") => Ok(Box::new(crate::quant::QuantizedPredictor::from_inner_json(
+            s,
+        )?)),
         Some(other) => Err(format!("unknown predictor kind '{other}'")),
         None => NnlpModel::from_json(s)
             .map(|m| Box::new(m) as Box<dyn Predictor>)
