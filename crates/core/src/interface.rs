@@ -5,7 +5,7 @@ use nnlqp_db::{CompactorHandle, Database, DbMetrics, DurableOptions, PlatformId}
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::{cost, Graph, Rng64};
 use nnlqp_obs::{
-    Counter, Gauge, Histogram, MetricsRegistry, Recorder, SimClock, Span, Track,
+    Counter, Gauge, Histogram, MetricsRegistry, Recorder, SimClock, Span, TraceClock, Track,
     STAGE_SECONDS_BOUNDS,
 };
 use nnlqp_sim::{DeviceFarm, FarmError, Platform, PlatformSpec, QueryJob};
@@ -64,6 +64,18 @@ pub struct QueryResult {
     pub cache_hit: bool,
     /// Wall-clock cost of answering, in (simulated) seconds.
     pub cost_s: f64,
+}
+
+/// Wall-clock stage boundaries of a traced miss
+/// ([`NNLQP::query_measured_traced`]): nanosecond ticks on the caller's
+/// [`TraceClock`], taken after the farm measurement and after the
+/// db/WAL write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasureTicks {
+    /// Tick right after the farm returned the measurement.
+    pub measured_ns: u64,
+    /// Tick right after the result was recorded in the database.
+    pub db_write_ns: u64,
 }
 
 /// Query errors.
@@ -609,7 +621,9 @@ impl Nnlqp {
             None,
             rec,
             &mut clock,
+            None,
         )
+        .map(|(qr, _)| qr)
     }
 
     /// The miss path as a standalone entry point: measure `graph` on the
@@ -642,7 +656,42 @@ impl Nnlqp {
             farm_wait,
             &Recorder::disabled(),
             &mut SimClock::new(),
+            None,
         )
+        .map(|(qr, _)| qr)
+    }
+
+    /// [`Self::query_measured`] with wall-clock stage boundaries: the
+    /// returned [`MeasureTicks`] are nanosecond ticks on `clock` taken
+    /// right after the farm measurement and right after the db/WAL write,
+    /// so a serving-layer trace can tile the miss path into
+    /// `measure` / `db_write` stages exactly.
+    pub fn query_measured_traced(
+        &self,
+        graph: &Arc<Graph>,
+        platform: &Platform,
+        batch_size: u32,
+        farm_wait: Option<Duration>,
+        clock: &TraceClock,
+    ) -> Result<(QueryResult, MeasureTicks), QueryError> {
+        let spec = platform.spec();
+        let hash = graph_hash(graph);
+        self.admit(graph, hash, spec)?;
+        let platform_id =
+            self.db
+                .get_or_create_platform(&spec.hardware, &spec.software, spec.dtype.name());
+        self.measure_and_record(
+            graph,
+            spec,
+            platform_id,
+            hash,
+            batch_size,
+            farm_wait,
+            &Recorder::disabled(),
+            &mut SimClock::new(),
+            Some(clock),
+        )
+        .map(|(qr, ticks)| (qr, ticks.expect("ticks present when clock passed")))
     }
 
     #[allow(clippy::too_many_arguments)] // private plumbing behind query/query_measured
@@ -656,7 +705,8 @@ impl Nnlqp {
         farm_wait: Option<Duration>,
         rec: &Recorder,
         clock: &mut SimClock,
-    ) -> Result<QueryResult, QueryError> {
+        wall: Option<&TraceClock>,
+    ) -> Result<(QueryResult, Option<MeasureTicks>), QueryError> {
         let job = QueryJob {
             graph: Arc::clone(graph),
             platform: spec.name.clone(),
@@ -667,6 +717,7 @@ impl Nnlqp {
             None => self.farm.measure_blocking(&job)?,
             Some(d) => self.farm.measure_timeout(&job, d)?,
         };
+        let measured_ns = wall.map(TraceClock::now_ns);
         self.m_measurements.inc();
         let lookup_s = CACHE_HIT_COST_S * 0.5; // miss still pays the lookup
         self.h_lookup_s.observe(lookup_s);
@@ -716,11 +767,18 @@ impl Nnlqp {
                 mem as u64,
             )
             .expect("fresh foreign keys are valid");
-        Ok(QueryResult {
-            latency_ms: record.cost_ms,
-            cache_hit: false,
-            cost_s: result.pipeline_cost_s + lookup_s,
-        })
+        let ticks = wall.map(|c| MeasureTicks {
+            measured_ns: measured_ns.unwrap_or(0),
+            db_write_ns: c.now_ns(),
+        });
+        Ok((
+            QueryResult {
+                latency_ms: record.cost_ms,
+                cache_hit: false,
+                cost_s: result.pipeline_cost_s + lookup_s,
+            },
+            ticks,
+        ))
     }
 
     /// Pre-populate the database (the "evolving" loop: every served query

@@ -32,7 +32,8 @@ pub mod predictor;
 
 pub use embed_cache::{EmbedCache, EmbedKey, SharedEmbedding};
 pub use interface::{
-    metric_names, CountersSnapshot, Nnlqp, NnlqpBuilder, QueryError, QueryParams, QueryResult,
+    metric_names, CountersSnapshot, MeasureTicks, Nnlqp, NnlqpBuilder, QueryError, QueryParams,
+    QueryResult,
 };
 pub use nnlqp_obs::{
     to_prometheus, DriftAlert, EventLog, MonitorConfig, QualityMonitor, QualityReport,
@@ -43,6 +44,6 @@ pub use nnlqp_predict::{
 };
 pub use nnlqp_sim::Platform;
 pub use predictor::{
-    BatchPredictResult, PredictResult, PredictorHandle, TrainPredictorConfig,
+    BatchPredictResult, PredictResult, PredictTicks, PredictorHandle, TrainPredictorConfig,
     CACHED_PREDICT_COST_S, PREDICT_COST_S,
 };

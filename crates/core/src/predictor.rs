@@ -13,6 +13,7 @@ use crate::embed_cache::EmbedKey;
 use crate::interface::{Nnlqp, QueryError, QueryParams};
 use nnlqp_hash::graph_fingerprint;
 use nnlqp_ir::Rng64;
+use nnlqp_obs::TraceClock;
 use nnlqp_predict::train::{Dataset, TrainConfig};
 use nnlqp_predict::{
     extract_features, NnlpConfig, NnlpModel, Predictor, PredictorKind, TransformerConfig,
@@ -138,6 +139,18 @@ pub struct PredictResult {
     pub latency_ms: f64,
     /// Wall-clock cost of answering, in (simulated) seconds.
     pub cost_s: f64,
+}
+
+/// Wall-clock stage boundaries of a traced prediction
+/// ([`Nnlqp::predict_effective_staged`]): nanosecond ticks on the
+/// caller's `TraceClock`, taken after the embedding was resolved (cache
+/// hit or fresh backbone run) and after the platform head evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictTicks {
+    /// Tick once the embedding is in hand.
+    pub embed_ns: u64,
+    /// Tick once the head produced the latency estimate.
+    pub head_ns: u64,
 }
 
 /// Outcome of [`Nnlqp::predict_batch`].
@@ -323,6 +336,48 @@ impl Nnlqp {
         graph: &nnlqp_ir::Graph,
         platform_name: &str,
     ) -> Result<PredictResult, QueryError> {
+        self.predict_staged_inner(handle, graph, platform_name, None)
+            .map(|(r, _)| r)
+    }
+
+    /// [`Nnlqp::predict_effective`] with wall-clock stage boundaries on
+    /// `clock`: the returned [`PredictTicks`] split the prediction into
+    /// an embed-resolution stage (cache probe, plus feature extraction
+    /// and backbone on a miss) and a head-evaluation stage, so a serving
+    /// trace can tile the degraded path exactly.
+    pub fn predict_effective_staged(
+        &self,
+        graph: &nnlqp_ir::Graph,
+        platform_name: &str,
+        clock: &TraceClock,
+    ) -> Result<(PredictResult, PredictTicks), QueryError> {
+        let guard = self.predictor.read();
+        let handle = guard
+            .as_ref()
+            .ok_or_else(|| QueryError::UnknownPlatform("no predictor trained".into()))?;
+        self.predict_effective_staged_with(handle, graph, platform_name, clock)
+    }
+
+    /// [`Nnlqp::predict_effective_staged`] through an explicit handle —
+    /// the staged twin of [`Nnlqp::predict_effective_with`].
+    pub fn predict_effective_staged_with(
+        &self,
+        handle: &PredictorHandle,
+        graph: &nnlqp_ir::Graph,
+        platform_name: &str,
+        clock: &TraceClock,
+    ) -> Result<(PredictResult, PredictTicks), QueryError> {
+        self.predict_staged_inner(handle, graph, platform_name, Some(clock))
+            .map(|(r, ticks)| (r, ticks.expect("ticks present when clock passed")))
+    }
+
+    fn predict_staged_inner(
+        &self,
+        handle: &PredictorHandle,
+        graph: &nnlqp_ir::Graph,
+        platform_name: &str,
+        wall: Option<&TraceClock>,
+    ) -> Result<(PredictResult, Option<PredictTicks>), QueryError> {
         let spec = PlatformSpec::by_name(platform_name)
             .ok_or_else(|| QueryError::UnknownPlatform(platform_name.to_string()))?;
         let head = *handle
@@ -332,21 +387,38 @@ impl Nnlqp {
         let key = embed_key(graph, handle);
         if let Some(emb) = self.embed_cache.get(&key) {
             self.m_embed_hits.inc();
-            return Ok(PredictResult {
-                latency_ms: handle.model.head_eval(&emb, head),
-                cost_s: CACHED_PREDICT_COST_S,
+            let embed_ns = wall.map(TraceClock::now_ns);
+            let latency_ms = handle.model.head_eval(&emb, head);
+            let ticks = wall.map(|c| PredictTicks {
+                embed_ns: embed_ns.unwrap_or(0),
+                head_ns: c.now_ns(),
             });
+            return Ok((
+                PredictResult {
+                    latency_ms,
+                    cost_s: CACHED_PREDICT_COST_S,
+                },
+                ticks,
+            ));
         }
         self.m_embed_misses.inc();
         let feats = extract_features(graph);
         let emb = Arc::new(handle.model.embed(&feats));
-        let latency_ms = handle.model.head_eval(&emb, head);
-        self.embed_cache.insert(key, emb);
+        self.embed_cache.insert(key, Arc::clone(&emb));
         self.g_embed_len.set(self.embed_cache.len() as f64);
-        Ok(PredictResult {
-            latency_ms,
-            cost_s: PREDICT_COST_S,
-        })
+        let embed_ns = wall.map(TraceClock::now_ns);
+        let latency_ms = handle.model.head_eval(&emb, head);
+        let ticks = wall.map(|c| PredictTicks {
+            embed_ns: embed_ns.unwrap_or(0),
+            head_ns: c.now_ns(),
+        });
+        Ok((
+            PredictResult {
+                latency_ms,
+                cost_s: PREDICT_COST_S,
+            },
+            ticks,
+        ))
     }
 
     /// Batched multi-platform prediction: hash and cache-probe every

@@ -37,13 +37,14 @@ pub mod flame;
 pub mod metrics;
 pub mod monitor;
 pub mod span;
+pub mod trace;
 
 pub use chrome::to_chrome_json;
 pub use events::{Event, EventLog, FieldValue};
 pub use expose::{parse_prometheus, to_prometheus, PromSample};
 pub use flame::{render as render_flamegraph, top_spans};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+    log_bounds, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
     STAGE_SECONDS_BOUNDS,
 };
 pub use monitor::{
@@ -51,3 +52,7 @@ pub use monitor::{
     PlatformQuality, QualityMonitor, QualityReport, REL_ERR_PCT_BOUNDS,
 };
 pub use span::{Recorder, SimClock, Span, Timeline, Track};
+pub use trace::{
+    tail_attribution, timeline_of, ExemplarReservoir, RequestTrace, StageShare, TraceClock,
+    TraceContext, TraceStage,
+};

@@ -143,9 +143,53 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper bound of the bucket containing quantile `q` (0..=1).
-    /// `+inf` when it lands in the overflow bucket.
+    /// Quantile `q` (0..=1) estimated by linear interpolation inside the
+    /// containing bucket (the Prometheus `histogram_quantile` rule): the
+    /// target rank `q * count` is located in the cumulative distribution
+    /// and positioned proportionally between the bucket's lower and upper
+    /// bound. The old bucket-upper-bound estimate was biased upward by up
+    /// to a full bucket width at every bucket edge — with the log-spaced
+    /// bounds used for tail latencies that bias doubles the reported
+    /// value; the interpolated estimate is exact for uniform in-bucket
+    /// mass. Ranks landing in the overflow bucket return the largest
+    /// finite bound (there is no upper edge to interpolate toward).
     pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1e-12);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let prev = seen;
+            seen += c;
+            if (seen as f64) < rank || c == 0 {
+                continue;
+            }
+            let Some(&upper) = self.bounds.get(i) else {
+                // Overflow bucket: clamp to the largest finite bound.
+                return self.bounds.last().copied().unwrap_or(f64::INFINITY);
+            };
+            let lower = if i == 0 {
+                // No lower edge below the first bucket; anchor at 0 for
+                // non-negative series (latencies), at the bound otherwise.
+                if upper > 0.0 {
+                    0.0
+                } else {
+                    upper
+                }
+            } else {
+                self.bounds[i - 1]
+            };
+            let frac = (rank - prev as f64) / c as f64;
+            return lower + (upper - lower) * frac.clamp(0.0, 1.0);
+        }
+        self.bounds.last().copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0..=1) — the
+    /// conservative `le`-style estimate ("the quantile is at most this").
+    /// `+inf` when it lands in the overflow bucket.
+    pub fn quantile_le(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
@@ -166,6 +210,23 @@ impl HistogramSnapshot {
 pub const STAGE_SECONDS_BOUNDS: [f64; 12] = [
     0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
 ];
+
+/// Geometric (log-spaced) bucket bounds: `count` bounds starting at
+/// `start`, each `factor` times the previous. Linear bounds lose the tail
+/// — everything past the last bound piles into one overflow bucket and
+/// p999 becomes unreadable; log spacing keeps *relative* resolution
+/// constant across decades, so a `factor` of √2 bounds the interpolated
+/// quantile error at ~±20% from nanoseconds to seconds with ~50 buckets.
+pub fn log_bounds(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0, "log bounds must grow");
+    let mut out = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        out.push(b);
+        b *= factor;
+    }
+    out
+}
 
 /// The registry: name → counter / histogram. One per deployment; share
 /// it with `Arc`.
@@ -296,8 +357,8 @@ impl RegistrySnapshot {
                 h.count,
                 h.sum,
                 h.mean(),
-                json_num(h.quantile(0.5)),
-                json_num(h.quantile(0.99)),
+                json_num(h.quantile_le(0.5)),
+                json_num(h.quantile_le(0.99)),
             );
             let mut first_b = true;
             for (i, c) in h.buckets.iter().enumerate() {
@@ -369,8 +430,91 @@ mod tests {
         assert_eq!(s.count, 5);
         assert!((s.sum - 106.6).abs() < 1e-9);
         assert!((s.mean() - 21.32).abs() < 1e-9);
-        assert_eq!(s.quantile(0.5), 2.0);
-        assert!(s.quantile(0.99).is_infinite());
+        assert_eq!(s.quantile_le(0.5), 2.0);
+        assert!(s.quantile_le(0.99).is_infinite());
+        // Interpolated: rank 2.5 of 5 sits halfway through the (1, 2]
+        // bucket (cumulative 1 below it, 2 inside): 1 + 1 * 1.5/2 = 1.75.
+        assert!((s.quantile(0.5) - 1.75).abs() < 1e-12);
+        // Rank in the overflow bucket clamps to the largest finite bound.
+        assert_eq!(s.quantile(0.99), 4.0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_on_hand_computed_distributions() {
+        // 100 observations, one per integer 1..=100, bounds at 10-steps:
+        // every bucket holds exactly 10, so the cumulative distribution is
+        // piecewise linear and quantiles are exact to interpolation.
+        let bounds: Vec<f64> = (1..=10).map(|i| f64::from(i) * 10.0).collect();
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("u", &bounds);
+        for v in 1..=100 {
+            h.observe(f64::from(v));
+        }
+        let s = h.snapshot();
+        // p50: rank 50 is the upper edge of the (40, 50] bucket.
+        assert!((s.quantile(0.50) - 50.0).abs() < 1e-9);
+        // p99: rank 99 sits 9/10 into the (90, 100] bucket: 90 + 10*0.9.
+        assert!((s.quantile(0.99) - 99.0).abs() < 1e-9);
+        // p25 / p75 interpolate the same way.
+        assert!((s.quantile(0.25) - 25.0).abs() < 1e-9);
+        assert!((s.quantile(0.75) - 75.0).abs() < 1e-9);
+        // The le-estimate rounds each of those up to its bucket bound.
+        assert_eq!(s.quantile_le(0.99), 100.0);
+        // The old estimator returned the bucket UPPER bound for p50 (60.0
+        // would be the answer with rank ceil(50.5)=51 → bucket (50,60]);
+        // pin that the bias is gone: interpolation never exceeds the
+        // le-estimate and reaches it only at exact bucket edges.
+        for q in [0.1, 0.33, 0.5, 0.9, 0.99, 0.999] {
+            assert!(s.quantile(q) <= s.quantile_le(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_first_bucket_anchors_at_zero() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("f", &[8.0, 16.0]);
+        for _ in 0..4 {
+            h.observe(2.0);
+        }
+        let s = h.snapshot();
+        // All mass in the first bucket: p50 = 0 + 8 * (2/4) = 4.
+        assert!((s.quantile(0.5) - 4.0).abs() < 1e-12);
+        assert!((s.quantile(1.0) - 8.0).abs() < 1e-12);
+        assert_eq!(s.quantile_le(0.5), 8.0);
+    }
+
+    #[test]
+    fn quantile_empty_and_overflow_only() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("e", &[1.0]);
+        assert_eq!(h.snapshot().quantile(0.5), 0.0);
+        h.observe(100.0); // overflow only
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 1.0); // clamped to largest finite bound
+        assert!(s.quantile_le(0.5).is_infinite());
+    }
+
+    #[test]
+    fn log_bounds_grow_geometrically() {
+        let b = log_bounds(0.001, 2.0, 12);
+        assert_eq!(b.len(), 12);
+        assert!((b[0] - 0.001).abs() < 1e-15);
+        for w in b.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-12);
+        }
+        // p999 of a heavy-tailed series is resolvable: observations
+        // spanning four decades land in distinct buckets.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t", &log_bounds(0.001, 2.0, 24));
+        for _ in 0..997 {
+            h.observe(0.002);
+        }
+        for _ in 0..3 {
+            h.observe(500.0); // three slow outliers
+        }
+        let s = h.snapshot();
+        assert!(s.quantile(0.5) < 0.01);
+        assert!(s.quantile(0.999) > 100.0, "p999 = {}", s.quantile(0.999));
     }
 
     #[test]

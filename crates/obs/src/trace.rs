@@ -1,0 +1,462 @@
+//! Request-scoped tracing with exact stage tiling, for the serving layer.
+//!
+//! Every request carries a [`TraceContext`]: a cheap monotone request id
+//! plus a list of stage *boundaries* — integer nanosecond ticks on a
+//! shared monotonic [`TraceClock`]. A stage's duration is the delta
+//! between consecutive boundaries, and the trace total is the delta
+//! between the first and last boundary, so the stage durations **tile the
+//! end-to-end latency exactly** (integer arithmetic, no float drift) —
+//! the same invariant the query-pipeline spans enforce on the simulated
+//! clock, applied to real wall time.
+//!
+//! On top of the per-request traces:
+//!
+//! * [`ExemplarReservoir`] — a bounded reservoir retaining the K slowest
+//!   full traces per terminal class (hot-cache hit, measured miss,
+//!   coalesced follower, degraded, ...), exportable through the existing
+//!   Chrome-trace writer via [`timeline_of`];
+//! * [`tail_attribution`] — "where does the tail go": aggregate the stage
+//!   durations of every request at or above a latency quantile and report
+//!   each stage's share of the tail's total time.
+
+use crate::span::{Recorder, Span, Timeline, Track};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Global monotone request-id source; ids order requests across every
+/// service instance in the process.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A shared monotonic wall clock: all stage boundaries of a service are
+/// ticks (nanoseconds) from one origin, so worker-side boundaries can be
+/// spliced into a requester's trace and still tile exactly.
+#[derive(Debug, Clone)]
+pub struct TraceClock {
+    origin: Instant,
+}
+
+impl Default for TraceClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceClock {
+    /// A clock with its origin now.
+    pub fn new() -> Self {
+        TraceClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the clock's origin.
+    pub fn now_ns(&self) -> u64 {
+        // A u64 of nanoseconds holds ~584 years; the cast cannot wrap in
+        // any real process lifetime.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// One stage of a finished trace: everything between two consecutive
+/// boundaries, attributed to the name of the later one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStage {
+    /// Stage name (`"queue_wait"`, `"measure"`, ...).
+    pub name: &'static str,
+    /// Duration in whole nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A finished request trace: terminal class, total latency and the stage
+/// durations that tile it exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// Process-wide monotone request id.
+    pub request_id: u64,
+    /// Terminal class the request ended in (`"hot_cache"`, `"measured"`,
+    /// `"coalesced"`, `"degraded"`, an error class, ...).
+    pub class: &'static str,
+    /// First boundary, in ticks of the service's [`TraceClock`].
+    pub start_ns: u64,
+    /// Stage durations, in request order. Their sum equals
+    /// [`RequestTrace::total_ns`] exactly.
+    pub stages: Vec<TraceStage>,
+    /// End-to-end latency in whole nanoseconds.
+    pub total_ns: u64,
+}
+
+impl RequestTrace {
+    /// End-to-end latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1.0e6
+    }
+
+    /// The tiling invariant: stage durations sum to the total exactly.
+    /// Always true by construction; exposed so tests can state it.
+    pub fn tiles_exactly(&self) -> bool {
+        self.stages.iter().map(|s| s.dur_ns).sum::<u64>() == self.total_ns
+    }
+
+    /// Duration of the named stage (summed over repeats), if present.
+    pub fn stage_ns(&self, name: &str) -> Option<u64> {
+        let mut total = None;
+        for s in &self.stages {
+            if s.name == name {
+                *total.get_or_insert(0) += s.dur_ns;
+            }
+        }
+        total
+    }
+}
+
+/// The live side of a [`RequestTrace`]: created at request entry, marked
+/// at every stage boundary, finished with a terminal class.
+#[derive(Debug)]
+pub struct TraceContext {
+    request_id: u64,
+    start_ns: u64,
+    /// `(stage name, end tick)`; ticks are non-decreasing.
+    marks: Vec<(&'static str, u64)>,
+}
+
+impl TraceContext {
+    /// Open a trace: assign the next request id and take the first
+    /// boundary now.
+    pub fn begin(clock: &TraceClock) -> Self {
+        TraceContext {
+            request_id: NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed),
+            start_ns: clock.now_ns(),
+            marks: Vec::with_capacity(8),
+        }
+    }
+
+    /// This request's id.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// The latest boundary tick (the start tick before any stage).
+    pub fn last_ns(&self) -> u64 {
+        self.marks.last().map_or(self.start_ns, |&(_, t)| t)
+    }
+
+    /// End the current stage now: everything since the previous boundary
+    /// is attributed to `name`.
+    pub fn stage(&mut self, name: &'static str, clock: &TraceClock) {
+        self.stage_at(name, clock.now_ns());
+    }
+
+    /// End the current stage at an explicit tick — how worker-side
+    /// boundaries (recorded on the same clock, shipped through the
+    /// singleflight payload) are spliced into the requester's trace.
+    /// Clamped to be non-decreasing so the tiling invariant survives any
+    /// splice order.
+    pub fn stage_at(&mut self, name: &'static str, tick_ns: u64) {
+        let tick = tick_ns.max(self.last_ns());
+        self.marks.push((name, tick));
+    }
+
+    /// Freeze into a [`RequestTrace`] with terminal class `class`. The
+    /// total is the span from the first to the last boundary; with no
+    /// recorded stage the trace is a single zero-length point.
+    pub fn finish(self, class: &'static str) -> RequestTrace {
+        let mut stages = Vec::with_capacity(self.marks.len());
+        let mut prev = self.start_ns;
+        for (name, tick) in &self.marks {
+            stages.push(TraceStage {
+                name,
+                dur_ns: tick - prev,
+            });
+            prev = *tick;
+        }
+        RequestTrace {
+            request_id: self.request_id,
+            class,
+            start_ns: self.start_ns,
+            total_ns: prev - self.start_ns,
+            stages,
+        }
+    }
+}
+
+/// Bounded per-class reservoir of the K slowest full traces — the
+/// exemplars behind a latency histogram: when p999 spikes, these are the
+/// actual requests that did it, stage by stage.
+#[derive(Debug)]
+pub struct ExemplarReservoir {
+    k: usize,
+    /// Class → traces sorted ascending by total (fastest first, so the
+    /// eviction candidate is index 0).
+    classes: Mutex<BTreeMap<&'static str, Vec<RequestTrace>>>,
+}
+
+impl ExemplarReservoir {
+    /// A reservoir keeping the `k` slowest traces per terminal class.
+    pub fn new(k: usize) -> Self {
+        ExemplarReservoir {
+            k,
+            classes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Offer one finished trace; it is retained only while it is among
+    /// the `k` slowest of its class.
+    pub fn record(&self, trace: &RequestTrace) {
+        if self.k == 0 {
+            return;
+        }
+        let mut classes = self.classes.lock().expect("reservoir lock");
+        let bucket = classes.entry(trace.class).or_default();
+        if bucket.len() == self.k {
+            if bucket[0].total_ns >= trace.total_ns {
+                return; // faster than everything retained
+            }
+            bucket.remove(0);
+        }
+        let at = bucket.partition_point(|t| t.total_ns < trace.total_ns);
+        bucket.insert(at, trace.clone());
+    }
+
+    /// Everything retained, slowest-first within each class.
+    pub fn snapshot(&self) -> BTreeMap<&'static str, Vec<RequestTrace>> {
+        let classes = self.classes.lock().expect("reservoir lock");
+        classes
+            .iter()
+            .map(|(&class, traces)| {
+                let mut t = traces.clone();
+                t.reverse();
+                (class, t)
+            })
+            .collect()
+    }
+
+    /// The class holding the slowest retained trace overall.
+    pub fn slowest_class(&self) -> Option<&'static str> {
+        let classes = self.classes.lock().expect("reservoir lock");
+        classes
+            .iter()
+            .filter_map(|(&class, traces)| traces.last().map(|t| (class, t.total_ns)))
+            .max_by_key(|&(_, total)| total)
+            .map(|(class, _)| class)
+    }
+}
+
+/// Render traces as a [`Timeline`] for the Chrome-trace writer: one lane
+/// per trace (grouped by class), one span per stage plus an umbrella
+/// `request` span carrying the request id. Times are relative
+/// milliseconds from each trace's start, so lanes align for comparison.
+pub fn timeline_of(traces: &[RequestTrace]) -> Timeline {
+    let rec = Recorder::new();
+    let mut lanes: BTreeMap<&'static str, u32> = BTreeMap::new();
+    for trace in traces {
+        let lane = lanes.entry(trace.class).or_insert(0);
+        let track = Track::new(trace.class, *lane);
+        *lane += 1;
+        rec.record(
+            Span::new("request", "request", track.clone(), 0.0, trace.total_ms())
+                .arg("request_id", trace.request_id)
+                .arg("class", trace.class),
+        );
+        let mut at_ns = 0u64;
+        for stage in &trace.stages {
+            rec.record(Span::new(
+                stage.name,
+                "serve_stage",
+                track.clone(),
+                at_ns as f64 / 1.0e6,
+                stage.dur_ns as f64 / 1.0e6,
+            ));
+            at_ns += stage.dur_ns;
+        }
+    }
+    rec.timeline()
+}
+
+/// One stage's share of the tail in a [`tail_attribution`] report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageShare {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Summed duration over every tail request, nanoseconds.
+    pub total_ns: u64,
+    /// Share of the tail's total end-to-end time, percent.
+    pub share_pct: f64,
+    /// Mean duration per tail request, milliseconds.
+    pub mean_ms: f64,
+}
+
+/// Attribute the latency tail to stages: take every trace at or above
+/// the `q` quantile of total latency, sum stage durations across them,
+/// and report each stage's share of the tail's total time (largest
+/// first). Because stages tile each trace exactly, the shares sum to
+/// 100% (up to float rendering).
+pub fn tail_attribution(traces: &[RequestTrace], q: f64) -> Vec<StageShare> {
+    if traces.is_empty() {
+        return Vec::new();
+    }
+    let mut totals: Vec<u64> = traces.iter().map(|t| t.total_ns).collect();
+    totals.sort_unstable();
+    let n = totals.len();
+    // The tail is the slowest (1-q) fraction, at least one request; ties
+    // at the cut are included.
+    let frac = (1.0 - q.clamp(0.0, 1.0)) * n as f64;
+    let keep = ((frac - 1e-9).ceil() as usize).clamp(1, n);
+    let threshold = totals[n - keep];
+    let tail: Vec<&RequestTrace> = traces.iter().filter(|t| t.total_ns >= threshold).collect();
+    let mut by_stage: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut tail_total = 0u64;
+    for t in &tail {
+        tail_total += t.total_ns;
+        for s in &t.stages {
+            *by_stage.entry(s.name).or_insert(0) += s.dur_ns;
+        }
+    }
+    let n = tail.len().max(1) as f64;
+    let mut out: Vec<StageShare> = by_stage
+        .into_iter()
+        .map(|(stage, total_ns)| StageShare {
+            stage,
+            total_ns,
+            share_pct: if tail_total == 0 {
+                0.0
+            } else {
+                100.0 * total_ns as f64 / tail_total as f64
+            },
+            mean_ms: total_ns as f64 / n / 1.0e6,
+        })
+        .collect();
+    out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.stage.cmp(b.stage)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(class: &'static str, stages: &[(&'static str, u64)]) -> RequestTrace {
+        let clock = TraceClock::new();
+        let mut ctx = TraceContext::begin(&clock);
+        let mut tick = ctx.last_ns();
+        for &(name, dur) in stages {
+            tick += dur;
+            ctx.stage_at(name, tick);
+        }
+        ctx.finish(class)
+    }
+
+    #[test]
+    fn stages_tile_total_exactly() {
+        let t = trace(
+            "measured",
+            &[("resolve", 7), ("queue_wait", 1000), ("measure", 31)],
+        );
+        assert!(t.tiles_exactly());
+        assert_eq!(t.total_ns, 1038);
+        assert_eq!(t.stage_ns("queue_wait"), Some(1000));
+        assert_eq!(t.stage_ns("absent"), None);
+    }
+
+    #[test]
+    fn request_ids_are_monotone() {
+        let clock = TraceClock::new();
+        let a = TraceContext::begin(&clock).request_id();
+        let b = TraceContext::begin(&clock).request_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn out_of_order_splice_is_clamped_and_still_tiles() {
+        let clock = TraceClock::new();
+        let mut ctx = TraceContext::begin(&clock);
+        let base = ctx.last_ns();
+        ctx.stage_at("a", base + 100);
+        // An earlier tick (e.g. a worker boundary that raced) clamps to a
+        // zero-length stage instead of breaking monotonicity.
+        ctx.stage_at("b", base + 50);
+        ctx.stage_at("c", base + 130);
+        let t = ctx.finish("x");
+        assert!(t.tiles_exactly());
+        assert_eq!(t.stage_ns("b"), Some(0));
+        assert_eq!(t.total_ns, 130);
+    }
+
+    #[test]
+    fn live_clock_trace_tiles() {
+        let clock = TraceClock::new();
+        let mut ctx = TraceContext::begin(&clock);
+        ctx.stage("one", &clock);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        ctx.stage("two", &clock);
+        let t = ctx.finish("live");
+        assert!(t.tiles_exactly());
+        assert!(t.stage_ns("two").unwrap() >= 1_000_000);
+    }
+
+    #[test]
+    fn reservoir_keeps_k_slowest_per_class() {
+        let res = ExemplarReservoir::new(2);
+        for dur in [10, 50, 30, 90, 20] {
+            res.record(&trace("hot_cache", &[("s", dur)]));
+        }
+        res.record(&trace("measured", &[("s", 5)]));
+        let snap = res.snapshot();
+        let hot: Vec<u64> = snap["hot_cache"].iter().map(|t| t.total_ns).collect();
+        assert_eq!(hot, vec![90, 50], "slowest-first, k=2");
+        assert_eq!(snap["measured"].len(), 1);
+        assert_eq!(res.slowest_class(), Some("hot_cache"));
+    }
+
+    #[test]
+    fn reservoir_zero_k_retains_nothing() {
+        let res = ExemplarReservoir::new(0);
+        res.record(&trace("x", &[("s", 1)]));
+        assert!(res.snapshot().is_empty());
+        assert_eq!(res.slowest_class(), None);
+    }
+
+    #[test]
+    fn timeline_exports_stages_and_umbrella() {
+        let t = trace(
+            "measured",
+            &[("resolve", 1_000_000), ("measure", 3_000_000)],
+        );
+        let tl = timeline_of(&[t]);
+        assert_eq!(tl.spans.len(), 3); // umbrella + 2 stages
+        let total: f64 = tl
+            .spans
+            .iter()
+            .filter(|s| s.cat == "serve_stage")
+            .map(|s| s.dur_ms)
+            .sum();
+        assert!((total - 4.0).abs() < 1e-9);
+        let json = crate::to_chrome_json(&tl);
+        assert!(json.contains("\"request\""), "{json}");
+    }
+
+    #[test]
+    fn tail_attribution_shares_sum_to_hundred() {
+        // 99 fast requests dominated by "hot_cache", one slow one
+        // dominated by "queue_wait": the p99 tail is the slow request.
+        let mut traces = Vec::new();
+        for _ in 0..99 {
+            traces.push(trace("hot_cache", &[("resolve", 10), ("hot_cache", 90)]));
+        }
+        traces.push(trace(
+            "measured",
+            &[
+                ("resolve", 10),
+                ("queue_wait", 6100),
+                ("measure", 3000),
+                ("db_write", 890),
+            ],
+        ));
+        let shares = tail_attribution(&traces, 0.99);
+        assert_eq!(shares[0].stage, "queue_wait");
+        assert!((shares[0].share_pct - 61.0).abs() < 1e-9, "{shares:?}");
+        let sum: f64 = shares.iter().map(|s| s.share_pct).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!(tail_attribution(&[], 0.99).is_empty());
+    }
+}

@@ -43,7 +43,10 @@
 
 use nnlqp::{MonitorConfig, Nnlqp, PredictorKind, TrainPredictorConfig};
 use nnlqp_models::ModelFamily;
-use nnlqp_serve::{AbConfig, LatencyService, ServeConfig, Served};
+use nnlqp_obs::{timeline_of, to_chrome_json, HistogramSnapshot};
+use nnlqp_serve::{
+    find_knee, run_sweep, AbConfig, LatencyService, OpenLoopConfig, ServeConfig, Served,
+};
 use nnlqp_sim::{DeviceFarm, PlatformSpec};
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
@@ -57,11 +60,15 @@ fn usage() -> ! {
     eprintln!("              [--retrain-after N] [--snapshot FILE] [--durable DIR]");
     eprintln!("              [--monitor-sample N] [--events FILE]");
     eprintln!("              [--metrics FILE] [--metrics-every-ms N] [--ab]");
+    eprintln!("  serve-bench --open-loop [--rates R1,R2,...] [--duration-ms N] [--keys N]");
+    eprintln!("              [--zipf S] [--clients N] [--workers N] [--queue N]");
+    eprintln!("              [--degrade-backlog N] [--platform NAME] [--family FAMILY]");
+    eprintln!("              [--reps R] [--seed S] [--out FILE] [--trace-out FILE]");
     std::process::exit(2);
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 1] = ["ab"];
+const BOOL_FLAGS: [&str; 2] = ["ab", "open-loop"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -97,9 +104,25 @@ fn num(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
     })
 }
 
+/// Quantile summary of a wall-time histogram, for the closed-loop
+/// queue-wait printout and its JSON section.
+fn wait_summary(h: &HistogramSnapshot) -> serde_json::Value {
+    serde_json::json!({
+        "count": h.count,
+        "mean_ms": h.mean(),
+        "p50_ms": h.quantile(0.50),
+        "p99_ms": h.quantile(0.99),
+        "p999_ms": h.quantile(0.999),
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = parse_flags(&args);
+    if flags.contains_key("open-loop") {
+        open_loop_main(&flags);
+        return;
+    }
 
     let clients = num(&flags, "clients", 8).max(1);
     let dup_requests = num(&flags, "dup-requests", 6);
@@ -270,6 +293,26 @@ fn main() {
             .expect("quality report renders valid JSON");
         doc.insert("quality".to_string(), q);
     }
+    // Enqueue→dequeue queue wait, recorded by the workers on every
+    // dequeued job — reported separately so closed-loop numbers can be
+    // compared honestly against open-loop runs at the same offered rate
+    // (closed-loop latency-from-dequeue hides exactly this wait).
+    let registry_snap = system.registry().snapshot();
+    if let Some(h) = registry_snap
+        .histograms
+        .get(nnlqp_serve::metric_names::QUEUE_WAIT_MS)
+    {
+        if h.count > 0 {
+            eprintln!(
+                "queue wait (enqueue->dequeue): {} jobs, mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+            );
+        }
+        doc.insert("queue_wait".to_string(), wait_summary(h));
+    }
     if let Some(champions) = service.champions() {
         let table: std::collections::BTreeMap<String, serde_json::Value> = champions
             .into_iter()
@@ -332,6 +375,228 @@ fn main() {
     } else {
         for f in &failures {
             eprintln!("serve-bench: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `serve-bench --open-loop`: sweep a ladder of fixed offered arrival
+/// rates (Poisson arrivals, Zipfian key popularity), measure every
+/// request from its intended arrival time, and publish the result as a
+/// schema-stable JSON document (`--out`, checked in as
+/// `BENCH_serve.json`) plus a Chrome trace of the slowest class's
+/// exemplar requests (`--trace-out`).
+fn open_loop_main(flags: &HashMap<String, String>) {
+    let clients = num(flags, "clients", 8).max(1);
+    let workers = num(flags, "workers", 2).max(1);
+    let queue = num(flags, "queue", 64).max(1);
+    let keys = num(flags, "keys", 24).max(1);
+    let duration_ms = num(flags, "duration-ms", 1000).max(10);
+    let reps = num(flags, "reps", 3).max(1);
+    let seed = num(flags, "seed", 42) as u64;
+    // No predictor is trained in open-loop mode, so the degrade tier
+    // stays cold regardless — saturation shows up as queue wait and
+    // overload rejections, which is the behaviour the sweep probes.
+    let degrade_backlog = num(flags, "degrade-backlog", usize::MAX);
+    let zipf_s: f64 = flags.get("zipf").map_or(1.1, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("error: --zipf must be a number");
+            usage();
+        })
+    });
+    let rates: Vec<f64> = flags
+        .get("rates")
+        .map(String::as_str)
+        .unwrap_or("25,50,100")
+        .split(',')
+        .map(|r| {
+            r.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: --rates must be comma-separated numbers");
+                usage();
+            })
+        })
+        .collect();
+    if rates.is_empty() || rates.windows(2).any(|w| w[0] >= w[1]) {
+        eprintln!("error: --rates must be strictly increasing");
+        usage();
+    }
+    let platform = flags
+        .get("platform")
+        .cloned()
+        .unwrap_or_else(|| "gpu-T4-trt7.1-fp32".to_string());
+    let family = flags
+        .get("family")
+        .map(|f| {
+            ModelFamily::parse(f).unwrap_or_else(|| {
+                eprintln!("error: --family must name a model family");
+                usage();
+            })
+        })
+        .unwrap_or(ModelFamily::SqueezeNet);
+
+    let system = Arc::new(
+        Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 4))
+            .reps(reps)
+            .seed(seed)
+            .build(),
+    );
+    let service = Arc::new(LatencyService::start(
+        Arc::clone(&system),
+        ServeConfig {
+            workers,
+            queue_depth: queue,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            degrade_backlog,
+            ..Default::default()
+        },
+    ));
+
+    let cfg = OpenLoopConfig {
+        rates_rps: rates.clone(),
+        duration: Duration::from_millis(duration_ms as u64),
+        clients,
+        zipf_s,
+        platform: platform.clone(),
+        batch: 1,
+        seed,
+    };
+    // Each rate gets a fresh Zipf key space: a later rate must win or
+    // lose on its own queueing behaviour, not on caches the previous
+    // rate warmed.
+    let reports = run_sweep(&service, &cfg, |i| {
+        nnlqp_models::generate_family(family, keys, seed ^ ((i as u64 + 1) << 20))
+            .into_iter()
+            .map(|m| Arc::new(m.graph))
+            .collect()
+    });
+    for r in &reports {
+        eprintln!(
+            "rate {:>7.1} rps: {} scheduled, {} ok, {} err | p50 {:>8.3} ms  p99 {:>9.3} ms  p999 {:>9.3} ms",
+            r.offered_rps, r.scheduled, r.completed, r.errors, r.p50_ms, r.p99_ms, r.p999_ms,
+        );
+    }
+    let knee = find_knee(&reports, 5.0);
+    match knee {
+        Some(rps) => eprintln!("knee: p99 leaves the floor at {rps} rps (>5x the unloaded p99)"),
+        None => eprintln!("knee: not reached within the swept rates"),
+    }
+
+    // Chrome trace of the slowest class's retained exemplars.
+    if let Some(path) = flags.get("trace-out") {
+        let snap = service.exemplars().snapshot();
+        if let Some(class) = service.exemplars().slowest_class() {
+            let traces = &snap[class];
+            let json = to_chrome_json(&timeline_of(traces));
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote Chrome trace of {} '{class}' exemplars to {path}",
+                traces.len()
+            );
+        }
+    }
+    if let Err(e) = service.shutdown() {
+        eprintln!("error: shutdown failed: {e}");
+        std::process::exit(1);
+    }
+
+    let rate_docs: Vec<serde_json::Value> = reports
+        .iter()
+        .map(|r| {
+            let outcomes: std::collections::BTreeMap<String, serde_json::Value> = r
+                .outcomes
+                .iter()
+                .map(|(&class, &n)| (class.to_string(), serde_json::json!(n)))
+                .collect();
+            let attribution: Vec<serde_json::Value> = r
+                .attribution
+                .iter()
+                .map(|s| {
+                    serde_json::json!({
+                        "stage": s.stage,
+                        "share_pct": s.share_pct,
+                        "mean_ms": s.mean_ms,
+                        "total_ms": s.total_ns as f64 / 1.0e6,
+                    })
+                })
+                .collect();
+            serde_json::json!({
+                "offered_rps": r.offered_rps,
+                "achieved_rps": r.achieved_rps,
+                "scheduled": r.scheduled,
+                "completed": r.completed,
+                "errors": r.errors,
+                "latency_ms": {
+                    "p50": r.p50_ms,
+                    "p99": r.p99_ms,
+                    "p999": r.p999_ms,
+                    "max": r.max_ms,
+                    "mean": r.mean_ms,
+                },
+                "outcomes": serde_json::Value::Object(outcomes),
+                "tail_attribution_p99": attribution,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "schema_version": 1,
+        "mode": "open_loop",
+        "config": {
+            "platform": platform,
+            "family": family.name(),
+            "keys_per_rate": keys,
+            "zipf_s": zipf_s,
+            "duration_ms": duration_ms,
+            "clients": clients,
+            "workers": workers,
+            "queue_depth": queue,
+            "reps": reps,
+            "seed": seed,
+        },
+        "rates": rate_docs,
+        "knee_rps": knee,
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("render BENCH doc");
+    println!("{rendered}");
+    if let Some(path) = flags.get("out") {
+        if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    // Pass/fail: quantiles must be ordered, attribution must tile the
+    // tail (shares sum to ~100%), and every scheduled arrival must have
+    // been accounted for.
+    let mut failures = Vec::new();
+    for r in &reports {
+        if r.completed + r.errors != r.scheduled {
+            failures.push(format!(
+                "rate {}: {} + {} outcomes != {} scheduled",
+                r.offered_rps, r.completed, r.errors, r.scheduled
+            ));
+        }
+        if !(r.p50_ms <= r.p99_ms && r.p99_ms <= r.p999_ms && r.p999_ms <= r.max_ms) {
+            failures.push(format!("rate {}: quantiles out of order", r.offered_rps));
+        }
+        let share_sum: f64 = r.attribution.iter().map(|s| s.share_pct).sum();
+        if !r.attribution.is_empty() && (share_sum - 100.0).abs() > 0.5 {
+            failures.push(format!(
+                "rate {}: attribution shares sum to {share_sum:.2}%",
+                r.offered_rps
+            ));
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("serve-bench --open-loop: OK");
+    } else {
+        for f in &failures {
+            eprintln!("serve-bench --open-loop: FAIL: {f}");
         }
         std::process::exit(1);
     }

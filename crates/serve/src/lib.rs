@@ -37,10 +37,14 @@
 
 pub mod cache;
 pub mod metrics;
+pub mod openloop;
 pub mod service;
 pub mod singleflight;
 
 pub use cache::{CacheKey, ShardedLru};
-pub use metrics::{metric_names, MetricsSnapshot, ServeMetrics, HISTOGRAM_BOUNDS_MS};
+pub use metrics::{
+    metric_names, wall_bounds_ms, MetricsSnapshot, ServeMetrics, HISTOGRAM_BOUNDS_MS, STAGE_NAMES,
+};
+pub use openloop::{find_knee, run_rate, run_sweep, OpenLoopConfig, RateReport};
 pub use service::{AbConfig, LatencyService, ServeConfig, ServeError, Served, Source};
 pub use singleflight::{Flight, Role, SingleFlight};

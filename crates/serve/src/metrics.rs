@@ -12,7 +12,8 @@
 //! `system.registry()`), so one snapshot shows the serving tiers next to
 //! the query-stage histograms.
 
-use nnlqp_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use nnlqp_obs::{log_bounds, Counter, Gauge, Histogram, MetricsRegistry, RequestTrace};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Upper bucket bounds for served latencies, in milliseconds. Values above
@@ -20,6 +21,33 @@ use std::sync::Arc;
 pub const HISTOGRAM_BOUNDS_MS: [f64; 15] = [
     0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0,
 ];
+
+/// Every stage name the request tracer can mark (see
+/// `service.rs`): each gets its own log-bucketed duration histogram.
+pub const STAGE_NAMES: [&str; 14] = [
+    "resolve",
+    "hot_cache",
+    "db_lookup",
+    "shadow_eval",
+    "admission",
+    "embed_cache",
+    "predict_head",
+    "enqueue",
+    "queue_wait",
+    "measure",
+    "db_write",
+    "publish",
+    "response",
+    "coalesce_wait",
+];
+
+/// Log-spaced bucket bounds for wall-clock durations, in milliseconds:
+/// 1 µs to ~11.8 s at a √2 ratio (≈ ±20% quantile resolution), so p999
+/// stays readable across the whole range — the linear
+/// [`HISTOGRAM_BOUNDS_MS`] can't resolve the tail.
+pub fn wall_bounds_ms() -> Vec<f64> {
+    log_bounds(0.001, std::f64::consts::SQRT_2, 48)
+}
 
 /// Registry names of the serving layer's metrics.
 pub mod metric_names {
@@ -67,6 +95,15 @@ pub mod metric_names {
     pub const AB_CHALLENGER_SAMPLES: &str = "serve.ab_challenger_samples";
     /// Histogram: served latencies in milliseconds.
     pub const LATENCY_MS: &str = "serve.latency_ms";
+    /// Histogram (log buckets): end-to-end request wall time in
+    /// milliseconds, from trace begin to last stage boundary.
+    pub const REQUEST_WALL_MS: &str = "serve.request_wall_ms";
+    /// Histogram (log buckets): enqueue→dequeue wait on the measurement
+    /// queue, milliseconds.
+    pub const QUEUE_WAIT_MS: &str = "serve.queue_wait_ms";
+    /// Histogram-name prefix (log buckets): per-stage wall time in
+    /// milliseconds; one series per [`super::STAGE_NAMES`] entry.
+    pub const STAGE_MS_PREFIX: &str = "serve.stage_ms.";
     /// Gauge: jobs waiting on the measurement queue.
     pub const QUEUE_DEPTH: &str = "serve.queue_depth";
     /// Gauge: hot-cache entries.
@@ -92,6 +129,9 @@ pub struct ServeMetrics {
     quant_publishes: Arc<Counter>,
     quant_rejected: Arc<Counter>,
     latency: Arc<Histogram>,
+    request_wall: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
+    stage: HashMap<&'static str, Arc<Histogram>>,
     queue_depth: Arc<Gauge>,
     hot_cache_len: Arc<Gauge>,
 }
@@ -116,6 +156,7 @@ impl ServeMetrics {
     /// Re-registering over the same registry resumes the existing series
     /// (handles are get-or-create).
     pub fn new(registry: &MetricsRegistry) -> Self {
+        let wall = wall_bounds_ms();
         ServeMetrics {
             requests: registry.counter(metric_names::REQUESTS),
             hot_hits: registry.counter(metric_names::HOT_HITS),
@@ -134,9 +175,35 @@ impl ServeMetrics {
             quant_publishes: registry.counter(metric_names::QUANT_PUBLISHES),
             quant_rejected: registry.counter(metric_names::QUANT_REJECTED),
             latency: registry.histogram(metric_names::LATENCY_MS, &HISTOGRAM_BOUNDS_MS),
+            request_wall: registry.histogram(metric_names::REQUEST_WALL_MS, &wall),
+            queue_wait: registry.histogram(metric_names::QUEUE_WAIT_MS, &wall),
+            stage: STAGE_NAMES
+                .iter()
+                .map(|&name| {
+                    let series = format!("{}{name}", metric_names::STAGE_MS_PREFIX);
+                    (name, registry.histogram(&series, &wall))
+                })
+                .collect(),
             queue_depth: registry.gauge(metric_names::QUEUE_DEPTH),
             hot_cache_len: registry.gauge(metric_names::HOT_CACHE_LEN),
         }
+    }
+
+    /// Feed a finished request trace into the wall-time and per-stage
+    /// histograms. Stage names outside [`STAGE_NAMES`] are ignored (the
+    /// tracer only emits known names; this keeps the series set bounded).
+    pub fn record_trace(&self, trace: &RequestTrace) {
+        self.request_wall.observe(trace.total_ms());
+        for s in &trace.stages {
+            if let Some(h) = self.stage.get(s.name) {
+                h.observe(s.dur_ns as f64 / 1.0e6);
+            }
+        }
+    }
+
+    /// Record one enqueue→dequeue wait on the measurement queue.
+    pub(crate) fn observe_queue_wait(&self, ms: f64) {
+        self.queue_wait.observe(ms);
     }
 
     bump!(

@@ -1,0 +1,348 @@
+//! Open-loop load generation for the latency service.
+//!
+//! The closed-loop `serve-bench` phases measure latency from *dequeue*:
+//! each client waits for its previous answer before sending the next
+//! request, so when the service stalls the clients stop offering load
+//! and the stall never shows in the numbers — *coordinated omission*.
+//!
+//! This module drives the service the way real traffic does:
+//!
+//! * arrivals are **scheduled** from a fixed offered rate (exponential
+//!   inter-arrival times — a Poisson process), independent of how fast
+//!   the service answers;
+//! * latency is measured from the request's **intended arrival time**,
+//!   so time spent queued behind a stalled service is charged to the
+//!   request (as a `sched_wait` stage spliced in front of the service's
+//!   own trace — the combined stages still tile the open-loop latency
+//!   exactly);
+//! * key popularity is **Zipfian**, so a handful of hot keys dominate
+//!   (and cache quickly) while the long tail keeps forcing farm
+//!   measurements.
+//!
+//! Sweeping a ladder of offered rates locates the *knee*: the rate where
+//! queueing delay takes off and p99 departs from the service floor.
+
+use crate::service::{LatencyService, ServeError};
+use nnlqp_ir::{Graph, Rng64};
+use nnlqp_obs::{tail_attribution, RequestTrace, StageShare, TraceStage};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+/// One open-loop sweep: a ladder of fixed offered rates over the same
+/// workload shape.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Offered arrival rates to sweep, requests/second, ascending.
+    pub rates_rps: Vec<f64>,
+    /// How long each rate runs.
+    pub duration: Duration,
+    /// Client threads the scheduled arrivals are dealt across. Bounds
+    /// concurrency the honest way: a client behind schedule charges the
+    /// delay to the requests it delayed.
+    pub clients: usize,
+    /// Zipf exponent for key popularity (0 = uniform; ~1 = web-like).
+    pub zipf_s: f64,
+    /// Target platform name.
+    pub platform: String,
+    /// Batch size for every request.
+    pub batch: u32,
+    /// Seed for arrival times and key sampling.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            rates_rps: vec![25.0, 50.0, 100.0],
+            duration: Duration::from_secs(2),
+            clients: 8,
+            zipf_s: 1.1,
+            platform: "gpu-T4-trt7.1-fp32".to_string(),
+            batch: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of one fixed-rate run.
+#[derive(Debug, Clone)]
+pub struct RateReport {
+    /// The offered (scheduled) arrival rate, requests/second.
+    pub offered_rps: f64,
+    /// Completions per second of actual wall time.
+    pub achieved_rps: f64,
+    /// Arrivals scheduled for this rate.
+    pub scheduled: usize,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests that returned an error (overload rejections, ...).
+    pub errors: usize,
+    /// Open-loop latency quantiles, milliseconds, measured from each
+    /// request's intended arrival time.
+    pub p50_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// 99.9th percentile.
+    pub p999_ms: f64,
+    /// Slowest request.
+    pub max_ms: f64,
+    /// Mean.
+    pub mean_ms: f64,
+    /// Requests per terminal class (trace classes; errors appear under
+    /// their error class).
+    pub outcomes: BTreeMap<&'static str, usize>,
+    /// Where the p99 tail went, by stage — shares of the tail's total
+    /// open-loop time, `sched_wait` included, summing to 100%.
+    pub attribution: Vec<StageShare>,
+}
+
+/// Precomputed Zipf CDF over ranks `0..keys`: weight of rank r is
+/// `1/(r+1)^s`, so rank 0 is the hottest key.
+struct ZipfCdf {
+    cdf: Vec<f64>,
+}
+
+impl ZipfCdf {
+    fn new(keys: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(keys.max(1));
+        let mut acc = 0.0;
+        for r in 0..keys.max(1) {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("at least one key");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.uniform();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Run one fixed offered rate against the service: schedule Poisson
+/// arrivals over Zipf-popular `models`, deal them across
+/// [`OpenLoopConfig::clients`] threads, and measure every request from
+/// its intended arrival tick.
+pub fn run_rate(
+    service: &Arc<LatencyService>,
+    models: &[Arc<Graph>],
+    cfg: &OpenLoopConfig,
+    rate_rps: f64,
+) -> RateReport {
+    assert!(rate_rps > 0.0, "rate must be positive");
+    assert!(!models.is_empty(), "need at least one model");
+    let clients = cfg.clients.max(1);
+    let mut rng = Rng64::new(cfg.seed ^ rate_rps.to_bits());
+    let zipf = ZipfCdf::new(models.len(), cfg.zipf_s);
+
+    // The schedule: cumulative exponential inter-arrival gaps at the
+    // offered rate, each arrival bound to a Zipf-sampled key up front so
+    // the workload is identical no matter how the service behaves.
+    let horizon_ns = cfg.duration.as_nanos() as u64;
+    let mut schedule: Vec<(u64, usize)> = Vec::new();
+    let mut at_ns = 0u64;
+    loop {
+        let gap_s = -(1.0 - rng.uniform()).ln() / rate_rps;
+        at_ns += (gap_s * 1.0e9) as u64;
+        if at_ns >= horizon_ns {
+            break;
+        }
+        schedule.push((at_ns, zipf.sample(&mut rng)));
+    }
+    let scheduled = schedule.len();
+
+    let clock = Arc::clone(service.trace_clock());
+    let results: Mutex<Vec<(Result<(), ServeError>, RequestTrace)>> =
+        Mutex::new(Vec::with_capacity(scheduled));
+    let barrier = Barrier::new(clients);
+    let started = std::thread::scope(|s| {
+        for c in 0..clients {
+            // Deal arrivals round-robin so every client sees the full
+            // rate range, then run them in scheduled order.
+            let mine: Vec<(u64, usize)> =
+                schedule.iter().skip(c).step_by(clients).copied().collect();
+            let (service, clock, results, barrier) = (service, &clock, &results, &barrier);
+            let platform = cfg.platform.as_str();
+            let batch = cfg.batch;
+            s.spawn(move || {
+                barrier.wait();
+                let base_ns = clock.now_ns();
+                let mut local = Vec::with_capacity(mine.len());
+                for (offset_ns, key) in mine {
+                    let target_ns = base_ns + offset_ns;
+                    loop {
+                        let now = clock.now_ns();
+                        if now >= target_ns {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_nanos(target_ns - now));
+                    }
+                    let (res, trace) = service.query_traced(&models[key], platform, batch);
+                    // Splice the intended-arrival wait in front of the
+                    // service's stages: the combined trace tiles the
+                    // open-loop latency exactly, and coordinated
+                    // omission shows up as `sched_wait` instead of
+                    // disappearing.
+                    let mut t = trace;
+                    let delay_ns = t.start_ns.saturating_sub(target_ns);
+                    t.stages.insert(
+                        0,
+                        TraceStage {
+                            name: "sched_wait",
+                            dur_ns: delay_ns,
+                        },
+                    );
+                    t.start_ns -= delay_ns;
+                    t.total_ns += delay_ns;
+                    local.push((res.map(|_| ()), t));
+                }
+                results.lock().expect("results lock").append(&mut local);
+            });
+        }
+        clock.now_ns()
+    });
+    let ended = clock.now_ns();
+
+    let all = results.into_inner().expect("results lock");
+    let mut outcomes: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut totals: Vec<u64> = Vec::with_capacity(all.len());
+    let mut errors = 0usize;
+    let mut traces: Vec<RequestTrace> = Vec::with_capacity(all.len());
+    for (res, trace) in all {
+        *outcomes.entry(trace.class).or_insert(0) += 1;
+        totals.push(trace.total_ns);
+        if res.is_err() {
+            errors += 1;
+        }
+        traces.push(trace);
+    }
+    totals.sort_unstable();
+    let completed = totals.len() - errors;
+    let wall_s = (ended.saturating_sub(started) as f64 / 1.0e9).max(1.0e-9);
+    let pctl = |q: f64| -> f64 {
+        if totals.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * totals.len() as f64).ceil() as usize).clamp(1, totals.len());
+        totals[rank - 1] as f64 / 1.0e6
+    };
+    RateReport {
+        offered_rps: rate_rps,
+        achieved_rps: completed as f64 / wall_s,
+        scheduled,
+        completed,
+        errors,
+        p50_ms: pctl(0.50),
+        p99_ms: pctl(0.99),
+        p999_ms: pctl(0.999),
+        max_ms: totals.last().map_or(0.0, |&n| n as f64 / 1.0e6),
+        mean_ms: if totals.is_empty() {
+            0.0
+        } else {
+            totals.iter().sum::<u64>() as f64 / totals.len() as f64 / 1.0e6
+        },
+        outcomes,
+        attribution: tail_attribution(&traces, 0.99),
+    }
+}
+
+/// Sweep every rate in [`OpenLoopConfig::rates_rps`] in order. Each rate
+/// gets its own key space via `models_for` (rate index → models), so a
+/// later rate is not served entirely out of caches the previous rate
+/// warmed.
+pub fn run_sweep(
+    service: &Arc<LatencyService>,
+    cfg: &OpenLoopConfig,
+    models_for: impl Fn(usize) -> Vec<Arc<Graph>>,
+) -> Vec<RateReport> {
+    cfg.rates_rps
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| run_rate(service, &models_for(i), cfg, rate))
+        .collect()
+}
+
+/// The knee of a sweep: the first rate whose p99 exceeds `factor` times
+/// the lowest p99 seen at any *earlier* rate — where queueing delay has
+/// taken off. The floor is the running minimum rather than the first
+/// rate's p99, so one scheduler stall during an unloaded rate cannot
+/// poison the baseline and mask the real blowup.
+pub fn find_knee(reports: &[RateReport], factor: f64) -> Option<f64> {
+    let mut floor = reports.first()?.p99_ms.max(1.0e-6);
+    for r in reports.iter().skip(1) {
+        if r.p99_ms > floor * factor {
+            return Some(r.offered_rps);
+        }
+        floor = floor.min(r.p99_ms.max(1.0e-6));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_front_loaded_and_in_range() {
+        let zipf = ZipfCdf::new(50, 1.1);
+        let mut rng = Rng64::new(7);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            let k = zipf.sample(&mut rng);
+            assert!(k < 50);
+            counts[k] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[49] * 5);
+        assert!(counts.iter().sum::<usize>() == 20_000);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let zipf = ZipfCdf::new(10, 0.0);
+        let mut rng = Rng64::new(11);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn knee_detection_picks_first_blowup() {
+        let mk = |rps: f64, p99: f64| RateReport {
+            offered_rps: rps,
+            achieved_rps: rps,
+            scheduled: 100,
+            completed: 100,
+            errors: 0,
+            p50_ms: p99 / 2.0,
+            p99_ms: p99,
+            p999_ms: p99 * 1.5,
+            max_ms: p99 * 2.0,
+            mean_ms: p99 / 2.0,
+            outcomes: BTreeMap::new(),
+            attribution: Vec::new(),
+        };
+        let reports = vec![mk(25.0, 2.0), mk(50.0, 3.0), mk(100.0, 40.0)];
+        assert_eq!(find_knee(&reports, 5.0), Some(100.0));
+        assert_eq!(find_knee(&reports[..2], 5.0), None);
+        assert_eq!(find_knee(&[], 5.0), None);
+        // A stall that inflates an early unloaded rate must not poison
+        // the floor: the running minimum recovers at the next rate.
+        let noisy = vec![
+            mk(25.0, 30.0),
+            mk(50.0, 2.0),
+            mk(100.0, 3.0),
+            mk(200.0, 40.0),
+        ];
+        assert_eq!(find_knee(&noisy, 5.0), Some(200.0));
+    }
+}

@@ -61,14 +61,15 @@ use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::singleflight::{Role, SingleFlight};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use nnlqp::{
-    Nnlqp, PredictResult, PredictorHandle, PredictorKind, QueryError, TrainPredictorConfig,
+    Nnlqp, PredictResult, PredictTicks, PredictorHandle, PredictorKind, QueryError,
+    TrainPredictorConfig,
 };
 use nnlqp_db::PlatformId;
 use nnlqp_hash::graph_hash;
 use nnlqp_ir::Graph;
 use nnlqp_obs::{
-    acc_at, to_prometheus, ErrorWindow, EventLog, FieldValue, MetricsRegistry, MonitorConfig,
-    QualityMonitor, QualityReport,
+    acc_at, to_prometheus, ErrorWindow, EventLog, ExemplarReservoir, FieldValue, MetricsRegistry,
+    MonitorConfig, QualityMonitor, QualityReport, RequestTrace, TraceClock, TraceContext,
 };
 use nnlqp_sim::{FarmError, Platform};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -79,6 +80,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Slowest full traces retained per terminal class by the exemplar
+/// reservoir — enough to see *why* a class's tail looks the way it does
+/// without unbounded memory.
+const EXEMPLARS_PER_CLASS: usize = 4;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -278,6 +284,30 @@ struct Job {
     key: CacheKey,
     platform: Platform,
     graph: Arc<Graph>,
+    /// Tick on the service's [`TraceClock`] when the leader enqueued the
+    /// job — workers derive enqueue→dequeue queue wait from it.
+    enqueued_ns: u64,
+}
+
+/// What a flight publishes to its leader and every coalesced follower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FlightOutcome {
+    latency_ms: f64,
+    /// Worker-side stage boundaries on the shared clock; `None` when the
+    /// flight was settled without a worker (leader double-check hit).
+    /// Only the *leader* splices these into its trace — a follower may
+    /// have joined after any of them.
+    ticks: Option<WorkerTicks>,
+}
+
+/// Worker-side stage boundaries of one measurement, as ticks on the
+/// service's [`TraceClock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WorkerTicks {
+    dequeued_ns: u64,
+    measured_ns: u64,
+    db_write_ns: u64,
+    published_ns: u64,
 }
 
 #[derive(Default)]
@@ -362,6 +392,21 @@ fn predict_routed(
         return system.predict_effective_with(&handle, graph, platform);
     }
     system.predict_effective(graph, platform)
+}
+
+/// [`predict_routed`] with wall-clock stage ticks — the degrade tier goes
+/// through here so its trace splits into embed-cache and head stages.
+fn predict_routed_staged(
+    system: &Nnlqp,
+    ab: Option<&AbState>,
+    graph: &Graph,
+    platform: &str,
+    clock: &TraceClock,
+) -> Result<(PredictResult, PredictTicks), QueryError> {
+    if let Some(handle) = ab.and_then(|ab| ab.route(platform)) {
+        return system.predict_effective_staged_with(&handle, graph, platform, clock);
+    }
+    system.predict_effective_staged(graph, platform, clock)
 }
 
 /// Bounded per-platform replay buffer of `(graph, measured_ms)` pairs.
@@ -572,12 +617,13 @@ impl Shadow {
 struct WorkerCtx {
     system: Arc<Nnlqp>,
     cache: Arc<ShardedLru>,
-    flights: Arc<SingleFlight<CacheKey, Result<f64, ServeError>>>,
+    flights: Arc<SingleFlight<CacheKey, Result<FlightOutcome, ServeError>>>,
     metrics: Arc<ServeMetrics>,
     retrain: Arc<RetrainShared>,
     shadow: Option<Arc<Shadow>>,
     events: Option<Arc<EventLog>>,
     farm_wait: Option<Duration>,
+    clock: Arc<TraceClock>,
 }
 
 struct WriterShared {
@@ -592,8 +638,10 @@ pub struct LatencyService {
     system: Arc<Nnlqp>,
     cfg: ServeConfig,
     cache: Arc<ShardedLru>,
-    flights: Arc<SingleFlight<CacheKey, Result<f64, ServeError>>>,
+    flights: Arc<SingleFlight<CacheKey, Result<FlightOutcome, ServeError>>>,
     metrics: Arc<ServeMetrics>,
+    clock: Arc<TraceClock>,
+    exemplars: Arc<ExemplarReservoir>,
     platforms: RwLock<HashMap<String, PlatformBinding>>,
     tx: Mutex<Option<Sender<Job>>>,
     retrain: Arc<RetrainShared>,
@@ -628,6 +676,8 @@ impl LatencyService {
             .map(|m| Arc::new(Shadow::new(m, Arc::clone(system.registry()), ab.clone())));
         let events =
             (cfg.event_log_capacity > 0).then(|| Arc::new(EventLog::new(cfg.event_log_capacity)));
+        let clock = Arc::new(TraceClock::new());
+        let exemplars = Arc::new(ExemplarReservoir::new(EXEMPLARS_PER_CLASS));
         let (tx, rx) = bounded::<Job>(cfg.queue_depth.max(1));
         let ctx = Arc::new(WorkerCtx {
             system: Arc::clone(&system),
@@ -638,6 +688,7 @@ impl LatencyService {
             shadow: shadow.clone(),
             events: events.clone(),
             farm_wait: cfg.farm_wait,
+            clock: Arc::clone(&clock),
         });
         let mut threads = Vec::new();
         for i in 0..cfg.workers.max(1) {
@@ -694,6 +745,8 @@ impl LatencyService {
             cache,
             flights,
             metrics,
+            clock,
+            exemplars,
             platforms: RwLock::new(HashMap::new()),
             tx: Mutex::new(Some(tx)),
             retrain,
@@ -714,7 +767,38 @@ impl LatencyService {
         platform: &str,
         batch: u32,
     ) -> Result<Served, ServeError> {
-        let res = self.query_impl(model, platform, batch);
+        self.query_traced(model, platform, batch).0
+    }
+
+    /// [`LatencyService::query`] returning the request's full trace
+    /// alongside the answer. Tracing is always on — `query` itself goes
+    /// through here — so the trace costs nothing extra; this entry point
+    /// just hands it back instead of dropping it.
+    ///
+    /// The trace's stage durations tile its end-to-end latency exactly
+    /// (see `nnlqp_obs::trace`), and the trace has already been fed to
+    /// the wall-time histograms and the exemplar reservoir.
+    pub fn query_traced(
+        &self,
+        model: &Arc<Graph>,
+        platform: &str,
+        batch: u32,
+    ) -> (Result<Served, ServeError>, RequestTrace) {
+        let mut ctx = TraceContext::begin(&self.clock);
+        let res = self.query_impl(model, platform, batch, &mut ctx);
+        let class = match &res {
+            Ok(s) if s.coalesced => "coalesced",
+            Ok(s) => match s.source {
+                Source::HotCache => "hot_cache",
+                Source::Database => "db_hit",
+                Source::Measured => "measured",
+                Source::Predicted => "degraded",
+            },
+            Err(e) => error_str(e),
+        };
+        let trace = ctx.finish(class);
+        self.metrics.record_trace(&trace);
+        self.exemplars.record(&trace);
         if let Some(ev) = &self.events {
             match &res {
                 Ok(s) => ev.emit(
@@ -726,6 +810,8 @@ impl LatencyService {
                         ("latency_ms", s.latency_ms.into()),
                         ("approximate", s.approximate.into()),
                         ("coalesced", s.coalesced.into()),
+                        ("request_id", trace.request_id.into()),
+                        ("wall_ms", trace.total_ms().into()),
                     ],
                 ),
                 Err(e) => ev.emit(
@@ -735,11 +821,13 @@ impl LatencyService {
                         ("batch", u64::from(batch).into()),
                         ("source", "error".into()),
                         ("error", error_str(e).into()),
+                        ("request_id", trace.request_id.into()),
+                        ("wall_ms", trace.total_ms().into()),
                     ],
                 ),
             };
         }
-        res
+        (res, trace)
     }
 
     fn query_impl(
@@ -747,11 +835,13 @@ impl LatencyService {
         model: &Arc<Graph>,
         platform: &str,
         batch: u32,
+        ctx: &mut TraceContext,
     ) -> Result<Served, ServeError> {
         self.metrics.requests();
         let binding = match self.resolve(platform) {
             Ok(b) => b,
             Err(e) => {
+                ctx.stage("resolve", &self.clock);
                 self.metrics.errors();
                 return Err(e);
             }
@@ -759,6 +849,7 @@ impl LatencyService {
         let graph = match effective_graph(model, batch) {
             Ok(g) => g,
             Err(e) => {
+                ctx.stage("resolve", &self.clock);
                 self.metrics.errors();
                 return Err(e);
             }
@@ -768,9 +859,12 @@ impl LatencyService {
             platform: Arc::clone(&binding.canonical),
             batch,
         };
+        ctx.stage("resolve", &self.clock);
 
         // Tier 1: hot cache.
-        if let Some(ms) = self.cache.get(&key) {
+        let hot = self.cache.get(&key);
+        ctx.stage("hot_cache", &self.clock);
+        if let Some(ms) = hot {
             self.metrics.hot_hits();
             self.metrics.observe_latency(ms);
             return Ok(Served {
@@ -782,11 +876,12 @@ impl LatencyService {
         }
 
         // Tier 2: the evolving database; promote hits into the LRU.
-        if let Some(rec) = self
+        let db_rec = self
             .system
             .db
-            .lookup_latency(key.graph_hash, binding.id, batch)
-        {
+            .lookup_latency(key.graph_hash, binding.id, batch);
+        ctx.stage("db_lookup", &self.clock);
+        if let Some(rec) = db_rec {
             self.cache.insert(key, rec.cost_ms);
             self.metrics.set_hot_cache_len(self.cache.len() as f64);
             self.metrics.db_hits();
@@ -803,6 +898,7 @@ impl LatencyService {
                     &graph,
                     rec.cost_ms,
                 );
+                ctx.stage("shadow_eval", &self.clock);
             }
             return Ok(Served {
                 latency_ms: rec.cost_ms,
@@ -824,6 +920,7 @@ impl LatencyService {
             let report =
                 self.system
                     .analyze_admission(&graph, key.graph_hash, binding.platform.spec());
+            ctx.stage("admission", &self.clock);
             if report.has_errors() {
                 self.metrics.lint_rejected();
                 return Err(ServeError::LintRejected(report.render_text()));
@@ -839,9 +936,15 @@ impl LatencyService {
         if self.backlog() >= self.cfg.degrade_backlog
             && (routed || self.system.has_predictor_for(&binding.canonical))
         {
-            if let Ok(p) =
-                predict_routed(&self.system, self.ab.as_deref(), &graph, &binding.canonical)
-            {
+            if let Ok((p, ticks)) = predict_routed_staged(
+                &self.system,
+                self.ab.as_deref(),
+                &graph,
+                &binding.canonical,
+                &self.clock,
+            ) {
+                ctx.stage_at("embed_cache", ticks.embed_ns);
+                ctx.stage_at("predict_head", ticks.head_ns);
                 self.metrics.degraded();
                 self.metrics.observe_latency(p.latency_ms);
                 return Ok(Served {
@@ -857,7 +960,7 @@ impl LatencyService {
         match self.flights.begin(&key) {
             Role::Follower(flight) => {
                 self.metrics.coalesced();
-                self.settle(flight.wait(), true)
+                self.settle(flight.wait(), true, ctx)
             }
             Role::Leader(flight) => {
                 // Double-check: the previous flight for this key may have
@@ -865,7 +968,14 @@ impl LatencyService {
                 // fill the cache BEFORE completing, so a re-check here
                 // makes "one measurement per cached key" airtight.
                 if let Some(ms) = self.cache.get(&key) {
-                    self.flights.complete(&key, Ok(ms));
+                    self.flights.complete(
+                        &key,
+                        Ok(FlightOutcome {
+                            latency_ms: ms,
+                            ticks: None,
+                        }),
+                    );
+                    ctx.stage("hot_cache", &self.clock);
                     self.metrics.hot_hits();
                     self.metrics.observe_latency(ms);
                     return Ok(Served {
@@ -884,6 +994,7 @@ impl LatencyService {
                                 key: key.clone(),
                                 platform: binding.platform.clone(),
                                 graph,
+                                enqueued_ns: self.clock.now_ns(),
                             })
                             .map_err(|e| match e {
                                 TrySendError::Full(_) => ServeError::Overloaded,
@@ -891,6 +1002,7 @@ impl LatencyService {
                             }),
                     }
                 };
+                ctx.stage("enqueue", &self.clock);
                 if let Err(e) = enqueued {
                     // Publish the rejection so coalesced followers settle
                     // the same way instead of hanging.
@@ -898,18 +1010,39 @@ impl LatencyService {
                     self.metrics.rejected();
                     return Err(e);
                 }
-                self.settle(flight.wait(), false)
+                self.settle(flight.wait(), false, ctx)
             }
         }
     }
 
     fn settle(
         &self,
-        outcome: Result<f64, ServeError>,
+        outcome: Result<FlightOutcome, ServeError>,
         coalesced: bool,
+        ctx: &mut TraceContext,
     ) -> Result<Served, ServeError> {
+        // A follower's whole wait is one undecomposable stage — the
+        // worker's boundaries may predate its join, so splicing them
+        // would mis-tile. The leader owns the flight end to end: its
+        // wait *is* queue-wait + measure + db-write + publish, spliced
+        // from the worker's ticks on the shared clock (clamped
+        // non-decreasing), with the wakeup remainder as `response`.
+        if coalesced {
+            ctx.stage("coalesce_wait", &self.clock);
+        } else {
+            if let Ok(out) = &outcome {
+                if let Some(t) = out.ticks {
+                    ctx.stage_at("queue_wait", t.dequeued_ns);
+                    ctx.stage_at("measure", t.measured_ns);
+                    ctx.stage_at("db_write", t.db_write_ns);
+                    ctx.stage_at("publish", t.published_ns);
+                }
+            }
+            ctx.stage("response", &self.clock);
+        }
         match outcome {
-            Ok(ms) => {
+            Ok(out) => {
+                let ms = out.latency_ms;
                 self.metrics.misses();
                 self.metrics.observe_latency(ms);
                 Ok(Served {
@@ -1004,6 +1137,17 @@ impl LatencyService {
         self.events.as_ref()
     }
 
+    /// The exemplar reservoir: the K slowest full request traces per
+    /// terminal class, for Chrome-trace export and tail forensics.
+    pub fn exemplars(&self) -> &Arc<ExemplarReservoir> {
+        &self.exemplars
+    }
+
+    /// The monotonic clock every trace in this service ticks on.
+    pub fn trace_clock(&self) -> &Arc<TraceClock> {
+        &self.clock
+    }
+
     /// The wrapped facade (database, counters, predictor).
     pub fn system(&self) -> &Arc<Nnlqp> {
         &self.system
@@ -1087,14 +1231,18 @@ fn effective_graph(model: &Arc<Graph>, batch: u32) -> Result<Arc<Graph>, ServeEr
 fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerCtx>) -> impl FnOnce() {
     move || {
         while let Ok(job) = rx.recv() {
+            let dequeued_ns = ctx.clock.now_ns();
+            ctx.metrics
+                .observe_queue_wait(dequeued_ns.saturating_sub(job.enqueued_ns) as f64 / 1.0e6);
             ctx.metrics.set_queue_depth(rx.len() as f64);
-            let outcome = match ctx.system.query_measured(
+            let outcome = match ctx.system.query_measured_traced(
                 &job.graph,
                 &job.platform,
                 job.key.batch,
                 ctx.farm_wait,
+                &ctx.clock,
             ) {
-                Ok(qr) => {
+                Ok((qr, mt)) => {
                     ctx.cache.insert(job.key.clone(), qr.latency_ms);
                     ctx.metrics.set_hot_cache_len(ctx.cache.len() as f64);
                     ctx.metrics.measured();
@@ -1116,7 +1264,15 @@ fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerCtx>) -> impl FnOnce() {
                             qr.latency_ms,
                         );
                     }
-                    Ok(qr.latency_ms)
+                    Ok(FlightOutcome {
+                        latency_ms: qr.latency_ms,
+                        ticks: Some(WorkerTicks {
+                            dequeued_ns,
+                            measured_ns: mt.measured_ns,
+                            db_write_ns: mt.db_write_ns,
+                            published_ns: ctx.clock.now_ns(),
+                        }),
+                    })
                 }
                 Err(e) => Err(e.into()),
             };

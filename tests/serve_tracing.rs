@@ -1,0 +1,236 @@
+//! Integration: request-scoped tracing through the serving layer.
+//!
+//! The contract under test is the tiling invariant — every served
+//! response's stage durations sum **exactly** to its end-to-end latency
+//! (integer nanoseconds, no float drift) — across all four response
+//! paths: hot-cache hit, measured miss (leader), coalesced follower, and
+//! the degraded prediction tier. Plus the surrounding observability:
+//! monotone request ids, the exemplar reservoir, Chrome-trace export,
+//! and the wall-time histograms the traces feed.
+
+use nnlqp::{Nnlqp, Platform, TrainPredictorConfig};
+use nnlqp_ir::Graph;
+use nnlqp_models::ModelFamily;
+use nnlqp_obs::{tail_attribution, timeline_of, to_chrome_json, RequestTrace};
+use nnlqp_serve::{metric_names, LatencyService, ServeConfig, Source};
+use nnlqp_sim::{DeviceFarm, PlatformSpec};
+use std::sync::{Arc, Barrier};
+
+const PLATFORM: &str = "gpu-T4-trt7.1-fp32";
+const SEED: u64 = 77;
+
+fn system() -> Arc<Nnlqp> {
+    Arc::new(
+        Nnlqp::builder()
+            .farm(DeviceFarm::new(&PlatformSpec::table2_platforms(), 2))
+            .reps(3)
+            .seed(SEED)
+            .build(),
+    )
+}
+
+fn service_over(system: Arc<Nnlqp>, degrade_backlog: usize) -> LatencyService {
+    LatencyService::start(
+        system,
+        ServeConfig {
+            workers: 2,
+            queue_depth: 16,
+            cache_capacity: 128,
+            cache_shards: 2,
+            degrade_backlog,
+            ..Default::default()
+        },
+    )
+}
+
+fn models(count: usize, seed: u64) -> Vec<Arc<Graph>> {
+    nnlqp_models::generate_family(ModelFamily::SqueezeNet, count, seed)
+        .into_iter()
+        .map(|m| Arc::new(m.graph))
+        .collect()
+}
+
+fn stage_names(t: &RequestTrace) -> Vec<&'static str> {
+    t.stages.iter().map(|s| s.name).collect()
+}
+
+#[test]
+fn measured_hot_and_db_paths_tile_exactly() {
+    let sys = system();
+    let svc = service_over(Arc::clone(&sys), usize::MAX);
+    let model = &models(1, 3)[0];
+
+    // Measured miss: the leader's trace splices the worker's boundaries.
+    let (res, trace) = svc.query_traced(model, PLATFORM, 1);
+    assert_eq!(res.unwrap().source, Source::Measured);
+    assert_eq!(trace.class, "measured");
+    assert!(trace.tiles_exactly(), "measured: {trace:?}");
+    for want in [
+        "resolve",
+        "hot_cache",
+        "db_lookup",
+        "enqueue",
+        "queue_wait",
+        "measure",
+        "db_write",
+        "publish",
+        "response",
+    ] {
+        assert!(
+            trace.stage_ns(want).is_some(),
+            "measured trace missing stage {want}: {:?}",
+            stage_names(&trace)
+        );
+    }
+    assert!(trace.total_ns > 0);
+
+    // Hot-cache hit: short path, still tiles.
+    let (res, hot) = svc.query_traced(model, PLATFORM, 1);
+    assert_eq!(res.unwrap().source, Source::HotCache);
+    assert_eq!(hot.class, "hot_cache");
+    assert!(hot.tiles_exactly());
+    assert_eq!(stage_names(&hot), vec!["resolve", "hot_cache"]);
+    assert!(hot.request_id > trace.request_id, "ids are monotone");
+
+    // Database hit: a fresh service over the same (now warmed) system
+    // misses its own hot cache and promotes from the db.
+    let svc2 = service_over(Arc::clone(&sys), usize::MAX);
+    let (res, db) = svc2.query_traced(model, PLATFORM, 1);
+    assert_eq!(res.unwrap().source, Source::Database);
+    assert_eq!(db.class, "db_hit");
+    assert!(db.tiles_exactly());
+    assert_eq!(stage_names(&db), vec!["resolve", "hot_cache", "db_lookup"]);
+
+    // The traces fed the wall-time histograms: one observation per
+    // request, and the worker recorded the enqueue→dequeue wait.
+    let snap = sys.registry().snapshot();
+    let wall = &snap.histograms[metric_names::REQUEST_WALL_MS];
+    assert_eq!(wall.count, 3);
+    assert!(snap.histograms[metric_names::QUEUE_WAIT_MS].count >= 1);
+    let queue_stage = format!("{}queue_wait", metric_names::STAGE_MS_PREFIX);
+    assert_eq!(snap.histograms[&queue_stage].count, 1);
+}
+
+#[test]
+fn coalesced_followers_tile_with_a_single_wait_stage() {
+    const CLIENTS: usize = 6;
+    const ATTEMPTS: u64 = 25;
+    let svc = service_over(system(), usize::MAX);
+
+    // Whether a thread coalesces is a race against the leader's
+    // measurement, so drive fresh keys until one flight has followers.
+    for attempt in 0..ATTEMPTS {
+        let model = &models(1, 11 + attempt)[0];
+        let barrier = Barrier::new(CLIENTS);
+        let traces: Vec<RequestTrace> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    let (svc, model, barrier) = (&svc, Arc::clone(model), &barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        let (res, trace) = svc.query_traced(&model, PLATFORM, 1);
+                        res.expect("query succeeds");
+                        trace
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for t in &traces {
+            assert!(t.tiles_exactly(), "every path tiles: {t:?}");
+        }
+        let coalesced: Vec<&RequestTrace> =
+            traces.iter().filter(|t| t.class == "coalesced").collect();
+        if coalesced.is_empty() {
+            continue;
+        }
+        for t in &coalesced {
+            // A follower's wait is one undecomposable stage — no spliced
+            // worker boundaries, which could predate its join.
+            assert!(t.stage_ns("coalesce_wait").is_some());
+            assert!(t.stage_ns("queue_wait").is_none());
+            assert!(t.stage_ns("measure").is_none());
+        }
+        // Exactly one request led the flight and owns the worker's
+        // stages; late arrivals hit the freshly published hot cache.
+        let leaders = traces
+            .iter()
+            .filter(|t| t.class == "measured" && t.stage_ns("measure").is_some())
+            .count();
+        assert_eq!(leaders, 1);
+        return;
+    }
+    panic!("no flight coalesced across {ATTEMPTS} attempts × {CLIENTS} clients");
+}
+
+#[test]
+fn degraded_path_splits_embed_and_head_stages() {
+    let sys = system();
+    // Ground truth + a trained head, so the degrade tier can serve.
+    let warm: Vec<Graph> = nnlqp_models::generate_family(ModelFamily::SqueezeNet, 8, 21)
+        .into_iter()
+        .map(|m| m.graph)
+        .collect();
+    sys.warm_cache(&warm, &Platform::by_name(PLATFORM).unwrap(), 1)
+        .unwrap();
+    sys.train_predictor(
+        &[PLATFORM],
+        TrainPredictorConfig {
+            epochs: 4,
+            hidden: 16,
+            gnn_layers: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // degrade_backlog 0: every would-be measurement degrades instead.
+    let svc = service_over(Arc::clone(&sys), 0);
+    let fresh = &models(1, 99)[0];
+    let (res, trace) = svc.query_traced(fresh, PLATFORM, 1);
+    let served = res.unwrap();
+    assert_eq!(served.source, Source::Predicted);
+    assert!(served.approximate);
+    assert_eq!(trace.class, "degraded");
+    assert!(trace.tiles_exactly(), "degraded: {trace:?}");
+    assert!(trace.stage_ns("embed_cache").is_some());
+    assert!(trace.stage_ns("predict_head").is_some());
+    assert!(trace.stage_ns("queue_wait").is_none());
+}
+
+#[test]
+fn exemplar_reservoir_retains_slowest_and_exports_chrome_json() {
+    let svc = service_over(system(), usize::MAX);
+    let ms = models(3, 31);
+    let mut traces = Vec::new();
+    for m in &ms {
+        traces.push(svc.query_traced(m, PLATFORM, 1).1); // measured
+        traces.push(svc.query_traced(m, PLATFORM, 1).1); // hot hit
+    }
+    let snap = svc.exemplars().snapshot();
+    assert!(snap.contains_key("measured"));
+    assert!(snap.contains_key("hot_cache"));
+    for class_traces in snap.values() {
+        // Slowest-first within each class, every one tiling.
+        for w in class_traces.windows(2) {
+            assert!(w[0].total_ns >= w[1].total_ns);
+        }
+        assert!(class_traces.iter().all(RequestTrace::tiles_exactly));
+    }
+    // The slowest class exports through the existing Chrome-trace
+    // writer, and the JSON is well-formed.
+    let slowest = svc.exemplars().slowest_class().unwrap();
+    assert_eq!(slowest, "measured", "measuring dwarfs cache hits");
+    let json = to_chrome_json(&timeline_of(&snap[slowest]));
+    let doc: serde_json::Value = json.parse().expect("chrome trace is valid JSON");
+    let events = doc["traceEvents"].as_array().expect("trace events");
+    assert!(events.iter().any(|e| e["name"].as_str() == Some("request")));
+    assert!(events.iter().any(|e| e["name"].as_str() == Some("measure")));
+
+    // Tail attribution over the mixed workload: shares tile the tail.
+    let shares = tail_attribution(&traces, 0.5);
+    assert!(!shares.is_empty());
+    let sum: f64 = shares.iter().map(|s| s.share_pct).sum();
+    assert!((sum - 100.0).abs() < 1e-6, "shares sum to 100%: {sum}");
+}
